@@ -1,0 +1,17 @@
+//! E1 timing bench: the full five-task keystroke experiment end-to-end
+//! (the table itself comes from the harness; this times its generation).
+
+use copycat_bench::e1_keystrokes::{mean_savings, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1");
+    group.sample_size(10);
+    group.bench_function("five_tasks_20_rows", |b| {
+        b.iter(|| mean_savings(&run(20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 timing bench: MIRA update cost and the convergence loop.
+
+use copycat_bench::e2_feedback::run_e2a;
+use copycat_bench::gen::{random_graph, GraphSpec};
+use copycat_graph::{top_k_steiner, Mira};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_single_update(c: &mut Criterion) {
+    let (g, t) = random_graph(&GraphSpec { nodes: 24, extra_edges: 24, seed: 2 }, 3);
+    let trees = top_k_steiner(&g, &t, 2);
+    let (a, b_tree) = (trees[0].edges.clone(), trees[1].edges.clone());
+    c.bench_function("e2/mira_single_update", |bch| {
+        bch.iter(|| {
+            let mut g2 = g.clone();
+            Mira::default().apply(&mut g2, &b_tree, &a)
+        })
+    });
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/convergence");
+    group.sample_size(10);
+    group.bench_function("e2a_5_trials", |b| b.iter(|| run_e2a(5).mean_feedback));
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_update, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E4 timing bench: wrapper induction latency per page-complexity tier
+//! (this is the "paste → suggestions appear" interactive latency).
+
+use copycat_document::corpus::{render_list, Faker, ListSpec, Tier};
+use copycat_document::Document;
+use copycat_extract::StructureLearner;
+use copycat_semantic::TypeRegistry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_learn(c: &mut Criterion) {
+    let registry = TypeRegistry::with_builtins();
+    let learner = StructureLearner::new();
+    let mut group = c.benchmark_group("e4/learn_latency");
+    group.sample_size(20);
+    for tier in Tier::ALL {
+        let rows = Faker::new(42).shelters(18);
+        let spec = ListSpec::new("Shelters", &["Name", "Street", "City"], tier, 7);
+        let doc = Document::Site(render_list(&spec, &rows).site);
+        let examples: Vec<Vec<String>> = rows[..2].to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(tier.name()), &tier, |b, _| {
+            b.iter(|| learner.learn(&doc, &examples, &registry).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learn);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E5 timing bench: column auto-completion latency (the Figure-2
+//! suggestion round trip, including executing the candidate queries).
+
+use copycat_core::scenario::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_suggestions(c: &mut Criterion) {
+    let mut s = Scenario::build(&ScenarioConfig { venues: 20, ..Default::default() });
+    s.import_shelters(1);
+    let mut group = c.benchmark_group("e5");
+    group.sample_size(20);
+    group.bench_function("column_suggestions_20_rows", |b| {
+        b.iter(|| s.engine.column_suggestions().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suggestions);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E6 timing bench: semantic-type recognition throughput (per-column
+//! recognition is on the paste hot path).
+
+use copycat_document::corpus::Faker;
+use copycat_semantic::TypeRegistry;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_recognition(c: &mut Criterion) {
+    let registry = TypeRegistry::with_builtins();
+    let mut f = Faker::new(3);
+    let streets: Vec<String> = (0..20).map(|_| f.street()).collect();
+    let cities: Vec<String> = (0..20).map(|_| f.city()).collect();
+    c.bench_function("e6/recognize_street_column", |b| {
+        b.iter(|| registry.recognize_column(&streets).len())
+    });
+    c.bench_function("e6/recognize_city_column", |b| {
+        b.iter(|| registry.recognize_column(&cities).len())
+    });
+    c.bench_function("e6/learn_type_20_values", |b| {
+        b.iter(|| {
+            let mut r = TypeRegistry::empty();
+            r.learn_type("Street", &streets);
+            r.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_recognition);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E7 timing bench: approximate-join throughput with blocking, and
+//! matcher training cost.
+
+use copycat_document::corpus::perturb_string;
+use copycat_linkage::{approximate_join, LabeledPair, MatchLearner, TfIdfIndex};
+use copycat_services::{World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_linkage(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig { venues: 100, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(1);
+    let left: Vec<Vec<String>> = world.venues.iter().map(|v| vec![v.name.clone()]).collect();
+    let right: Vec<Vec<String>> = world
+        .venues
+        .iter()
+        .map(|v| vec![perturb_string(&mut rng, &v.name, 2)])
+        .collect();
+    let corpus: Vec<String> = left.iter().chain(right.iter()).map(|r| r[0].clone()).collect();
+    let matcher = MatchLearner::new(1).train(&[], TfIdfIndex::build(&corpus));
+
+    c.bench_function("e7/approximate_join_100x100", |b| {
+        b.iter(|| approximate_join(&left, &right, &[0], &[0], &matcher).len())
+    });
+
+    let pairs: Vec<LabeledPair> = (0..10)
+        .map(|i| LabeledPair {
+            left: left[i].clone(),
+            right: right[i].clone(),
+            matched: true,
+        })
+        .collect();
+    c.bench_function("e7/train_matcher_10_pairs", |b| {
+        b.iter(|| {
+            MatchLearner::new(1)
+                .train(&pairs, TfIdfIndex::build(&corpus))
+                .threshold()
+        })
+    });
+}
+
+criterion_group!(benches, bench_linkage);
+criterion_main!(benches);

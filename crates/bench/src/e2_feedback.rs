@@ -1,0 +1,192 @@
+//! E2 — feedback-learning convergence (§5's Q-system claims):
+//!
+//! * **E2a**: "learning of correct queries based on user feedback over
+//!   answers converges very quickly … as little as one item of feedback
+//!   for a single query". We count MIRA updates until the user's
+//!   preferred query ranks first.
+//! * **E2b**: "feedback on 10 queries to learn rankings for an entire
+//!   family of queries". We train on k queries of a family and measure
+//!   held-out top-1 accuracy.
+
+use crate::gen::{random_graph, GraphSpec};
+use copycat_graph::{top_k_steiner, Mira, NodeId, SourceGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// E2a outcome.
+#[derive(Debug, Clone)]
+pub struct E2aResult {
+    /// Trials that converged.
+    pub converged: usize,
+    /// Total trials.
+    pub trials: usize,
+    /// Mean feedback items until the preferred query ranked first.
+    pub mean_feedback: f64,
+    /// Fraction of trials needing exactly one item.
+    pub pct_one: f64,
+    /// Worst case observed.
+    pub max_feedback: usize,
+}
+
+/// Run E2a over `trials` random graphs.
+pub fn run_e2a(trials: u64) -> E2aResult {
+    let mut counts = Vec::new();
+    let mut attempted = 0usize;
+    for seed in 0..trials {
+        let (mut g, terminals) =
+            random_graph(&GraphSpec { nodes: 20, extra_edges: 16, seed }, 3);
+        let candidates = top_k_steiner(&g, &terminals, 5);
+        if candidates.len() < 2 {
+            continue;
+        }
+        attempted += 1;
+        // The user's true intent is the currently worst-ranked candidate.
+        let preferred = candidates.last().expect("non-empty").edges.clone();
+        let mira = Mira::default();
+        let mut feedback = 0usize;
+        for _ in 0..25 {
+            let ranked = top_k_steiner(&g, &terminals, 5);
+            if ranked.first().map(|t| &t.edges) == Some(&preferred) {
+                break;
+            }
+            // One feedback item: the user accepts `preferred`'s answers
+            // over the top-ranked alternative's.
+            let top = ranked.first().expect("non-empty").edges.clone();
+            mira.apply(&mut g, &preferred, &top);
+            feedback += 1;
+        }
+        let converged =
+            top_k_steiner(&g, &terminals, 1).first().map(|t| &t.edges) == Some(&preferred);
+        if converged {
+            counts.push(feedback);
+        }
+    }
+    let n = counts.len().max(1);
+    E2aResult {
+        converged: counts.len(),
+        trials: attempted,
+        mean_feedback: counts.iter().sum::<usize>() as f64 / n as f64,
+        pct_one: counts.iter().filter(|&&c| c <= 1).count() as f64 / n as f64 * 100.0,
+        max_feedback: counts.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// E2b outcome: held-out accuracy per training-set size.
+#[derive(Debug, Clone)]
+pub struct E2bResult {
+    /// `(queries trained on, held-out top-1 accuracy %)`.
+    pub curve: Vec<(usize, f64)>,
+}
+
+/// The hidden preference model: some associations are secretly bad (the
+/// user always rejects queries through them).
+struct Hidden {
+    penalty: Vec<f64>,
+}
+
+impl Hidden {
+    fn new(g: &SourceGraph, seed: u64) -> Hidden {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBAD);
+        let penalty = g
+            .edge_ids()
+            .map(|_| if rng.gen_bool(0.3) { 2.5 } else { 0.0 })
+            .collect();
+        Hidden { penalty }
+    }
+
+    fn cost(&self, g: &SourceGraph, edges: &[copycat_graph::EdgeId]) -> f64 {
+        edges
+            .iter()
+            .map(|e| g.cost(*e) + self.penalty[e.0 as usize])
+            .sum()
+    }
+
+    /// Among candidate trees, the one the user would pick.
+    fn preferred<'a>(
+        &self,
+        g: &SourceGraph,
+        candidates: &'a [copycat_graph::SteinerTree],
+    ) -> &'a copycat_graph::SteinerTree {
+        candidates
+            .iter()
+            .min_by(|a, b| {
+                self.cost(g, &a.edges)
+                    .partial_cmp(&self.cost(g, &b.edges))
+                    .expect("finite")
+            })
+            .expect("non-empty")
+    }
+}
+
+/// Run E2b: train on k queries, test on the rest of the family.
+pub fn run_e2b(train_sizes: &[usize], trials: u64) -> E2bResult {
+    let mut curve = Vec::new();
+    for &k in train_sizes {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for seed in 0..trials {
+            let (g0, _) = random_graph(&GraphSpec { nodes: 24, extra_edges: 22, seed }, 2);
+            let hidden = Hidden::new(&g0, seed);
+            // The query family: anchor node 0 joined with each other node.
+            let anchor = NodeId(0);
+            let family: Vec<Vec<NodeId>> = (1..g0.node_count() as u32)
+                .map(|i| vec![anchor, NodeId(i)])
+                .collect();
+            let (train, test) = family.split_at(k.min(family.len()));
+            let mut g = g0.clone();
+            let mira = Mira::default();
+            for terminals in train {
+                let candidates = top_k_steiner(&g, terminals, 4);
+                if candidates.len() < 2 {
+                    continue;
+                }
+                let preferred = hidden.preferred(&g, &candidates).edges.clone();
+                let rejected: Vec<Vec<copycat_graph::EdgeId>> = candidates
+                    .iter()
+                    .filter(|t| t.edges != preferred)
+                    .map(|t| t.edges.clone())
+                    .collect();
+                mira.rank_above(&mut g, &preferred, &rejected);
+            }
+            for terminals in test.iter().take(10) {
+                let candidates = top_k_steiner(&g, terminals, 4);
+                if candidates.len() < 2 {
+                    continue;
+                }
+                total += 1;
+                let want = hidden.preferred(&g, &candidates).edges.clone();
+                if candidates[0].edges == want {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = if total == 0 { 0.0 } else { correct as f64 / total as f64 * 100.0 };
+        curve.push((k, acc));
+    }
+    E2bResult { curve }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2a_converges_quickly() {
+        let r = run_e2a(15);
+        assert!(r.converged as f64 >= r.trials as f64 * 0.9, "{r:?}");
+        assert!(r.mean_feedback <= 4.0, "mean {} too high", r.mean_feedback);
+        assert!(r.pct_one >= 30.0, "{r:?}");
+    }
+
+    #[test]
+    fn e2b_accuracy_improves_with_training() {
+        let r = run_e2b(&[0, 10], 6);
+        let base = r.curve[0].1;
+        let trained = r.curve[1].1;
+        assert!(
+            trained >= base + 5.0,
+            "training should help: {base:.1}% -> {trained:.1}%"
+        );
+        assert!(trained >= 60.0, "ten queries should teach the family: {trained:.1}%");
+    }
+}

@@ -1,0 +1,165 @@
+//! E4 — structure-learner generalization (Figure 1, §3.1, §8): row
+//! auto-completion quality versus the number of pasted examples, across
+//! page-complexity tiers and noise intensities. Reproduces the paper's
+//! qualitative claim: "If these pages are well-structured, a single
+//! example can be illustrative enough … the more complex the pages are,
+//! the more examples may be necessary."
+
+use copycat_document::corpus::{render_list, Faker, ListSpec, Tier};
+use copycat_document::Document;
+use copycat_extract::StructureLearner;
+use copycat_semantic::TypeRegistry;
+
+/// One measurement cell.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Tier name (with the noise multiplier for noisy tiers).
+    pub setting: String,
+    /// Examples pasted.
+    pub examples: usize,
+    /// Precision of the top hypothesis's rows.
+    pub precision: f64,
+    /// Recall against the true rows.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+}
+
+/// Precision/recall of extracted rows against ground truth.
+pub fn prf(truth: &[Vec<String>], got: &[Vec<String>]) -> (f64, f64, f64) {
+    if got.is_empty() || truth.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let tp = got.iter().filter(|r| truth.contains(r)).count() as f64;
+    let p = tp / got.len() as f64;
+    let r = tp / truth.len() as f64;
+    let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    (p, r, f1)
+}
+
+/// Run the sweep: tiers at default noise, noisy tiers at higher
+/// intensities, and a *sparse* tier with missing street cells (≈1 row in
+/// 6), examples 1..=max_examples, averaged over `seeds` worlds. On the
+/// sparse tier, example selection follows the paper's interaction: the
+/// first paste is a complete row; a later paste (example 2) is a row with
+/// the missing field, which teaches the wrapper to tolerate blanks.
+pub fn run(max_examples: usize, seeds: u64) -> Vec<E4Row> {
+    let settings: Vec<(String, Tier, f64, bool)> = vec![
+        ("clean".into(), Tier::Clean, 1.0, false),
+        ("noisy x1".into(), Tier::Noisy, 1.0, false),
+        ("noisy x2".into(), Tier::Noisy, 2.0, false),
+        ("noisy x3".into(), Tier::Noisy, 3.0, false),
+        ("sparse".into(), Tier::Clean, 1.0, true),
+        ("sparse+noise".into(), Tier::Noisy, 2.0, true),
+        ("nested".into(), Tier::Nested, 1.0, false),
+        ("multipage".into(), Tier::MultiPage, 1.0, false),
+    ];
+    let registry = TypeRegistry::with_builtins();
+    let learner = StructureLearner::new();
+    let mut out = Vec::new();
+    for (setting, tier, noise, sparse) in settings {
+        for examples in 1..=max_examples {
+            let (mut sp, mut sr, mut sf) = (0.0, 0.0, 0.0);
+            for seed in 0..seeds {
+                let mut rows = Faker::new(1000 + seed).shelters(18);
+                if sparse {
+                    for (i, r) in rows.iter_mut().enumerate() {
+                        if i % 6 == 3 {
+                            r[1] = String::new(); // missing street
+                        }
+                    }
+                }
+                let spec = ListSpec::new("Shelters", &["Name", "Street", "City"], tier, seed)
+                    .with_noise(noise);
+                let doc = Document::Site(render_list(&spec, &rows).site);
+                let ex: Vec<Vec<String>> = if sparse {
+                    // 1st: complete row; 2nd: the sparse row; then more.
+                    let mut ex = vec![rows[0].clone()];
+                    if examples >= 2 {
+                        ex.push(rows[3].clone());
+                    }
+                    for k in 2..examples {
+                        ex.push(rows[k - 1].clone());
+                    }
+                    ex
+                } else {
+                    rows[..examples].to_vec()
+                };
+                let hyps = learner.learn(&doc, &ex, &registry);
+                let (p, r, f1) = hyps
+                    .first()
+                    .map(|h| prf(&rows, &h.rows))
+                    .unwrap_or((0.0, 0.0, 0.0));
+                sp += p;
+                sr += r;
+                sf += f1;
+            }
+            let n = seeds as f64;
+            out.push(E4Row {
+                setting: setting.clone(),
+                examples,
+                precision: sp / n,
+                recall: sr / n,
+                f1: sf / n,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_tier_is_solved_with_one_example() {
+        let rows = run(1, 3);
+        let clean = rows.iter().find(|r| r.setting == "clean").unwrap();
+        assert!(clean.f1 > 0.95, "clean F1 {}", clean.f1);
+    }
+
+    #[test]
+    fn more_examples_never_hurt_much() {
+        let rows = run(3, 3);
+        for setting in ["clean", "noisy x2", "nested"] {
+            let f1_at = |k: usize| {
+                rows.iter()
+                    .find(|r| r.setting == setting && r.examples == k)
+                    .map(|r| r.f1)
+                    .unwrap()
+            };
+            assert!(
+                f1_at(3) + 0.15 >= f1_at(1),
+                "{setting}: F1@3 {} vs F1@1 {}",
+                f1_at(3),
+                f1_at(1)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_tier_needs_a_second_example() {
+        let rows = run(2, 4);
+        let f1 = |setting: &str, k: usize| {
+            rows.iter()
+                .find(|r| r.setting == setting && r.examples == k)
+                .map(|r| r.f1)
+                .unwrap()
+        };
+        // One example cannot license blank cells; the second (sparse)
+        // example teaches tolerance — the paper's complexity gradient.
+        assert!(f1("sparse", 1) < 0.99, "expected a gap at 1 example");
+        assert!(f1("sparse", 2) > f1("sparse", 1) + 0.05);
+        assert!(f1("sparse+noise", 2) > 0.9);
+    }
+
+    #[test]
+    fn prf_math() {
+        let truth = vec![vec!["a".to_string()], vec!["b".to_string()]];
+        let got = vec![vec!["a".to_string()], vec!["x".to_string()]];
+        let (p, r, f1) = prf(&truth, &got);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 0.5);
+        assert!((f1 - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! E5 — column auto-completion quality (Figure 2, §4.1): where does the
+//! intended Zip completion rank as distractor sources pile up, and how
+//! accurate are the completed values?
+
+use copycat_core::scenario::{Scenario, ScenarioConfig};
+use copycat_query::{Field, Relation, Schema};
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Distractor sources registered.
+    pub distractors: usize,
+    /// Whether the zip completion ranked first.
+    pub hit_at_1: bool,
+    /// Whether it ranked in the top 3.
+    pub hit_at_3: bool,
+    /// Reciprocal rank of the zip completion (0 when absent).
+    pub reciprocal_rank: f64,
+    /// Fraction of rows whose completed zip equals the world's truth.
+    pub value_accuracy: f64,
+}
+
+/// Run the sweep over distractor counts.
+pub fn run(distractor_counts: &[usize]) -> Vec<E5Row> {
+    distractor_counts.iter().map(|&d| run_once(d)).collect()
+}
+
+fn run_once(distractors: usize) -> E5Row {
+    let mut s = Scenario::build(&ScenarioConfig { venues: 15, ..Default::default() });
+    s.import_shelters(1);
+    // Distractor sources: each shares the City column with Shelters, so
+    // association discovery wires a join edge per distractor — candidate
+    // completions the ranker must sift.
+    let cities: Vec<String> = s
+        .world
+        .cities
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    for i in 0..distractors {
+        let name = format!("Extra{i}");
+        let schema = Schema::new(vec![
+            Field::typed("City", "PR-City"),
+            Field::new(format!("Misc{i}")),
+        ]);
+        let rows: Vec<Vec<String>> = cities
+            .iter()
+            .map(|c| vec![c.clone(), format!("junk-{i}-{c}")])
+            .collect();
+        let rel = Relation::from_strings(&name, schema.clone(), &rows);
+        s.engine.catalog().add_relation(rel);
+        s.engine.add_graph_relation(&name, schema);
+    }
+    let suggs = s.engine.column_suggestions();
+    let zip_rank = suggs
+        .iter()
+        .position(|c| c.new_fields.iter().any(|f| f.name == "Zip"));
+    let value_accuracy = zip_rank
+        .map(|r| {
+            let zip = &suggs[r];
+            let correct = zip
+                .values
+                .iter()
+                .enumerate()
+                .filter(|(i, v)| {
+                    v.first().map(String::as_str) == Some(s.world.venue_zip(&s.world.venues[*i]))
+                })
+                .count();
+            correct as f64 / s.world.venues.len() as f64
+        })
+        .unwrap_or(0.0);
+    E5Row {
+        distractors,
+        hit_at_1: zip_rank == Some(0),
+        hit_at_3: zip_rank.is_some_and(|r| r < 3),
+        reciprocal_rank: zip_rank.map(|r| 1.0 / (r + 1) as f64).unwrap_or(0.0),
+        value_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zip_completion_survives_distractors() {
+        let rows = run(&[0, 10]);
+        assert!(rows[0].hit_at_3, "no distractors: {rows:?}");
+        assert!((rows[0].value_accuracy - 1.0).abs() < 1e-9);
+        assert!(rows[1].reciprocal_rank > 0.0, "zip must still be offered");
+    }
+}

@@ -1,0 +1,117 @@
+//! E6 — semantic-type learning and recognition (§3.2): recognition
+//! accuracy as training data grows, and cross-source transfer ("train
+//! the system on the first source … then the system would recognize that
+//! type of field if it was available in another source").
+
+use copycat_document::corpus::Faker;
+use copycat_semantic::TypeRegistry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One accuracy measurement.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// Training values per type.
+    pub train_size: usize,
+    /// Top-1 recognition accuracy over held-out columns (%).
+    pub accuracy: f64,
+}
+
+/// The labeled field generators: `(type name, generator)`.
+fn field_samples(seed: u64, n: usize) -> Vec<(&'static str, Vec<String>)> {
+    let mut f = Faker::new(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let streets: Vec<String> = (0..n).map(|_| f.street()).collect();
+    let cities: Vec<String> = (0..n).map(|_| f.city()).collect();
+    let zips: Vec<String> = (0..n).map(|_| f.zip()).collect();
+    let phones: Vec<String> = (0..n).map(|_| f.phone()).collect();
+    let people: Vec<String> = (0..n).map(|_| f.person()).collect();
+    let codes: Vec<String> = (0..n)
+        .map(|_| format!("SHL-{:04}", rng.gen_range(0..10000)))
+        .collect();
+    let caps: Vec<String> = (0..n)
+        .map(|_| format!("{} people", rng.gen_range(50..800)))
+        .collect();
+    vec![
+        ("Street", streets),
+        ("City", cities),
+        ("Zip", zips),
+        ("Phone", phones),
+        ("Person", people),
+        ("ShelterCode", codes),
+        ("Capacity", caps),
+    ]
+}
+
+/// Accuracy of a fresh registry trained with `train_size` values per
+/// user-defined type, measured over `trials` held-out columns per type.
+pub fn run(train_sizes: &[usize], trials: u64) -> Vec<E6Row> {
+    let mut out = Vec::new();
+    for &k in train_sizes {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for seed in 0..trials {
+            // Train on one "source"'s formatting...
+            let mut reg = TypeRegistry::empty();
+            for (name, values) in field_samples(seed, k) {
+                reg.learn_type(name, &values);
+            }
+            // ...recognize columns from a *different* source (new seed).
+            for (name, values) in field_samples(seed + 1000, 8) {
+                total += 1;
+                if let Some((got, _)) = reg.best(&values, 0.2) {
+                    if got == name {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        out.push(E6Row {
+            train_size: k,
+            accuracy: correct as f64 / total.max(1) as f64 * 100.0,
+        });
+    }
+    out
+}
+
+/// The same-session reuse claim: a type defined on the fly from source A
+/// is immediately available to recognize source B. Returns the accuracy
+/// on source B's column of that type (%).
+pub fn same_session_transfer(trials: u64) -> f64 {
+    let mut correct = 0usize;
+    for seed in 0..trials {
+        let mut reg = TypeRegistry::with_builtins();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<String> = (0..12)
+            .map(|_| format!("SHL-{:04}", rng.gen_range(0..10000)))
+            .collect();
+        reg.learn_type("ShelterCode", &a);
+        let b: Vec<String> = (0..8)
+            .map(|_| format!("SHL-{:04}", rng.gen_range(0..10000)))
+            .collect();
+        if reg.best(&b, 0.3).map(|(n, _)| n) == Some("ShelterCode".to_string()) {
+            correct += 1;
+        }
+    }
+    correct as f64 / trials.max(1) as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_grows_with_training() {
+        let rows = run(&[1, 20], 4);
+        assert!(
+            rows[1].accuracy >= rows[0].accuracy,
+            "more data should not hurt: {rows:?}"
+        );
+        assert!(rows[1].accuracy >= 70.0, "20 examples should work: {rows:?}");
+    }
+
+    #[test]
+    fn transfer_is_reliable() {
+        assert!(same_session_transfer(10) >= 90.0);
+    }
+}

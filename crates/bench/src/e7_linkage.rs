@@ -1,0 +1,161 @@
+//! E7 — record-linkage quality (Example 1, §2.2): the learned
+//! combination of heuristics versus each single heuristic, as the user
+//! demonstrates more example matches, under controlled name corruption.
+
+use copycat_linkage::{
+    approximate_join, LabeledPair, MatchLearner, Matcher, Metric, TfIdfIndex,
+};
+use copycat_services::{World, WorldConfig};
+use copycat_document::corpus::perturb_string;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct E7Row {
+    /// Matcher description (`learned(k)` or a single metric name).
+    pub matcher: String,
+    /// Edits applied to each right-hand name.
+    pub edits: usize,
+    /// Linkage F1 over the venue/contact assignment.
+    pub f1: f64,
+}
+
+/// The linkage workload: shelters vs contact venue names with `edits`
+/// perturbations each. Returns `(left names, right names, truth)` where
+/// truth maps right index → left index.
+fn workload(seed: u64, edits: usize) -> (Vec<Vec<String>>, Vec<Vec<String>>, Vec<usize>) {
+    let world = World::generate(&WorldConfig { seed, venues: 25, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE7);
+    let left: Vec<Vec<String>> = world
+        .venues
+        .iter()
+        .map(|v| vec![v.name.clone()])
+        .collect();
+    let right: Vec<Vec<String>> = world
+        .venues
+        .iter()
+        .map(|v| vec![perturb_string(&mut rng, &v.name, edits)])
+        .collect();
+    let truth: Vec<usize> = (0..world.venues.len()).collect();
+    (left, right, truth)
+}
+
+/// F1 of a matcher's 1:1 assignment against the identity truth.
+fn f1_of(matcher: &Matcher, left: &[Vec<String>], right: &[Vec<String>], truth: &[usize]) -> f64 {
+    let links = approximate_join(left, right, &[0], &[0], matcher);
+    let tp = links.iter().filter(|l| truth[l.right] == l.left).count() as f64;
+    if links.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    let p = tp / links.len() as f64;
+    let r = tp / truth.len() as f64;
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Train a matcher from the first `k` true pairs (plus mismatched
+/// negatives), mirroring the user pasting matches for several shelters.
+fn learned_matcher(
+    k: usize,
+    left: &[Vec<String>],
+    right: &[Vec<String>],
+    truth: &[usize],
+) -> Matcher {
+    let mut pairs = Vec::new();
+    for i in 0..k.min(left.len()) {
+        pairs.push(LabeledPair {
+            left: left[truth[i]].clone(),
+            right: right[i].clone(),
+            matched: true,
+        });
+        // A negative: the same right row against a different left.
+        let wrong = (truth[i] + 1) % left.len();
+        pairs.push(LabeledPair {
+            left: left[wrong].clone(),
+            right: right[i].clone(),
+            matched: false,
+        });
+    }
+    let corpus: Vec<String> = left
+        .iter()
+        .chain(right.iter())
+        .map(|r| r[0].clone())
+        .collect();
+    MatchLearner::new(1).train(&pairs, TfIdfIndex::build(&corpus))
+}
+
+/// Run the comparison at each edit rate: single-metric baselines plus the
+/// learned combination at 0, 3 and 6 demonstrated matches.
+pub fn run(edit_rates: &[usize], seeds: u64) -> Vec<E7Row> {
+    let mut out = Vec::new();
+    for &edits in edit_rates {
+        let singles = [Metric::Levenshtein, Metric::JaroWinkler, Metric::TokenJaccard, Metric::TfIdfCosine, Metric::Exact];
+        let mut scores: Vec<(String, f64)> = Vec::new();
+        for m in singles {
+            let mut sum = 0.0;
+            for seed in 0..seeds {
+                let (l, r, t) = workload(seed, edits);
+                let corpus: Vec<String> =
+                    l.iter().chain(r.iter()).map(|x| x[0].clone()).collect();
+                let matcher = Matcher::single_metric(m, 1, TfIdfIndex::build(&corpus));
+                sum += f1_of(&matcher, &l, &r, &t);
+            }
+            scores.push((m.name().to_string(), sum / seeds as f64));
+        }
+        for k in [0usize, 3, 6] {
+            let mut sum = 0.0;
+            for seed in 0..seeds {
+                let (l, r, t) = workload(seed, edits);
+                let matcher = learned_matcher(k, &l, &r, &t);
+                sum += f1_of(&matcher, &l, &r, &t);
+            }
+            scores.push((format!("learned({k})"), sum / seeds as f64));
+        }
+        for (matcher, f1) in scores {
+            out.push(E7Row { matcher, edits, f1 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learned_combination_beats_weakest_baseline() {
+        let rows = run(&[2], 3);
+        let get = |name: &str| rows.iter().find(|r| r.matcher == name).map(|r| r.f1).unwrap();
+        let learned = get("learned(6)");
+        let exact = get("exact");
+        assert!(
+            learned > exact + 0.1,
+            "learned {learned:.3} should beat exact-match {exact:.3} on perturbed names"
+        );
+        assert!(learned >= 0.6, "learned F1 too low: {learned:.3}");
+    }
+
+    #[test]
+    fn heavier_edits_are_harder() {
+        let rows = run(&[1, 6], 3);
+        let f1 = |edits: usize| {
+            rows.iter()
+                .find(|r| r.matcher == "learned(6)" && r.edits == edits)
+                .map(|r| r.f1)
+                .unwrap()
+        };
+        // Small tolerance: perturbation draws differ per edit count, so
+        // near-equal scores at light corruption are fine; six edits must
+        // clearly be harder than one.
+        assert!(
+            f1(1) + 0.02 >= f1(6),
+            "1-edit {:.3} vs 6-edit {:.3}",
+            f1(1),
+            f1(6)
+        );
+    }
+}

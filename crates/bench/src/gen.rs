@@ -1,0 +1,77 @@
+//! Random source-graph generation for the E2/E3/A3 workloads.
+//!
+//! Graphs mimic real source graphs: a connected backbone of join edges
+//! plus extra cross edges, with costs around the default. Deterministic
+//! per seed.
+
+use copycat_graph::{EdgeKind, NodeId, SourceGraph};
+use copycat_query::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a random graph.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSpec {
+    /// Node count.
+    pub nodes: usize,
+    /// Extra edges beyond the spanning backbone.
+    pub extra_edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a graph and a deterministic set of `k` spread-out terminals.
+pub fn random_graph(spec: &GraphSpec, k_terminals: usize) -> (SourceGraph, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut g = SourceGraph::new();
+    let nodes: Vec<NodeId> = (0..spec.nodes)
+        .map(|i| g.add_relation(format!("s{i}"), Schema::of(&["X", "Y"])))
+        .collect();
+    let join = || EdgeKind::Join { pairs: vec![("X".into(), "X".into())] };
+    for i in 1..spec.nodes {
+        let j = rng.gen_range(0..i);
+        g.add_edge_with_cost(nodes[i], nodes[j], join(), rng.gen_range(0.5..2.0));
+    }
+    for _ in 0..spec.extra_edges {
+        let a = rng.gen_range(0..spec.nodes);
+        let b = rng.gen_range(0..spec.nodes);
+        if a != b {
+            g.add_edge_with_cost(nodes[a], nodes[b], join(), rng.gen_range(0.5..2.0));
+        }
+    }
+    // Terminals spread evenly across the id space.
+    let k = k_terminals.min(spec.nodes);
+    let mut terminals: Vec<NodeId> = (0..k)
+        .map(|i| nodes[i * (spec.nodes - 1) / (k - 1).max(1)])
+        .collect();
+    terminals.dedup();
+    while terminals.len() < k {
+        let cand = nodes[rng.gen_range(0..spec.nodes)];
+        if !terminals.contains(&cand) {
+            terminals.push(cand);
+        }
+    }
+    (g, terminals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_connected() {
+        let spec = GraphSpec { nodes: 30, extra_edges: 20, seed: 9 };
+        let (g1, t1) = random_graph(&spec, 4);
+        let (g2, t2) = random_graph(&spec, 4);
+        assert_eq!(t1, t2);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        // Backbone guarantees connectivity.
+        assert!(copycat_graph::steiner_exact(&g1, &t1).is_some());
+    }
+
+    #[test]
+    fn terminal_count_respected() {
+        let (_, t) = random_graph(&GraphSpec { nodes: 50, extra_edges: 10, seed: 1 }, 6);
+        assert_eq!(t.len(), 6);
+    }
+}

@@ -1,0 +1,556 @@
+//! The auto-complete generator (§2.2, §4.2).
+//!
+//! Two generation modes, as in the paper:
+//!
+//! 1. **Column completions** — "it discovers promising associations
+//!    (edges in the source graph scoring above a relevance threshold)
+//!    from the current query's nodes to other sources … For each such
+//!    association, CopyCat defines a query." See [`column_suggestions`].
+//! 2. **Query discovery from pasted tuples** — "the learner finds the
+//!    most likely explanations for the tuples (queries) by discovering
+//!    Steiner trees connecting the data sources in the source graph."
+//!    See [`discover_queries`].
+
+use copycat_graph::{EdgeId, EdgeKind, NodeId, NodeKind, SourceGraph, SteinerTree};
+use copycat_linkage::{approximate_join, MatchLearner, Matcher, TfIdfIndex};
+use copycat_provenance::Provenance;
+use copycat_query::{
+    execute_labeled, Catalog, Field, Plan, Relation, Schema, Value,
+};
+
+/// A proposed column auto-completion (Figure 2's highlighted Zip column).
+#[derive(Debug, Clone)]
+pub struct ColumnSuggestion {
+    /// The columns this completion would add.
+    pub new_fields: Vec<Field>,
+    /// Per current-tab row, the new columns' values (empty strings when
+    /// the source had no answer for that row).
+    pub values: Vec<Vec<String>>,
+    /// Per current-tab row, the provenance of the completed tuple.
+    pub provenance: Vec<Option<Provenance>>,
+    /// The source-graph edge this completion uses.
+    pub edge: EdgeId,
+    /// The extended query.
+    pub plan: Plan,
+    /// Query label (for provenance and feedback).
+    pub label: String,
+    /// Edge cost (lower ranks first).
+    pub cost: f64,
+}
+
+/// A query discovered from a pasted tuple, with its executed answers.
+#[derive(Debug, Clone)]
+pub struct ScoredQuery {
+    /// The query plan.
+    pub plan: Plan,
+    /// The Steiner tree it came from.
+    pub tree: SteinerTree,
+    /// Tree cost (the ranking score; lower is better).
+    pub cost: f64,
+    /// Executed results.
+    pub result: Relation,
+}
+
+/// Generate ranked column completions for the current query.
+///
+/// `current_plan` is the active tab's query; `current_nodes` the graph
+/// nodes it spans; `current_rows` the tab's committed rows (for value
+/// alignment). `max_cost` is the §4.1 relevance threshold.
+pub fn column_suggestions(
+    graph: &SourceGraph,
+    catalog: &Catalog,
+    current_plan: &Plan,
+    current_nodes: &[NodeId],
+    current_rows: &[Vec<String>],
+    max_cost: f64,
+    matcher: Option<&Matcher>,
+) -> Vec<ColumnSuggestion> {
+    let Ok(current) = copycat_query::execute(current_plan, catalog) else {
+        return Vec::new();
+    };
+    let current_schema = current.schema().clone();
+    let mut out = Vec::new();
+    for edge_id in graph.associations_from(current_nodes, max_cost) {
+        let edge = graph.edge(edge_id);
+        let inside_is_a = current_nodes.contains(&edge.a);
+        let (inside, outside) = if inside_is_a {
+            (edge.a, edge.b)
+        } else {
+            (edge.b, edge.a)
+        };
+        let outside_node = graph.node(outside);
+        let label = format!("Q:{}+{}", graph.node(inside).name, outside_node.name);
+        let plan = match &edge.kind {
+            EdgeKind::Bind { bindings } => {
+                if outside_node.kind != NodeKind::Service {
+                    continue; // binds expand toward the service only
+                }
+                if bindings
+                    .iter()
+                    .any(|b| current_schema.index_of(b).is_none())
+                {
+                    continue; // the bound columns were projected away
+                }
+                let bindings: Vec<&str> = bindings.iter().map(String::as_str).collect();
+                current_plan
+                    .clone()
+                    .dependent_join(outside_node.name.clone(), &bindings)
+            }
+            EdgeKind::Join { pairs } => {
+                let oriented: Vec<(&str, &str)> = pairs
+                    .iter()
+                    .map(|(a, b)| {
+                        if inside_is_a {
+                            (a.as_str(), b.as_str())
+                        } else {
+                            (b.as_str(), a.as_str())
+                        }
+                    })
+                    .collect();
+                if oriented
+                    .iter()
+                    .any(|(l, _)| current_schema.index_of(l).is_none())
+                {
+                    continue;
+                }
+                current_plan
+                    .clone()
+                    .join(Plan::scan(outside_node.name.clone()), &oriented)
+            }
+            EdgeKind::Link { pairs } => {
+                let Some((left_key, right_key)) = pairs.first().map(|(a, b)| {
+                    if inside_is_a {
+                        (a.clone(), b.clone())
+                    } else {
+                        (b.clone(), a.clone())
+                    }
+                }) else {
+                    continue;
+                };
+                if current_schema.index_of(&left_key).is_none() {
+                    continue;
+                }
+                let Some(aux) = materialize_link(
+                    catalog,
+                    &current,
+                    &left_key,
+                    &outside_node.name,
+                    &right_key,
+                    matcher,
+                ) else {
+                    continue;
+                };
+                let aux_name = aux.name().to_string();
+                catalog.add_relation(aux);
+                current_plan.clone().join(
+                    Plan::scan(aux_name),
+                    &[(left_key.as_str(), left_key.as_str())],
+                )
+            }
+        };
+        let Ok(result) = execute_labeled(&plan, catalog, &label) else {
+            continue;
+        };
+        let new_fields: Vec<Field> = result.schema().fields()[current_schema.arity()..].to_vec();
+        if new_fields.is_empty() {
+            continue;
+        }
+        // Align the new columns' values with the current rows by matching
+        // the shared prefix (the left side of joins/dependent joins keeps
+        // its column order).
+        let mut values = Vec::with_capacity(current_rows.len());
+        let mut provenance = Vec::with_capacity(current_rows.len());
+        let mut any = false;
+        for row in current_rows {
+            let hit = result.tuples().iter().find(|t| {
+                row.iter()
+                    .take(current_schema.arity())
+                    .enumerate()
+                    .all(|(i, v)| t.values.get(i).map(Value::as_text).as_deref() == Some(v))
+            });
+            match hit {
+                Some(t) => {
+                    any = true;
+                    values.push(
+                        t.values[current_schema.arity()..]
+                            .iter()
+                            .map(Value::as_text)
+                            .collect(),
+                    );
+                    provenance.push(Some(t.provenance.clone()));
+                }
+                None => {
+                    values.push(vec![String::new(); new_fields.len()]);
+                    provenance.push(None);
+                }
+            }
+        }
+        if !any {
+            continue; // a completion with no values is not worth showing
+        }
+        out.push(ColumnSuggestion {
+            new_fields,
+            values,
+            provenance,
+            edge: edge_id,
+            plan,
+            label,
+            cost: edge.weight,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .expect("finite costs")
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    out
+}
+
+/// Materialize a record-link edge as an auxiliary relation
+/// `{other}≈{left_key}` with schema `[left_key] ++ other's columns`, one
+/// row per linked pair. The default matcher is the untrained uniform
+/// combination; a trained one can be supplied (Example 1's learned
+/// linkage).
+fn materialize_link(
+    catalog: &Catalog,
+    current: &Relation,
+    left_key: &str,
+    other_name: &str,
+    right_key: &str,
+    matcher: Option<&Matcher>,
+) -> Option<Relation> {
+    let other = catalog.relation(other_name)?;
+    let left_idx = current.schema().index_of(left_key)?;
+    let right_idx = other.schema().index_of(right_key)?;
+    let left_rows: Vec<Vec<String>> = current
+        .tuples()
+        .iter()
+        .map(|t| t.as_texts())
+        .collect();
+    let right_rows: Vec<Vec<String>> = other.tuples().iter().map(|t| t.as_texts()).collect();
+    let default_matcher;
+    let m = match matcher {
+        Some(m) => m,
+        None => {
+            let corpus: Vec<String> = left_rows
+                .iter()
+                .filter_map(|r| r.get(left_idx).cloned())
+                .chain(right_rows.iter().filter_map(|r| r.get(right_idx).cloned()))
+                .collect();
+            default_matcher = MatchLearner::new(1).train(&[], TfIdfIndex::build(&corpus));
+            &default_matcher
+        }
+    };
+    let links = approximate_join(&left_rows, &right_rows, &[left_idx], &[right_idx], m);
+    if links.is_empty() {
+        return None;
+    }
+    // Schema: [left_key] ++ other's fields (renaming a clash with left_key).
+    let mut fields = vec![Field::new(left_key)];
+    for f in other.schema().fields() {
+        let name = if f.name == left_key {
+            format!("{}_linked", f.name)
+        } else {
+            f.name.clone()
+        };
+        fields.push(Field { name, sem_type: f.sem_type.clone() });
+    }
+    let mut rows: Vec<Vec<String>> = links
+        .iter()
+        .map(|l| {
+            let mut row = vec![left_rows[l.left][left_idx].clone()];
+            row.extend(right_rows[l.right].iter().cloned());
+            row
+        })
+        .collect();
+    // Left-outer semantics: unlinked left keys keep a padding row so the
+    // completion never drops existing workspace rows.
+    let linked_left: std::collections::HashSet<usize> =
+        links.iter().map(|l| l.left).collect();
+    for (i, lr) in left_rows.iter().enumerate() {
+        if !linked_left.contains(&i) {
+            let mut row = vec![lr[left_idx].clone()];
+            row.resize(fields.len(), String::new());
+            rows.push(row);
+        }
+    }
+    Some(Relation::from_strings(
+        format!("{other_name}≈{left_key}"),
+        Schema::new(fields),
+        &rows,
+    ))
+}
+
+/// Convert a Steiner tree into an executable plan. Returns `None` when
+/// the tree cannot be rooted at a relation or a service's inputs cannot
+/// be satisfied in any expansion order.
+pub fn tree_to_plan(graph: &SourceGraph, tree: &SteinerTree) -> Option<Plan> {
+    // Root: the first relation node of the tree.
+    let root = *tree
+        .nodes
+        .iter()
+        .find(|&&n| graph.node(n).kind == NodeKind::Relation)?;
+    let mut plan = Plan::scan(graph.node(root).name.clone());
+    let mut in_plan = vec![root];
+    let mut remaining: Vec<EdgeId> = tree.edges.clone();
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < remaining.len() {
+            let e = remaining[i];
+            let edge = graph.edge(e);
+            let a_in = in_plan.contains(&edge.a);
+            let b_in = in_plan.contains(&edge.b);
+            if a_in && b_in {
+                remaining.swap_remove(i);
+                progressed = true;
+                continue;
+            }
+            if !a_in && !b_in {
+                i += 1;
+                continue;
+            }
+            let (inside, outside) = if a_in { (edge.a, edge.b) } else { (edge.b, edge.a) };
+            let outside_node = graph.node(outside);
+            let expanded = match &edge.kind {
+                EdgeKind::Join { pairs } | EdgeKind::Link { pairs } => {
+                    // Record links are approximated as equi-joins during
+                    // discovery; the column-completion path performs true
+                    // approximate linking.
+                    let oriented: Vec<(&str, &str)> = pairs
+                        .iter()
+                        .map(|(pa, pb)| {
+                            if inside == edge.a {
+                                (pa.as_str(), pb.as_str())
+                            } else {
+                                (pb.as_str(), pa.as_str())
+                            }
+                        })
+                        .collect();
+                    plan = plan
+                        .clone()
+                        .join(Plan::scan(outside_node.name.clone()), &oriented);
+                    true
+                }
+                EdgeKind::Bind { bindings } => {
+                    if outside_node.kind == NodeKind::Service {
+                        // Inside side provides the bindings.
+                        let b: Vec<&str> = bindings.iter().map(String::as_str).collect();
+                        plan = plan
+                            .clone()
+                            .dependent_join(outside_node.name.clone(), &b);
+                        true
+                    } else {
+                        // The service is in the plan but its feeding
+                        // relation is not: defer (another edge may bring
+                        // the relation in); if nothing else progresses we
+                        // give up below.
+                        false
+                    }
+                }
+            };
+            if expanded {
+                in_plan.push(outside);
+                remaining.swap_remove(i);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            return None;
+        }
+    }
+    Some(plan)
+}
+
+/// Discover ranked queries whose sources cover `terminals` (§4.2 mode 2).
+/// Uses the exact top-k search on small graphs, SPCSH on larger ones.
+pub fn discover_queries(
+    graph: &SourceGraph,
+    catalog: &Catalog,
+    terminals: &[NodeId],
+    k: usize,
+) -> Vec<ScoredQuery> {
+    const EXACT_NODE_LIMIT: usize = 64;
+    let trees: Vec<SteinerTree> = if graph.node_count() <= EXACT_NODE_LIMIT {
+        copycat_graph::top_k_steiner(graph, terminals, k)
+    } else {
+        copycat_graph::spcsh(graph, terminals, 0.8).into_iter().collect()
+    };
+    let mut out = Vec::new();
+    for tree in trees {
+        let Some(plan) = tree_to_plan(graph, &tree) else {
+            continue;
+        };
+        let label = format!("Q:{}", plan);
+        let Ok(result) = execute_labeled(&plan, catalog, &label) else {
+            continue;
+        };
+        out.push(ScoredQuery { plan, cost: tree.cost, tree, result });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copycat_graph::{discover_associations, AssocOptions};
+    use copycat_query::{FnService, Signature};
+    use std::sync::Arc;
+
+    /// Shelters relation + zip service + contacts relation, wired into a
+    /// catalog and graph.
+    fn setup() -> (SourceGraph, Catalog) {
+        let catalog = Catalog::new();
+        let shelters_schema = Schema::new(vec![
+            Field::new("Name"),
+            Field::typed("Street", "PR-Street"),
+            Field::typed("City", "PR-City"),
+        ]);
+        catalog.add_relation(Relation::from_strings(
+            "Shelters",
+            shelters_schema.clone(),
+            &[
+                vec!["Creek HS".into(), "100 Oak St".into(), "Margate".into()],
+                vec!["Rec Ctr".into(), "200 Elm Ave".into(), "Tamarac".into()],
+            ],
+        ));
+        let contacts_schema = Schema::new(vec![
+            Field::new("Venue"),
+            Field::typed("Phone", "PR-Phone"),
+        ]);
+        catalog.add_relation(Relation::from_strings(
+            "Contacts",
+            contacts_schema.clone(),
+            &[
+                vec!["Creek High School".into(), "555-0101".into()],
+                vec!["Rec Center".into(), "555-0102".into()],
+            ],
+        ));
+        let zip_sig = Signature {
+            inputs: Schema::new(vec![
+                Field::typed("street", "PR-Street"),
+                Field::typed("city", "PR-City"),
+            ]),
+            outputs: Schema::new(vec![Field::typed("Zip", "PR-Zip")]),
+        };
+        catalog.add_service(Arc::new(FnService::new(
+            "ZipCodes",
+            zip_sig.clone(),
+            |inp: &[Value]| match inp[1].as_text().as_str() {
+                "Margate" => vec![vec![Value::str("33063")]],
+                "Tamarac" => vec![vec![Value::str("33321")]],
+                _ => vec![],
+            },
+        )));
+        let mut graph = SourceGraph::new();
+        graph.add_relation("Shelters", shelters_schema);
+        graph.add_relation("Contacts", contacts_schema);
+        let mut svc_schema_fields = zip_sig.inputs.fields().to_vec();
+        svc_schema_fields.extend(zip_sig.outputs.fields().iter().cloned());
+        graph.add_service("ZipCodes", Schema::new(svc_schema_fields), 2);
+        // Name–Venue record link (untyped columns): declare explicitly,
+        // as a "known link" (§4.1 item 2).
+        let s = graph.node_by_name("Shelters").unwrap();
+        let c = graph.node_by_name("Contacts").unwrap();
+        graph.add_edge_with_cost(
+            s,
+            c,
+            EdgeKind::Link { pairs: vec![("Name".into(), "Venue".into())] },
+            1.5,
+        );
+        discover_associations(&mut graph, &AssocOptions::default());
+        (graph, catalog)
+    }
+
+    #[test]
+    fn zip_column_is_suggested_first() {
+        let (graph, catalog) = setup();
+        let shelters = graph.node_by_name("Shelters").unwrap();
+        let rows = catalog.relation("Shelters").unwrap().as_texts();
+        let suggs = column_suggestions(
+            &graph,
+            &catalog,
+            &Plan::scan("Shelters"),
+            &[shelters],
+            &rows,
+            2.0,
+            None,
+        );
+        assert!(!suggs.is_empty());
+        let top = &suggs[0];
+        assert_eq!(top.new_fields[0].name, "Zip");
+        assert_eq!(top.values[0], vec!["33063"]);
+        assert_eq!(top.values[1], vec!["33321"]);
+        assert!(top.provenance[0].is_some());
+    }
+
+    #[test]
+    fn link_suggestion_brings_contact_columns() {
+        let (graph, catalog) = setup();
+        let shelters = graph.node_by_name("Shelters").unwrap();
+        let rows = catalog.relation("Shelters").unwrap().as_texts();
+        let suggs = column_suggestions(
+            &graph,
+            &catalog,
+            &Plan::scan("Shelters"),
+            &[shelters],
+            &rows,
+            2.0,
+            None,
+        );
+        let link = suggs
+            .iter()
+            .find(|s| s.new_fields.iter().any(|f| f.name == "Phone"))
+            .expect("phone completion via record link");
+        // Creek HS links to Creek High School.
+        let creek_row = &link.values[0];
+        assert!(creek_row.iter().any(|v| v == "555-0101"), "{creek_row:?}");
+    }
+
+    #[test]
+    fn tree_to_plan_dependent_join() {
+        let (graph, catalog) = setup();
+        let shelters = graph.node_by_name("Shelters").unwrap();
+        let zip = graph.node_by_name("ZipCodes").unwrap();
+        let trees = copycat_graph::top_k_steiner(&graph, &[shelters, zip], 1);
+        let plan = tree_to_plan(&graph, &trees[0]).expect("plannable");
+        let r = copycat_query::execute(&plan, &catalog).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.schema().index_of("Zip").is_some());
+    }
+
+    #[test]
+    fn discover_queries_ranks_by_cost() {
+        let (graph, catalog) = setup();
+        let shelters = graph.node_by_name("Shelters").unwrap();
+        let contacts = graph.node_by_name("Contacts").unwrap();
+        let queries = discover_queries(&graph, &catalog, &[shelters, contacts], 3);
+        assert!(!queries.is_empty());
+        for w in queries.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn suggestions_skip_unanswerable_edges() {
+        let (graph, catalog) = setup();
+        let contacts = graph.node_by_name("Contacts").unwrap();
+        let rows = catalog.relation("Contacts").unwrap().as_texts();
+        // From Contacts, the zip service cannot bind (no street/city).
+        let suggs = column_suggestions(
+            &graph,
+            &catalog,
+            &Plan::scan("Contacts"),
+            &[contacts],
+            &rows,
+            2.0,
+            None,
+        );
+        assert!(suggs
+            .iter()
+            .all(|s| s.new_fields.iter().all(|f| f.name != "Zip")));
+    }
+}

@@ -1,0 +1,130 @@
+//! Tuple explanations — the headless Tuple Explanation pane of Figure 2.
+//!
+//! "The Tuple Explanation pane visualizes the provenance of the selected
+//! tuple in the table" (§2.1). Given a workspace row's provenance, this
+//! module renders the derivation: which source tuples fed which queries
+//! and services, including "alternative explanations (when a tuple is
+//! produced by more than one query)" (§8).
+
+use crate::workspace::Tab;
+use copycat_provenance::{witnesses, DerivationGraph, Provenance};
+
+/// A rendered explanation for one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Indented derivation tree (root = the explained tuple's query).
+    pub derivation: String,
+    /// The queries responsible for the tuple.
+    pub queries: Vec<String>,
+    /// The source relations involved.
+    pub sources: Vec<String>,
+    /// The alternative witness sets, rendered one per line.
+    pub alternatives: Vec<String>,
+}
+
+/// Explain a provenance expression.
+pub fn explain(p: &Provenance) -> Explanation {
+    let graph = DerivationGraph::from_provenance(p);
+    let derivation = graph.render_text();
+    let queries = p.labels().iter().map(|s| s.to_string()).collect();
+    let sources = p.relations().iter().map(|s| s.to_string()).collect();
+    let alternatives = witnesses(p)
+        .into_iter()
+        .map(|w| {
+            w.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ⊗ ")
+        })
+        .collect();
+    Explanation { derivation, queries, sources, alternatives }
+}
+
+/// Explain row `i` of a tab. Pasted rows (no provenance) explain as user
+/// input.
+pub fn explain_row(tab: &Tab, i: usize) -> Option<Explanation> {
+    let row = tab.rows.get(i)?;
+    match &row.provenance {
+        Some(p) => Some(explain(p)),
+        None => Some(Explanation {
+            derivation: "user-pasted row\n".to_string(),
+            queries: Vec::new(),
+            sources: Vec::new(),
+            alternatives: Vec::new(),
+        }),
+    }
+}
+
+/// Render an explanation for display (the pane's text form).
+pub fn render(e: &Explanation) -> String {
+    let mut out = String::new();
+    out.push_str("Derivation:\n");
+    for line in e.derivation.lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    if !e.queries.is_empty() {
+        out.push_str(&format!("Queries: {}\n", e.queries.join(", ")));
+    }
+    if !e.sources.is_empty() {
+        out.push_str(&format!("Sources: {}\n", e.sources.join(", ")));
+    }
+    if e.alternatives.len() > 1 {
+        out.push_str("Alternative explanations:\n");
+        for a in &e.alternatives {
+            out.push_str(&format!("  - {a}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{Row, RowState};
+
+    fn zip_prov() -> Provenance {
+        Provenance::labeled(
+            "Q:Shelters+zip_resolver",
+            Provenance::times(
+                Provenance::base("Shelters", 4),
+                Provenance::base("zip_resolver", 17),
+            ),
+        )
+    }
+
+    #[test]
+    fn explanation_names_queries_and_sources() {
+        let e = explain(&zip_prov());
+        assert_eq!(e.queries, vec!["Q:Shelters+zip_resolver"]);
+        assert_eq!(e.sources, vec!["Shelters", "zip_resolver"]);
+        assert_eq!(e.alternatives.len(), 1);
+        assert!(e.derivation.contains("Shelters#4"));
+    }
+
+    #[test]
+    fn alternatives_for_union_provenance() {
+        let p = Provenance::plus(
+            Provenance::labeled("Q1", Provenance::base("a", 1)),
+            Provenance::labeled("Q2", Provenance::base("b", 2)),
+        );
+        let e = explain(&p);
+        assert_eq!(e.alternatives.len(), 2);
+        let text = render(&e);
+        assert!(text.contains("Alternative explanations"));
+    }
+
+    #[test]
+    fn pasted_rows_explain_as_user_input() {
+        let mut tab = Tab::new("t");
+        tab.rows.push(Row {
+            cells: vec!["x".into()],
+            state: RowState::Pasted,
+            provenance: None,
+        });
+        let e = explain_row(&tab, 0).unwrap();
+        assert!(e.derivation.contains("user-pasted"));
+        assert!(explain_row(&tab, 5).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! The running hurricane-relief scenario (Example 1 / §8), packaged for
+//! examples, integration tests and the experiment harness.
+//!
+//! One call builds a consistent bundle: the synthetic world, a shelter
+//! Web site rendered from it (at a chosen complexity tier), a contacts
+//! spreadsheet (optionally with perturbed venue names so record linking
+//! is genuinely approximate), and an engine pre-wired with the simulated
+//! services.
+
+use crate::engine::CopyCat;
+use copycat_document::corpus::{contact_sheet, perturb_string, render_list, ListSpec, Tier};
+use copycat_document::{Document, DocumentId};
+use copycat_services::{
+    AddressResolver, Geocoder, ReversePhone, World, WorldConfig, ZipResolver,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// World seed (drives everything downstream).
+    pub seed: u64,
+    /// Number of shelters.
+    pub venues: usize,
+    /// Shelter-page complexity tier.
+    pub tier: Tier,
+    /// Edits applied to each contact's venue name (0 = exact names; >0
+    /// forces approximate record linking, as in Example 1).
+    pub contact_name_edits: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self { seed: 2009, venues: 20, tier: Tier::Clean, contact_name_edits: 0 }
+    }
+}
+
+/// The assembled scenario.
+pub struct Scenario {
+    /// The synthetic world (ground truth).
+    pub world: Arc<World>,
+    /// The engine, with services registered.
+    pub engine: CopyCat,
+    /// Handle to the shelter site opened in the engine.
+    pub shelters_doc: DocumentId,
+    /// Handle to the contacts spreadsheet opened in the engine.
+    pub contacts_doc: DocumentId,
+    /// Ground-truth shelter rows `[name, street, city]`.
+    pub shelter_rows: Vec<Vec<String>>,
+    /// Contact rows `[person, phone, venue-name]`, names possibly
+    /// perturbed.
+    pub contact_rows: Vec<Vec<String>>,
+    /// For each contact row, the index of its true venue.
+    pub contact_truth: Vec<usize>,
+}
+
+impl Scenario {
+    /// Build a scenario.
+    pub fn build(config: &ScenarioConfig) -> Scenario {
+        let world = Arc::new(World::generate(&WorldConfig {
+            seed: config.seed,
+            venues: config.venues,
+            ..WorldConfig::default()
+        }));
+        let shelter_rows = world.shelter_rows();
+        let mut contact_rows = world.contact_rows();
+        let contact_truth: Vec<usize> = (0..contact_rows.len()).collect();
+        if config.contact_name_edits > 0 {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC0FFEE);
+            for row in &mut contact_rows {
+                row[2] = perturb_string(&mut rng, &row[2], config.contact_name_edits);
+            }
+        }
+
+        let spec = ListSpec::new(
+            "County Shelters",
+            &["Name", "Street", "City"],
+            config.tier,
+            config.seed,
+        );
+        let site = render_list(&spec, &shelter_rows).site;
+        let sheet = contact_sheet(
+            "contacts.xls",
+            &["Person", "Phone", "Venue"],
+            contact_rows.clone(),
+        );
+
+        let mut engine = CopyCat::new();
+        let shelters_doc = engine.open(Document::Site(site));
+        let contacts_doc = engine.open(Document::Sheet(sheet));
+        engine.register_service(Arc::new(ZipResolver::new(Arc::clone(&world))));
+        engine.register_service(Arc::new(Geocoder::new(Arc::clone(&world))));
+        engine.register_service(Arc::new(AddressResolver::new(Arc::clone(&world))));
+        engine.register_service(Arc::new(ReversePhone::new(Arc::clone(&world))));
+
+        Scenario {
+            world,
+            engine,
+            shelters_doc,
+            contacts_doc,
+            shelter_rows,
+            contact_rows,
+            contact_truth,
+        }
+    }
+
+    /// Drive the engine through the standard import of the shelter site:
+    /// paste `examples` rows, accept the suggestions, commit as
+    /// `Shelters`. Returns the imported row count.
+    pub fn import_shelters(&mut self, examples: usize) -> usize {
+        for row in self.shelter_rows.iter().take(examples.max(1)) {
+            let vals: Vec<&str> = row.iter().map(String::as_str).collect();
+            self.engine.paste_example(self.shelters_doc, &vals);
+        }
+        self.engine.accept_suggested_rows();
+        self.engine.name_column(0, "Name");
+        self.engine.commit_source("Shelters")
+    }
+
+    /// Import the contacts spreadsheet in a new tab and commit it.
+    pub fn import_contacts(&mut self) -> usize {
+        self.engine.start_import_tab("contacts");
+        let row = &self.contact_rows[0];
+        let vals: Vec<&str> = row.iter().map(String::as_str).collect();
+        self.engine.paste_example(self.contacts_doc, &vals);
+        self.engine.accept_suggested_rows();
+        self.engine.name_column(0, "Person");
+        self.engine.name_column(2, "Venue");
+        self.engine.commit_source("Contacts")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builds_consistently() {
+        let s = Scenario::build(&ScenarioConfig::default());
+        assert_eq!(s.shelter_rows.len(), 20);
+        assert_eq!(s.contact_rows.len(), 20);
+        // Services are registered.
+        assert!(s.engine.catalog().service("zip_resolver").is_some());
+        assert!(s.engine.catalog().service("geocoder").is_some());
+    }
+
+    #[test]
+    fn import_shelters_end_to_end() {
+        let mut s = Scenario::build(&ScenarioConfig::default());
+        let n = s.import_shelters(1);
+        assert_eq!(n, s.shelter_rows.len());
+        assert!(s.engine.catalog().relation("Shelters").is_some());
+    }
+
+    #[test]
+    fn perturbed_contacts_differ_from_truth() {
+        let s = Scenario::build(&ScenarioConfig {
+            contact_name_edits: 2,
+            ..ScenarioConfig::default()
+        });
+        let exact = s
+            .contact_rows
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| r[2] == s.world.venues[s.contact_truth[*i]].name)
+            .count();
+        assert!(exact < s.contact_rows.len() / 2, "most names should be edited");
+    }
+}

@@ -1,0 +1,208 @@
+//! Session persistence.
+//!
+//! Example 1 ends with two options for the assembled table: a one-off
+//! query, or "it could be persistently saved as an integrated, mediated
+//! view of the data, enabling user or application queries over a unified
+//! representation." A [`SavedSession`] captures everything re-usable
+//! across sessions: the imported relations, the source graph with its
+//! *learned edge costs*, the learned wrappers (so sources can be
+//! re-extracted when their documents are reopened), and the user-defined
+//! semantic types.
+//!
+//! Live documents and service closures are deliberately not serialized —
+//! they are reattached on load ([`CopyCat::attach_wrapper_document`],
+//! [`CopyCat::register_service`]).
+
+use crate::engine::CopyCat;
+use copycat_extract::Wrapper;
+use copycat_graph::{Edge, Node, SourceGraph};
+use copycat_query::{Relation, Schema};
+use copycat_semantic::PatternSet;
+use serde::{Deserialize, Serialize};
+
+/// One saved relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedRelation {
+    /// Catalog name.
+    pub name: String,
+    /// Schema (with semantic types).
+    pub schema: Schema,
+    /// Rows as text (base provenance is re-derived on load).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A saved session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedSession {
+    /// Imported relations.
+    pub relations: Vec<SavedRelation>,
+    /// Source-graph nodes (relations *and* services; service nodes let
+    /// edge ids stay stable even before services are re-registered).
+    pub graph_nodes: Vec<Node>,
+    /// Source-graph edges with their learned costs.
+    pub graph_edges: Vec<Edge>,
+    /// Learned wrappers by source name (documents reattach on load).
+    pub wrappers: Vec<(String, Wrapper)>,
+    /// User-defined semantic types.
+    pub user_types: Vec<(String, PatternSet)>,
+}
+
+impl CopyCat {
+    /// Capture the persistent state of this session.
+    pub fn save_session(&self) -> SavedSession {
+        let relations = self
+            .catalog()
+            .relation_names()
+            .into_iter()
+            .filter_map(|name| self.catalog().relation(&name))
+            // Derived link-index relations are rebuilt on demand.
+            .filter(|r| !r.name().contains('≈'))
+            .map(|r| SavedRelation {
+                name: r.name().to_string(),
+                schema: r.schema().clone(),
+                rows: r.as_texts(),
+            })
+            .collect();
+        let graph_nodes = self.graph().node_ids().map(|n| self.graph().node(n).clone()).collect();
+        let graph_edges = self.graph().edge_ids().map(|e| self.graph().edge(e).clone()).collect();
+        SavedSession {
+            relations,
+            graph_nodes,
+            graph_edges,
+            wrappers: self.saved_wrappers(),
+            user_types: self
+                .registry()
+                .user_types()
+                .into_iter()
+                .map(|t| (t.name.clone(), t.patterns.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn save_session_json(&self) -> String {
+        serde_json::to_string_pretty(&self.save_session()).expect("session state serializes")
+    }
+
+    /// Restore a session into a fresh engine: relations re-materialize,
+    /// the graph returns with its learned costs, wrappers await document
+    /// reattachment, user types re-register. Services must be
+    /// re-registered by the caller (their closures are not serializable);
+    /// existing graph nodes are reused so learned costs survive.
+    pub fn load_session(saved: &SavedSession) -> CopyCat {
+        let mut cc = CopyCat::new();
+        for r in &saved.relations {
+            cc.catalog()
+                .add_relation(Relation::from_strings(&r.name, r.schema.clone(), &r.rows));
+        }
+        cc.restore_graph(SourceGraph::from_parts(
+            saved.graph_nodes.clone(),
+            saved.graph_edges.clone(),
+        ));
+        for (name, w) in &saved.wrappers {
+            cc.restore_wrapper(name, w.clone());
+        }
+        for (name, patterns) in &saved.user_types {
+            cc.registry_mut().install_user_type(name, patterns.clone());
+        }
+        cc
+    }
+
+    /// Restore from JSON.
+    pub fn load_session_json(json: &str) -> Result<CopyCat, serde_json::Error> {
+        Ok(Self::load_session(&serde_json::from_str(json)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use crate::CopyCat;
+    use copycat_services::ZipResolver;
+    use std::sync::Arc;
+
+    fn trained_scenario() -> Scenario {
+        let mut s = Scenario::build(&ScenarioConfig { venues: 10, ..Default::default() });
+        s.import_shelters(1);
+        // Learn something: reject the geocoder completion so its edge
+        // cost is demoted — the restored session must remember that.
+        let suggs = s.engine.column_suggestions();
+        let geo = suggs
+            .iter()
+            .find(|c| c.new_fields.iter().any(|f| f.name == "Lat"))
+            .expect("geocoder suggestion")
+            .clone();
+        s.engine.reject_column(&geo);
+        s.engine
+            .registry_mut()
+            .learn_type("ShelterCode", &["SHL-0001", "SHL-0002", "SHL-9913"]);
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_relations_graph_and_types() {
+        let s = trained_scenario();
+        let json = s.engine.save_session_json();
+        let restored = CopyCat::load_session_json(&json).expect("valid json");
+        // Relations.
+        let rel = restored.catalog().relation("Shelters").expect("restored");
+        assert_eq!(rel.len(), 10);
+        assert_eq!(
+            rel.schema().names(),
+            s.engine.catalog().relation("Shelters").unwrap().schema().names()
+        );
+        // Graph topology and learned costs.
+        assert_eq!(restored.graph().node_count(), s.engine.graph().node_count());
+        assert_eq!(restored.graph().edge_count(), s.engine.graph().edge_count());
+        for e in s.engine.graph().edge_ids() {
+            assert_eq!(restored.graph().cost(e), s.engine.graph().cost(e));
+        }
+        // User-defined type.
+        assert!(restored.registry().get("ShelterCode").is_some());
+    }
+
+    #[test]
+    fn rejected_suggestion_stays_demoted_after_restore() {
+        let s = trained_scenario();
+        let json = s.engine.save_session_json();
+        let mut restored = CopyCat::load_session_json(&json).expect("valid json");
+        // Re-register the service implementation (closures don't persist);
+        // the node already exists, so the learned edge costs survive.
+        restored.register_service(Arc::new(ZipResolver::new(Arc::clone(&s.world))));
+        restored.switch_tab_to_source("Shelters");
+        let suggs = restored.column_suggestions();
+        assert!(
+            suggs.iter().any(|c| c.new_fields.iter().any(|f| f.name == "Zip")),
+            "zip still suggested"
+        );
+        assert!(
+            suggs.iter().all(|c| c.new_fields.iter().all(|f| f.name != "Lat")),
+            "rejected geocoder stays below the threshold: {:?}",
+            suggs.iter().map(|c| &c.label).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn wrappers_restore_detached_and_reattach() {
+        let mut s = Scenario::build(&ScenarioConfig { venues: 8, ..Default::default() });
+        s.import_shelters(1);
+        let json = s.engine.save_session_json();
+        let mut restored = CopyCat::load_session_json(&json).expect("valid json");
+        assert_eq!(restored.saved_wrappers().len(), 1);
+        // Reattach the shelter site and re-extract through the wrapper.
+        let doc = restored.open(copycat_document::Document::Site(
+            copycat_document::corpus::render_list(
+                &copycat_document::corpus::ListSpec::new(
+                    "County Shelters",
+                    &["Name", "Street", "City"],
+                    copycat_document::corpus::Tier::Clean,
+                    2009,
+                ),
+                &s.shelter_rows,
+            )
+            .site,
+        ));
+        let n = restored.attach_wrapper_document("Shelters", doc);
+        assert_eq!(n, Some(8), "re-extraction refreshes the relation");
+    }
+}

@@ -1,0 +1,35 @@
+//! Seeded synthetic corpora.
+//!
+//! The paper's demo used "real Web pages with shelter information … Excel
+//! spreadsheets with contact information … and address resolution and
+//! geocoding services" (§8.1). None of those can be fetched here, so this
+//! module generates equivalent sources parametrically: list pages across
+//! four *complexity tiers* (matching §3.1's observation that "the more
+//! complex the pages are, the more examples may be necessary"), paginated
+//! multi-page sites, and contact spreadsheets. Everything is seeded and
+//! deterministic.
+
+mod fake;
+mod render;
+
+pub use fake::{perturb_string, Faker, PerturbKind};
+pub use render::{locate_row_nodes, render_list, ListSpec, Rendered, Tier};
+
+use crate::spreadsheet::Sheet;
+
+/// Build a contact spreadsheet from header + rows.
+pub fn contact_sheet(name: &str, header: &[&str], rows: Vec<Vec<String>>) -> Sheet {
+    Sheet::new(name, Some(header.iter().map(|s| s.to_string()).collect()), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contact_sheet_has_header() {
+        let s = contact_sheet("c", &["Name", "Phone"], vec![vec!["A".into(), "5".into()]]);
+        assert_eq!(s.header().unwrap(), &["Name", "Phone"]);
+        assert_eq!(s.row_count(), 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! Arena-based DOM.
+//!
+//! Nodes live in a flat `Vec` and are addressed by [`NodeId`]; this keeps
+//! the structure-learner hot loops (path enumeration over thousands of
+//! nodes) allocation-free and cache-friendly.
+
+use super::select::{TagPath, TagStep};
+
+/// Index of a node within its document's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The payload of a DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with a lower-cased tag name and its attributes.
+    Element {
+        /// Lower-cased tag name.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// Character data.
+    Text(String),
+    /// A comment (kept because template-induction experts use comments as
+    /// document delimiters; see §2.1 "document delimiters").
+    Comment(String),
+}
+
+/// One node of the arena.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// What kind of node this is.
+    pub kind: NodeKind,
+    /// Parent node, `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+/// A parsed HTML document. Construct with [`super::parse`].
+#[derive(Debug, Clone)]
+pub struct HtmlDocument {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl HtmlDocument {
+    pub(crate) fn from_arena(nodes: Vec<Node>, root: NodeId) -> Self {
+        Self { nodes, root }
+    }
+
+    /// The synthetic root element (tag `#root`) containing all top-level nodes.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    /// Number of nodes in the arena (including the synthetic root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document contains only the synthetic root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The tag name of an element node, or `None` for text/comments.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Attribute lookup on an element node.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Iterate all node ids in document (pre-)order, root included.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate descendant ids of `id` in document order (excluding `id`).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.node(id).children.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.node(n).children.iter().rev().copied());
+        }
+        out
+    }
+
+    /// All element nodes with the given tag, in document order.
+    pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
+        self.iter()
+            .filter(|&id| self.tag(id) == Some(tag))
+            .collect()
+    }
+
+    /// Concatenated, whitespace-normalized text content of a subtree.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        normalize_ws(&out)
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Comment(_) => {}
+            NodeKind::Element { .. } => {
+                for &c in &self.node(id).children {
+                    self.collect_text(c, out);
+                    out.push(' ');
+                }
+            }
+        }
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, mut id: NodeId) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.node(id).parent {
+            d += 1;
+            id = p;
+        }
+        d
+    }
+
+    /// The 0-based index of `id` among its *same-tag* element siblings.
+    /// Text and comment nodes return index among all siblings of their kind.
+    pub fn sibling_index(&self, id: NodeId) -> usize {
+        let Some(parent) = self.node(id).parent else {
+            return 0;
+        };
+        let my_tag = self.tag(id);
+        let mut idx = 0;
+        for &sib in &self.node(parent).children {
+            if sib == id {
+                return idx;
+            }
+            let same = match (my_tag, self.tag(sib)) {
+                (Some(a), Some(b)) => a == b,
+                (None, None) => {
+                    matches!(self.node(id).kind, NodeKind::Text(_))
+                        == matches!(self.node(sib).kind, NodeKind::Text(_))
+                }
+                _ => false,
+            };
+            if same {
+                idx += 1;
+            }
+        }
+        idx
+    }
+
+    /// The structural address of a node: tag names + same-tag sibling
+    /// indices from the root down. Text nodes use the pseudo-tag `#text`.
+    pub fn tag_path(&self, id: NodeId) -> TagPath {
+        let mut steps = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if n == self.root {
+                break;
+            }
+            let tag = match &self.node(n).kind {
+                NodeKind::Element { tag, .. } => tag.clone(),
+                NodeKind::Text(_) => "#text".to_string(),
+                NodeKind::Comment(_) => "#comment".to_string(),
+            };
+            steps.push(TagStep::nth(tag, self.sibling_index(n)));
+            cur = self.node(n).parent;
+        }
+        steps.reverse();
+        TagPath::new(steps)
+    }
+
+    /// All nodes whose [`Self::tag_path`] matches the (possibly wildcarded)
+    /// pattern, in document order.
+    pub fn find_by_path(&self, pattern: &TagPath) -> Vec<NodeId> {
+        let mut frontier = vec![self.root];
+        for step in pattern.steps() {
+            let mut next = Vec::new();
+            for node in frontier {
+                let mut same_tag_seen = 0usize;
+                for &child in &self.node(node).children {
+                    let child_tag = match &self.node(child).kind {
+                        NodeKind::Element { tag, .. } => tag.as_str(),
+                        NodeKind::Text(_) => "#text",
+                        NodeKind::Comment(_) => "#comment",
+                    };
+                    if child_tag == step.tag {
+                        if step.matches_index(same_tag_seen) {
+                            next.push(child);
+                        }
+                        same_tag_seen += 1;
+                    }
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// Serialize the subtree back to HTML (attributes re-quoted, entities
+    /// re-escaped). Mainly for debugging and golden tests.
+    pub fn to_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.render(id, &mut out);
+        out
+    }
+
+    fn render(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(&escape(t)),
+            NodeKind::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            NodeKind::Element { tag, attrs } => {
+                let synthetic = tag == "#root";
+                if !synthetic {
+                    out.push('<');
+                    out.push_str(tag);
+                    for (k, v) in attrs {
+                        out.push(' ');
+                        out.push_str(k);
+                        out.push_str("=\"");
+                        out.push_str(&escape(v));
+                        out.push('"');
+                    }
+                    out.push('>');
+                }
+                for &c in &self.node(id).children {
+                    self.render(c, out);
+                }
+                if !synthetic {
+                    out.push_str("</");
+                    out.push_str(tag);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    if !s.contains(['&', '<', '>', '"']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Collapse runs of whitespace to single spaces and trim.
+pub(crate) fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::html::parse;
+
+    #[test]
+    fn paths_and_lookup() {
+        let doc = parse(
+            "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td><td>d</td></tr></table>",
+        );
+        let tds = doc.elements_by_tag("td");
+        assert_eq!(tds.len(), 4);
+        let p = doc.tag_path(tds[3]);
+        assert_eq!(p.to_string(), "table[0]/tr[1]/td[1]");
+        // Round-trip: the path finds exactly that node.
+        assert_eq!(doc.find_by_path(&p), vec![tds[3]]);
+        // Wildcarding the row index finds both second-column cells.
+        let wild = p.wildcard_step(1);
+        let found = doc.find_by_path(&wild);
+        assert_eq!(found, vec![tds[1], tds[3]]);
+    }
+
+    #[test]
+    fn text_content_normalizes() {
+        let doc = parse("<div>  Hello\n   <b>world</b>  </div>");
+        assert_eq!(doc.text_content(doc.root()), "Hello world");
+    }
+
+    #[test]
+    fn sibling_index_counts_same_tag_only() {
+        let doc = parse("<ul><li>a</li><p>x</p><li>b</li></ul>");
+        let lis = doc.elements_by_tag("li");
+        assert_eq!(doc.sibling_index(lis[0]), 0);
+        assert_eq!(doc.sibling_index(lis[1]), 1);
+    }
+
+    #[test]
+    fn render_escapes() {
+        let doc = parse("<p>a &amp; b</p>");
+        let html = doc.to_html(doc.root());
+        assert_eq!(html, "<p>a &amp; b</p>");
+    }
+}

@@ -1,0 +1,29 @@
+//! A small, lenient HTML implementation.
+//!
+//! CopyCat's structure learner (§3.1 of the paper) works on the *structure*
+//! of Web pages: tag nesting, repeated templates, attribute values and URL
+//! patterns. This module provides everything those experts need — a
+//! tokenizer, an arena DOM, a forgiving parser, and *tag paths* (structural
+//! addresses that can be generalized by wildcarding sibling indices, the
+//! core representation behind row auto-completion).
+
+mod dom;
+mod parser;
+mod select;
+mod tokenizer;
+
+pub use dom::{HtmlDocument, Node, NodeId, NodeKind};
+pub use parser::parse;
+pub use select::{StepIndex, TagPath, TagStep};
+pub use tokenizer::{tokenize, Token};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_text() {
+        let doc = parse("<html><body><p>Hello &amp; welcome</p></body></html>");
+        assert_eq!(doc.text_content(doc.root()).trim(), "Hello & welcome");
+    }
+}

@@ -1,0 +1,152 @@
+//! Token stream → DOM tree, with browser-like error recovery.
+
+use super::dom::{HtmlDocument, Node, NodeId, NodeKind};
+use super::tokenizer::{tokenize, Token};
+
+/// Tags that never have children (`<br>`, `<img>`, ...).
+fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "br" | "hr" | "img" | "input" | "meta" | "link" | "area" | "base" | "col" | "embed"
+            | "source" | "track" | "wbr"
+    )
+}
+
+/// Returns true when encountering `<incoming>` should implicitly close an
+/// open `<open>` element (e.g. `<li>` closes a previous `<li>`).
+fn implicitly_closes(open: &str, incoming: &str) -> bool {
+    match incoming {
+        "li" => open == "li",
+        "tr" => matches!(open, "tr" | "td" | "th"),
+        "td" | "th" => matches!(open, "td" | "th"),
+        "p" => open == "p",
+        "option" => open == "option",
+        "dt" | "dd" => matches!(open, "dt" | "dd"),
+        "thead" | "tbody" | "tfoot" => matches!(open, "thead" | "tbody" | "tfoot" | "tr" | "td" | "th"),
+        _ => false,
+    }
+}
+
+/// Parse an HTML string into a document. Never fails: unmatched end tags
+/// are dropped, unclosed elements are closed at end of input, and list/table
+/// items auto-close as browsers do.
+pub fn parse(input: &str) -> HtmlDocument {
+    let tokens = tokenize(input);
+    let mut nodes = vec![Node {
+        kind: NodeKind::Element { tag: "#root".to_string(), attrs: Vec::new() },
+        parent: None,
+        children: Vec::new(),
+    }];
+    let root = NodeId(0);
+    // Stack of open elements; bottom is the synthetic root.
+    let mut stack: Vec<NodeId> = vec![root];
+
+    let push_node = |nodes: &mut Vec<Node>, stack: &[NodeId], kind: NodeKind| -> NodeId {
+        let parent = *stack.last().expect("stack always has the root");
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        nodes[parent.idx()].children.push(id);
+        id
+    };
+
+    for tok in tokens {
+        match tok {
+            Token::Text(t) => {
+                push_node(&mut nodes, &stack, NodeKind::Text(t));
+            }
+            Token::Comment(c) => {
+                push_node(&mut nodes, &stack, NodeKind::Comment(c));
+            }
+            Token::StartTag { name, attrs, self_closing } => {
+                // Auto-close elements the incoming tag implicitly terminates.
+                while stack.len() > 1 {
+                    let top = *stack.last().expect("non-empty");
+                    let top_tag = match &nodes[top.idx()].kind {
+                        NodeKind::Element { tag, .. } => tag.clone(),
+                        _ => unreachable!("only elements are on the stack"),
+                    };
+                    if implicitly_closes(&top_tag, &name) {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let id = push_node(
+                    &mut nodes,
+                    &stack,
+                    NodeKind::Element { tag: name.clone(), attrs },
+                );
+                if !self_closing && !is_void(&name) {
+                    stack.push(id);
+                }
+            }
+            Token::EndTag { name } => {
+                // Find the matching open element; if none, drop the end tag.
+                if let Some(pos) = stack.iter().rposition(|&id| {
+                    matches!(&nodes[id.idx()].kind, NodeKind::Element { tag, .. } if *tag == name)
+                }) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+            }
+        }
+    }
+
+    HtmlDocument::from_arena(nodes, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_close_list_items() {
+        // Sloppy markup without </li>.
+        let doc = parse("<ul><li>one<li>two<li>three</ul>");
+        let lis = doc.elements_by_tag("li");
+        assert_eq!(lis.len(), 3);
+        assert_eq!(doc.text_content(lis[1]), "two");
+        // Each li is a direct child of ul, not nested.
+        let ul = doc.elements_by_tag("ul")[0];
+        for li in lis {
+            assert_eq!(doc.node(li).parent, Some(ul));
+        }
+    }
+
+    #[test]
+    fn auto_close_table_cells() {
+        let doc = parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        assert_eq!(doc.elements_by_tag("tr").len(), 2);
+        assert_eq!(doc.elements_by_tag("td").len(), 3);
+    }
+
+    #[test]
+    fn unmatched_end_tag_is_ignored() {
+        let doc = parse("<div>x</span></div><p>y</p>");
+        assert_eq!(doc.elements_by_tag("div").len(), 1);
+        assert_eq!(doc.elements_by_tag("p").len(), 1);
+        assert_eq!(doc.text_content(doc.root()), "x y");
+    }
+
+    #[test]
+    fn unclosed_elements_close_at_eof() {
+        let doc = parse("<div><b>bold");
+        assert_eq!(doc.text_content(doc.root()), "bold");
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse("<p>a<br>b</p>");
+        let p = doc.elements_by_tag("p")[0];
+        // br is a child of p; "b" is also a child of p (not of br).
+        assert_eq!(doc.node(p).children.len(), 3);
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let html: String = "<div>".repeat(5000);
+        let doc = parse(&html);
+        assert_eq!(doc.elements_by_tag("div").len(), 5000);
+    }
+}

@@ -1,0 +1,331 @@
+//! Lenient HTML tokenizer.
+//!
+//! Produces a flat stream of [`Token`]s. Malformed markup never fails: an
+//! unterminated tag is emitted as text, unknown entities are passed through
+//! verbatim. This mirrors how browsers (and therefore real copied-from
+//! pages) behave, which matters because the synthetic corpora deliberately
+//! include sloppy markup.
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An opening tag, e.g. `<td class="name">`. `self_closing` is set for
+    /// `<br/>`-style syntax.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attribute name/value pairs in document order (values entity-decoded).
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// A closing tag, e.g. `</td>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A run of character data (entity-decoded).
+    Text(String),
+    /// An HTML comment body (without the `<!--`/`-->` delimiters).
+    Comment(String),
+}
+
+/// Decode the handful of entities that occur in the corpora plus numeric
+/// character references. Unknown entities are passed through unchanged.
+pub(crate) fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = input[i..].find(';').map(|p| i + p) {
+                let entity = &input[i + 1..semi];
+                let decoded = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    "nbsp" => Some(' '),
+                    _ => {
+                        if let Some(num) = entity.strip_prefix("#x").or(entity.strip_prefix("#X")) {
+                            u32::from_str_radix(num, 16).ok().and_then(char::from_u32)
+                        } else if let Some(num) = entity.strip_prefix('#') {
+                            num.parse::<u32>().ok().and_then(char::from_u32)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(c) = decoded {
+                    // Only treat short, plausible entities as entities.
+                    if entity.len() <= 8 {
+                        out.push(c);
+                        i = semi + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        let c = input[i..].chars().next().expect("index is on a char boundary");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+/// Tokenize an HTML string. Never fails; see module docs for leniency rules.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut text_start = 0;
+
+    let flush_text = |tokens: &mut Vec<Token>, start: usize, end: usize| {
+        if start < end {
+            let raw = &input[start..end];
+            if !raw.trim().is_empty() {
+                tokens.push(Token::Text(decode_entities(raw)));
+            } else if !raw.is_empty() {
+                // Preserve pure-whitespace runs as a single space so that
+                // adjacent inline text does not fuse when re-rendered.
+                tokens.push(Token::Text(" ".to_string()));
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Comment?
+            if input[i..].starts_with("<!--") {
+                flush_text(&mut tokens, text_start, i);
+                if let Some(end) = input[i + 4..].find("-->") {
+                    tokens.push(Token::Comment(input[i + 4..i + 4 + end].to_string()));
+                    i += 4 + end + 3;
+                } else {
+                    // Unterminated comment swallows the rest of the input.
+                    tokens.push(Token::Comment(input[i + 4..].to_string()));
+                    i = bytes.len();
+                }
+                text_start = i;
+                continue;
+            }
+            // Doctype or processing instruction: skip to `>`.
+            if input[i..].starts_with("<!") || input[i..].starts_with("<?") {
+                flush_text(&mut tokens, text_start, i);
+                match input[i..].find('>') {
+                    Some(end) => i += end + 1,
+                    None => i = bytes.len(),
+                }
+                text_start = i;
+                continue;
+            }
+            // A real tag must be followed by a letter or '/'.
+            let next = bytes.get(i + 1).copied();
+            let is_tag = matches!(next, Some(c) if c.is_ascii_alphabetic() || c == b'/');
+            if !is_tag {
+                i += 1;
+                continue;
+            }
+            match input[i..].find('>') {
+                Some(rel_end) => {
+                    flush_text(&mut tokens, text_start, i);
+                    let inner = &input[i + 1..i + rel_end];
+                    if let Some(tok) = parse_tag(inner) {
+                        // <script>/<style> content is opaque: skip to the closing tag.
+                        if let Token::StartTag { name, self_closing: false, .. } = &tok {
+                            if name == "script" || name == "style" {
+                                let close = format!("</{name}");
+                                tokens.push(tok.clone());
+                                let body_start = i + rel_end + 1;
+                                let lower = input[body_start..].to_ascii_lowercase();
+                                if let Some(pos) = lower.find(&close) {
+                                    let close_end = input[body_start + pos..]
+                                        .find('>')
+                                        .map(|p| body_start + pos + p + 1)
+                                        .unwrap_or(bytes.len());
+                                    tokens.push(Token::EndTag { name: name.clone() });
+                                    i = close_end;
+                                } else {
+                                    i = bytes.len();
+                                }
+                                text_start = i;
+                                continue;
+                            }
+                        }
+                        tokens.push(tok);
+                    }
+                    i += rel_end + 1;
+                    text_start = i;
+                }
+                None => {
+                    // Unterminated tag: treat the rest as text.
+                    i = bytes.len();
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flush_text(&mut tokens, text_start, i);
+    tokens
+}
+
+/// Parse the interior of a tag (between `<` and `>`). Returns `None` for
+/// empty or garbage tags.
+fn parse_tag(inner: &str) -> Option<Token> {
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return None;
+    }
+    if let Some(name) = inner.strip_prefix('/') {
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return None;
+        }
+        return Some(Token::EndTag { name });
+    }
+    let (inner, self_closing) = match inner.strip_suffix('/') {
+        Some(rest) => (rest.trim_end(), true),
+        None => (inner, false),
+    };
+    let name_end = inner
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(inner.len());
+    let name = inner[..name_end].to_ascii_lowercase();
+    if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+        return None;
+    }
+    let attrs = parse_attrs(&inner[name_end..]);
+    Some(Token::StartTag { name, attrs, self_closing })
+}
+
+/// Parse a whitespace-separated attribute list: `a="x" b='y' c=z d`.
+fn parse_attrs(mut rest: &str) -> Vec<(String, String)> {
+    let mut attrs = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        let name_end = rest
+            .find(|c: char| c.is_whitespace() || c == '=')
+            .unwrap_or(rest.len());
+        let name = rest[..name_end].to_ascii_lowercase();
+        rest = rest[name_end..].trim_start();
+        if name.is_empty() {
+            // Stray '=' or similar; skip one char to guarantee progress.
+            rest = &rest[rest.chars().next().map_or(0, |c| c.len_utf8())..];
+            continue;
+        }
+        if let Some(after_eq) = rest.strip_prefix('=') {
+            let after_eq = after_eq.trim_start();
+            let (value, remaining) = if let Some(q) = after_eq.strip_prefix('"') {
+                match q.find('"') {
+                    Some(end) => (&q[..end], &q[end + 1..]),
+                    None => (q, ""),
+                }
+            } else if let Some(q) = after_eq.strip_prefix('\'') {
+                match q.find('\'') {
+                    Some(end) => (&q[..end], &q[end + 1..]),
+                    None => (q, ""),
+                }
+            } else {
+                let end = after_eq
+                    .find(|c: char| c.is_whitespace())
+                    .unwrap_or(after_eq.len());
+                (&after_eq[..end], &after_eq[end..])
+            };
+            attrs.push((name, decode_entities(value)));
+            rest = remaining;
+        } else {
+            // Boolean attribute.
+            attrs.push((name, String::new()));
+        }
+    }
+    attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_tags() {
+        let toks = tokenize("<p>hi</p>");
+        assert_eq!(
+            toks,
+            vec![
+                start("p", &[]),
+                Token::Text("hi".into()),
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let toks = tokenize(r#"<a href="x.html" class='row odd' id=r1 hidden>"#);
+        assert_eq!(
+            toks,
+            vec![start(
+                "a",
+                &[("href", "x.html"), ("class", "row odd"), ("id", "r1"), ("hidden", "")]
+            )]
+        );
+    }
+
+    #[test]
+    fn self_closing_and_case() {
+        let toks = tokenize("<BR/><IMG SRC=pic.png />");
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
+        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+    }
+
+    #[test]
+    fn entities() {
+        assert_eq!(decode_entities("a &amp; b &#65; &#x42;"), "a & b A B");
+        assert_eq!(decode_entities("&unknown; & bare"), "&unknown; & bare");
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note --><p>x</p>");
+        assert_eq!(toks[0], Token::Comment(" note ".into()));
+        assert!(matches!(&toks[1], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn script_content_is_opaque() {
+        let toks = tokenize("<script>if (a < b) { x(); }</script><p>y</p>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
+        assert_eq!(toks[1], Token::EndTag { name: "script".into() });
+        assert!(matches!(&toks[2], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn unterminated_tag_becomes_text_not_panicking() {
+        let toks = tokenize("before <a href=");
+        assert_eq!(toks, vec![Token::Text("before <a href=".into())]);
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("3 < 4 and 5 > 2");
+        assert_eq!(toks, vec![Token::Text("3 < 4 and 5 > 2".into())]);
+    }
+}

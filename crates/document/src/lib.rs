@@ -1,0 +1,36 @@
+//! Document substrate for CopyCat (CIDR 2009 "Smart Copy & Paste").
+//!
+//! The paper's prototype monitored copy operations from real applications
+//! (Internet Explorer, Word, Excel) via OS-level *application wrappers*.
+//! This crate is the substitute substrate: an explicit document model that
+//! carries exactly the information the paper says the learners need —
+//! the copied strings plus "access to the source from which the data was
+//! selected" (§3.1).
+//!
+//! It provides:
+//!
+//! * [`html`] — a lenient HTML tokenizer, DOM arena, parser and tag-path
+//!   addressing, rich enough for the wrapper-induction experts in
+//!   `copycat-extract` to operate on realistic page structure;
+//! * [`spreadsheet`] — a rectangular sheet model with CSV round-tripping,
+//!   standing in for Excel sources;
+//! * [`text`] — plain-text documents with line/span addressing;
+//! * [`site`] — multi-page Web sites: pages keyed by URL, links, and forms
+//!   with input bindings (the "hierarchical Web sites" of §2.2);
+//! * [`clipboard`] — copy and paste *events*: the unit of interaction the
+//!   SCP engine observes;
+//! * [`corpus`] — seeded synthetic corpus generators (shelter lists, noisy
+//!   templates, paginated sites, contact sheets) used by the experiments.
+
+pub mod clipboard;
+pub mod corpus;
+pub mod html;
+pub mod site;
+pub mod spreadsheet;
+pub mod text;
+
+pub use clipboard::{Clipboard, CopyEvent, Document, DocumentId, PasteEvent, Selection};
+pub use html::{HtmlDocument, NodeId, NodeKind, TagPath, TagStep};
+pub use site::{Form, Page, Url, Website};
+pub use spreadsheet::{CellAddr, Sheet, SheetRange};
+pub use text::TextDocument;

@@ -1,0 +1,253 @@
+//! The structure-learner "experts" (§3.1).
+//!
+//! "A set of software experts analyze the given set of pages. Each expert
+//! is an algorithm that generates hypotheses about the structure of the
+//! web site, focusing on a particular type of structure." Our experts:
+//!
+//! * [`list_expert`] — repeated same-tag siblings (tables, lists);
+//! * [`template_expert`] — subtree-shape clustering across the page, which
+//!   finds record templates that repeat under *different* parents (e.g.
+//!   `<li>` records under several per-city `<ul>`s);
+//! * [`type_coherence`] — scores a column set by how well each column
+//!   matches a known semantic type (the "experts that can parse particular
+//!   data types");
+//! * [`layout_regularity`] — a visual-layout proxy: records whose text
+//!   lengths are regular score higher;
+//! * [`url_expert`] — detects that a record pattern recurs on other pages
+//!   of the site (the "experts that look for patterns in URLs" enabling
+//!   multi-page generalization).
+
+use copycat_document::html::{HtmlDocument, NodeId, TagPath};
+use copycat_document::{Page, Website};
+use copycat_semantic::TypeRegistry;
+use rustc_hash::FxHashMap;
+
+/// A candidate record set proposed by a structural expert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSetHypothesis {
+    /// Wildcarded path addressing the record nodes.
+    pub record_path: TagPath,
+    /// Number of records it matches on the proposing page.
+    pub support: usize,
+    /// Which expert proposed it (for explanations and the A2 ablation).
+    pub expert: &'static str,
+}
+
+/// Tags that commonly carry records.
+const RECORD_TAGS: &[&str] = &["tr", "li", "div", "p", "dd", "article", "section"];
+
+/// Repeated same-tag children of a single parent → one hypothesis per
+/// (parent, tag) pair with at least `min_support` children.
+pub fn list_expert(html: &HtmlDocument, min_support: usize) -> Vec<RecordSetHypothesis> {
+    let mut out = Vec::new();
+    for parent in html.iter() {
+        if html.tag(parent).is_none() {
+            continue;
+        }
+        let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
+        for &c in &html.node(parent).children {
+            if let Some(t) = html.tag(c) {
+                *counts.entry(t).or_default() += 1;
+            }
+        }
+        for (tag, n) in counts {
+            if n >= min_support && RECORD_TAGS.contains(&tag) {
+                let mut steps = html.tag_path(parent).steps().to_vec();
+                steps.push(copycat_document::TagStep::any(tag));
+                out.push(RecordSetHypothesis {
+                    record_path: TagPath::new(steps),
+                    support: n,
+                    expert: "list",
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| {
+        a.record_path.to_string().cmp(&b.record_path.to_string())
+    }));
+    out
+}
+
+/// Shape signature of a subtree: its tag plus the tags of its element
+/// children (order-sensitive, depth 1). Cheap but effective for template
+/// clustering.
+fn shape_signature(html: &HtmlDocument, id: NodeId) -> Option<String> {
+    let tag = html.tag(id)?;
+    let mut sig = String::from(tag);
+    sig.push(':');
+    for &c in &html.node(id).children {
+        if let Some(t) = html.tag(c) {
+            sig.push_str(t);
+            sig.push(',');
+        }
+    }
+    Some(sig)
+}
+
+/// Cluster elements by shape signature; clusters of ≥ `min_support`
+/// same-shape elements whose absolute paths share an lgg become record-set
+/// hypotheses. This discovers records that repeat under *different*
+/// parents, which [`list_expert`] cannot.
+pub fn template_expert(html: &HtmlDocument, min_support: usize) -> Vec<RecordSetHypothesis> {
+    let mut clusters: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+    for id in html.iter() {
+        if let Some(tag) = html.tag(id) {
+            if !RECORD_TAGS.contains(&tag) {
+                continue;
+            }
+            if let Some(sig) = shape_signature(html, id) {
+                clusters.entry(sig).or_default().push(id);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (_, members) in clusters {
+        if members.len() < min_support {
+            continue;
+        }
+        let mut paths = members.iter().map(|&m| html.tag_path(m));
+        let Some(first) = paths.next() else { continue };
+        let Some(general) = paths.try_fold(first, |acc, p| acc.lgg(&p)) else {
+            continue;
+        };
+        let support = html.find_by_path(&general).len();
+        out.push(RecordSetHypothesis { record_path: general, support, expert: "template" });
+    }
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.record_path.to_string().cmp(&b.record_path.to_string()))
+    });
+    out.dedup_by(|a, b| a.record_path == b.record_path);
+    out
+}
+
+/// Mean best-type recognition score across extracted columns, in `[0, 1]`.
+/// Empty column sets score 0.
+pub fn type_coherence(rows: &[Vec<String>], registry: &TypeRegistry) -> f64 {
+    if rows.is_empty() || rows[0].is_empty() {
+        return 0.0;
+    }
+    let arity = rows[0].len();
+    let mut total = 0.0;
+    for c in 0..arity {
+        let col: Vec<&str> = rows
+            .iter()
+            .filter_map(|r| r.get(c).map(String::as_str))
+            .filter(|v| !v.is_empty())
+            .collect();
+        if col.is_empty() {
+            continue; // all-empty column contributes 0
+        }
+        let best = registry
+            .recognize_column(&col)
+            .first()
+            .map(|(_, s)| s.score)
+            .unwrap_or(0.0);
+        total += best;
+    }
+    total / arity as f64
+}
+
+/// Layout-regularity proxy: 1 / (1 + coefficient of variation of record
+/// text lengths). Regular lists score near 1; grab-bags score low.
+pub fn layout_regularity(rows: &[Vec<String>]) -> f64 {
+    if rows.len() < 2 {
+        return 0.5;
+    }
+    let lens: Vec<f64> = rows
+        .iter()
+        .map(|r| r.iter().map(String::len).sum::<usize>() as f64)
+        .collect();
+    let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = lens.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / lens.len() as f64;
+    let cv = var.sqrt() / mean;
+    1.0 / (1.0 + cv)
+}
+
+/// How many crawled pages (beyond the example page) the record path
+/// matches on. Non-zero means the wrapper should be offered with
+/// `PageScope::AllPages`.
+pub fn url_expert(site: &Website, example_page: &Page, record_path: &TagPath) -> usize {
+    site.crawl()
+        .into_iter()
+        .filter(|p| p.url != example_page.url)
+        .filter(|p| !p.html.find_by_path(record_path).is_empty())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copycat_document::html::parse;
+
+    #[test]
+    fn list_expert_finds_table_rows() {
+        let doc = parse(
+            "<table><tr><td>a</td></tr><tr><td>b</td></tr><tr><td>c</td></tr></table>",
+        );
+        let hyps = list_expert(&doc, 2);
+        assert!(!hyps.is_empty());
+        assert_eq!(hyps[0].record_path.to_string(), "table[0]/tr[*]");
+        assert_eq!(hyps[0].support, 3);
+    }
+
+    #[test]
+    fn list_expert_respects_min_support() {
+        let doc = parse("<ul><li>only</li></ul>");
+        assert!(list_expert(&doc, 2).is_empty());
+    }
+
+    #[test]
+    fn template_expert_crosses_parents() {
+        let doc = parse(
+            "<h2>A</h2><ul><li><span>x</span></li><li><span>y</span></li></ul>\
+             <h2>B</h2><ul><li><span>z</span></li></ul>",
+        );
+        let hyps = template_expert(&doc, 2);
+        let li = hyps
+            .iter()
+            .find(|h| h.record_path.to_string() == "ul[*]/li[*]")
+            .expect("cross-parent li hypothesis: {hyps:?}");
+        assert_eq!(li.support, 3);
+    }
+
+    #[test]
+    fn type_coherence_prefers_typed_columns() {
+        let reg = TypeRegistry::with_builtins();
+        let typed = vec![
+            vec!["33063".to_string(), "Coconut Creek".to_string()],
+            vec!["33441".to_string(), "Margate".to_string()],
+        ];
+        let junk = vec![
+            vec!["@@!!".to_string(), "###".to_string()],
+            vec!["%%".to_string(), "^^^".to_string()],
+        ];
+        assert!(type_coherence(&typed, &reg) > type_coherence(&junk, &reg));
+    }
+
+    #[test]
+    fn layout_regularity_ranks_uniform_rows_higher() {
+        let uniform: Vec<Vec<String>> =
+            (0..5).map(|i| vec![format!("row number {i}")]).collect();
+        let ragged = vec![
+            vec!["x".to_string()],
+            vec!["a much much much longer row of text entirely".to_string()],
+            vec!["mid sized".to_string()],
+        ];
+        assert!(layout_regularity(&uniform) > layout_regularity(&ragged));
+    }
+
+    #[test]
+    fn url_expert_counts_other_pages() {
+        let mut site = Website::new();
+        site.add_html("/", "<ul><li>A</li><li>B</li></ul><a href=\"/p2\">n</a>");
+        site.add_html("/p2", "<ul><li>C</li></ul>");
+        let entry = site.entry().unwrap();
+        let path = TagPath::parse("ul[0]/li[*]").unwrap();
+        assert_eq!(url_expert(&site, entry, &path), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Locating user-pasted example values inside source documents.
+//!
+//! §3.1: "We do not need to know exactly where the data was cut-and-pasted
+//! from to find a hypothesis that is consistent with the copied data."
+//! Given the example row's *values*, this module finds candidate DOM nodes
+//! (or sheet columns, or text lines) carrying them, and the record node
+//! that groups them.
+
+use copycat_document::html::{HtmlDocument, NodeId};
+use copycat_document::Sheet;
+
+/// An example row resolved to one page's DOM.
+#[derive(Debug, Clone)]
+pub struct LocatedRow {
+    /// One node per example cell, aligned with the example's columns.
+    /// `None` for cells the example left empty (a pasted row with a
+    /// missing field still teaches the other columns).
+    pub cells: Vec<Option<NodeId>>,
+    /// The record node: deepest common ancestor of the non-outlier cells.
+    pub record: NodeId,
+    /// Indices of cells that are *not* descendants of `record` (group
+    /// headings shared by several records).
+    pub outliers: Vec<usize>,
+}
+
+/// All "minimal" elements whose text equals `value`: elements matching the
+/// text with no element child that also matches (the deepest enclosing
+/// element of the text).
+pub fn minimal_matches(html: &HtmlDocument, value: &str) -> Vec<NodeId> {
+    let value = value.trim();
+    if value.is_empty() {
+        return Vec::new();
+    }
+    html.iter()
+        .filter(|&id| html.tag(id).is_some())
+        .filter(|&id| html.text_content(id) == value)
+        .filter(|&id| {
+            !html
+                .node(id)
+                .children
+                .iter()
+                .any(|&c| html.tag(c).is_some() && html.text_content(c) == value)
+        })
+        .collect()
+}
+
+/// Depth-aware lowest common ancestor of two nodes.
+pub fn lca(html: &HtmlDocument, a: NodeId, b: NodeId) -> NodeId {
+    let mut pa = ancestors(html, a);
+    let mut pb = ancestors(html, b);
+    // Both chains end at the root; walk from the root down while equal.
+    let mut last = *pa.last().expect("chain includes self");
+    while let (Some(x), Some(y)) = (pa.pop(), pb.pop()) {
+        if x == y {
+            last = x;
+        } else {
+            break;
+        }
+    }
+    last
+}
+
+/// Chain from `n` up to the root, self first.
+fn ancestors(html: &HtmlDocument, n: NodeId) -> Vec<NodeId> {
+    let mut out = vec![n];
+    let mut cur = n;
+    while let Some(p) = html.node(cur).parent {
+        out.push(p);
+        cur = p;
+    }
+    out
+}
+
+/// LCA of many nodes.
+fn lca_all(html: &HtmlDocument, nodes: &[NodeId]) -> Option<NodeId> {
+    let mut it = nodes.iter();
+    let first = *it.next()?;
+    Some(it.fold(first, |acc, &n| lca(html, acc, n)))
+}
+
+/// Resolve one example row on a page.
+///
+/// Strategy: anchor on the first cell (each of its minimal matches is
+/// tried, nearest-first); each remaining cell takes its match nearest to
+/// the anchor. Cells whose inclusion would hoist the record ancestor far
+/// up the tree (group headings) are split off as outliers. Returns `None`
+/// when any value cannot be found on the page.
+pub fn locate_row(html: &HtmlDocument, values: &[String]) -> Option<LocatedRow> {
+    // Anchor on the first *non-empty* cell.
+    let anchor_idx = values.iter().position(|v| !v.trim().is_empty())?;
+    let anchors = minimal_matches(html, &values[anchor_idx]);
+    let mut best: Option<LocatedRow> = None;
+    for &anchor in anchors.iter().take(8) {
+        let mut cells: Vec<Option<NodeId>> = Vec::with_capacity(values.len());
+        let mut ok = true;
+        for (i, value) in values.iter().enumerate() {
+            if i == anchor_idx {
+                cells.push(Some(anchor));
+                continue;
+            }
+            if value.trim().is_empty() {
+                cells.push(None);
+                continue;
+            }
+            // Prefer the candidate sharing the deepest ancestor with the
+            // anchor (same record beats a merely id-adjacent cell of the
+            // neighbouring record), then the nearest by position.
+            let cands = minimal_matches(html, value);
+            let chosen = cands.into_iter().max_by_key(|&id| {
+                let depth = html.depth(lca(html, anchor, id));
+                (depth, std::cmp::Reverse(id.0.abs_diff(anchor.0)))
+            });
+            match chosen {
+                Some(n) => cells.push(Some(n)),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let row = split_outliers(html, cells)?;
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                // Prefer deeper records (tighter grouping), then fewer outliers.
+                let (db, dr) = (html.depth(b.record), html.depth(row.record));
+                dr > db || (dr == db && row.outliers.len() < b.outliers.len())
+            }
+        };
+        if better {
+            best = Some(row);
+        }
+    }
+    best
+}
+
+/// Decide which cells form the record proper and which are outliers.
+fn split_outliers(html: &HtmlDocument, cells: Vec<Option<NodeId>>) -> Option<LocatedRow> {
+    let present: Vec<(usize, NodeId)> = cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.map(|n| (i, n)))
+        .collect();
+    let nodes: Vec<NodeId> = present.iter().map(|&(_, n)| n).collect();
+    let full = lca_all(html, &nodes)?;
+    if nodes.len() <= 1 {
+        return Some(LocatedRow { record: full, cells, outliers: Vec::new() });
+    }
+    // Try dropping each single cell; if the LCA of the rest is markedly
+    // deeper (≥ 2 levels), that cell is a heading-style outlier. With
+    // fewer than three located cells the test is vacuous (the "rest" is a
+    // single node, which is always deep), so skip it.
+    let full_depth = html.depth(full);
+    let mut best: Option<(usize, NodeId, usize)> = None; // (cell idx, lca, depth)
+    for (drop_pos, &(col, _)) in present.iter().enumerate() {
+        if present.len() < 3 {
+            break;
+        }
+        let rest: Vec<NodeId> = present
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != drop_pos)
+            .map(|(_, &(_, n))| n)
+            .collect();
+        if let Some(l) = lca_all(html, &rest) {
+            let d = html.depth(l);
+            if d >= full_depth + 2 && best.is_none_or(|(_, _, bd)| d > bd) {
+                best = Some((col, l, d));
+            }
+        }
+    }
+    match best {
+        Some((i, record, _)) => Some(LocatedRow { cells, record, outliers: vec![i] }),
+        None => Some(LocatedRow { cells, record: full, outliers: Vec::new() }),
+    }
+}
+
+/// Find, for each example cell value, the sheet column containing it; the
+/// values must all come from one row. Returns `(row, columns)`.
+pub fn locate_sheet_row(sheet: &Sheet, values: &[String]) -> Option<(usize, Vec<usize>)> {
+    for (r, row) in sheet.rows().iter().enumerate() {
+        let mut cols = Vec::with_capacity(values.len());
+        let mut ok = true;
+        for v in values {
+            match row.iter().position(|c| c == v) {
+                Some(c) => cols.push(c),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return Some((r, cols));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copycat_document::html::parse;
+
+    #[test]
+    fn minimal_matches_prefers_deepest() {
+        let doc = parse("<td><b>Pompano Rec</b></td>");
+        let m = minimal_matches(&doc, "Pompano Rec");
+        assert_eq!(m.len(), 1);
+        assert_eq!(doc.tag(m[0]), Some("b"));
+    }
+
+    #[test]
+    fn lca_of_table_cells_is_row() {
+        let doc = parse("<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>");
+        let tds = doc.elements_by_tag("td");
+        let l = lca(&doc, tds[0], tds[1]);
+        assert_eq!(doc.tag(l), Some("tr"));
+        let l2 = lca(&doc, tds[0], tds[2]);
+        assert_eq!(doc.tag(l2), Some("table"));
+    }
+
+    #[test]
+    fn locate_simple_row() {
+        let doc = parse(
+            "<table><tr><td>Coconut Creek HS</td><td>Coconut Creek</td></tr>\
+             <tr><td>Pompano Rec</td><td>Pompano Beach</td></tr></table>",
+        );
+        let row = locate_row(
+            &doc,
+            &["Pompano Rec".to_string(), "Pompano Beach".to_string()],
+        )
+        .expect("found");
+        assert_eq!(doc.tag(row.record), Some("tr"));
+        assert!(row.outliers.is_empty());
+    }
+
+    #[test]
+    fn locate_with_heading_outlier() {
+        let doc = parse(
+            "<h2>Margate</h2><ul>\
+             <li><span>Shelter A</span>, <span>100 Oak St</span></li>\
+             <li><span>Shelter B</span>, <span>200 Elm St</span></li></ul>",
+        );
+        let row = locate_row(
+            &doc,
+            &[
+                "Shelter A".to_string(),
+                "100 Oak St".to_string(),
+                "Margate".to_string(),
+            ],
+        )
+        .expect("found");
+        assert_eq!(doc.tag(row.record), Some("li"));
+        assert_eq!(row.outliers, vec![2]);
+        assert_eq!(doc.tag(row.cells[2].unwrap()), Some("h2"));
+    }
+
+    #[test]
+    fn locate_missing_value_fails() {
+        let doc = parse("<p>hello</p>");
+        assert!(locate_row(&doc, &["absent".to_string()]).is_none());
+    }
+
+    #[test]
+    fn duplicate_values_resolve_by_proximity() {
+        // Two rows share the city; each name must pair with the city cell
+        // in its own row.
+        let doc = parse(
+            "<table>\
+             <tr><td>A</td><td>Margate</td></tr>\
+             <tr><td>B</td><td>Margate</td></tr>\
+             </table>",
+        );
+        let row = locate_row(&doc, &["B".to_string(), "Margate".to_string()]).unwrap();
+        assert_eq!(doc.tag(row.record), Some("tr"));
+        // The record must be B's row: its first cell's text is B.
+        assert_eq!(doc.text_content(row.cells[0].unwrap()), "B");
+        let tr_cells = doc.node(row.record).children.len();
+        assert_eq!(tr_cells, 2);
+    }
+
+    #[test]
+    fn empty_cells_are_unconstrained() {
+        let doc = parse(
+            "<table><tr><td>A</td><td></td><td>Margate</td></tr>\
+             <tr><td>B</td><td>2 Oak</td><td>Tamarac</td></tr></table>",
+        );
+        let row = locate_row(
+            &doc,
+            &["A".to_string(), String::new(), "Margate".to_string()],
+        )
+        .expect("locatable despite the empty cell");
+        assert_eq!(doc.tag(row.record), Some("tr"));
+        assert!(row.cells[1].is_none());
+        assert!(row.cells[0].is_some() && row.cells[2].is_some());
+        // An all-empty example cannot locate.
+        assert!(locate_row(&doc, &[String::new()]).is_none());
+    }
+
+    #[test]
+    fn sheet_location() {
+        let sheet = Sheet::new(
+            "s",
+            None,
+            vec![
+                vec!["Ann".into(), "x".into()],
+                vec!["Bob".into(), "y".into()],
+            ],
+        );
+        let (r, cols) = locate_sheet_row(&sheet, &["y".to_string(), "Bob".to_string()]).unwrap();
+        assert_eq!(r, 1);
+        assert_eq!(cols, vec![1, 0]);
+        assert!(locate_sheet_row(&sheet, &["zzz".to_string()]).is_none());
+    }
+}

@@ -1,0 +1,267 @@
+//! Feedback-driven wrapper refinement.
+//!
+//! §2.1: row suggestions can be kept or removed, and "this feedback gets
+//! sent to the source learners, which will refine the extraction pattern,
+//! e.g., to include or exclude certain HTML tags, data values or document
+//! delimiters in its matches."
+//!
+//! Given rows the user rejected (and, implicitly, the rows they kept),
+//! [`refine`] searches for a record *filter* that excludes every rejected
+//! record while keeping every kept one, and returns the wrapper with that
+//! filter appended. Candidate filters, tried in order of specificity:
+//! attribute exclusion (`class="ad"`), child-count shape, and a non-empty
+//! field requirement.
+
+use crate::wrapper::{extract_field, FieldRule, PageScope, RecordFilter, Wrapper};
+use copycat_document::html::{HtmlDocument, NodeId, TagPath};
+use copycat_document::{Document, Page, Website};
+use rustc_hash::FxHashSet;
+
+/// Refine a wrapper given rejected rows. Rows not listed in `rejected`
+/// are treated as kept. Returns the refined wrapper; when no candidate
+/// filter separates the two sets, the wrapper is returned unchanged.
+pub fn refine(wrapper: &Wrapper, doc: &Document, rejected: &[Vec<String>]) -> Wrapper {
+    let (Wrapper::Html { record_path, fields, filters, scope }, Document::Site(site)) =
+        (wrapper, doc)
+    else {
+        return wrapper.clone();
+    };
+    if rejected.is_empty() {
+        return wrapper.clone();
+    }
+    let records = collect_records(record_path, fields, filters, scope, site);
+    let rejected_set: FxHashSet<&[String]> =
+        rejected.iter().map(|r| r.as_slice()).collect();
+    let mut bad: Vec<(&HtmlDocument, NodeId, &Vec<String>)> = Vec::new();
+    let mut kept: Vec<(&HtmlDocument, NodeId, &Vec<String>)> = Vec::new();
+    for (html, node, row) in &records {
+        if rejected_set.contains(row.as_slice()) {
+            bad.push((html, *node, row));
+        } else {
+            kept.push((html, *node, row));
+        }
+    }
+    if bad.is_empty() || kept.is_empty() {
+        return wrapper.clone();
+    }
+
+    for cand in candidate_filters(&bad, &kept, fields.len()) {
+        let excludes_all_bad = bad.iter().all(|(h, n, row)| !passes(h, *n, row, &cand));
+        let keeps_all_good = kept.iter().all(|(h, n, row)| passes(h, *n, row, &cand));
+        if excludes_all_bad && keeps_all_good {
+            let mut filters = filters.clone();
+            filters.push(cand);
+            return Wrapper::Html {
+                record_path: record_path.clone(),
+                fields: fields.clone(),
+                filters,
+                scope: scope.clone(),
+            };
+        }
+    }
+    wrapper.clone()
+}
+
+type Rec<'a> = (&'a HtmlDocument, NodeId, &'a Vec<String>);
+
+/// Enumerate candidate filters from the observed differences between the
+/// rejected and kept records.
+fn candidate_filters(bad: &[Rec<'_>], kept: &[Rec<'_>], arity: usize) -> Vec<RecordFilter> {
+    let mut out = Vec::new();
+    // 1. Attribute values present on some rejected record but no kept one.
+    let kept_attrs: FxHashSet<(String, String)> = kept
+        .iter()
+        .flat_map(|(h, n, _)| attrs_of(h, *n))
+        .collect();
+    let mut seen = FxHashSet::default();
+    for (h, n, _) in bad {
+        for (name, value) in attrs_of(h, *n) {
+            if !kept_attrs.contains(&(name.clone(), value.clone()))
+                && seen.insert((name.clone(), value.clone()))
+            {
+                out.push(RecordFilter::AttrNotEquals { attr: name, value });
+            }
+        }
+    }
+    // 2. Child-count shape: every kept record shares (tag, count).
+    if let Some((tag, count)) = common_child_shape(kept) {
+        out.push(RecordFilter::ChildCount { tag, count });
+    }
+    // 3. Require all fields non-empty.
+    out.push(RecordFilter::MinNonEmptyFields(arity));
+    out
+}
+
+fn attrs_of(html: &HtmlDocument, node: NodeId) -> Vec<(String, String)> {
+    match &html.node(node).kind {
+        copycat_document::NodeKind::Element { attrs, .. } => attrs.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// The (tag, count) of element children when identical across all kept
+/// records, using the most frequent child tag of the first record.
+fn common_child_shape(kept: &[Rec<'_>]) -> Option<(String, usize)> {
+    let (h0, n0, _) = kept.first()?;
+    let mut counts: rustc_hash::FxHashMap<&str, usize> = rustc_hash::FxHashMap::default();
+    for &c in &h0.node(*n0).children {
+        if let Some(t) = h0.tag(c) {
+            *counts.entry(t).or_default() += 1;
+        }
+    }
+    let (tag, count) = counts.into_iter().max_by_key(|&(_, c)| c)?;
+    let tag = tag.to_string();
+    for (h, n, _) in kept {
+        let c = h
+            .node(*n)
+            .children
+            .iter()
+            .filter(|&&ch| h.tag(ch) == Some(tag.as_str()))
+            .count();
+        if c != count {
+            return None;
+        }
+    }
+    Some((tag, count))
+}
+
+fn passes(html: &HtmlDocument, record: NodeId, row: &[String], f: &RecordFilter) -> bool {
+    match f {
+        RecordFilter::AttrNotEquals { attr, value } => {
+            html.attr(record, attr) != Some(value.as_str())
+        }
+        RecordFilter::MinNonEmptyFields(k) => {
+            row.iter().filter(|v| !v.is_empty()).count() >= *k
+        }
+        RecordFilter::ChildCount { tag, count } => {
+            html.node(record)
+                .children
+                .iter()
+                .filter(|&&c| html.tag(c) == Some(tag.as_str()))
+                .count()
+                == *count
+        }
+        RecordFilter::FieldEquals { field, value } => {
+            row.get(*field).map(String::as_str) == Some(value.as_str())
+        }
+    }
+}
+
+/// All records the wrapper currently extracts, with their nodes and rows.
+fn collect_records<'a>(
+    record_path: &TagPath,
+    fields: &[FieldRule],
+    filters: &[RecordFilter],
+    scope: &PageScope,
+    site: &'a Website,
+) -> Vec<(&'a HtmlDocument, NodeId, Vec<String>)> {
+    let pages: Vec<&Page> = match scope {
+        PageScope::SinglePage(url) => site.get(url).into_iter().collect(),
+        PageScope::AllPages => site.crawl(),
+    };
+    let mut out = Vec::new();
+    for page in pages {
+        for record in page.html.find_by_path(record_path) {
+            let row: Vec<String> = fields
+                .iter()
+                .map(|f| extract_field(&page.html, record, f))
+                .collect();
+            if filters.iter().all(|f| passes(&page.html, record, &row, f)) {
+                out.push((&page.html, record, row));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::execute;
+    use copycat_document::Url;
+
+    fn ad_site() -> Website {
+        let mut site = Website::new();
+        site.add_html(
+            "/",
+            "<table>\
+             <tr><td>Creek HS</td><td>Margate</td></tr>\
+             <tr class=\"ad\"><td colspan=\"2\">Buy storm shutters!</td></tr>\
+             <tr><td>Rec Ctr</td><td>Tamarac</td></tr>\
+             </table>",
+        );
+        site
+    }
+
+    fn base_wrapper() -> Wrapper {
+        Wrapper::Html {
+            record_path: TagPath::parse("table[0]/tr[*]").unwrap(),
+            fields: vec![
+                FieldRule::Relative(TagPath::parse("td[0]").unwrap()),
+                FieldRule::Relative(TagPath::parse("td[1]").unwrap()),
+            ],
+            filters: vec![],
+            scope: PageScope::SinglePage(Url::new("/")),
+        }
+    }
+
+    #[test]
+    fn rejecting_ad_row_learns_attribute_filter() {
+        let doc = Document::Site(ad_site());
+        let w = base_wrapper();
+        let rows = execute(&w, &doc);
+        assert_eq!(rows.len(), 3);
+        let rejected = vec![vec!["Buy storm shutters!".to_string(), String::new()]];
+        let refined = refine(&w, &doc, &rejected);
+        let rows2 = execute(&refined, &doc);
+        assert_eq!(rows2.len(), 2);
+        assert!(rows2.iter().all(|r| r[1] == "Margate" || r[1] == "Tamarac"));
+        if let Wrapper::Html { filters, .. } = &refined {
+            assert_eq!(filters.len(), 1);
+        }
+    }
+
+    #[test]
+    fn no_rejections_is_identity() {
+        let doc = Document::Site(ad_site());
+        let w = base_wrapper();
+        assert_eq!(refine(&w, &doc, &[]), w);
+    }
+
+    #[test]
+    fn rejecting_everything_cannot_separate() {
+        let doc = Document::Site(ad_site());
+        let w = base_wrapper();
+        let all = execute(&w, &doc);
+        let refined = refine(&w, &doc, &all);
+        assert_eq!(refined, w, "nothing kept -> unchanged");
+    }
+
+    #[test]
+    fn shape_filter_when_no_attribute_differs() {
+        // The junk row has no distinguishing attribute, but a different
+        // td count.
+        let mut site = Website::new();
+        site.add_html(
+            "/",
+            "<table>\
+             <tr><td>A</td><td>1</td></tr>\
+             <tr><td>junk spanning</td></tr>\
+             <tr><td>B</td><td>2</td></tr>\
+             </table>",
+        );
+        let doc = Document::Site(site);
+        let w = base_wrapper();
+        let rejected = vec![vec!["junk spanning".to_string(), String::new()]];
+        let refined = refine(&w, &doc, &rejected);
+        let rows = execute(&refined, &doc);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn non_html_wrappers_pass_through() {
+        let w = Wrapper::Sheet { columns: vec![0], skip_rows: 0 };
+        let doc = Document::Site(ad_site());
+        assert_eq!(refine(&w, &doc, &[vec!["x".to_string()]]), w);
+    }
+}

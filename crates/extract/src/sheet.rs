@@ -1,0 +1,89 @@
+//! Spreadsheet generalization.
+//!
+//! "For a relatively structured source such as an Excel spreadsheet, the
+//! generalization process is normally quite simple. For example, after
+//! copying just two data items from a column in [a] spreadsheet, it is
+//! clear that the user's selection should be generalized to include all
+//! the additional rows in that column" (§3.1).
+
+use crate::locate::locate_sheet_row;
+use crate::wrapper::Wrapper;
+use copycat_document::Sheet;
+
+/// Learn a sheet wrapper from example rows: find the columns carrying the
+/// example values and generalize to every data row. All examples must
+/// agree on the column mapping.
+pub fn learn(sheet: &Sheet, examples: &[Vec<String>]) -> Option<Wrapper> {
+    let mut columns: Option<Vec<usize>> = None;
+    for ex in examples {
+        let (_, cols) = locate_sheet_row(sheet, ex)?;
+        match &columns {
+            None => columns = Some(cols),
+            Some(existing) if *existing == cols => {}
+            Some(_) => return None, // inconsistent examples
+        }
+    }
+    columns.map(|columns| Wrapper::Sheet { columns, skip_rows: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::execute;
+    use copycat_document::Document;
+
+    fn sheet() -> Sheet {
+        Sheet::new(
+            "contacts",
+            Some(vec!["Name".into(), "Phone".into(), "Venue".into()]),
+            vec![
+                vec!["Ann".into(), "555-0101".into(), "Creek HS".into()],
+                vec!["Bob".into(), "555-0102".into(), "Rec Ctr".into()],
+                vec!["Cy".into(), "555-0103".into(), "Civic".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn two_examples_generalize_to_all_rows() {
+        let s = sheet();
+        let w = learn(
+            &s,
+            &[
+                vec!["Ann".to_string(), "Creek HS".to_string()],
+                vec!["Bob".to_string(), "Rec Ctr".to_string()],
+            ],
+        )
+        .expect("learned");
+        let rows = execute(&w, &Document::Sheet(s));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec!["Cy", "Civic"]);
+    }
+
+    #[test]
+    fn column_order_follows_examples_not_source() {
+        let s = sheet();
+        let w = learn(&s, &[vec!["555-0101".to_string(), "Ann".to_string()]]).unwrap();
+        let rows = execute(&w, &Document::Sheet(s));
+        assert_eq!(rows[0], vec!["555-0101", "Ann"]);
+    }
+
+    #[test]
+    fn inconsistent_examples_fail() {
+        let s = sheet();
+        // First example maps to (Name, Venue); second to (Phone, Venue).
+        let got = learn(
+            &s,
+            &[
+                vec!["Ann".to_string(), "Creek HS".to_string()],
+                vec!["555-0102".to_string(), "Rec Ctr".to_string()],
+            ],
+        );
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn unknown_value_fails() {
+        assert!(learn(&sheet(), &[vec!["Zed".to_string()]]).is_none());
+    }
+}

@@ -1,0 +1,346 @@
+//! The source graph data structure.
+
+use copycat_query::Schema;
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Edge handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NodeKind {
+    /// A materialized source relation (shadowed rectangle in Figure 4).
+    Relation,
+    /// A parameterized service (rounded rectangle in Figure 4).
+    Service,
+}
+
+/// A node: a source or service with its visible schema. For services the
+/// schema is inputs-then-outputs, with `input_arity` marking the split.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Node {
+    /// Catalog name.
+    pub name: String,
+    /// Relation or service.
+    pub kind: NodeKind,
+    /// Visible columns (for services: inputs ++ outputs).
+    pub schema: Schema,
+    /// For services, the number of leading input (bound) columns.
+    pub input_arity: usize,
+    /// Relative access cost (1.0 = nominal). Association discovery scales
+    /// bind-edge costs by this, so slow/flaky services start demoted.
+    pub cost_hint: f64,
+}
+
+/// How an edge connects two nodes.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EdgeKind {
+    /// Equi-join on the conjunction of these column-name pairs (§4.1's
+    /// default: "the conjunction of all possible join predicates").
+    Join {
+        /// `(a column, b column)` pairs.
+        pairs: Vec<(String, String)>,
+    },
+    /// Dependent-join binding: columns of `a` feed the service `b`'s
+    /// inputs in order.
+    Bind {
+        /// Column names of `a`, aligned with `b`'s inputs.
+        bindings: Vec<String>,
+    },
+    /// Approximate record-link on these column pairs.
+    Link {
+        /// `(a column, b column)` pairs.
+        pairs: Vec<(String, String)>,
+    },
+}
+
+/// A weighted association edge. `weight` is a *cost*: lower is more
+/// relevant. (The paper's query score is "the sum of its constituent edge
+/// weights", minimized by the Steiner search.)
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint (for `Bind`, the service).
+    pub b: NodeId,
+    /// Edge kind.
+    pub kind: EdgeKind,
+    /// Cost (lower = more relevant); adjusted by MIRA.
+    pub weight: f64,
+}
+
+/// Default cost assigned to discovered associations. It sits below the
+/// suggestion threshold, per §4.1: "a default value that exceeds the
+/// threshold necessary for the edge to be suggested".
+pub const DEFAULT_EDGE_COST: f64 = 1.0;
+
+/// Associations with cost at or below this are offered as auto-complete
+/// suggestions.
+pub const SUGGESTION_COST_THRESHOLD: f64 = 2.0;
+
+/// Minimum edge cost (MIRA updates never drive costs to zero or below).
+pub const MIN_EDGE_COST: f64 = 0.01;
+
+/// The source graph.
+#[derive(Debug, Clone, Default)]
+pub struct SourceGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    by_name: FxHashMap<String, NodeId>,
+    adjacency: Vec<Vec<EdgeId>>,
+}
+
+impl SourceGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild a graph from saved nodes and edges (session restore). Node
+    /// and edge ids are their positions in the vectors.
+    pub fn from_parts(nodes: Vec<Node>, edges: Vec<Edge>) -> Self {
+        let mut by_name = FxHashMap::default();
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.insert(n.name.clone(), NodeId(i as u32));
+        }
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.a.0 as usize].push(EdgeId(i as u32));
+            adjacency[e.b.0 as usize].push(EdgeId(i as u32));
+        }
+        Self { nodes, edges, by_name, adjacency }
+    }
+
+    /// Add a relation node.
+    pub fn add_relation(&mut self, name: impl Into<String>, schema: Schema) -> NodeId {
+        self.add_node(name.into(), NodeKind::Relation, schema, 0, 1.0)
+    }
+
+    /// Add a service node (schema = inputs ++ outputs) at nominal cost.
+    pub fn add_service(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        input_arity: usize,
+    ) -> NodeId {
+        self.add_node(name.into(), NodeKind::Service, schema, input_arity, 1.0)
+    }
+
+    /// Add a service node with an explicit access-cost hint.
+    pub fn add_service_with_cost(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        input_arity: usize,
+        cost_hint: f64,
+    ) -> NodeId {
+        self.add_node(name.into(), NodeKind::Service, schema, input_arity, cost_hint.max(0.1))
+    }
+
+    fn add_node(
+        &mut self,
+        name: String,
+        kind: NodeKind,
+        schema: Schema,
+        input_arity: usize,
+        cost_hint: f64,
+    ) -> NodeId {
+        debug_assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate node name {name}"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, kind, schema, input_arity, cost_hint });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add an association edge with the default cost.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, kind: EdgeKind) -> EdgeId {
+        self.add_edge_with_cost(a, b, kind, DEFAULT_EDGE_COST)
+    }
+
+    /// Add an association edge with an explicit cost.
+    pub fn add_edge_with_cost(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        kind: EdgeKind,
+        weight: f64,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { a, b, kind, weight });
+        self.adjacency[a.0 as usize].push(id);
+        self.adjacency[b.0 as usize].push(id);
+        id
+    }
+
+    /// Node lookup by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Borrow an edge.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0 as usize]
+    }
+
+    /// Set an edge's cost (used by MIRA), clamped to [`MIN_EDGE_COST`].
+    pub fn set_cost(&mut self, id: EdgeId, cost: f64) {
+        self.edges[id.0 as usize].weight = cost.max(MIN_EDGE_COST);
+    }
+
+    /// Edge cost.
+    pub fn cost(&self, id: EdgeId) -> f64 {
+        self.edges[id.0 as usize].weight
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Edges incident to a node.
+    pub fn incident(&self, n: NodeId) -> &[EdgeId] {
+        &self.adjacency[n.0 as usize]
+    }
+
+    /// The endpoint of `e` that is not `n`.
+    pub fn other_end(&self, e: EdgeId, n: NodeId) -> NodeId {
+        let edge = self.edge(e);
+        if edge.a == n {
+            edge.b
+        } else {
+            edge.a
+        }
+    }
+
+    /// Associations from any of `from` to nodes outside `from`, with cost
+    /// ≤ `max_cost` — the candidate *column completions* of §4.2, sorted
+    /// by ascending cost (most relevant first).
+    pub fn associations_from(&self, from: &[NodeId], max_cost: f64) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> = self
+            .edge_ids()
+            .filter(|&e| {
+                let edge = self.edge(e);
+                let a_in = from.contains(&edge.a);
+                let b_in = from.contains(&edge.b);
+                (a_in ^ b_in) && edge.weight <= max_cost
+            })
+            .collect();
+        out.sort_by(|&x, &y| {
+            self.cost(x)
+                .partial_cmp(&self.cost(y))
+                .expect("finite costs")
+                .then_with(|| x.cmp(&y))
+        });
+        out
+    }
+
+    /// Total cost of a set of edges.
+    pub fn tree_cost(&self, edges: &[EdgeId]) -> f64 {
+        edges.iter().map(|&e| self.cost(e)).sum()
+    }
+}
+
+impl fmt::Display for SourceGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SourceGraph ({} nodes, {} edges)", self.nodes.len(), self.edges.len())?;
+        for e in self.edge_ids() {
+            let edge = self.edge(e);
+            writeln!(
+                f,
+                "  {} -- {} (c={:.2}, {:?})",
+                self.node(edge.a).name,
+                self.node(edge.b).name,
+                edge.weight,
+                match &edge.kind {
+                    EdgeKind::Join { pairs } => format!("join {pairs:?}"),
+                    EdgeKind::Bind { bindings } => format!("bind {bindings:?}"),
+                    EdgeKind::Link { pairs } => format!("link {pairs:?}"),
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (SourceGraph, NodeId, NodeId, NodeId) {
+        let mut g = SourceGraph::new();
+        let a = g.add_relation("shelters", Schema::of(&["Name", "Street", "City"]));
+        let b = g.add_service("zip_resolver", Schema::of(&["street", "city", "Zip"]), 2);
+        let c = g.add_relation("contacts", Schema::of(&["Venue", "Phone"]));
+        g.add_edge(a, b, EdgeKind::Bind { bindings: vec!["Street".into(), "City".into()] });
+        g.add_edge_with_cost(
+            a,
+            c,
+            EdgeKind::Link { pairs: vec![("Name".into(), "Venue".into())] },
+            1.5,
+        );
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn lookup_and_adjacency() {
+        let (g, a, b, _) = tiny();
+        assert_eq!(g.node_by_name("shelters"), Some(a));
+        assert_eq!(g.incident(a).len(), 2);
+        assert_eq!(g.other_end(g.incident(a)[0], a), b);
+    }
+
+    #[test]
+    fn associations_sorted_by_cost() {
+        let (g, a, b, c) = tiny();
+        let assocs = g.associations_from(&[a], SUGGESTION_COST_THRESHOLD);
+        assert_eq!(assocs.len(), 2);
+        assert_eq!(g.other_end(assocs[0], a), b); // cost 1.0 before 1.5
+        assert_eq!(g.other_end(assocs[1], a), c);
+        // Edges inside the set are excluded.
+        assert!(g.associations_from(&[a, b, c], 10.0).is_empty());
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let (g, a, _, _) = tiny();
+        assert_eq!(g.associations_from(&[a], 1.2).len(), 1);
+    }
+
+    #[test]
+    fn set_cost_clamps() {
+        let (mut g, _, _, _) = tiny();
+        let e = EdgeId(0);
+        g.set_cost(e, -5.0);
+        assert_eq!(g.cost(e), MIN_EDGE_COST);
+    }
+}

@@ -1,0 +1,570 @@
+//! Steiner-tree query search (§4.2).
+//!
+//! "The learner finds the most likely explanations for the tuples
+//! (queries) by discovering Steiner trees connecting the data sources in
+//! the source graph. For small source graphs, we can compute the most
+//! promising queries using an exact top-k Steiner tree algorithm … For
+//! larger graphs we use the SPCSH Steiner tree approximation algorithm,
+//! which prunes 'non-promising' edges from the source graph for better
+//! scaling."
+//!
+//! The paper's exact algorithm is an ILP; we use the Dreyfus–Wagner
+//! dynamic program, which computes the same optima without an external
+//! solver, plus edge-exclusion branching for top-k. The approximation is
+//! a shortest-path component heuristic with optional cost-quantile edge
+//! pruning (the SPCSH knob ablated in experiment A3).
+
+use crate::source_graph::{EdgeId, NodeId, SourceGraph};
+use rustc_hash::FxHashSet;
+use std::collections::BinaryHeap;
+
+/// A Steiner tree: the chosen edges, the spanned nodes, and total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    /// Tree edges, sorted.
+    pub edges: Vec<EdgeId>,
+    /// Spanned nodes (terminals plus any intermediates), sorted.
+    pub nodes: Vec<NodeId>,
+    /// Sum of edge costs.
+    pub cost: f64,
+}
+
+impl SteinerTree {
+    fn from_edges(g: &SourceGraph, mut edges: Vec<EdgeId>, terminals: &[NodeId]) -> SteinerTree {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut nodes: Vec<NodeId> = terminals.to_vec();
+        for &e in &edges {
+            nodes.push(g.edge(e).a);
+            nodes.push(g.edge(e).b);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let cost = g.tree_cost(&edges);
+        SteinerTree { edges, nodes, cost }
+    }
+}
+
+/// Maximum supported terminal count for the exact algorithm (the DP is
+/// exponential in it).
+pub const MAX_EXACT_TERMINALS: usize = 12;
+
+/// Exact minimum-cost Steiner tree via Dreyfus–Wagner. Returns `None`
+/// when the terminals are not connected (or `terminals` is empty).
+///
+/// # Panics
+/// Panics when more than [`MAX_EXACT_TERMINALS`] terminals are given.
+pub fn steiner_exact(g: &SourceGraph, terminals: &[NodeId]) -> Option<SteinerTree> {
+    steiner_exact_banned(g, terminals, &FxHashSet::default())
+}
+
+/// Backpointer for tree reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Back {
+    /// Singleton terminal at this node.
+    Leaf,
+    /// Extended from the same mask at another node along an edge.
+    Grow(NodeId, EdgeId),
+    /// Merged two submask trees at this node (stores one submask; the
+    /// complement is implied).
+    Merge(u32),
+}
+
+fn steiner_exact_banned(
+    g: &SourceGraph,
+    terminals: &[NodeId],
+    banned: &FxHashSet<EdgeId>,
+) -> Option<SteinerTree> {
+    let k = terminals.len();
+    assert!(
+        k <= MAX_EXACT_TERMINALS,
+        "exact Steiner supports at most {MAX_EXACT_TERMINALS} terminals, got {k}"
+    );
+    if k == 0 {
+        return None;
+    }
+    if k == 1 {
+        return Some(SteinerTree::from_edges(g, Vec::new(), terminals));
+    }
+    let n = g.node_count();
+    let full: u32 = (1u32 << k) - 1;
+    const INF: f64 = f64::INFINITY;
+    // dp[mask][v], back[mask][v]
+    let mut dp = vec![vec![INF; n]; (full + 1) as usize];
+    let mut back = vec![vec![Back::Leaf; n]; (full + 1) as usize];
+    for (i, &t) in terminals.iter().enumerate() {
+        dp[1 << i][t.0 as usize] = 0.0;
+    }
+    for mask in 1..=full {
+        let m = mask as usize;
+        // Merge step: combine disjoint submasks at the same node.
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            let other = mask ^ sub;
+            if sub < other {
+                // Each unordered pair once.
+                for v in 0..n {
+                    let c = dp[sub as usize][v] + dp[other as usize][v];
+                    if c < dp[m][v] {
+                        dp[m][v] = c;
+                        back[m][v] = Back::Merge(sub);
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        // Grow step: Dijkstra relaxation within this mask.
+        let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF64>, usize)> = dp[m]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c < INF)
+            .map(|(v, &c)| (std::cmp::Reverse(OrdF64(c)), v))
+            .collect();
+        while let Some((std::cmp::Reverse(OrdF64(c)), v)) = heap.pop() {
+            if c > dp[m][v] {
+                continue;
+            }
+            let vid = NodeId(v as u32);
+            for &e in g.incident(vid) {
+                if banned.contains(&e) {
+                    continue;
+                }
+                let u = g.other_end(e, vid).0 as usize;
+                let nc = c + g.cost(e);
+                if nc < dp[m][u] {
+                    dp[m][u] = nc;
+                    back[m][u] = Back::Grow(vid, e);
+                    heap.push((std::cmp::Reverse(OrdF64(nc)), u));
+                }
+            }
+        }
+    }
+    // Optimum: min over v of dp[full][v].
+    let (best_v, best_cost) = dp[full as usize]
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("no NaN costs"))
+        .map(|(v, &c)| (v, c))?;
+    if best_cost.is_infinite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut edges = Vec::new();
+    let mut stack = vec![(full, best_v)];
+    while let Some((mask, v)) = stack.pop() {
+        match back[mask as usize][v] {
+            Back::Leaf => {}
+            Back::Grow(from, e) => {
+                edges.push(e);
+                stack.push((mask, from.0 as usize));
+            }
+            Back::Merge(sub) => {
+                stack.push((sub, v));
+                stack.push((mask ^ sub, v));
+            }
+        }
+    }
+    Some(SteinerTree::from_edges(g, edges, terminals))
+}
+
+/// Total order wrapper for finite f64 costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite costs")
+    }
+}
+
+/// Exact top-k Steiner trees by nondecreasing cost, via edge-exclusion
+/// branching over [`steiner_exact`]. Distinct edge sets only.
+pub fn top_k_steiner(g: &SourceGraph, terminals: &[NodeId], k: usize) -> Vec<SteinerTree> {
+    let mut out: Vec<SteinerTree> = Vec::new();
+    let mut seen: FxHashSet<Vec<EdgeId>> = FxHashSet::default();
+    // Heap of candidate (cost, tree, banned-set) ordered by min cost.
+    let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF64>, Vec<EdgeId>, Vec<EdgeId>)> =
+        BinaryHeap::new();
+    let Some(first) = steiner_exact(g, terminals) else {
+        return out;
+    };
+    heap.push((std::cmp::Reverse(OrdF64(first.cost)), first.edges.clone(), Vec::new()));
+    while let Some((_, edges, banned_vec)) = heap.pop() {
+        if !seen.insert(edges.clone()) {
+            continue;
+        }
+        let tree = SteinerTree::from_edges(g, edges.clone(), terminals);
+        out.push(tree);
+        if out.len() >= k {
+            break;
+        }
+        // Branch: ban each edge of this tree in turn (any distinct tree
+        // must omit at least one of them).
+        for &e in &edges {
+            let mut banned: FxHashSet<EdgeId> = banned_vec.iter().copied().collect();
+            banned.insert(e);
+            if let Some(t) = steiner_exact_banned(g, terminals, &banned) {
+                let mut bv = banned_vec.clone();
+                bv.push(e);
+                heap.push((std::cmp::Reverse(OrdF64(t.cost)), t.edges, bv));
+            }
+        }
+    }
+    out
+}
+
+/// SPCSH-style approximation: shortest-path component heuristic with
+/// optional edge pruning. `prune_quantile` ∈ (0, 1]: edges costlier than
+/// that cost quantile are ignored (1.0 = no pruning); if pruning
+/// disconnects the terminals the search transparently retries unpruned.
+pub fn spcsh(g: &SourceGraph, terminals: &[NodeId], prune_quantile: f64) -> Option<SteinerTree> {
+    if terminals.is_empty() {
+        return None;
+    }
+    let banned = prune_set(g, prune_quantile);
+    match spcsh_banned(g, terminals, &banned) {
+        Some(t) => Some(t),
+        None if !banned.is_empty() => spcsh_banned(g, terminals, &FxHashSet::default()),
+        None => None,
+    }
+}
+
+fn prune_set(g: &SourceGraph, quantile: f64) -> FxHashSet<EdgeId> {
+    if quantile >= 1.0 || g.edge_count() == 0 {
+        return FxHashSet::default();
+    }
+    let mut costs: Vec<f64> = g.edge_ids().map(|e| g.cost(e)).collect();
+    costs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((costs.len() as f64 - 1.0) * quantile.clamp(0.0, 1.0)).round() as usize;
+    let threshold = costs[idx];
+    g.edge_ids().filter(|&e| g.cost(e) > threshold).collect()
+}
+
+fn spcsh_banned(
+    g: &SourceGraph,
+    terminals: &[NodeId],
+    banned: &FxHashSet<EdgeId>,
+) -> Option<SteinerTree> {
+    let n = g.node_count();
+    // Start with the tree containing terminal 0; repeatedly attach the
+    // nearest other terminal via its shortest path to the current tree.
+    let mut in_tree = vec![false; n];
+    in_tree[terminals[0].0 as usize] = true;
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    let mut remaining: FxHashSet<NodeId> = terminals[1..].iter().copied().collect();
+
+    while !remaining.is_empty() {
+        // Multi-source Dijkstra from the current tree.
+        const INF: f64 = f64::INFINITY;
+        let mut dist = vec![INF; n];
+        let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF64>, usize)> = BinaryHeap::new();
+        for v in 0..n {
+            if in_tree[v] {
+                dist[v] = 0.0;
+                heap.push((std::cmp::Reverse(OrdF64(0.0)), v));
+            }
+        }
+        let mut reached: Option<NodeId> = None;
+        while let Some((std::cmp::Reverse(OrdF64(c)), v)) = heap.pop() {
+            if c > dist[v] {
+                continue;
+            }
+            let vid = NodeId(v as u32);
+            if remaining.contains(&vid) {
+                reached = Some(vid);
+                break;
+            }
+            for &e in g.incident(vid) {
+                if banned.contains(&e) {
+                    continue;
+                }
+                let u = g.other_end(e, vid).0 as usize;
+                let nc = c + g.cost(e);
+                if nc < dist[u] {
+                    dist[u] = nc;
+                    pred[u] = Some((vid, e));
+                    heap.push((std::cmp::Reverse(OrdF64(nc)), u));
+                }
+            }
+        }
+        let target = reached?;
+        // Trace the path back into the tree.
+        let mut cur = target;
+        while !in_tree[cur.0 as usize] {
+            in_tree[cur.0 as usize] = true;
+            let (prev, e) = pred[cur.0 as usize].expect("path exists");
+            tree_edges.push(e);
+            cur = prev;
+        }
+        remaining.remove(&target);
+    }
+    Some(SteinerTree::from_edges(g, tree_edges, terminals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_graph::EdgeKind;
+    use copycat_query::Schema;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chain(costs: &[f64]) -> (SourceGraph, Vec<NodeId>) {
+        let mut g = SourceGraph::new();
+        let nodes: Vec<NodeId> = (0..=costs.len())
+            .map(|i| g.add_relation(format!("n{i}"), Schema::of(&["X"])))
+            .collect();
+        for (i, &c) in costs.iter().enumerate() {
+            g.add_edge_with_cost(
+                nodes[i],
+                nodes[i + 1],
+                EdgeKind::Join { pairs: vec![("X".into(), "X".into())] },
+                c,
+            );
+        }
+        (g, nodes)
+    }
+
+    /// Random connected-ish graph for cross-validation.
+    fn random_graph(seed: u64, n: usize, extra_edges: usize) -> SourceGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = SourceGraph::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| g.add_relation(format!("n{i}"), Schema::of(&["X"])))
+            .collect();
+        // Random spanning structure, then extra edges.
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            g.add_edge_with_cost(
+                nodes[i],
+                nodes[j],
+                EdgeKind::Join { pairs: vec![("X".into(), "X".into())] },
+                rng.gen_range(0.5..3.0),
+            );
+        }
+        for _ in 0..extra_edges {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i != j {
+                g.add_edge_with_cost(
+                    nodes[i],
+                    nodes[j],
+                    EdgeKind::Join { pairs: vec![("X".into(), "X".into())] },
+                    rng.gen_range(0.5..3.0),
+                );
+            }
+        }
+        g
+    }
+
+    /// Brute-force optimum: try every node subset containing the
+    /// terminals; for each, the MST of the induced subgraph.
+    fn brute_force(g: &SourceGraph, terminals: &[NodeId]) -> Option<f64> {
+        let n = g.node_count();
+        assert!(n <= 12);
+        let term_mask: u32 = terminals.iter().map(|t| 1u32 << t.0).sum();
+        let mut best: Option<f64> = None;
+        for mask in 0..(1u32 << n) {
+            if mask & term_mask != term_mask {
+                continue;
+            }
+            if let Some(c) = induced_mst(g, mask) {
+                best = Some(best.map_or(c, |b: f64| b.min(c)));
+            }
+        }
+        best
+    }
+
+    fn induced_mst(g: &SourceGraph, mask: u32) -> Option<f64> {
+        let nodes: Vec<usize> = (0..g.node_count()).filter(|v| mask & (1 << v) != 0).collect();
+        if nodes.is_empty() {
+            return None;
+        }
+        // Prim's.
+        let mut in_mst = vec![false; g.node_count()];
+        in_mst[nodes[0]] = true;
+        let mut count = 1;
+        let mut total = 0.0;
+        while count < nodes.len() {
+            let mut best: Option<(f64, usize)> = None;
+            for &v in &nodes {
+                if !in_mst[v] {
+                    continue;
+                }
+                for &e in g.incident(NodeId(v as u32)) {
+                    let u = g.other_end(e, NodeId(v as u32)).0 as usize;
+                    if mask & (1 << u) != 0 && !in_mst[u] {
+                        let c = g.cost(e);
+                        if best.is_none_or(|(bc, _)| c < bc) {
+                            best = Some((c, u));
+                        }
+                    }
+                }
+            }
+            let (c, u) = best?;
+            in_mst[u] = true;
+            total += c;
+            count += 1;
+        }
+        Some(total)
+    }
+
+    #[test]
+    fn chain_tree_is_whole_chain() {
+        let (g, nodes) = chain(&[1.0, 2.0, 3.0]);
+        let t = steiner_exact(&g, &[nodes[0], nodes[3]]).unwrap();
+        assert_eq!(t.cost, 6.0);
+        assert_eq!(t.edges.len(), 3);
+    }
+
+    #[test]
+    fn intermediate_nodes_are_used() {
+        // Star: terminals on leaves, hub is a non-terminal Steiner point.
+        let mut g = SourceGraph::new();
+        let hub = g.add_relation("hub", Schema::of(&["X"]));
+        let leaves: Vec<NodeId> = (0..3)
+            .map(|i| g.add_relation(format!("l{i}"), Schema::of(&["X"])))
+            .collect();
+        for &l in &leaves {
+            g.add_edge_with_cost(
+                hub,
+                l,
+                EdgeKind::Join { pairs: vec![("X".into(), "X".into())] },
+                1.0,
+            );
+        }
+        let t = steiner_exact(&g, &leaves).unwrap();
+        assert_eq!(t.cost, 3.0);
+        assert!(t.nodes.contains(&hub));
+    }
+
+    #[test]
+    fn single_terminal_is_empty_tree() {
+        let (g, nodes) = chain(&[1.0]);
+        let t = steiner_exact(&g, &[nodes[0]]).unwrap();
+        assert!(t.edges.is_empty());
+        assert_eq!(t.cost, 0.0);
+    }
+
+    #[test]
+    fn disconnected_terminals_yield_none() {
+        let mut g = SourceGraph::new();
+        let a = g.add_relation("a", Schema::of(&["X"]));
+        let b = g.add_relation("b", Schema::of(&["X"]));
+        assert!(steiner_exact(&g, &[a, b]).is_none());
+        assert!(spcsh(&g, &[a, b], 1.0).is_none());
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_random_graphs() {
+        for seed in 0..20 {
+            let g = random_graph(seed, 9, 8);
+            let terminals = vec![NodeId(0), NodeId(4), NodeId(8)];
+            let exact = steiner_exact(&g, &terminals).map(|t| t.cost);
+            let brute = brute_force(&g, &terminals);
+            match (exact, brute) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-9, "seed {seed}: exact {a} vs brute {b}")
+                }
+                (None, None) => {}
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spcsh_is_feasible_and_close() {
+        for seed in 0..20 {
+            let g = random_graph(100 + seed, 12, 14);
+            let terminals = vec![NodeId(0), NodeId(5), NodeId(11)];
+            let exact = steiner_exact(&g, &terminals).unwrap();
+            let approx = spcsh(&g, &terminals, 1.0).unwrap();
+            // Feasible: spans all terminals and is connected by construction.
+            for t in &terminals {
+                assert!(approx.nodes.contains(t));
+            }
+            // Approximation guarantee for SPH is 2(1 - 1/k).
+            assert!(
+                approx.cost <= exact.cost * 2.0 + 1e-9,
+                "seed {seed}: {} vs {}",
+                approx.cost,
+                exact.cost
+            );
+            assert!(approx.cost >= exact.cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_distinct() {
+        let g = random_graph(7, 8, 10);
+        let terminals = vec![NodeId(0), NodeId(7)];
+        let trees = top_k_steiner(&g, &terminals, 5);
+        assert!(!trees.is_empty());
+        for pair in trees.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost + 1e-9);
+            assert_ne!(pair[0].edges, pair[1].edges);
+        }
+        // The first is the optimum.
+        let exact = steiner_exact(&g, &terminals).unwrap();
+        assert!((trees[0].cost - exact.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_on_diamond_finds_both_paths() {
+        // a -1- b -1- d ; a -1.5- c -1.5- d
+        let mut g = SourceGraph::new();
+        let ids: Vec<NodeId> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| g.add_relation(*n, Schema::of(&["X"])))
+            .collect();
+        let j = |a: &str, b: &str| EdgeKind::Join { pairs: vec![(a.into(), b.into())] };
+        g.add_edge_with_cost(ids[0], ids[1], j("X", "X"), 1.0);
+        g.add_edge_with_cost(ids[1], ids[3], j("X", "X"), 1.0);
+        g.add_edge_with_cost(ids[0], ids[2], j("X", "X"), 1.5);
+        g.add_edge_with_cost(ids[2], ids[3], j("X", "X"), 1.5);
+        let trees = top_k_steiner(&g, &[ids[0], ids[3]], 3);
+        // Exactly the two alternative paths exist: every subproblem's
+        // optimum is redundancy-free, so trees with a dangling extra
+        // branch are (correctly) never enumerated.
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].cost, 2.0);
+        assert_eq!(trees[1].cost, 3.0);
+    }
+
+    #[test]
+    fn pruning_speeds_but_may_cost() {
+        let g = random_graph(42, 30, 60);
+        let terminals = vec![NodeId(0), NodeId(15), NodeId(29)];
+        let unpruned = spcsh(&g, &terminals, 1.0).unwrap();
+        let pruned = spcsh(&g, &terminals, 0.5).unwrap();
+        // Pruned still feasible; cost can only be >= (fewer edges available).
+        assert!(pruned.cost + 1e-9 >= unpruned.cost * 0.999 || pruned.cost >= unpruned.cost);
+        for t in &terminals {
+            assert!(pruned.nodes.contains(t));
+        }
+    }
+
+    #[test]
+    fn parallel_edges_are_handled() {
+        let mut g = SourceGraph::new();
+        let a = g.add_relation("a", Schema::of(&["X"]));
+        let b = g.add_relation("b", Schema::of(&["X"]));
+        let j = EdgeKind::Join { pairs: vec![("X".into(), "X".into())] };
+        g.add_edge_with_cost(a, b, j.clone(), 2.0);
+        let cheap = g.add_edge_with_cost(a, b, j, 1.0);
+        let t = steiner_exact(&g, &[a, b]).unwrap();
+        assert_eq!(t.edges, vec![cheap]);
+        let trees = top_k_steiner(&g, &[a, b], 2);
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[1].cost, 2.0);
+    }
+}

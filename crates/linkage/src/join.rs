@@ -1,0 +1,152 @@
+//! The approximate-join operator.
+//!
+//! Example 1: "the contact that best matches each shelter" — for each left
+//! record, find the best-scoring right record above the matcher's
+//! threshold, with a greedy one-to-one assignment so two shelters don't
+//! claim the same contact.
+
+use crate::blocking::candidate_pairs;
+use crate::learn::Matcher;
+
+/// One linkage result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinMatch {
+    /// Index into the left records.
+    pub left: usize,
+    /// Index into the right records.
+    pub right: usize,
+    /// The matcher score.
+    pub score: f64,
+}
+
+/// Link `left` to `right` on the given key fields. `left_keys`/`right_keys`
+/// select which columns of each record form the aligned match key (same
+/// arity, in the matcher's field order). Returns a one-to-one assignment:
+/// candidate pairs from blocking, scored by the matcher, greedily assigned
+/// best-score-first. Ties break on (left, right) index for determinism.
+pub fn approximate_join(
+    left: &[Vec<String>],
+    right: &[Vec<String>],
+    left_keys: &[usize],
+    right_keys: &[usize],
+    matcher: &Matcher,
+) -> Vec<JoinMatch> {
+    let key_of = |row: &Vec<String>, keys: &[usize]| -> Vec<String> {
+        keys.iter()
+            .map(|&k| row.get(k).cloned().unwrap_or_default())
+            .collect()
+    };
+    let left_block: Vec<String> = left
+        .iter()
+        .map(|r| key_of(r, left_keys).join(" "))
+        .collect();
+    let right_block: Vec<String> = right
+        .iter()
+        .map(|r| key_of(r, right_keys).join(" "))
+        .collect();
+
+    let mut scored: Vec<JoinMatch> = candidate_pairs(&left_block, &right_block)
+        .into_iter()
+        .filter_map(|(i, j)| {
+            let lk = key_of(&left[i], left_keys);
+            let rk = key_of(&right[j], right_keys);
+            let score = matcher.score(&lk, &rk);
+            (score >= matcher.threshold()).then_some(JoinMatch { left: i, right: j, score })
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+
+    let mut left_used = vec![false; left.len()];
+    let mut right_used = vec![false; right.len()];
+    let mut out = Vec::new();
+    for m in scored {
+        if !left_used[m.left] && !right_used[m.right] {
+            left_used[m.left] = true;
+            right_used[m.right] = true;
+            out.push(m);
+        }
+    }
+    out.sort_by_key(|m| m.left);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::{LabeledPair, MatchLearner};
+    use crate::metrics::TfIdfIndex;
+
+    fn shelters() -> Vec<Vec<String>> {
+        vec![
+            vec!["Coconut Creek High School".into(), "x".into()],
+            vec!["Pompano Recreation Center".into(), "y".into()],
+            vec!["Margate Civic Center".into(), "z".into()],
+        ]
+    }
+
+    fn contacts() -> Vec<Vec<String>> {
+        vec![
+            vec!["Ann".into(), "Margate Civic Ctr".into()],
+            vec!["Bob".into(), "Coconut Creek HS".into()],
+            vec!["Cy".into(), "Pompano Rec Ctr".into()],
+            vec!["Dee".into(), "Unrelated Venue".into()],
+        ]
+    }
+
+    fn matcher() -> Matcher {
+        let train = vec![
+            LabeledPair {
+                left: vec!["Tamarac Community Center".into()],
+                right: vec!["Tamarac Comm Ctr".into()],
+                matched: true,
+            },
+            LabeledPair {
+                left: vec!["Tamarac Community Center".into()],
+                right: vec!["Sunrise Civic".into()],
+                matched: false,
+            },
+        ];
+        MatchLearner::new(1).train(&train, TfIdfIndex::new())
+    }
+
+    #[test]
+    fn links_each_shelter_to_best_contact() {
+        let links = approximate_join(&shelters(), &contacts(), &[0], &[1], &matcher());
+        assert_eq!(links.len(), 3);
+        assert_eq!(links[0], JoinMatch { left: 0, right: 1, score: links[0].score });
+        assert_eq!(links[1].right, 2);
+        assert_eq!(links[2].right, 0);
+    }
+
+    #[test]
+    fn one_to_one_assignment() {
+        // Two identical lefts compete for one right; only one wins.
+        let left = vec![
+            vec!["Creek HS".to_string()],
+            vec!["Creek HS".to_string()],
+        ];
+        let right = vec![vec!["Creek HS".to_string()]];
+        let links = approximate_join(&left, &right, &[0], &[0], &matcher());
+        assert_eq!(links.len(), 1);
+    }
+
+    #[test]
+    fn no_links_below_threshold() {
+        let left = vec![vec!["alpha beta".to_string()]];
+        let right = vec![vec!["gamma delta".to_string()]];
+        assert!(approximate_join(&left, &right, &[0], &[0], &matcher()).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<Vec<String>> = Vec::new();
+        assert!(approximate_join(&empty, &contacts(), &[0], &[1], &matcher()).is_empty());
+        assert!(approximate_join(&shelters(), &empty, &[0], &[1], &matcher()).is_empty());
+    }
+}

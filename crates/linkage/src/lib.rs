@@ -1,0 +1,25 @@
+//! Record linking for CopyCat (Example 1 and §2.2 of the CIDR 2009 paper).
+//!
+//! "Here the match might not be a direct lookup, but rather the result of
+//! approximate record linking techniques … CopyCat learns the best
+//! combination of heuristics for this case of record linking, via a
+//! combination of generalizing examples … and accepting feedback."
+//!
+//! * [`metrics`] — the individual similarity heuristics (edit distance,
+//!   Jaro/Jaro-Winkler, token overlap, TF-IDF cosine, numeric closeness);
+//! * [`blocking`] — cheap candidate-pair generation so linkage does not
+//!   compare all `n × m` pairs;
+//! * [`learn`] — an online-learned weighted combination of the heuristics
+//!   (the "best combination" the paper refers to), trained from example
+//!   matches and feedback;
+//! * [`join`] — the approximate-join operator the integration learner
+//!   invokes.
+
+pub mod blocking;
+pub mod join;
+pub mod learn;
+pub mod metrics;
+
+pub use join::{approximate_join, JoinMatch};
+pub use learn::{LabeledPair, MatchLearner, Matcher};
+pub use metrics::{jaro, jaro_winkler, levenshtein_sim, token_jaccard, Metric, TfIdfIndex};

@@ -1,0 +1,364 @@
+//! Provenance polynomials.
+//!
+//! Every tuple an operator produces carries a [`Provenance`] expression:
+//! base tuples are variables, joins multiply (⊗), unions/duplicate
+//! elimination add (⊕), and a query's output is wrapped in a
+//! [`Provenance::Labeled`] node naming the query — the hook that lets
+//! tuple-level feedback reach the query that produced the tuple.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identity of a base (source) tuple: relation name + row ordinal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Source relation name (shared, cheap to clone).
+    pub relation: Arc<str>,
+    /// Row ordinal within the relation.
+    pub row: u64,
+}
+
+impl TupleId {
+    /// Construct a tuple id.
+    pub fn new(relation: impl Into<Arc<str>>, row: u64) -> Self {
+        Self { relation: relation.into(), row }
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.relation, self.row)
+    }
+}
+
+/// A provenance polynomial.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// A source tuple (a variable of the polynomial).
+    Base(TupleId),
+    /// ⊗-product: the tuple was derived by combining these (join).
+    Join(Vec<Provenance>),
+    /// ⊕-sum: the tuple has these alternative derivations (union /
+    /// duplicate elimination).
+    Union(Vec<Provenance>),
+    /// A query/mapping label wrapped around a derivation. Labels are what
+    /// feedback is traced back to.
+    Labeled {
+        /// Query or mapping name.
+        label: Arc<str>,
+        /// The underlying derivation.
+        inner: Box<Provenance>,
+    },
+}
+
+impl Provenance {
+    /// A base-tuple leaf.
+    pub fn base(relation: impl Into<Arc<str>>, row: u64) -> Self {
+        Provenance::Base(TupleId::new(relation, row))
+    }
+
+    /// ⊗ of two derivations, flattening nested products.
+    pub fn times(a: Provenance, b: Provenance) -> Provenance {
+        let mut parts = Vec::new();
+        for p in [a, b] {
+            match p {
+                Provenance::Join(mut inner) => parts.append(&mut inner),
+                other => parts.push(other),
+            }
+        }
+        if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Provenance::Join(parts)
+        }
+    }
+
+    /// ⊕ of two derivations, flattening nested sums and deduplicating
+    /// identical alternatives (⊕ is idempotent for why-provenance).
+    pub fn plus(a: Provenance, b: Provenance) -> Provenance {
+        let mut parts = Vec::new();
+        for p in [a, b] {
+            match p {
+                Provenance::Union(mut inner) => parts.append(&mut inner),
+                other => parts.push(other),
+            }
+        }
+        parts.dedup();
+        let mut seen = Vec::new();
+        for p in parts {
+            if !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        if seen.len() == 1 {
+            seen.pop().expect("len checked")
+        } else {
+            Provenance::Union(seen)
+        }
+    }
+
+    /// Wrap with a query label.
+    pub fn labeled(label: impl Into<Arc<str>>, inner: Provenance) -> Provenance {
+        Provenance::Labeled { label: label.into(), inner: Box::new(inner) }
+    }
+
+    /// All base tuple ids mentioned, in first-occurrence order.
+    pub fn base_tuples(&self) -> Vec<&TupleId> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let Provenance::Base(t) = p {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        });
+        out
+    }
+
+    /// All query labels mentioned, outermost first, deduplicated.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.walk(&mut |p| {
+            if let Provenance::Labeled { label, .. } = p {
+                if !out.contains(&label.as_ref()) {
+                    out.push(label);
+                }
+            }
+        });
+        out
+    }
+
+    /// All distinct source relations mentioned.
+    pub fn relations(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.walk(&mut |p| {
+            if let Provenance::Base(t) = p {
+                if !out.contains(&t.relation.as_ref()) {
+                    out.push(&t.relation);
+                }
+            }
+        });
+        out
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Provenance)) {
+        f(self);
+        match self {
+            Provenance::Base(_) => {}
+            Provenance::Join(parts) | Provenance::Union(parts) => {
+                for p in parts {
+                    p.walk(f);
+                }
+            }
+            Provenance::Labeled { inner, .. } => inner.walk(f),
+        }
+    }
+
+    /// Evaluate the polynomial in any semiring, assigning a value to each
+    /// base tuple. Labels are transparent to evaluation.
+    pub fn eval<S: Semiring>(&self, assign: &impl Fn(&TupleId) -> S::Value) -> S::Value {
+        match self {
+            Provenance::Base(t) => assign(t),
+            Provenance::Join(parts) => parts
+                .iter()
+                .map(|p| p.eval::<S>(assign))
+                .fold(S::one(), |a, b| S::times(a, b)),
+            Provenance::Union(parts) => parts
+                .iter()
+                .map(|p| p.eval::<S>(assign))
+                .fold(S::zero(), |a, b| S::plus(a, b)),
+            Provenance::Labeled { inner, .. } => inner.eval::<S>(assign),
+        }
+    }
+
+    /// Number of nodes in the expression (for size bounds in tests).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Base(t) => write!(f, "{t}"),
+            Provenance::Join(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⊗ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Provenance::Union(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⊕ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Provenance::Labeled { label, inner } => write!(f, "{label}[{inner}]"),
+        }
+    }
+}
+
+/// A commutative semiring for provenance evaluation.
+pub trait Semiring {
+    /// Element type.
+    type Value;
+    /// Additive identity.
+    fn zero() -> Self::Value;
+    /// Multiplicative identity.
+    fn one() -> Self::Value;
+    /// ⊕.
+    fn plus(a: Self::Value, b: Self::Value) -> Self::Value;
+    /// ⊗.
+    fn times(a: Self::Value, b: Self::Value) -> Self::Value;
+}
+
+/// Boolean semiring: does the tuple exist given which base tuples exist?
+pub struct BoolSemiring;
+
+impl Semiring for BoolSemiring {
+    type Value = bool;
+    fn zero() -> bool {
+        false
+    }
+    fn one() -> bool {
+        true
+    }
+    fn plus(a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn times(a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// Counting semiring: how many distinct derivations?
+pub struct CountSemiring;
+
+impl Semiring for CountSemiring {
+    type Value = u64;
+    fn zero() -> u64 {
+        0
+    }
+    fn one() -> u64 {
+        1
+    }
+    fn plus(a: u64, b: u64) -> u64 {
+        a + b
+    }
+    fn times(a: u64, b: u64) -> u64 {
+        a.saturating_mul(b)
+    }
+}
+
+/// Tropical (min, +) semiring: the cheapest derivation cost — the cost
+/// model CopyCat's ranked answers use.
+pub struct TropicalSemiring;
+
+impl Semiring for TropicalSemiring {
+    type Value = f64;
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+    fn one() -> f64 {
+        0.0
+    }
+    fn plus(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn times(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Provenance {
+        // (s#1 ⊗ z#3) ⊕ (s#2 ⊗ z#3)
+        Provenance::plus(
+            Provenance::times(Provenance::base("shelters", 1), Provenance::base("zips", 3)),
+            Provenance::times(Provenance::base("shelters", 2), Provenance::base("zips", 3)),
+        )
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        assert_eq!(
+            sample().to_string(),
+            "((shelters#1 ⊗ zips#3) ⊕ (shelters#2 ⊗ zips#3))"
+        );
+    }
+
+    #[test]
+    fn times_flattens() {
+        let p = Provenance::times(
+            Provenance::times(Provenance::base("a", 1), Provenance::base("b", 2)),
+            Provenance::base("c", 3),
+        );
+        assert!(matches!(&p, Provenance::Join(parts) if parts.len() == 3));
+    }
+
+    #[test]
+    fn plus_deduplicates() {
+        let p = Provenance::plus(Provenance::base("a", 1), Provenance::base("a", 1));
+        assert_eq!(p, Provenance::base("a", 1));
+    }
+
+    #[test]
+    fn base_tuples_and_relations() {
+        let p = sample();
+        let bases = p.base_tuples();
+        assert_eq!(bases.len(), 3);
+        assert_eq!(p.relations(), vec!["shelters", "zips"]);
+    }
+
+    #[test]
+    fn labels_route_to_queries() {
+        let p = Provenance::labeled("Q7", sample());
+        assert_eq!(p.labels(), vec!["Q7"]);
+        // Labels are transparent to evaluation.
+        let count = p.eval::<CountSemiring>(&|_| 1);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn bool_semiring_membership() {
+        let p = sample();
+        // Without zips#3, nothing derives.
+        let present = |t: &TupleId| t.relation.as_ref() != "zips";
+        assert!(!p.eval::<BoolSemiring>(&present));
+        // With everything, it derives.
+        assert!(p.eval::<BoolSemiring>(&|_| true));
+        // Removing shelters#1 still leaves the second derivation.
+        let drop_one = |t: &TupleId| !(t.relation.as_ref() == "shelters" && t.row == 1);
+        assert!(p.eval::<BoolSemiring>(&drop_one));
+    }
+
+    #[test]
+    fn tropical_semiring_is_cheapest_derivation() {
+        let p = sample();
+        // shelters#1 costs 5, shelters#2 costs 1, zips#3 costs 2.
+        let cost = |t: &TupleId| match (t.relation.as_ref(), t.row) {
+            ("shelters", 1) => 5.0,
+            ("shelters", 2) => 1.0,
+            _ => 2.0,
+        };
+        assert_eq!(p.eval::<TropicalSemiring>(&cost), 3.0);
+    }
+
+    #[test]
+    fn count_semiring_counts_derivations() {
+        assert_eq!(sample().eval::<CountSemiring>(&|_| 1), 2);
+    }
+}

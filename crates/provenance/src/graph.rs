@@ -1,0 +1,205 @@
+//! Derivation graphs: the data behind the *Tuple Explanation pane*.
+//!
+//! Figure 2's bottom pane "visualizes the provenance of the selected tuple
+//! in the table": source relations feed operators (dependent joins,
+//! unions), which yield the answer. [`DerivationGraph`] is that picture as
+//! a data structure, with text and DOT renderings.
+
+use crate::expr::{Provenance, TupleId};
+
+/// A node of the derivation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerivationNode {
+    /// A source tuple.
+    Source(TupleId),
+    /// A ⊗ combination (join / dependent join).
+    Combine,
+    /// A ⊕ alternative (union of derivations).
+    Alternative,
+    /// A query/mapping boundary.
+    Query(String),
+}
+
+impl DerivationNode {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            DerivationNode::Source(t) => t.to_string(),
+            DerivationNode::Combine => "⊗ join".to_string(),
+            DerivationNode::Alternative => "⊕ union".to_string(),
+            DerivationNode::Query(q) => format!("query {q}"),
+        }
+    }
+}
+
+/// A derivation DAG: edges point from inputs toward the derived tuple.
+/// Node 0 is always the root (the explained tuple's derivation).
+#[derive(Debug, Clone, Default)]
+pub struct DerivationGraph {
+    nodes: Vec<DerivationNode>,
+    /// `(from, to)`: `from` feeds into `to`.
+    edges: Vec<(usize, usize)>,
+}
+
+impl DerivationGraph {
+    /// Build the graph of a provenance expression.
+    pub fn from_provenance(p: &Provenance) -> Self {
+        let mut g = DerivationGraph::default();
+        g.add(p);
+        g
+    }
+
+    fn add(&mut self, p: &Provenance) -> usize {
+        let id = self.nodes.len();
+        match p {
+            Provenance::Base(t) => {
+                self.nodes.push(DerivationNode::Source(t.clone()));
+            }
+            Provenance::Join(parts) => {
+                self.nodes.push(DerivationNode::Combine);
+                for part in parts {
+                    let c = self.add(part);
+                    self.edges.push((c, id));
+                }
+            }
+            Provenance::Union(parts) => {
+                self.nodes.push(DerivationNode::Alternative);
+                for part in parts {
+                    let c = self.add(part);
+                    self.edges.push((c, id));
+                }
+            }
+            Provenance::Labeled { label, inner } => {
+                self.nodes.push(DerivationNode::Query(label.to_string()));
+                let c = self.add(inner);
+                self.edges.push((c, id));
+            }
+        }
+        id
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[DerivationNode] {
+        &self.nodes
+    }
+
+    /// The edges, `(from, to)`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Indented text rendering (root first) — the headless equivalent of
+    /// the Tuple Explanation pane.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        self.render_node(0, 0, &mut out);
+        out
+    }
+
+    fn children_of(&self, id: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(_, to)| *to == id)
+            .map(|(from, _)| *from)
+            .collect()
+    }
+
+    fn render_node(&self, id: usize, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.nodes[id].label());
+        out.push('\n');
+        for c in self.children_of(id) {
+            self.render_node(c, depth + 1, out);
+        }
+    }
+
+    /// Graphviz DOT rendering (for export).
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph derivation {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = match n {
+                DerivationNode::Source(_) => "box",
+                DerivationNode::Query(_) => "folder",
+                _ => "ellipse",
+            };
+            out.push_str(&format!(
+                "  n{} [label=\"{}\", shape={}];\n",
+                i,
+                n.label().replace('"', "'"),
+                shape
+            ));
+        }
+        for (from, to) in &self.edges {
+            out.push_str(&format!("  n{from} -> n{to};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zip_example() -> Provenance {
+        // The Figure-2 situation: Shelters row joined through the Zipcode
+        // Resolver by query Q-zip.
+        Provenance::labeled(
+            "Q-zip",
+            Provenance::times(
+                Provenance::base("Shelters", 4),
+                Provenance::base("ZipcodeResolver", 17),
+            ),
+        )
+    }
+
+    #[test]
+    fn graph_shape() {
+        let g = DerivationGraph::from_provenance(&zip_example());
+        assert_eq!(g.nodes().len(), 4); // query, join, 2 sources
+        assert_eq!(g.edges().len(), 3);
+        assert!(matches!(g.nodes()[0], DerivationNode::Query(_)));
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything() {
+        let g = DerivationGraph::from_provenance(&zip_example());
+        let text = g.render_text();
+        assert!(text.contains("query Q-zip"));
+        assert!(text.contains("⊗ join"));
+        assert!(text.contains("Shelters#4"));
+        assert!(text.contains("ZipcodeResolver#17"));
+        // Root is first and unindented.
+        assert!(text.starts_with("query Q-zip"));
+    }
+
+    #[test]
+    fn dot_rendering_is_valid_shape() {
+        let g = DerivationGraph::from_provenance(&zip_example());
+        let dot = g.render_dot();
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), 3);
+    }
+
+    #[test]
+    fn union_renders_alternatives() {
+        let p = Provenance::plus(
+            Provenance::labeled("Q1", Provenance::base("a", 1)),
+            Provenance::labeled("Q2", Provenance::base("b", 2)),
+        );
+        let text = DerivationGraph::from_provenance(&p).render_text();
+        assert!(text.contains("⊕ union"));
+        assert!(text.contains("query Q1") && text.contains("query Q2"));
+    }
+
+    #[test]
+    fn empty_graph_renders_empty() {
+        let g = DerivationGraph::default();
+        assert_eq!(g.render_text(), "");
+    }
+}

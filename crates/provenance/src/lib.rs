@@ -1,0 +1,22 @@
+//! Data provenance for CopyCat (the role ORCHESTRA plays in §2.3).
+//!
+//! "CopyCat employs the ORCHESTRA query answering system, which builds a
+//! layer over a relational DBMS to annotate every answer with data
+//! provenance … provenance enables CopyCat to convert feedback on
+//! auto-complete data into feedback over the *queries* that created the
+//! data."
+//!
+//! * [`expr`] — provenance polynomials over the (⊕, ⊗) semiring, with
+//!   query labels so feedback can be routed to the producing query;
+//! * [`why`] — why-provenance: the witness sets (alternative derivations)
+//!   of a tuple;
+//! * [`graph`] — the derivation graph behind the *Tuple Explanation pane*
+//!   of Figure 2, rendered as text or DOT.
+
+pub mod expr;
+pub mod graph;
+pub mod why;
+
+pub use expr::{Provenance, Semiring, TupleId};
+pub use graph::DerivationGraph;
+pub use why::witnesses;

@@ -1,0 +1,140 @@
+//! Why-provenance: the witness sets of a tuple.
+//!
+//! A *witness* is a set of base tuples sufficient to derive the answer
+//! tuple; the list of witnesses is the "alternative explanations (when a
+//! tuple is produced by more than one query)" the CIDR demo visualizes
+//! (§8). Computed by expanding the polynomial to DNF with a cap on the
+//! number of witnesses to keep worst cases bounded.
+
+use crate::expr::{Provenance, TupleId};
+
+/// Upper bound on returned witnesses (DNF can explode).
+pub const MAX_WITNESSES: usize = 64;
+
+/// The witness sets of a derivation, each sorted, deduplicated, capped at
+/// [`MAX_WITNESSES`] and ordered deterministically.
+pub fn witnesses(p: &Provenance) -> Vec<Vec<TupleId>> {
+    let mut out = dnf(p);
+    for w in &mut out {
+        w.sort();
+        w.dedup();
+    }
+    out.sort();
+    out.dedup();
+    // Minimality: drop witnesses that are supersets of another witness
+    // (idempotent-⊕ absorption).
+    let mut minimal: Vec<Vec<TupleId>> = Vec::new();
+    'outer: for w in out {
+        for m in &minimal {
+            if m.iter().all(|t| w.contains(t)) {
+                continue 'outer;
+            }
+        }
+        minimal.retain(|m| !w.iter().all(|t| m.contains(t)));
+        minimal.push(w);
+    }
+    minimal.sort();
+    minimal.truncate(MAX_WITNESSES);
+    minimal
+}
+
+fn dnf(p: &Provenance) -> Vec<Vec<TupleId>> {
+    match p {
+        Provenance::Base(t) => vec![vec![t.clone()]],
+        Provenance::Labeled { inner, .. } => dnf(inner),
+        Provenance::Union(parts) => {
+            let mut out = Vec::new();
+            for part in parts {
+                out.extend(dnf(part));
+                if out.len() > MAX_WITNESSES * 4 {
+                    break;
+                }
+            }
+            out
+        }
+        Provenance::Join(parts) => {
+            let mut acc: Vec<Vec<TupleId>> = vec![Vec::new()];
+            for part in parts {
+                let rhs = dnf(part);
+                let mut next = Vec::with_capacity(acc.len() * rhs.len().max(1));
+                for a in &acc {
+                    for b in &rhs {
+                        let mut w = a.clone();
+                        w.extend(b.iter().cloned());
+                        next.push(w);
+                        if next.len() > MAX_WITNESSES * 4 {
+                            break;
+                        }
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rel: &str, row: u64) -> TupleId {
+        TupleId::new(rel, row)
+    }
+
+    #[test]
+    fn single_base_single_witness() {
+        let w = witnesses(&Provenance::base("a", 1));
+        assert_eq!(w, vec![vec![t("a", 1)]]);
+    }
+
+    #[test]
+    fn join_multiplies_union_adds() {
+        let p = Provenance::plus(
+            Provenance::times(Provenance::base("a", 1), Provenance::base("b", 1)),
+            Provenance::base("c", 1),
+        );
+        let w = witnesses(&p);
+        assert_eq!(w.len(), 2);
+        assert!(w.contains(&vec![t("a", 1), t("b", 1)]));
+        assert!(w.contains(&vec![t("c", 1)]));
+    }
+
+    #[test]
+    fn absorption_drops_superset_witnesses() {
+        // a ⊕ (a ⊗ b) = a: the second witness is redundant.
+        let p = Provenance::plus(
+            Provenance::base("a", 1),
+            Provenance::times(Provenance::base("a", 1), Provenance::base("b", 1)),
+        );
+        let w = witnesses(&p);
+        assert_eq!(w, vec![vec![t("a", 1)]]);
+    }
+
+    #[test]
+    fn idempotent_product_dedups_within_witness() {
+        let p = Provenance::times(Provenance::base("a", 1), Provenance::base("a", 1));
+        assert_eq!(witnesses(&p), vec![vec![t("a", 1)]]);
+    }
+
+    #[test]
+    fn labels_are_transparent() {
+        let p = Provenance::labeled("Q", Provenance::base("a", 1));
+        assert_eq!(witnesses(&p), vec![vec![t("a", 1)]]);
+    }
+
+    #[test]
+    fn witness_explosion_is_capped() {
+        // (a1 ⊕ ... ⊕ a20) ⊗ (b1 ⊕ ... ⊕ b20) = 400 witnesses, capped.
+        let sum = |rel: &str| {
+            (0..20)
+                .map(|i| Provenance::base(rel.to_string(), i))
+                .reduce(Provenance::plus)
+                .expect("non-empty")
+        };
+        let p = Provenance::times(sum("a"), sum("b"));
+        let w = witnesses(&p);
+        assert!(w.len() <= MAX_WITNESSES);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The system catalog.
+//!
+//! §2.2: "The resulting source description gets added to a system
+//! catalog." The catalog holds imported source relations (materialized by
+//! executed wrappers) and registered services. It is shared between the
+//! SCP engine, the integration learner and the executor, so access is
+//! synchronized.
+
+use crate::relation::Relation;
+use crate::service::Service;
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Shared catalog of relations and services.
+#[derive(Default)]
+pub struct Catalog {
+    relations: RwLock<FxHashMap<String, Arc<Relation>>>,
+    services: RwLock<FxHashMap<String, Arc<dyn Service>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a relation under its own name.
+    pub fn add_relation(&self, rel: Relation) -> Arc<Relation> {
+        let arc = Arc::new(rel);
+        self.relations
+            .write()
+            .insert(arc.name().to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Register (or replace) a service under its own name.
+    pub fn add_service(&self, svc: Arc<dyn Service>) {
+        self.services.write().insert(svc.name().to_string(), svc);
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.read().get(name).cloned()
+    }
+
+    /// Look up a service.
+    pub fn service(&self, name: &str) -> Option<Arc<dyn Service>> {
+        self.services.read().get(name).cloned()
+    }
+
+    /// Sorted relation names.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.relations.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Sorted service names.
+    pub fn service_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.services.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Remove a relation (source retraction).
+    pub fn remove_relation(&self, name: &str) -> bool {
+        self.relations.write().remove(name).is_some()
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Catalog(relations: {:?}, services: {:?})",
+            self.relation_names(),
+            self.service_names()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::service::{FnService, Signature};
+
+    #[test]
+    fn add_and_lookup() {
+        let cat = Catalog::new();
+        cat.add_relation(Relation::empty("shelters", Schema::of(&["Name"])));
+        assert!(cat.relation("shelters").is_some());
+        assert!(cat.relation("nope").is_none());
+        assert_eq!(cat.relation_names(), vec!["shelters"]);
+        assert!(cat.remove_relation("shelters"));
+        assert!(!cat.remove_relation("shelters"));
+    }
+
+    #[test]
+    fn services_registry() {
+        let cat = Catalog::new();
+        let sig = Signature {
+            inputs: Schema::of(&["x"]),
+            outputs: Schema::of(&["y"]),
+        };
+        cat.add_service(Arc::new(FnService::new("echo", sig, |i: &[crate::Value]| {
+            vec![i.to_vec()]
+        })));
+        assert!(cat.service("echo").is_some());
+        assert_eq!(cat.service_names(), vec!["echo"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Callable services with input binding restrictions.
+//!
+//! §4: "Services can be modeled as relations that take input parameters
+//! (i.e., to use the normal data integration terminology, they have input
+//! binding restrictions). Predefined services include record-linking
+//! functions, address resolution, geocoding, and currency and unit
+//! conversion."
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// The binding signature of a service: which columns must be bound
+/// (inputs) and which it produces (outputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Required input columns.
+    pub inputs: Schema,
+    /// Produced output columns.
+    pub outputs: Schema,
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.inputs, self.outputs)
+    }
+}
+
+/// A callable external source. Implementations live in `copycat-services`
+/// (simulated geocoders etc.); the engine only sees this trait.
+pub trait Service: Send + Sync {
+    /// Unique service name (catalog key; also the provenance relation
+    /// name for its answers).
+    fn name(&self) -> &str;
+
+    /// Binding signature.
+    fn signature(&self) -> &Signature;
+
+    /// Invoke with one bound input tuple. May return zero answers (no
+    /// match), one, or several ("in some cases the shelter name may be
+    /// ambiguous and might return multiple answers", Example 1).
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>>;
+
+    /// Relative invocation cost (used as a default edge weight hint in the
+    /// source graph). Defaults to 1.0.
+    fn cost(&self) -> f64 {
+        1.0
+    }
+}
+
+impl fmt::Debug for dyn Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Service({} : {})", self.name(), self.signature())
+    }
+}
+
+/// A service defined by a closure — handy for tests and simple lookups.
+pub struct FnService<F> {
+    name: String,
+    signature: Signature,
+    f: F,
+}
+
+impl<F> FnService<F>
+where
+    F: Fn(&[Value]) -> Vec<Vec<Value>> + Send + Sync,
+{
+    /// Wrap a closure as a service.
+    pub fn new(name: impl Into<String>, signature: Signature, f: F) -> Self {
+        Self { name: name.into(), signature, f }
+    }
+}
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(&[Value]) -> Vec<Vec<Value>> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        (self.f)(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_service_roundtrip() {
+        let sig = Signature {
+            inputs: Schema::of(&["city"]),
+            outputs: Schema::of(&["zip"]),
+        };
+        let svc = FnService::new("zips", sig, |inp: &[Value]| {
+            if inp[0] == Value::str("Margate") {
+                vec![vec![Value::str("33063")]]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(svc.name(), "zips");
+        assert_eq!(svc.signature().inputs.arity(), 1);
+        assert_eq!(svc.call(&[Value::str("Margate")]), vec![vec![Value::str("33063")]]);
+        assert!(svc.call(&[Value::str("Nowhere")]).is_empty());
+        assert_eq!(svc.signature().to_string(), "(city) -> (zip)");
+    }
+}

@@ -1,0 +1,51 @@
+//! Provenance-carrying tuples.
+
+use crate::value::Value;
+use copycat_provenance::Provenance;
+
+/// A tuple: values plus the provenance polynomial of its derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// The cell values.
+    pub values: Vec<Value>,
+    /// How this tuple was derived.
+    pub provenance: Provenance,
+}
+
+impl Tuple {
+    /// Construct.
+    pub fn new(values: Vec<Value>, provenance: Provenance) -> Self {
+        Self { values, provenance }
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The textual row (nulls render empty) — the form shown in the
+    /// workspace grid.
+    pub fn as_texts(&self) -> Vec<String> {
+        self.values.iter().map(Value::as_text).collect()
+    }
+
+    /// Value at a column.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn texts_render_nulls_empty() {
+        let t = Tuple::new(
+            vec![Value::str("x"), Value::Null, Value::Num(2.0)],
+            Provenance::base("r", 0),
+        );
+        assert_eq!(t.as_texts(), vec!["x", "", "2"]);
+        assert_eq!(t.arity(), 3);
+    }
+}

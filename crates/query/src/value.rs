@@ -1,0 +1,175 @@
+//! Cell values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cell value. CopyCat data is overwhelmingly textual (it arrives via
+/// the clipboard), with numbers appearing in geocodes and conversions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / padded (union homogenization pads with nulls, §4.2).
+    Null,
+    /// A string.
+    Str(String),
+    /// A number.
+    Num(f64),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Is this the null value?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string form used for display, joining, and export. Null renders
+    /// as the empty string.
+    pub fn as_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Str(s) => s.clone(),
+            Value::Num(n) => format_num(*n),
+        }
+    }
+
+    /// Parse clipboard text into a value: empty → null; numeric → number;
+    /// otherwise string.
+    pub fn parse(text: &str) -> Value {
+        let t = text.trim();
+        if t.is_empty() {
+            return Value::Null;
+        }
+        // Leading zeros (zip codes!) and +-prefixed strings stay textual.
+        let keeps_leading_zero = t.starts_with("0") && t.len() > 1
+            || t.starts_with("-0") && t.len() > 2;
+        let looks_numeric =
+            t.parse::<f64>().is_ok() && !t.starts_with('+') && !keeps_leading_zero;
+        if looks_numeric {
+            Value::Num(t.parse::<f64>().expect("checked"))
+        } else {
+            Value::Str(t.to_string())
+        }
+    }
+
+    /// The number, when numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(s) => s.trim().parse().ok(),
+            Value::Null => None,
+        }
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b || (a.is_nan() && b.is_nan()),
+            // Join keys arriving as text must match numeric columns.
+            (Value::Num(n), Value::Str(s)) | (Value::Str(s), Value::Num(n)) => {
+                s.trim().parse::<f64>().map(|x| x == *n).unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash through the textual form so Num(5) and Str("5") collide as
+        // equality demands.
+        match self {
+            Value::Null => 0u8.hash(state),
+            other => {
+                1u8.hash(state);
+                // Normalize numeric-looking strings.
+                match other.as_num() {
+                    Some(n) => n.to_bits().hash(state),
+                    None => other.as_text().hash(state),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_text())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rules() {
+        assert_eq!(Value::parse(""), Value::Null);
+        assert_eq!(Value::parse("  42 "), Value::Num(42.0));
+        assert_eq!(Value::parse("-1.5"), Value::Num(-1.5));
+        // Zip codes keep their leading zero as text.
+        assert_eq!(Value::parse("02134"), Value::str("02134"));
+        assert_eq!(Value::parse("Margate"), Value::str("Margate"));
+    }
+
+    #[test]
+    fn cross_type_equality() {
+        assert_eq!(Value::Num(5.0), Value::str("5"));
+        assert_ne!(Value::Num(5.0), Value::str("five"));
+        assert_ne!(Value::Null, Value::str(""));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Num(5.0)), h(&Value::str("5")));
+        assert_eq!(h(&Value::Null), h(&Value::Null));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Num(3.0).as_text(), "3");
+        assert_eq!(Value::Num(3.25).as_text(), "3.25");
+        assert_eq!(Value::Null.as_text(), "");
+    }
+}

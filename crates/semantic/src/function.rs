@@ -1,0 +1,300 @@
+//! Source-function learning.
+//!
+//! §3.2: "The model learner learns the function performed by a source by
+//! relating it to a set of known sources … the system describes the new
+//! source in terms of a set of known existing sources and then compares
+//! the inputs and outputs of the new source to the existing sources by
+//! executing the new source and the learned description and comparing the
+//! similarity of the results."
+//!
+//! Given I/O examples observed from a new source, [`FunctionLearner`]
+//! searches its library of [`KnownFunction`]s — and two-step compositions
+//! of them — for the description whose outputs best match. This is what
+//! lets CopyCat "propose replacement sources if a source is down, too
+//! slow, or does not provide a complete set of results".
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared evaluator: maps an input tuple to an output tuple, or `None`
+/// when the source has no answer.
+pub type SourceFn = Arc<dyn Fn(&[String]) -> Option<Vec<String>> + Send + Sync>;
+
+/// A callable description of a known source.
+#[derive(Clone)]
+pub struct KnownFunction {
+    /// Unique name, e.g. `geocode` or `zip_lookup`.
+    pub name: String,
+    /// Number of input fields.
+    pub arity_in: usize,
+    /// Number of output fields.
+    pub arity_out: usize,
+    /// The evaluator.
+    pub eval: SourceFn,
+}
+
+impl fmt::Debug for KnownFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KnownFunction({} : {}→{})", self.name, self.arity_in, self.arity_out)
+    }
+}
+
+impl KnownFunction {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        arity_in: usize,
+        arity_out: usize,
+        eval: impl Fn(&[String]) -> Option<Vec<String>> + Send + Sync + 'static,
+    ) -> Self {
+        Self { name: name.into(), arity_in, arity_out, eval: Arc::new(eval) }
+    }
+}
+
+/// One observed input/output pair from the source being described.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoExample {
+    /// Input tuple.
+    pub inputs: Vec<String>,
+    /// Observed output tuple.
+    pub outputs: Vec<String>,
+}
+
+/// A candidate description of a new source in terms of known functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceDescription {
+    /// Human-readable expression, e.g. `geocode` or `latlon ∘ zip_lookup`.
+    pub expression: String,
+    /// Names of the known functions used (outermost last).
+    pub components: Vec<String>,
+    /// Mean per-field output similarity over the examples, in `[0, 1]`.
+    pub similarity: f64,
+    /// Fraction of examples the description produced any output for.
+    pub coverage: f64,
+}
+
+/// Library of known source functions plus the description search.
+#[derive(Debug, Default, Clone)]
+pub struct FunctionLearner {
+    known: Vec<KnownFunction>,
+}
+
+impl FunctionLearner {
+    /// Empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a known function.
+    pub fn register(&mut self, f: KnownFunction) {
+        self.known.push(f);
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// True when the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// Rank candidate descriptions of a new source given observed I/O
+    /// examples. Candidates include every arity-compatible known function
+    /// and every two-step composition `g ∘ f` (feed `f`'s output to `g`).
+    /// Ranked by `similarity * coverage`, descending; zero-scores dropped.
+    pub fn describe(&self, examples: &[IoExample]) -> Vec<SourceDescription> {
+        let Some(first) = examples.first() else {
+            return Vec::new();
+        };
+        let (ain, aout) = (first.inputs.len(), first.outputs.len());
+        let mut out = Vec::new();
+
+        for f in &self.known {
+            if f.arity_in == ain && f.arity_out == aout {
+                let eval = |inp: &[String]| (f.eval)(inp);
+                if let Some(desc) = score(examples, &eval) {
+                    out.push(SourceDescription {
+                        expression: f.name.clone(),
+                        components: vec![f.name.clone()],
+                        similarity: desc.0,
+                        coverage: desc.1,
+                    });
+                }
+            }
+            for g in &self.known {
+                if f.arity_in == ain && g.arity_in == f.arity_out && g.arity_out == aout {
+                    let eval = |inp: &[String]| (f.eval)(inp).and_then(|mid| (g.eval)(&mid));
+                    if let Some(desc) = score(examples, &eval) {
+                        out.push(SourceDescription {
+                            expression: format!("{} ∘ {}", g.name, f.name),
+                            components: vec![f.name.clone(), g.name.clone()],
+                            similarity: desc.0,
+                            coverage: desc.1,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            let ka = a.similarity * a.coverage;
+            let kb = b.similarity * b.coverage;
+            kb.partial_cmp(&ka)
+                .expect("finite")
+                // Prefer simpler descriptions on ties, then names.
+                .then_with(|| a.components.len().cmp(&b.components.len()))
+                .then_with(|| a.expression.cmp(&b.expression))
+        });
+        out
+    }
+}
+
+/// Mean field similarity and coverage of an evaluator over the examples;
+/// `None` when the combined score is zero.
+fn score(
+    examples: &[IoExample],
+    eval: &dyn Fn(&[String]) -> Option<Vec<String>>,
+) -> Option<(f64, f64)> {
+    let mut sims = Vec::new();
+    let mut answered = 0usize;
+    for ex in examples {
+        if let Some(got) = eval(&ex.inputs) {
+            answered += 1;
+            sims.push(tuple_similarity(&got, &ex.outputs));
+        }
+    }
+    if answered == 0 {
+        return None;
+    }
+    let similarity = sims.iter().sum::<f64>() / sims.len() as f64;
+    let coverage = answered as f64 / examples.len() as f64;
+    if similarity * coverage == 0.0 {
+        None
+    } else {
+        Some((similarity, coverage))
+    }
+}
+
+/// Fraction of aligned fields that match, where a field matches on
+/// normalized string equality or (for numeric fields) near-equality —
+/// geocoders legitimately disagree in the 4th decimal.
+fn tuple_similarity(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() || a.len() != b.len() {
+        return 0.0;
+    }
+    let hits = a
+        .iter()
+        .zip(b.iter())
+        .filter(|(x, y)| field_eq(x, y))
+        .count();
+    hits as f64 / a.len() as f64
+}
+
+fn field_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.trim(), b.trim());
+    if a.eq_ignore_ascii_case(b) {
+        return true;
+    }
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => (x - y).abs() <= 1e-3 * x.abs().max(y.abs()).max(1.0),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn library() -> FunctionLearner {
+        let mut fl = FunctionLearner::new();
+        // city -> zip
+        fl.register(KnownFunction::new("zip_of_city", 1, 1, |inp| {
+            match inp[0].as_str() {
+                "Margate" => Some(vec!["33063".into()]),
+                "Tamarac" => Some(vec!["33321".into()]),
+                _ => None,
+            }
+        }));
+        // zip -> lat,lon
+        fl.register(KnownFunction::new("latlon_of_zip", 1, 2, |inp| {
+            match inp[0].as_str() {
+                "33063" => Some(vec!["26.2446".into(), "-80.2064".into()]),
+                "33321" => Some(vec!["26.2123".into(), "-80.2701".into()]),
+                _ => None,
+            }
+        }));
+        // city -> lat,lon (a direct geocoder)
+        fl.register(KnownFunction::new("geocode_city", 1, 2, |inp| {
+            match inp[0].as_str() {
+                "Margate" => Some(vec!["26.2446".into(), "-80.2064".into()]),
+                _ => None,
+            }
+        }));
+        fl
+    }
+
+    #[test]
+    fn identifies_direct_equivalent() {
+        let fl = library();
+        let examples = vec![
+            IoExample { inputs: v(&["Margate"]), outputs: v(&["33063"]) },
+            IoExample { inputs: v(&["Tamarac"]), outputs: v(&["33321"]) },
+        ];
+        let ranked = fl.describe(&examples);
+        assert_eq!(ranked[0].expression, "zip_of_city");
+        assert!((ranked[0].similarity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identifies_composition() {
+        let fl = library();
+        // New source maps city -> lat,lon. The composition
+        // latlon_of_zip ∘ zip_of_city explains BOTH examples, while the
+        // direct geocoder only covers Margate.
+        let examples = vec![
+            IoExample { inputs: v(&["Margate"]), outputs: v(&["26.2446", "-80.2064"]) },
+            IoExample { inputs: v(&["Tamarac"]), outputs: v(&["26.2123", "-80.2701"]) },
+        ];
+        let ranked = fl.describe(&examples);
+        assert_eq!(ranked[0].expression, "latlon_of_zip ∘ zip_of_city");
+        assert!((ranked[0].coverage - 1.0).abs() < 1e-9);
+        // The partial direct geocoder still appears, with lower coverage.
+        assert!(ranked.iter().any(|d| d.expression == "geocode_city"));
+    }
+
+    #[test]
+    fn numeric_tolerance() {
+        assert!(field_eq("26.2446", "26.24461"));
+        assert!(!field_eq("26.2446", "27.2446"));
+        assert!(field_eq(" FL ", "fl"));
+    }
+
+    #[test]
+    fn no_candidates_for_uncovered_source() {
+        let fl = library();
+        let examples = vec![IoExample { inputs: v(&["Anchorage"]), outputs: v(&["99501"]) }];
+        assert!(fl.describe(&examples).is_empty());
+    }
+
+    #[test]
+    fn empty_examples_empty_result() {
+        assert!(library().describe(&[]).is_empty());
+    }
+
+    #[test]
+    fn wrong_output_is_penalized() {
+        let fl = library();
+        let examples = vec![
+            IoExample { inputs: v(&["Margate"]), outputs: v(&["99999"]) },
+            IoExample { inputs: v(&["Tamarac"]), outputs: v(&["33321"]) },
+        ];
+        let ranked = fl.describe(&examples);
+        let d = ranked.iter().find(|d| d.expression == "zip_of_city").unwrap();
+        assert!((d.similarity - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Recognition phase: does a column of values look like a known type?
+//!
+//! Per §3.2, a match need not be perfect: "the system evaluates whether
+//! the distribution of matched patterns is statistically similar to the
+//! matches on the training data". We score a candidate type by combining
+//! *coverage* (fraction of values matching any pattern) with the
+//! similarity between the column's pattern-match distribution and the
+//! type's training distribution (1 − total-variation distance).
+
+use crate::pattern::PatternSet;
+
+/// Score breakdown for one (type, column) recognition test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecognitionScore {
+    /// Fraction of column values matching any pattern of the type.
+    pub coverage: f64,
+    /// 1 − total-variation distance between training and column
+    /// distributions over patterns (1.0 = identical distributions).
+    pub similarity: f64,
+    /// Combined score in `[0, 1]`: `coverage * similarity`.
+    pub score: f64,
+}
+
+/// Score a column of values against one type's pattern set.
+pub fn recognize<S: AsRef<str>>(set: &PatternSet, values: &[S]) -> RecognitionScore {
+    if values.is_empty() || set.patterns().is_empty() {
+        return RecognitionScore { coverage: 0.0, similarity: 0.0, score: 0.0 };
+    }
+    let coverage = set.coverage(values);
+    // Training distribution, extended with a zero "unmatched" bucket so the
+    // two vectors align.
+    let mut train = set.training_distribution();
+    train.push(0.0);
+    let observed = set.match_distribution(values);
+    debug_assert_eq!(train.len(), observed.len());
+    let tv: f64 = train
+        .iter()
+        .zip(observed.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / 2.0;
+    let similarity = 1.0 - tv;
+    RecognitionScore { coverage, similarity, score: coverage * similarity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_distribution_scores_high() {
+        let train: Vec<String> = (0..30).map(|i| format!("3306{}", i % 10)).collect();
+        let set = PatternSet::learn(&train);
+        let col: Vec<String> = (0..10).map(|i| format!("3344{i}")).collect();
+        let s = recognize(&set, &col);
+        assert!(s.score > 0.8, "zips should be recognized as zips: {s:?}");
+    }
+
+    #[test]
+    fn disjoint_shapes_score_zero() {
+        let set = PatternSet::learn(&["33063", "33441", "33302"]);
+        let s = recognize(&set, &["Coconut Creek", "Margate"]);
+        assert_eq!(s.coverage, 0.0);
+        assert_eq!(s.score, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let train: Vec<String> = (0..20).map(|i| format!("3306{}", i % 10)).collect();
+        let set = PatternSet::learn(&train);
+        let s = recognize(&set, &["33063", "Margate", "33441", "hello"]);
+        assert!(s.coverage > 0.4 && s.coverage < 0.6);
+        assert!(s.score > 0.0 && s.score < 0.8);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let set = PatternSet::learn(&["33063"]);
+        let empty: [&str; 0] = [];
+        assert_eq!(recognize(&set, &empty).score, 0.0);
+        let empty_set = PatternSet::new();
+        assert_eq!(recognize(&empty_set, &["x"]).score, 0.0);
+    }
+
+    #[test]
+    fn score_bounded_zero_one() {
+        let set = PatternSet::learn(&["a 1", "b 2", "cc 33"]);
+        for col in [vec!["a 1"], vec!["zzz"], vec!["a 1", "zzz"]] {
+            let s = recognize(&set, &col);
+            assert!((0.0..=1.0).contains(&s.score), "{s:?}");
+            assert!((0.0..=1.0).contains(&s.similarity));
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! Learning value transformations from examples (§5, "Complex functions
+//! / transforms").
+//!
+//! "Sometimes the user will want to apply complex operations that are
+//! difficult to demonstrate: for instance, perform an aggregation or
+//! evaluate an arithmetic expression. It is important to explore
+//! approaches to searching for possible functions [19] …"
+//!
+//! Given a few `(input row, output value)` examples — the user typing
+//! the first values of a derived column — [`TransformLearner`] searches a
+//! compositional program space and returns programs consistent with all
+//! the examples, ranked simplest-first:
+//!
+//! * **numeric templates**: `col ⊕ col`, `col ⊕ constant`, sums and
+//!   rounded divisions;
+//! * **string programs**: concatenations of column references, token
+//!   extractions (indexed from the start or the end), case
+//!   transformations, and literal constants.
+
+use std::fmt;
+
+/// Where a token index counts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenIndex {
+    /// i-th token from the start (0-based).
+    FromStart(usize),
+    /// i-th token from the end (0 = last).
+    FromEnd(usize),
+}
+
+/// A case adjustment applied to extracted text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseOp {
+    /// As-is.
+    Keep,
+    /// ALL UPPER.
+    Upper,
+    /// all lower.
+    Lower,
+}
+
+/// One concatenated piece of a string program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Part {
+    /// A literal constant.
+    Const(String),
+    /// A whole input column, case-adjusted.
+    Column {
+        /// Input column index.
+        col: usize,
+        /// Case adjustment.
+        case: CaseOp,
+    },
+    /// One token of an input column, case-adjusted.
+    Token {
+        /// Input column index.
+        col: usize,
+        /// Which token.
+        index: TokenIndex,
+        /// Case adjustment.
+        case: CaseOp,
+    },
+}
+
+/// An arithmetic template over numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arith {
+    /// `col_a ⊕ col_b`.
+    ColCol {
+        /// Operator symbol: `+ - * /`.
+        op: char,
+        /// Left column.
+        a: usize,
+        /// Right column.
+        b: usize,
+    },
+    /// `col ⊕ constant`.
+    ColConst {
+        /// Operator symbol.
+        op: char,
+        /// Column.
+        col: usize,
+        /// The constant.
+        k: f64,
+    },
+    /// Sum of all numeric columns.
+    SumAll,
+}
+
+/// A learned transformation program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Program {
+    /// Concatenation of [`Part`]s.
+    Concat(Vec<Part>),
+    /// A numeric template (output formatted like the examples: integral
+    /// outputs print without a fraction).
+    Numeric(Arith),
+}
+
+fn tokens_of(s: &str) -> Vec<&str> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn apply_case(s: &str, case: CaseOp) -> String {
+    match case {
+        CaseOp::Keep => s.to_string(),
+        CaseOp::Upper => s.to_uppercase(),
+        CaseOp::Lower => s.to_lowercase(),
+    }
+}
+
+fn fmt_num(n: f64) -> String {
+    if n.fract().abs() < 1e-9 && n.abs() < 1e15 {
+        format!("{}", n.round() as i64)
+    } else {
+        // Trim float noise to 6 significant decimals.
+        let s = format!("{:.6}", n);
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+impl Program {
+    /// Apply to an input row; `None` when a referenced column is missing
+    /// or non-numeric where a number is required.
+    pub fn apply(&self, inputs: &[String]) -> Option<String> {
+        match self {
+            Program::Concat(parts) => {
+                let mut out = String::new();
+                for p in parts {
+                    match p {
+                        Part::Const(s) => out.push_str(s),
+                        Part::Column { col, case } => {
+                            out.push_str(&apply_case(inputs.get(*col)?, *case));
+                        }
+                        Part::Token { col, index, case } => {
+                            let toks = tokens_of(inputs.get(*col)?);
+                            let tok = match index {
+                                TokenIndex::FromStart(i) => toks.get(*i)?,
+                                TokenIndex::FromEnd(i) => {
+                                    toks.get(toks.len().checked_sub(i + 1)?)?
+                                }
+                            };
+                            out.push_str(&apply_case(tok, *case));
+                        }
+                    }
+                }
+                Some(out)
+            }
+            Program::Numeric(a) => {
+                let num = |i: usize| inputs.get(i)?.trim().parse::<f64>().ok();
+                let v = match a {
+                    Arith::ColCol { op, a, b } => eval(*op, num(*a)?, num(*b)?)?,
+                    Arith::ColConst { op, col, k } => eval(*op, num(*col)?, *k)?,
+                    Arith::SumAll => inputs
+                        .iter()
+                        .filter_map(|s| s.trim().parse::<f64>().ok())
+                        .sum(),
+                };
+                Some(fmt_num(v))
+            }
+        }
+    }
+
+    /// Complexity score for ranking (lower = simpler; constants cost
+    /// more than references, so programs that actually *use* the data
+    /// rank above ones that memorize it).
+    pub fn complexity(&self) -> usize {
+        match self {
+            Program::Concat(parts) => parts
+                .iter()
+                .map(|p| match p {
+                    Part::Column { case: CaseOp::Keep, .. } => 1,
+                    Part::Column { .. } => 2,
+                    Part::Token { case: CaseOp::Keep, .. } => 2,
+                    Part::Token { .. } => 3,
+                    Part::Const(c) => 2 + c.len(),
+                })
+                .sum(),
+            Program::Numeric(Arith::SumAll) => 2,
+            Program::Numeric(_) => 3,
+        }
+    }
+}
+
+fn eval(op: char, a: f64, b: f64) -> Option<f64> {
+    match op {
+        '+' => Some(a + b),
+        '-' => Some(a - b),
+        '*' => Some(a * b),
+        '/' => (b != 0.0).then(|| a / b),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Program::Concat(parts) => {
+                let rendered: Vec<String> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Part::Const(c) => format!("{c:?}"),
+                        Part::Column { col, case } => {
+                            format!("col{}{}", col, case_suffix(*case))
+                        }
+                        Part::Token { col, index, case } => {
+                            let idx = match index {
+                                TokenIndex::FromStart(i) => format!("[{i}]"),
+                                TokenIndex::FromEnd(i) => format!("[-{}]", i + 1),
+                            };
+                            format!("col{col}.tok{idx}{}", case_suffix(*case))
+                        }
+                    })
+                    .collect();
+                write!(f, "{}", rendered.join(" ++ "))
+            }
+            Program::Numeric(a) => match a {
+                Arith::ColCol { op, a, b } => write!(f, "col{a} {op} col{b}"),
+                Arith::ColConst { op, col, k } => write!(f, "col{col} {op} {}", fmt_num(*k)),
+                Arith::SumAll => write!(f, "sum(all numeric columns)"),
+            },
+        }
+    }
+}
+
+fn case_suffix(c: CaseOp) -> &'static str {
+    match c {
+        CaseOp::Keep => "",
+        CaseOp::Upper => ".upper",
+        CaseOp::Lower => ".lower",
+    }
+}
+
+/// The by-example program search.
+#[derive(Debug, Clone)]
+pub struct TransformLearner {
+    /// Cap on candidate programs explored per example segmentation.
+    pub max_candidates: usize,
+}
+
+impl Default for TransformLearner {
+    fn default() -> Self {
+        Self { max_candidates: 128 }
+    }
+}
+
+impl TransformLearner {
+    /// Construct with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learn programs from `(inputs, output)` examples. Returns the
+    /// programs consistent with *every* example, simplest first.
+    pub fn learn(&self, examples: &[(Vec<String>, String)]) -> Vec<Program> {
+        let Some((first_in, first_out)) = examples.first() else {
+            return Vec::new();
+        };
+        let mut found: Vec<Program> = Vec::new();
+        // 1. Numeric templates.
+        for p in numeric_templates(first_in, first_out) {
+            if examples
+                .iter()
+                .all(|(i, o)| p.apply(i).as_deref() == Some(o.as_str()))
+            {
+                found.push(p);
+            }
+        }
+        // 2. String programs: enumerate segmentations of the first
+        //    example's output, validate each on the rest.
+        for candidate in self.segmentations(first_in, first_out) {
+            let p = Program::Concat(candidate);
+            if examples
+                .iter()
+                .all(|(i, o)| p.apply(i).as_deref() == Some(o.as_str()))
+                && !found.contains(&p)
+            {
+                found.push(p);
+            }
+        }
+        found.sort_by_key(Program::complexity);
+        found
+    }
+
+    /// Candidate part sequences explaining `output` from `inputs`:
+    /// depth-first over positions, branching on every extractor that
+    /// matches at the current position (plus a constant fallback),
+    /// capped at `max_candidates` complete programs.
+    fn segmentations(&self, inputs: &[String], output: &str) -> Vec<Vec<Part>> {
+        let mut results = Vec::new();
+        let mut prefix = Vec::new();
+        self.dfs(inputs, output, 0, &mut prefix, &mut results);
+        results
+    }
+
+    fn dfs(
+        &self,
+        inputs: &[String],
+        output: &str,
+        pos: usize,
+        prefix: &mut Vec<Part>,
+        results: &mut Vec<Vec<Part>>,
+    ) {
+        if results.len() >= self.max_candidates {
+            return;
+        }
+        if pos >= output.len() {
+            results.push(prefix.clone());
+            return;
+        }
+        let rest = &output[pos..];
+        let mut matched_any = false;
+        // Whole-column matches (longest first by construction: columns
+        // beat their own tokens at the same position).
+        for (c, v) in inputs.iter().enumerate() {
+            if v.is_empty() {
+                continue;
+            }
+            for case in [CaseOp::Keep, CaseOp::Upper, CaseOp::Lower] {
+                let cand = apply_case(v, case);
+                if cand.is_empty() || !rest.starts_with(&cand) {
+                    continue;
+                }
+                if case != CaseOp::Keep && cand == *v {
+                    continue; // avoid duplicate case variants
+                }
+                matched_any = true;
+                prefix.push(Part::Column { col: c, case });
+                self.dfs(inputs, output, pos + cand.len(), prefix, results);
+                prefix.pop();
+            }
+        }
+        // Token matches.
+        for (c, v) in inputs.iter().enumerate() {
+            let toks = tokens_of(v);
+            let n = toks.len();
+            for (i, tok) in toks.iter().enumerate() {
+                if n <= 1 {
+                    continue; // single token == whole column, covered above
+                }
+                for case in [CaseOp::Keep, CaseOp::Upper, CaseOp::Lower] {
+                    let cand = apply_case(tok, case);
+                    if cand.is_empty() || !rest.starts_with(&cand) {
+                        continue;
+                    }
+                    if case != CaseOp::Keep && cand == *tok {
+                        continue;
+                    }
+                    matched_any = true;
+                    // Offer both indexings; later examples disambiguate.
+                    for index in [TokenIndex::FromStart(i), TokenIndex::FromEnd(n - 1 - i)] {
+                        prefix.push(Part::Token { col: c, index, case });
+                        self.dfs(inputs, output, pos + cand.len(), prefix, results);
+                        prefix.pop();
+                    }
+                }
+            }
+        }
+        // Constant fallback: extend to the next position where any
+        // column/token matches (or the end). Only when the previous part
+        // is not already a constant (constants merge).
+        if !matches!(prefix.last(), Some(Part::Const(_))) {
+            let next = (pos + 1..=output.len())
+                .find(|&p| p == output.len() || any_extractor_matches(inputs, &output[p..]))
+                .unwrap_or(output.len());
+            // Avoid a pure-constant program unless nothing else matched
+            // anywhere (those memorize rather than transform).
+            let whole_is_const = prefix.is_empty() && next == output.len();
+            if (!whole_is_const || !matched_any)
+                && output.is_char_boundary(next) {
+                    prefix.push(Part::Const(output[pos..next].to_string()));
+                    self.dfs(inputs, output, next, prefix, results);
+                    prefix.pop();
+                }
+        }
+    }
+}
+
+fn any_extractor_matches(inputs: &[String], rest: &str) -> bool {
+    for v in inputs {
+        if !v.is_empty() && rest.starts_with(v.as_str()) {
+            return true;
+        }
+        for tok in tokens_of(v) {
+            if rest.starts_with(tok) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn numeric_templates(inputs: &[String], output: &str) -> Vec<Program> {
+    let Ok(out) = output.trim().parse::<f64>() else {
+        return Vec::new();
+    };
+    let nums: Vec<(usize, f64)> = inputs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.trim().parse::<f64>().ok().map(|n| (i, n)))
+        .collect();
+    let mut out_programs = Vec::new();
+    // Sum of all numeric columns.
+    if nums.len() >= 2 && (nums.iter().map(|(_, n)| n).sum::<f64>() - out).abs() < 1e-9 {
+        out_programs.push(Program::Numeric(Arith::SumAll));
+    }
+    // Column-column ops.
+    for &(a, va) in &nums {
+        for &(b, vb) in &nums {
+            if a == b {
+                continue;
+            }
+            for op in ['+', '-', '*', '/'] {
+                if let Some(v) = eval(op, va, vb) {
+                    if (v - out).abs() < 1e-9 {
+                        out_programs.push(Program::Numeric(Arith::ColCol { op, a, b }));
+                    }
+                }
+            }
+        }
+    }
+    // Column-constant ops (constant inferred from the first example).
+    for &(col, v) in &nums {
+        let candidates = [
+            ('+', out - v),
+            ('-', v - out),
+            ('*', if v != 0.0 { out / v } else { f64::NAN }),
+            ('/', if out != 0.0 { v / out } else { f64::NAN }),
+        ];
+        for (op, k) in candidates {
+            if k.is_finite() && eval(op, v, k).is_some_and(|r| (r - out).abs() < 1e-9) {
+                // Skip degenerate identities like col * 1 when col == out.
+                out_programs.push(Program::Numeric(Arith::ColConst { op, col, k }));
+            }
+        }
+    }
+    out_programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(inputs: &[&str], output: &str) -> (Vec<String>, String) {
+        (
+            inputs.iter().map(|s| s.to_string()).collect(),
+            output.to_string(),
+        )
+    }
+
+    fn learn(examples: &[(Vec<String>, String)]) -> Vec<Program> {
+        TransformLearner::new().learn(examples)
+    }
+
+    #[test]
+    fn concat_with_separator() {
+        let programs = learn(&[
+            ex(&["Ann", "Lopez"], "Lopez, Ann"),
+            ex(&["Bob", "Chen"], "Chen, Bob"),
+        ]);
+        assert!(!programs.is_empty());
+        let top = &programs[0];
+        assert_eq!(
+            top.apply(&["Maria".to_string(), "Diaz".to_string()]).as_deref(),
+            Some("Diaz, Maria")
+        );
+    }
+
+    #[test]
+    fn last_token_extraction() {
+        let programs = learn(&[
+            ex(&["Coconut Creek High School"], "School"),
+            ex(&["Margate Civic Center"], "Center"),
+        ]);
+        let top = programs.first().expect("learned");
+        assert_eq!(
+            top.apply(&["Pompano Rec Hall".to_string()]).as_deref(),
+            Some("Hall")
+        );
+    }
+
+    #[test]
+    fn from_start_vs_from_end_disambiguated() {
+        // One example is ambiguous (token 0 == token -2 for 2-token
+        // values); the second example settles it as from-start.
+        let programs = learn(&[
+            ex(&["Coconut Creek"], "Coconut"),
+            ex(&["Fort Lauderdale Beach"], "Fort"),
+        ]);
+        let top = programs.first().expect("learned");
+        assert_eq!(top.apply(&["Boca Raton West".to_string()]).as_deref(), Some("Boca"));
+    }
+
+    #[test]
+    fn case_transformation() {
+        let programs = learn(&[
+            ex(&["fl"], "FL"),
+            ex(&["ga"], "GA"),
+        ]);
+        let top = programs.first().expect("learned");
+        assert_eq!(top.apply(&["tx".to_string()]).as_deref(), Some("TX"));
+    }
+
+    #[test]
+    fn templated_label() {
+        let programs = learn(&[
+            ex(&["Creek HS", "Margate"], "Creek HS (Margate)"),
+            ex(&["Rec Ctr", "Tamarac"], "Rec Ctr (Tamarac)"),
+        ]);
+        let top = programs.first().expect("learned");
+        assert_eq!(
+            top.apply(&["Civic".to_string(), "Sunrise".to_string()])
+                .as_deref(),
+            Some("Civic (Sunrise)")
+        );
+    }
+
+    #[test]
+    fn arithmetic_column_pair() {
+        let programs = learn(&[
+            ex(&["100", "250"], "350"),
+            ex(&["40", "2"], "42"),
+        ]);
+        let top = programs.first().expect("learned");
+        assert_eq!(top.apply(&["7".to_string(), "8".to_string()]).as_deref(), Some("15"));
+    }
+
+    #[test]
+    fn arithmetic_with_constant() {
+        // A 8% tax: out = col0 * 1.08.
+        let programs = learn(&[
+            ex(&["100"], "108"),
+            ex(&["200"], "216"),
+        ]);
+        assert!(
+            programs
+                .iter()
+                .any(|p| matches!(p, Program::Numeric(Arith::ColConst { op: '*', .. }))),
+            "{programs:?}"
+        );
+        let top = programs
+            .iter()
+            .find(|p| matches!(p, Program::Numeric(_)))
+            .unwrap();
+        assert_eq!(top.apply(&["50".to_string()]).as_deref(), Some("54"));
+    }
+
+    #[test]
+    fn inconsistent_examples_learn_nothing() {
+        let programs = learn(&[
+            ex(&["a"], "x"),
+            ex(&["a"], "y"), // same input, different output
+        ]);
+        assert!(programs.is_empty(), "{programs:?}");
+    }
+
+    #[test]
+    fn prefers_references_over_memorized_constants() {
+        let programs = learn(&[
+            ex(&["Margate"], "Margate!"),
+            ex(&["Tamarac"], "Tamarac!"),
+        ]);
+        let top = programs.first().expect("learned");
+        // Must generalize, not memorize.
+        assert_eq!(top.apply(&["Sunrise".to_string()]).as_deref(), Some("Sunrise!"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Program::Concat(vec![
+            Part::Token { col: 0, index: TokenIndex::FromEnd(0), case: CaseOp::Upper },
+            Part::Const(" of ".into()),
+            Part::Column { col: 1, case: CaseOp::Keep },
+        ]);
+        assert_eq!(p.to_string(), "col0.tok[-1].upper ++ \" of \" ++ col1");
+    }
+
+    #[test]
+    fn empty_examples() {
+        assert!(learn(&[]).is_empty());
+    }
+
+    #[test]
+    fn missing_column_applies_to_none() {
+        let p = Program::Concat(vec![Part::Column { col: 3, case: CaseOp::Keep }]);
+        assert_eq!(p.apply(&["only".to_string()]), None);
+    }
+}

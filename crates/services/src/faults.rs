@@ -1,0 +1,149 @@
+//! Deterministic failure and latency injection.
+//!
+//! §3.2 motivates learning source descriptions so the system can "propose
+//! replacement sources if a source is down, too slow, or does not provide
+//! a complete set of results". [`Flaky`] wraps any service and makes it
+//! exactly that kind of source, deterministically (failures are a pure
+//! function of the inputs and the seed, so tests and experiments are
+//! reproducible).
+
+use copycat_query::{Service, Signature, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A wrapper service that fails some calls and accrues virtual latency.
+pub struct Flaky {
+    inner: Arc<dyn Service>,
+    /// Failure probability in `[0, 1]`.
+    failure_rate: f64,
+    /// Virtual latency per successful call (accumulated, not slept).
+    latency_per_call: u64,
+    seed: u64,
+    calls: AtomicU64,
+    failures: AtomicU64,
+    virtual_latency: AtomicU64,
+}
+
+impl Flaky {
+    /// Wrap `inner`, failing roughly `failure_rate` of calls.
+    pub fn new(inner: Arc<dyn Service>, failure_rate: f64, latency_per_call: u64, seed: u64) -> Self {
+        Self {
+            inner,
+            failure_rate: failure_rate.clamp(0.0, 1.0),
+            latency_per_call,
+            seed,
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            virtual_latency: AtomicU64::new(0),
+        }
+    }
+
+    /// Calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Failures injected so far.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual latency accrued (ms).
+    pub fn virtual_latency_ms(&self) -> u64 {
+        self.virtual_latency.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self, inputs: &[Value]) -> bool {
+        if self.failure_rate <= 0.0 {
+            return false;
+        }
+        // Deterministic hash of (seed, inputs).
+        let mut h = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for v in inputs {
+            for b in v.as_text().bytes() {
+                h = h.rotate_left(5) ^ u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+        }
+        ((h >> 16) % 10_000) as f64 / 10_000.0 < self.failure_rate
+    }
+}
+
+impl Service for Flaky {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn signature(&self) -> &Signature {
+        self.inner.signature()
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.should_fail(inputs) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        }
+        self.virtual_latency
+            .fetch_add(self.latency_per_call, Ordering::Relaxed);
+        self.inner.call(inputs)
+    }
+
+    fn cost(&self) -> f64 {
+        // A slow, flaky source should look expensive to the source graph.
+        self.inner.cost() * (1.0 + self.failure_rate) + self.latency_per_call as f64 / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copycat_query::{FnService, Schema};
+
+    fn echo() -> Arc<dyn Service> {
+        Arc::new(FnService::new(
+            "echo",
+            Signature { inputs: Schema::of(&["x"]), outputs: Schema::of(&["y"]) },
+            |i: &[Value]| vec![i.to_vec()],
+        ))
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let f = Flaky::new(echo(), 0.0, 10, 1);
+        for i in 0..50 {
+            assert!(!f.call(&[Value::Num(i as f64)]).is_empty());
+        }
+        assert_eq!(f.failures(), 0);
+        assert_eq!(f.virtual_latency_ms(), 500);
+    }
+
+    #[test]
+    fn full_rate_always_fails() {
+        let f = Flaky::new(echo(), 1.0, 10, 1);
+        for i in 0..20 {
+            assert!(f.call(&[Value::Num(i as f64)]).is_empty());
+        }
+        assert_eq!(f.failures(), 20);
+    }
+
+    #[test]
+    fn failures_are_deterministic_per_input() {
+        let f1 = Flaky::new(echo(), 0.5, 0, 7);
+        let f2 = Flaky::new(echo(), 0.5, 0, 7);
+        for i in 0..100 {
+            let v = [Value::Num(i as f64)];
+            assert_eq!(f1.call(&v).is_empty(), f2.call(&v).is_empty());
+        }
+        // Roughly half fail.
+        let rate = f1.failures() as f64 / f1.calls() as f64;
+        assert!((0.3..0.7).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn cost_reflects_flakiness() {
+        let healthy = Flaky::new(echo(), 0.0, 0, 1);
+        let flaky = Flaky::new(echo(), 0.5, 200, 1);
+        assert!(flaky.cost() > healthy.cost());
+    }
+}

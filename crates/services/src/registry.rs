@@ -1,0 +1,48 @@
+//! Catalog wiring: register the predefined services.
+//!
+//! §4: "Predefined services include record-linking functions, address
+//! resolution, geocoding, and currency and unit conversion." (Record
+//! linking is an operator rather than a catalog service in our build; it
+//! lives in `copycat-linkage` and is invoked by the integration layer.)
+
+use crate::services::{
+    AddressResolver, CurrencyConverter, Geocoder, ReversePhone, UnitConverter, ZipResolver,
+};
+use crate::world::World;
+use copycat_query::Catalog;
+use std::sync::Arc;
+
+/// Register every predefined service over `world` into `catalog`.
+/// Returns the service names registered.
+pub fn register_all(catalog: &Catalog, world: &Arc<World>) -> Vec<&'static str> {
+    catalog.add_service(Arc::new(ZipResolver::new(Arc::clone(world))));
+    catalog.add_service(Arc::new(Geocoder::new(Arc::clone(world))));
+    catalog.add_service(Arc::new(AddressResolver::new(Arc::clone(world))));
+    catalog.add_service(Arc::new(ReversePhone::new(Arc::clone(world))));
+    catalog.add_service(Arc::new(CurrencyConverter::new()));
+    catalog.add_service(Arc::new(UnitConverter::new()));
+    vec![
+        "zip_resolver",
+        "geocoder",
+        "address_resolver",
+        "reverse_phone",
+        "currency_converter",
+        "unit_converter",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_services() {
+        let catalog = Catalog::new();
+        let world = Arc::new(World::default_world());
+        let names = register_all(&catalog, &world);
+        for n in names {
+            assert!(catalog.service(n).is_some(), "{n} missing");
+        }
+        assert_eq!(catalog.service_names().len(), 6);
+    }
+}

@@ -1,0 +1,406 @@
+//! The simulated service implementations.
+
+use crate::world::World;
+use copycat_query::{Field, Schema, Service, Signature, Value};
+use std::sync::Arc;
+
+fn sig(inputs: Vec<Field>, outputs: Vec<Field>) -> Signature {
+    Signature { inputs: Schema::new(inputs), outputs: Schema::new(outputs) }
+}
+
+/// `(street, city) → zip` — Figure 2's Zipcode Resolver.
+pub struct ZipResolver {
+    world: Arc<World>,
+    signature: Signature,
+}
+
+impl ZipResolver {
+    /// Build over a world.
+    pub fn new(world: Arc<World>) -> Self {
+        let signature = sig(
+            vec![
+                Field::typed("street", "PR-Street"),
+                Field::typed("city", "PR-City"),
+            ],
+            vec![Field::typed("Zip", "PR-Zip")],
+        );
+        Self { world, signature }
+    }
+}
+
+impl Service for ZipResolver {
+    fn name(&self) -> &str {
+        "zip_resolver"
+    }
+
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        let (street, city) = (inputs[0].as_text(), inputs[1].as_text());
+        match self.world.find_street(&street, &city) {
+            Some(s) => vec![vec![Value::str(s.zip.clone())]],
+            None => vec![],
+        }
+    }
+}
+
+/// `(street, city) → (lat, lon)`.
+pub struct Geocoder {
+    world: Arc<World>,
+    signature: Signature,
+}
+
+impl Geocoder {
+    /// Build over a world.
+    pub fn new(world: Arc<World>) -> Self {
+        let signature = sig(
+            vec![
+                Field::typed("street", "PR-Street"),
+                Field::typed("city", "PR-City"),
+            ],
+            vec![
+                Field::typed("Lat", "PR-LatLon"),
+                Field::typed("Lon", "PR-LatLon"),
+            ],
+        );
+        Self { world, signature }
+    }
+}
+
+impl Service for Geocoder {
+    fn name(&self) -> &str {
+        "geocoder"
+    }
+
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        let (street, city) = (inputs[0].as_text(), inputs[1].as_text());
+        match self.world.find_street(&street, &city) {
+            Some(s) => vec![vec![
+                Value::Num((s.lat * 1e4).round() / 1e4),
+                Value::Num((s.lon * 1e4).round() / 1e4),
+            ]],
+            None => {
+                // Fall back to the city centroid, as real geocoders do.
+                self.world
+                    .cities
+                    .iter()
+                    .find(|c| c.name.eq_ignore_ascii_case(city.trim()))
+                    .map(|c| {
+                        vec![vec![
+                            Value::Num((c.lat * 1e4).round() / 1e4),
+                            Value::Num((c.lon * 1e4).round() / 1e4),
+                        ]]
+                    })
+                    .unwrap_or_default()
+            }
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        1.5
+    }
+}
+
+/// `(venue name) → (street, city)` — "copy the first shelter's name into
+/// Google Maps to get its full address" (Example 1). Substring queries may
+/// return several venues: the ambiguity CopyCat surfaces to the user.
+pub struct AddressResolver {
+    world: Arc<World>,
+    signature: Signature,
+}
+
+impl AddressResolver {
+    /// Build over a world.
+    pub fn new(world: Arc<World>) -> Self {
+        let signature = sig(
+            vec![Field::new("name")],
+            vec![
+                Field::typed("Street", "PR-Street"),
+                Field::typed("City", "PR-City"),
+            ],
+        );
+        Self { world, signature }
+    }
+}
+
+impl Service for AddressResolver {
+    fn name(&self) -> &str {
+        "address_resolver"
+    }
+
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        self.world
+            .find_venues(&inputs[0].as_text())
+            .into_iter()
+            .map(|v| {
+                let s = self.world.venue_street(v);
+                vec![
+                    Value::str(s.address.clone()),
+                    Value::str(self.world.street_city(s).name.clone()),
+                ]
+            })
+            .collect()
+    }
+
+    fn cost(&self) -> f64 {
+        1.5
+    }
+}
+
+/// `(phone) → (person, venue)` — §2.3: "a phone number might be looked up
+/// in a reverse directory to find a person".
+pub struct ReversePhone {
+    world: Arc<World>,
+    signature: Signature,
+}
+
+impl ReversePhone {
+    /// Build over a world.
+    pub fn new(world: Arc<World>) -> Self {
+        let signature = sig(
+            vec![Field::typed("phone", "PR-Phone")],
+            vec![
+                Field::typed("Person", "PR-Person"),
+                Field::new("Venue"),
+            ],
+        );
+        Self { world, signature }
+    }
+}
+
+impl Service for ReversePhone {
+    fn name(&self) -> &str {
+        "reverse_phone"
+    }
+
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        let phone = inputs[0].as_text();
+        self.world
+            .people
+            .iter()
+            .filter(|p| p.phone == phone.trim())
+            .map(|p| {
+                vec![
+                    Value::str(p.name.clone()),
+                    Value::str(self.world.venues[p.venue].name.clone()),
+                ]
+            })
+            .collect()
+    }
+}
+
+/// `(amount, from, to) → amount` with a fixed 2008-ish rate table.
+pub struct CurrencyConverter {
+    signature: Signature,
+}
+
+impl CurrencyConverter {
+    /// Construct.
+    pub fn new() -> Self {
+        Self {
+            signature: sig(
+                vec![Field::new("amount"), Field::new("from"), Field::new("to")],
+                vec![Field::typed("Converted", "PR-Currency")],
+            ),
+        }
+    }
+
+    fn usd_rate(code: &str) -> Option<f64> {
+        // Units of USD per 1 unit of the currency.
+        match code.to_uppercase().as_str() {
+            "USD" => Some(1.0),
+            "EUR" => Some(1.47),
+            "GBP" => Some(1.85),
+            "JPY" => Some(0.0095),
+            "CAD" => Some(0.94),
+            "MXN" => Some(0.091),
+            _ => None,
+        }
+    }
+}
+
+impl Default for CurrencyConverter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service for CurrencyConverter {
+    fn name(&self) -> &str {
+        "currency_converter"
+    }
+
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        let amount = inputs[0].as_num();
+        let from = Self::usd_rate(&inputs[1].as_text());
+        let to = Self::usd_rate(&inputs[2].as_text());
+        match (amount, from, to) {
+            (Some(a), Some(f), Some(t)) if t != 0.0 => {
+                let out = (a * f / t * 100.0).round() / 100.0;
+                vec![vec![Value::Num(out)]]
+            }
+            _ => vec![],
+        }
+    }
+}
+
+/// `(value, from_unit, to_unit) → value` for length/mass/temperature.
+pub struct UnitConverter {
+    signature: Signature,
+}
+
+impl UnitConverter {
+    /// Construct.
+    pub fn new() -> Self {
+        Self {
+            signature: sig(
+                vec![Field::new("value"), Field::new("from"), Field::new("to")],
+                vec![Field::new("Converted")],
+            ),
+        }
+    }
+
+    /// (scale, offset) mapping a unit into its base unit.
+    fn factor(unit: &str) -> Option<(f64, f64, &'static str)> {
+        match unit.to_lowercase().as_str() {
+            "m" => Some((1.0, 0.0, "length")),
+            "km" => Some((1000.0, 0.0, "length")),
+            "mi" | "mile" | "miles" => Some((1609.344, 0.0, "length")),
+            "ft" | "feet" => Some((0.3048, 0.0, "length")),
+            "kg" => Some((1.0, 0.0, "mass")),
+            "lb" | "lbs" => Some((0.453_592_37, 0.0, "mass")),
+            "c" | "celsius" => Some((1.0, 0.0, "temp")),
+            "f" | "fahrenheit" => Some((5.0 / 9.0, -32.0 * 5.0 / 9.0, "temp")),
+            "k" | "kelvin" => Some((1.0, -273.15, "temp")),
+            _ => None,
+        }
+    }
+}
+
+impl Default for UnitConverter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service for UnitConverter {
+    fn name(&self) -> &str {
+        "unit_converter"
+    }
+
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        let value = inputs[0].as_num();
+        let from = Self::factor(&inputs[1].as_text());
+        let to = Self::factor(&inputs[2].as_text());
+        match (value, from, to) {
+            (Some(v), Some((fs, fo, fd)), Some((ts, to_off, td))) if fd == td => {
+                let base = v * fs + fo;
+                let out = (base - to_off) / ts;
+                vec![vec![Value::Num((out * 1e6).round() / 1e6)]]
+            }
+            _ => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> Arc<World> {
+        Arc::new(World::generate(&WorldConfig::default()))
+    }
+
+    #[test]
+    fn zip_resolver_agrees_with_world() {
+        let w = world();
+        let svc = ZipResolver::new(Arc::clone(&w));
+        let v = &w.venues[0];
+        let s = w.venue_street(v);
+        let city = w.street_city(s);
+        let got = svc.call(&[Value::str(s.address.clone()), Value::str(city.name.clone())]);
+        assert_eq!(got, vec![vec![Value::str(s.zip.clone())]]);
+        assert!(svc.call(&[Value::str("1 Nowhere"), Value::str("Atlantis")]).is_empty());
+    }
+
+    #[test]
+    fn geocoder_falls_back_to_city_centroid() {
+        let w = world();
+        let svc = Geocoder::new(Arc::clone(&w));
+        let city = &w.cities[0];
+        let got = svc.call(&[Value::str("1 Nowhere St"), Value::str(city.name.clone())]);
+        assert_eq!(got.len(), 1);
+        let lat = got[0][0].as_num().unwrap();
+        assert!((lat - city.lat).abs() < 0.001);
+    }
+
+    #[test]
+    fn address_resolver_handles_ambiguity() {
+        let w = world();
+        let svc = AddressResolver::new(Arc::clone(&w));
+        let v = &w.venues[0];
+        // Exact name: at least one answer whose street is the venue's.
+        let got = svc.call(&[Value::str(v.name.clone())]);
+        assert!(!got.is_empty());
+        let street = &w.venue_street(v).address;
+        assert!(got.iter().any(|row| row[0].as_text() == *street));
+        // City-only query (ambiguous) may return several venues.
+        let city = &w.street_city(w.venue_street(v)).name;
+        let many = svc.call(&[Value::str(city.clone())]);
+        assert!(!many.is_empty());
+    }
+
+    #[test]
+    fn reverse_phone_finds_people() {
+        let w = world();
+        let svc = ReversePhone::new(Arc::clone(&w));
+        let p = &w.people[0];
+        let got = svc.call(&[Value::str(p.phone.clone())]);
+        assert_eq!(got[0][0], Value::str(p.name.clone()));
+        assert!(svc.call(&[Value::str("(000) 000-0000")]).is_empty());
+    }
+
+    #[test]
+    fn currency_conversion_roundtrip() {
+        let svc = CurrencyConverter::new();
+        let out = svc.call(&[Value::Num(100.0), Value::str("EUR"), Value::str("USD")]);
+        assert_eq!(out, vec![vec![Value::Num(147.0)]]);
+        let back = svc.call(&[Value::Num(147.0), Value::str("USD"), Value::str("EUR")]);
+        assert_eq!(back, vec![vec![Value::Num(100.0)]]);
+        assert!(svc.call(&[Value::Num(1.0), Value::str("XXX"), Value::str("USD")]).is_empty());
+    }
+
+    #[test]
+    fn unit_conversion() {
+        let svc = UnitConverter::new();
+        let out = svc.call(&[Value::Num(1.0), Value::str("mi"), Value::str("km")]);
+        assert!((out[0][0].as_num().unwrap() - 1.609344).abs() < 1e-6);
+        let temp = svc.call(&[Value::Num(212.0), Value::str("F"), Value::str("C")]);
+        assert!((temp[0][0].as_num().unwrap() - 100.0).abs() < 1e-9);
+        // Cross-dimension conversions fail.
+        assert!(svc.call(&[Value::Num(1.0), Value::str("kg"), Value::str("km")]).is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! The synthetic world: a seeded, internally consistent geography.
+//!
+//! Everything the corpora and services mention is generated here once, so
+//! a shelter page, the contact spreadsheet, the zip resolver and the
+//! geocoder all agree — which is what makes end-to-end integration results
+//! verifiable in the experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CITY_NAMES: &[&str] = &[
+    "Coconut Creek", "Pompano Beach", "Fort Lauderdale", "Margate", "Coral Springs",
+    "Deerfield Beach", "Tamarac", "Plantation", "Sunrise", "Hollywood", "Davie",
+    "Lauderhill", "Weston", "Parkland", "Cooper City",
+];
+const STREET_NAMES: &[&str] = &[
+    "Oak", "Maple", "Palmetto", "Cypress", "Hibiscus", "Atlantic", "Sunrise", "Coral",
+    "Banyan", "Seagrape", "Pine Island", "Lyons", "Riverside", "Sample", "Wiles", "Royal Palm",
+];
+const STREET_SUFFIXES: &[&str] = &["St", "Ave", "Rd", "Blvd", "Dr", "Ln", "Way"];
+const VENUE_KINDS: &[&str] = &[
+    "High School", "Middle School", "Elementary", "Recreation Center", "Community Center",
+    "Civic Center", "Church", "Park Pavilion",
+];
+const FIRST_NAMES: &[&str] = &[
+    "Ann", "Bob", "Carla", "David", "Elena", "Frank", "Grace", "Hector", "Irene", "James",
+    "Keisha", "Luis", "Maria", "Nadia", "Omar", "Paula",
+];
+const LAST_NAMES: &[&str] = &[
+    "Alvarez", "Brooks", "Chen", "Diaz", "Evans", "Foster", "Garcia", "Huang", "Ivanov",
+    "Johnson", "Kim", "Lopez", "Miller", "Nguyen", "Ortiz", "Patel",
+];
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed; equal seeds produce identical worlds.
+    pub seed: u64,
+    /// Number of cities (≤ 15).
+    pub cities: usize,
+    /// Streets per city.
+    pub streets_per_city: usize,
+    /// Number of shelters/venues.
+    pub venues: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self { seed: 2009, cities: 8, streets_per_city: 12, venues: 30 }
+    }
+}
+
+/// A city with its zip blocks and centroid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct City {
+    /// City name.
+    pub name: String,
+    /// Two-letter state.
+    pub state: String,
+    /// Centroid latitude.
+    pub lat: f64,
+    /// Centroid longitude.
+    pub lon: f64,
+}
+
+/// A street with its zip and coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Street {
+    /// Full address line, e.g. `4213 Palmetto Ave`.
+    pub address: String,
+    /// Index into [`World::cities`].
+    pub city: usize,
+    /// 5-digit zip.
+    pub zip: String,
+    /// Latitude.
+    pub lat: f64,
+    /// Longitude.
+    pub lon: f64,
+}
+
+/// A shelter/venue at a street address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Venue {
+    /// Venue name, e.g. `Margate Civic Center`.
+    pub name: String,
+    /// Index into [`World::streets`].
+    pub street: usize,
+    /// Capacity (for richer workloads).
+    pub capacity: u32,
+}
+
+/// A contact person affiliated with a venue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Person {
+    /// Full name.
+    pub name: String,
+    /// Phone number.
+    pub phone: String,
+    /// Index into [`World::venues`].
+    pub venue: usize,
+}
+
+/// The generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Cities.
+    pub cities: Vec<City>,
+    /// Streets (addresses).
+    pub streets: Vec<Street>,
+    /// Venues (shelters).
+    pub venues: Vec<Venue>,
+    /// Contact people (one per venue).
+    pub people: Vec<Person>,
+}
+
+impl World {
+    /// Generate a world from a config.
+    pub fn generate(config: &WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n_cities = config.cities.min(CITY_NAMES.len());
+        let cities: Vec<City> = (0..n_cities)
+            .map(|i| City {
+                name: CITY_NAMES[i].to_string(),
+                state: "FL".to_string(),
+                lat: 26.0 + rng.gen_range(0.0..0.5),
+                lon: -80.4 + rng.gen_range(0.0..0.3),
+            })
+            .collect();
+
+        let mut streets = Vec::new();
+        for (ci, city) in cities.iter().enumerate() {
+            // Each city owns a zip block: 33000 + 40*ci .. +40.
+            for s in 0..config.streets_per_city {
+                let name = STREET_NAMES[(s * 3 + ci) % STREET_NAMES.len()];
+                let suffix = STREET_SUFFIXES[(s + ci) % STREET_SUFFIXES.len()];
+                let number = 100 + rng.gen_range(0..9000);
+                let zip = format!("{:05}", 33000 + ci * 40 + s % 40);
+                streets.push(Street {
+                    address: format!("{number} {name} {suffix}"),
+                    city: ci,
+                    zip,
+                    lat: city.lat + rng.gen_range(-0.05..0.05),
+                    lon: city.lon + rng.gen_range(-0.05..0.05),
+                });
+            }
+        }
+
+        let mut venues = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while venues.len() < config.venues && !streets.is_empty() {
+            let street = rng.gen_range(0..streets.len());
+            let city = &cities[streets[street].city];
+            let kind = VENUE_KINDS[rng.gen_range(0..VENUE_KINDS.len())];
+            let mut name = format!("{} {}", city.name, kind);
+            if !seen.insert(name.clone()) {
+                name = format!("{} #{}", name, venues.len() + 1);
+                if !seen.insert(name.clone()) {
+                    continue;
+                }
+            }
+            venues.push(Venue { name, street, capacity: rng.gen_range(50..800) });
+        }
+
+        let people = venues
+            .iter()
+            .enumerate()
+            .map(|(vi, _)| Person {
+                name: format!(
+                    "{} {}",
+                    FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                    LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+                ),
+                phone: format!("(954) 555-{:04}", rng.gen_range(1000..10000)),
+                venue: vi,
+            })
+            .collect();
+
+        World { cities, streets, venues, people }
+    }
+
+    /// A default mid-sized world.
+    pub fn default_world() -> World {
+        Self::generate(&WorldConfig::default())
+    }
+
+    /// The street of a venue.
+    pub fn venue_street(&self, v: &Venue) -> &Street {
+        &self.streets[v.street]
+    }
+
+    /// The city of a street.
+    pub fn street_city(&self, s: &Street) -> &City {
+        &self.cities[s.city]
+    }
+
+    /// Look up a street by `(address, city name)`, case-insensitive.
+    pub fn find_street(&self, address: &str, city: &str) -> Option<&Street> {
+        self.streets.iter().find(|s| {
+            s.address.eq_ignore_ascii_case(address.trim())
+                && self.cities[s.city].name.eq_ignore_ascii_case(city.trim())
+        })
+    }
+
+    /// All venues whose name contains the query (case-insensitive) — the
+    /// ambiguity source for address resolution.
+    pub fn find_venues(&self, name_query: &str) -> Vec<&Venue> {
+        let q = name_query.trim().to_lowercase();
+        if q.is_empty() {
+            return Vec::new();
+        }
+        self.venues
+            .iter()
+            .filter(|v| v.name.to_lowercase().contains(&q))
+            .collect()
+    }
+
+    /// Shelter rows `[name, street, city]` — the content of the synthetic
+    /// shelter Web pages.
+    pub fn shelter_rows(&self) -> Vec<Vec<String>> {
+        self.venues
+            .iter()
+            .map(|v| {
+                let s = self.venue_street(v);
+                vec![
+                    v.name.clone(),
+                    s.address.clone(),
+                    self.street_city(s).name.clone(),
+                ]
+            })
+            .collect()
+    }
+
+    /// Contact rows `[person, phone, venue name]` — the content of the
+    /// contacts spreadsheet.
+    pub fn contact_rows(&self) -> Vec<Vec<String>> {
+        self.people
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.clone(),
+                    p.phone.clone(),
+                    self.venues[p.venue].name.clone(),
+                ]
+            })
+            .collect()
+    }
+
+    /// The true zip of venue `v` (ground truth for experiments).
+    pub fn venue_zip(&self, v: &Venue) -> &str {
+        &self.venue_street(v).zip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(&WorldConfig::default());
+        let b = World::generate(&WorldConfig::default());
+        assert_eq!(a.shelter_rows(), b.shelter_rows());
+        assert_eq!(a.contact_rows(), b.contact_rows());
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = WorldConfig { seed: 1, cities: 5, streets_per_city: 7, venues: 12 };
+        let w = World::generate(&cfg);
+        assert_eq!(w.cities.len(), 5);
+        assert_eq!(w.streets.len(), 35);
+        assert_eq!(w.venues.len(), 12);
+        assert_eq!(w.people.len(), 12);
+    }
+
+    #[test]
+    fn venue_names_unique() {
+        let w = World::generate(&WorldConfig { venues: 100, ..WorldConfig::default() });
+        let names: std::collections::HashSet<_> = w.venues.iter().map(|v| &v.name).collect();
+        assert_eq!(names.len(), w.venues.len());
+    }
+
+    #[test]
+    fn streets_resolve_consistently() {
+        let w = World::default_world();
+        let v = &w.venues[0];
+        let s = w.venue_street(v);
+        let city = w.street_city(s);
+        let found = w.find_street(&s.address, &city.name).expect("findable");
+        assert_eq!(found.zip, s.zip);
+    }
+
+    #[test]
+    fn venue_search_is_substring_and_ambiguous() {
+        let w = World::default_world();
+        let v = &w.venues[0];
+        assert!(!w.find_venues(&v.name).is_empty());
+        // A bare city name matches every venue in that city (ambiguity).
+        let city = &w.street_city(w.venue_street(v)).name;
+        assert!(w.find_venues(city).len() >= 1);
+        assert!(w.find_venues("").is_empty());
+    }
+
+    #[test]
+    fn zips_are_city_blocked() {
+        let w = World::default_world();
+        for s in &w.streets {
+            let block: usize = s.zip.parse::<usize>().unwrap();
+            assert_eq!((block - 33000) / 40, s.city);
+        }
+    }
+}

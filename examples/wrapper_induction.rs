@@ -1,0 +1,82 @@
+//! Wrapper induction across page-complexity tiers (§3.1): how many
+//! pasted examples each tier needs, and how feedback refines a wrapper
+//! that over-extracts on a noisy page.
+//!
+//! Run with: `cargo run --example wrapper_induction`
+
+use copycat::document::corpus::{render_list, Faker, ListSpec, Tier};
+use copycat::document::Document;
+use copycat::extract::{execute, refine, StructureLearner};
+use copycat::semantic::TypeRegistry;
+
+fn f1(truth: &[Vec<String>], got: &[Vec<String>]) -> f64 {
+    let tp = got.iter().filter(|r| truth.contains(r)).count() as f64;
+    if got.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    let p = tp / got.len() as f64;
+    let r = tp / truth.len() as f64;
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+fn main() {
+    let rows = Faker::new(99).shelters(18);
+    let registry = TypeRegistry::with_builtins();
+    let learner = StructureLearner::new();
+
+    println!("{:<10} {:>9} {:>9} {:>9}", "tier", "1 example", "2 ex.", "3 ex.");
+    for tier in Tier::ALL {
+        let spec = ListSpec::new("Shelters", &["Name", "Street", "City"], tier, 7);
+        let doc = Document::Site(render_list(&spec, &rows).site);
+        let mut scores = Vec::new();
+        for k in 1..=3 {
+            let examples: Vec<Vec<String>> = rows[..k].to_vec();
+            let hyps = learner.learn(&doc, &examples, &registry);
+            let score = hyps.first().map(|h| f1(&rows, &h.rows)).unwrap_or(0.0);
+            scores.push(score);
+        }
+        println!(
+            "{:<10} {:>9.3} {:>9.3} {:>9.3}",
+            tier.name(),
+            scores[0],
+            scores[1],
+            scores[2]
+        );
+    }
+
+    // Feedback refinement on the noisy tier: reject over-extracted rows.
+    let spec = ListSpec::new("Shelters", &["Name", "Street", "City"], Tier::Noisy, 7);
+    let doc = Document::Site(render_list(&spec, &rows).site);
+    let examples: Vec<Vec<String>> = rows[..2].to_vec();
+    let hyps = learner.learn(&doc, &examples, &registry);
+    let top = hyps.first().expect("learned a wrapper");
+    let bogus: Vec<Vec<String>> = top
+        .rows
+        .iter()
+        .filter(|r| !rows.contains(r))
+        .cloned()
+        .collect();
+    println!(
+        "\nNoisy tier, 2 examples: wrapper extracts {} rows ({} bogus).",
+        top.rows.len(),
+        bogus.len()
+    );
+    if !bogus.is_empty() {
+        let refined = refine(&top.wrapper, &doc, &bogus);
+        let rows_after = execute(&refined, &doc);
+        let bogus_after = rows_after.iter().filter(|r| !rows.contains(r)).count();
+        println!(
+            "After rejecting them: {} rows ({} bogus). F1 {:.3} -> {:.3}",
+            rows_after.len(),
+            bogus_after,
+            f1(&rows, &top.rows),
+            f1(&rows, &rows_after)
+        );
+    } else {
+        println!("Nothing to refine: the ranked hypothesis was already clean.");
+    }
+}

@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole CopyCat system.
+pub use copycat_core as core;
+pub use copycat_document as document;
+pub use copycat_extract as extract;
+pub use copycat_graph as graph;
+pub use copycat_linkage as linkage;
+pub use copycat_provenance as provenance;
+pub use copycat_query as query;
+pub use copycat_semantic as semantic;
+pub use copycat_services as services;

@@ -1,0 +1,130 @@
+//! E8: reconstruct the Figure-4 source graph from catalogs and verify the
+//! discovered associations and the chosen Steiner query (the Shelters →
+//! ZipCodes dependent join with its bolded query nodes).
+
+use copycat::graph::{
+    discover_associations, steiner_exact, top_k_steiner, AssocOptions, EdgeKind, NodeKind,
+    SourceGraph,
+};
+use copycat::query::{Field, Schema};
+
+/// Build the subset of the running example's source graph shown in
+/// Figure 4: the Shelters and Contacts data sources plus the ZipCodes
+/// and Geocoder services.
+fn figure4_graph() -> SourceGraph {
+    let mut g = SourceGraph::new();
+    g.add_relation(
+        "Shelters",
+        Schema::new(vec![
+            Field::new("Name"),
+            Field::typed("Street", "PR-Street"),
+            Field::typed("City", "PR-City"),
+        ]),
+    );
+    g.add_relation(
+        "Contacts",
+        Schema::new(vec![
+            Field::typed("Person", "PR-Person"),
+            Field::typed("Phone", "PR-Phone"),
+            Field::typed("City", "PR-City"),
+        ]),
+    );
+    g.add_service(
+        "ZipCodes",
+        Schema::new(vec![
+            Field::typed("street", "PR-Street"),
+            Field::typed("city", "PR-City"),
+            Field::typed("Zip", "PR-Zip"),
+        ]),
+        2,
+    );
+    g.add_service(
+        "Geocoder",
+        Schema::new(vec![
+            Field::typed("street", "PR-Street"),
+            Field::typed("city", "PR-City"),
+            Field::typed("Lat", "PR-LatLon"),
+            Field::typed("Lon", "PR-LatLon"),
+        ]),
+        2,
+    );
+    discover_associations(&mut g, &AssocOptions::default());
+    g
+}
+
+#[test]
+fn nodes_have_the_figure_shapes() {
+    let g = figure4_graph();
+    assert_eq!(g.node(g.node_by_name("Shelters").unwrap()).kind, NodeKind::Relation);
+    assert_eq!(g.node(g.node_by_name("ZipCodes").unwrap()).kind, NodeKind::Service);
+}
+
+#[test]
+fn expected_associations_are_discovered() {
+    let g = figure4_graph();
+    let shelters = g.node_by_name("Shelters").unwrap();
+    let contacts = g.node_by_name("Contacts").unwrap();
+    let zip = g.node_by_name("ZipCodes").unwrap();
+    let geo = g.node_by_name("Geocoder").unwrap();
+
+    // Shelters binds both services (street+city are available).
+    for svc in [zip, geo] {
+        let edge = g
+            .incident(shelters)
+            .iter()
+            .copied()
+            .find(|&e| g.other_end(e, shelters) == svc)
+            .expect("bind edge");
+        match &g.edge(edge).kind {
+            EdgeKind::Bind { bindings } => {
+                assert_eq!(bindings, &vec!["Street".to_string(), "City".to_string()])
+            }
+            other => panic!("expected bind, got {other:?}"),
+        }
+    }
+    // Contacts cannot bind the services (no street), but joins Shelters
+    // on the shared City attribute.
+    assert!(g.incident(contacts).iter().all(|&e| {
+        let other = g.other_end(e, contacts);
+        other != zip && other != geo || !matches!(g.edge(e).kind, EdgeKind::Bind { .. })
+    }));
+    let join = g
+        .incident(shelters)
+        .iter()
+        .copied()
+        .find(|&e| g.other_end(e, shelters) == contacts)
+        .expect("join edge");
+    match &g.edge(join).kind {
+        EdgeKind::Join { pairs } => {
+            assert!(pairs.contains(&("City".to_string(), "City".to_string())))
+        }
+        other => panic!("expected join, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_bolded_query_is_the_cheapest_tree() {
+    // Figure 4 bolds Shelters and ZipCodes: the query being constructed.
+    let g = figure4_graph();
+    let shelters = g.node_by_name("Shelters").unwrap();
+    let zip = g.node_by_name("ZipCodes").unwrap();
+    let t = steiner_exact(&g, &[shelters, zip]).expect("connected");
+    assert_eq!(t.edges.len(), 1, "the direct dependent join wins");
+    assert_eq!(t.nodes, {
+        let mut v = vec![shelters, zip];
+        v.sort();
+        v
+    });
+}
+
+#[test]
+fn alternative_queries_rank_behind() {
+    let g = figure4_graph();
+    let shelters = g.node_by_name("Shelters").unwrap();
+    let zip = g.node_by_name("ZipCodes").unwrap();
+    let trees = top_k_steiner(&g, &[shelters, zip], 3);
+    assert!(!trees.is_empty());
+    for w in trees.windows(2) {
+        assert!(w[0].cost <= w[1].cost);
+    }
+}

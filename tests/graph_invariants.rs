@@ -1,0 +1,146 @@
+//! Property-based invariants for the integration learner's algorithms:
+//! Steiner optimality ordering, the SPCSH approximation bound, and MIRA
+//! constraint satisfaction.
+
+use copycat::graph::{
+    spcsh, steiner_exact, top_k_steiner, EdgeKind, Mira, NodeId, SourceGraph,
+};
+use copycat::query::Schema;
+use proptest::prelude::*;
+
+/// A random connected graph from proptest-chosen parameters.
+fn build_graph(n: usize, extra: &[(usize, usize, u32)]) -> SourceGraph {
+    let mut g = SourceGraph::new();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| g.add_relation(format!("n{i}"), Schema::of(&["X"])))
+        .collect();
+    let join = || EdgeKind::Join { pairs: vec![("X".into(), "X".into())] };
+    // Deterministic backbone.
+    for i in 1..n {
+        g.add_edge_with_cost(nodes[i], nodes[i / 2], join(), 1.0 + (i % 3) as f64 * 0.5);
+    }
+    for &(a, b, c) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            g.add_edge_with_cost(
+                nodes[a],
+                nodes[b],
+                join(),
+                0.5 + (c % 20) as f64 / 10.0,
+            );
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SPCSH is feasible and within the 2(1 − 1/k) bound of the optimum;
+    /// the exact tree never costs more than the approximation.
+    #[test]
+    fn spcsh_within_bound(
+        n in 4usize..14,
+        extra in proptest::collection::vec((0usize..16, 0usize..16, 0u32..40), 0..12),
+        t1 in 0usize..16,
+        t2 in 0usize..16,
+        t3 in 0usize..16,
+    ) {
+        let g = build_graph(n, &extra);
+        let mut terminals: Vec<NodeId> =
+            [t1 % n, t2 % n, t3 % n].iter().map(|&i| NodeId(i as u32)).collect();
+        terminals.sort();
+        terminals.dedup();
+        let exact = steiner_exact(&g, &terminals).expect("backbone connects");
+        let approx = spcsh(&g, &terminals, 1.0).expect("connected");
+        let k = terminals.len() as f64;
+        prop_assert!(exact.cost <= approx.cost + 1e-9);
+        let bound = if k > 1.0 { 2.0 * (1.0 - 1.0 / k) } else { 1.0 };
+        prop_assert!(
+            approx.cost <= exact.cost * bound.max(1.0) + 1e-9,
+            "approx {} vs exact {} (k={k})",
+            approx.cost,
+            exact.cost
+        );
+        // Both span every terminal.
+        for t in &terminals {
+            prop_assert!(exact.nodes.contains(t));
+            prop_assert!(approx.nodes.contains(t));
+        }
+    }
+
+    /// top-k is sorted, distinct, and headed by the optimum.
+    #[test]
+    fn top_k_sorted_distinct(
+        n in 4usize..10,
+        extra in proptest::collection::vec((0usize..12, 0usize..12, 0u32..40), 2..10),
+    ) {
+        let g = build_graph(n, &extra);
+        let terminals = vec![NodeId(0), NodeId((n - 1) as u32)];
+        let trees = top_k_steiner(&g, &terminals, 4);
+        prop_assert!(!trees.is_empty());
+        let exact = steiner_exact(&g, &terminals).expect("connected");
+        prop_assert!((trees[0].cost - exact.cost).abs() < 1e-9);
+        for w in trees.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost + 1e-9);
+            prop_assert!(w[0].edges != w[1].edges);
+        }
+    }
+
+    /// After a MIRA update, the constraint it was given holds (when the
+    /// trees differ), and shared edges are untouched.
+    #[test]
+    fn mira_satisfies_its_constraint(
+        n in 4usize..10,
+        extra in proptest::collection::vec((0usize..12, 0usize..12, 0u32..40), 2..10),
+    ) {
+        let mut g = build_graph(n, &extra);
+        let terminals = vec![NodeId(0), NodeId((n - 1) as u32)];
+        let trees = top_k_steiner(&g, &terminals, 2);
+        prop_assume!(trees.len() == 2);
+        let (better, worse) = (trees[1].edges.clone(), trees[0].edges.clone());
+        prop_assume!(better != worse);
+        let mira = Mira::default();
+        // Repeated application converges because τ is capped.
+        for _ in 0..50 {
+            if mira.apply(&mut g, &better, &worse) == 0.0 {
+                break;
+            }
+        }
+        prop_assert!(
+            g.tree_cost(&better) <= g.tree_cost(&worse) - mira.margin + 1e-6,
+            "constraint unsatisfied: {} vs {}",
+            g.tree_cost(&better),
+            g.tree_cost(&worse)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A learned transform program reproduces every training example.
+    #[test]
+    fn transforms_fit_their_examples(
+        names in proptest::collection::vec("[A-Z][a-z]{2,6}", 2..5),
+        cities in proptest::collection::vec("[A-Z][a-z]{2,6}", 2..5),
+    ) {
+        use copycat::semantic::TransformLearner;
+        let n = names.len().min(cities.len());
+        let examples: Vec<(Vec<String>, String)> = (0..n)
+            .map(|i| {
+                (
+                    vec![names[i].clone(), cities[i].clone()],
+                    format!("{}, {}", cities[i], names[i]),
+                )
+            })
+            .collect();
+        let programs = TransformLearner::new().learn(&examples);
+        for p in programs.iter().take(3) {
+            for (inp, out) in &examples {
+                let got = p.apply(inp);
+                prop_assert_eq!(got.as_deref(), Some(out.as_str()), "{}", p);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests over cross-cutting invariants.
+
+use copycat::document::html::{parse, TagPath};
+use copycat::document::Sheet;
+use copycat::linkage::{Metric, TfIdfIndex};
+use copycat::provenance::expr::{BoolSemiring, CountSemiring, TropicalSemiring};
+use copycat::provenance::{witnesses, Provenance};
+use copycat::query::Value;
+use copycat::semantic::{tokenize_value, PatternSet, TokenClass};
+use proptest::prelude::*;
+
+// --- Provenance polynomial algebra ------------------------------------
+
+/// A small recursive generator for provenance expressions.
+fn prov_strategy() -> impl Strategy<Value = Provenance> {
+    let leaf = (0u64..4, 0u64..4)
+        .prop_map(|(r, i)| Provenance::base(format!("r{r}"), i));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Provenance::times(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Provenance::plus(a, b)),
+            inner.prop_map(|p| Provenance::labeled("Q", p)),
+        ]
+    })
+}
+
+proptest! {
+    /// Boolean evaluation agrees with witness semantics: the tuple exists
+    /// under an assignment iff some witness is fully present.
+    #[test]
+    fn bool_eval_matches_witnesses(p in prov_strategy(), present_mask in 0u16..256) {
+        let present = |t: &copycat::provenance::TupleId| {
+            let idx = (t.relation.as_bytes()[1] - b'0') as u64 * 4 + t.row;
+            present_mask & (1 << (idx % 16)) != 0
+        };
+        let via_eval = p.eval::<BoolSemiring>(&present);
+        let via_witnesses = witnesses(&p)
+            .iter()
+            .any(|w| w.iter().all(|t| present(t)));
+        prop_assert_eq!(via_eval, via_witnesses);
+    }
+
+    /// The tropical cost of a derivation is the cheapest witness's cost.
+    #[test]
+    fn tropical_eval_is_min_witness_cost(p in prov_strategy()) {
+        let cost = |t: &copycat::provenance::TupleId| t.row as f64 + 1.0;
+        let via_eval = p.eval::<TropicalSemiring>(&cost);
+        let via_witnesses = witnesses(&p)
+            .iter()
+            .map(|w| w.iter().map(|t| cost(t)).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        // Witness sets are deduplicated within a witness (idempotent ⊗),
+        // so the eval cost can only be >= the witness cost; they agree
+        // when no witness repeats a tuple.
+        prop_assert!(via_eval + 1e-9 >= via_witnesses);
+    }
+
+    /// Plus/times produce expressions whose derivation count is stable
+    /// under the algebra's flattening.
+    #[test]
+    fn count_eval_is_positive(p in prov_strategy()) {
+        prop_assert!(p.eval::<CountSemiring>(&|_| 1) >= 1);
+    }
+}
+
+// --- Tag paths ---------------------------------------------------------
+
+proptest! {
+    /// lgg subsumes both of its arguments (when defined), and parsing
+    /// round-trips through Display.
+    #[test]
+    fn tagpath_lgg_subsumes(
+        tags in proptest::collection::vec(0usize..3, 1..5),
+        idx_a in proptest::collection::vec(0usize..4, 1..5),
+        idx_b in proptest::collection::vec(0usize..4, 1..5),
+    ) {
+        let names = ["div", "tr", "li"];
+        let n = tags.len().min(idx_a.len()).min(idx_b.len());
+        let mk = |idx: &[usize]| {
+            TagPath::new(
+                (0..n)
+                    .map(|i| copycat::document::TagStep::nth(names[tags[i]], idx[i]))
+                    .collect(),
+            )
+        };
+        let a = mk(&idx_a);
+        let b = mk(&idx_b);
+        let g = a.lgg(&b).expect("same shape");
+        prop_assert!(g.subsumes(&a));
+        prop_assert!(g.subsumes(&b));
+        let reparsed = TagPath::parse(&g.to_string()).expect("parses");
+        prop_assert_eq!(reparsed, g);
+    }
+}
+
+// --- HTML parsing never panics and keeps text --------------------------
+
+proptest! {
+    #[test]
+    fn html_parse_total(s in "[a-zA-Z0-9<>/=\" ]{0,200}") {
+        let doc = parse(&s);
+        // Walking the whole tree is safe.
+        let _ = doc.text_content(doc.root());
+        let _ = doc.descendants(doc.root());
+    }
+
+    /// Escaped text content survives a render/parse round trip.
+    #[test]
+    fn html_text_roundtrip(text in "[a-zA-Z0-9,.& <]{1,60}") {
+        let html = format!(
+            "<p>{}</p>",
+            text.replace('&', "&amp;").replace('<', "&lt;")
+        );
+        let doc = parse(&html);
+        let expected: String = {
+            // Whitespace normalizes.
+            let mut out = String::new();
+            let mut last_space = true;
+            for c in text.chars() {
+                if c.is_whitespace() {
+                    if !last_space { out.push(' '); last_space = true; }
+                } else { out.push(c); last_space = false; }
+            }
+            out.trim().to_string()
+        };
+        prop_assert_eq!(doc.text_content(doc.root()), expected);
+    }
+}
+
+// --- CSV / Sheet round trip ---------------------------------------------
+
+proptest! {
+    #[test]
+    fn sheet_csv_roundtrip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-zA-Z0-9,\" \n]{0,12}", 1..4),
+            1..6
+        )
+    ) {
+        let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let padded: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.resize(width, String::new());
+                r
+            })
+            .collect();
+        let sheet = Sheet::new("s", None, padded.clone());
+        let back = Sheet::from_csv("s", &sheet.to_csv(), false);
+        // CSV cannot represent a trailing empty-celled row distinction;
+        // compare cell-by-cell over the original dimensions.
+        for (i, row) in padded.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                let got = back.cell(copycat::document::CellAddr::new(i, j)).unwrap_or("");
+                prop_assert_eq!(got, cell.as_str(), "cell ({}, {})", i, j);
+            }
+        }
+    }
+}
+
+// --- Pattern learning ----------------------------------------------------
+
+proptest! {
+    /// A learned pattern set always covers its own training data.
+    #[test]
+    fn patterns_cover_training(values in proptest::collection::vec("[a-zA-Z0-9 -]{1,16}", 1..30)) {
+        let non_empty: Vec<String> = values
+            .into_iter()
+            .filter(|v| !v.trim().is_empty())
+            .collect();
+        prop_assume!(!non_empty.is_empty());
+        let set = PatternSet::learn(&non_empty);
+        prop_assert!((set.coverage(&non_empty) - 1.0).abs() < 1e-9);
+    }
+
+    /// Token classes assigned by `of` always match their own token, and
+    /// generalization preserves matching.
+    #[test]
+    fn token_class_soundness(v in "[a-zA-Z0-9().,-]{1,20}") {
+        for tok in tokenize_value(&v) {
+            prop_assert!(tok.class.matches(&tok.text), "{:?} vs {:?}", tok.class, tok.text);
+            let gen = tok.class.generalize(TokenClass::CapWord);
+            prop_assert!(gen.matches(&tok.text) || gen == TokenClass::CapWord);
+        }
+    }
+}
+
+// --- Linkage metrics -------------------------------------------------------
+
+proptest! {
+    /// Every metric is bounded, reflexive, and symmetric.
+    #[test]
+    fn metrics_are_sane(a in "[a-zA-Z0-9 ]{0,24}", b in "[a-zA-Z0-9 ]{0,24}") {
+        let idx = TfIdfIndex::build(&[a.clone(), b.clone()]);
+        for m in Metric::ALL {
+            let ab = m.eval(&a, &b, &idx);
+            let ba = m.eval(&b, &a, &idx);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ab), "{:?} out of range: {}", m, ab);
+            prop_assert!((ab - ba).abs() < 1e-9, "{:?} asymmetric", m);
+            let aa = m.eval(&a, &a, &idx);
+            if !a.trim().is_empty() {
+                prop_assert!((aa - 1.0).abs() < 1e-9, "{:?} not reflexive on {:?}: {}", m, a, aa);
+            }
+        }
+    }
+}
+
+// --- Value parsing -----------------------------------------------------------
+
+proptest! {
+    /// parse → as_text round-trips trimmed input for non-numeric strings,
+    /// and equality is consistent with textual equality.
+    #[test]
+    fn value_parse_roundtrip(s in "[a-zA-Z ]{1,20}") {
+        let v = Value::parse(&s);
+        if !s.trim().is_empty() {
+            prop_assert_eq!(v.as_text(), s.trim());
+        }
+    }
+
+    #[test]
+    fn numeric_values_compare_across_forms(n in -1_000_000i64..1_000_000) {
+        prop_assume!(n == 0 || !n.to_string().starts_with('0'));
+        let from_num = Value::Num(n as f64);
+        let from_str = Value::parse(&n.to_string());
+        prop_assert_eq!(from_num, from_str);
+    }
+}
