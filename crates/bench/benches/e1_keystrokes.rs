@@ -2,9 +2,9 @@
 //! (the table itself comes from the harness; this times its generation).
 
 use copycat_bench::e1_keystrokes::{mean_savings, run};
-use criterion::{criterion_group, criterion_main, Criterion};
+use copycat_util::bench::Harness;
 
-fn bench_e1(c: &mut Criterion) {
+fn bench_e1(c: &mut Harness) {
     let mut group = c.benchmark_group("e1");
     group.sample_size(10);
     group.bench_function("five_tasks_20_rows", |b| {
@@ -13,5 +13,4 @@ fn bench_e1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_e1);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_e1);

@@ -3,9 +3,9 @@
 use copycat_bench::e2_feedback::run_e2a;
 use copycat_bench::gen::{random_graph, GraphSpec};
 use copycat_graph::{top_k_steiner, Mira};
-use criterion::{criterion_group, criterion_main, Criterion};
+use copycat_util::bench::Harness;
 
-fn bench_single_update(c: &mut Criterion) {
+fn bench_single_update(c: &mut Harness) {
     let (g, t) = random_graph(&GraphSpec { nodes: 24, extra_edges: 24, seed: 2 }, 3);
     let trees = top_k_steiner(&g, &t, 2);
     let (a, b_tree) = (trees[0].edges.clone(), trees[1].edges.clone());
@@ -17,12 +17,11 @@ fn bench_single_update(c: &mut Criterion) {
     });
 }
 
-fn bench_convergence(c: &mut Criterion) {
+fn bench_convergence(c: &mut Harness) {
     let mut group = c.benchmark_group("e2/convergence");
     group.sample_size(10);
     group.bench_function("e2a_5_trials", |b| b.iter(|| run_e2a(5).mean_feedback));
     group.finish();
 }
 
-criterion_group!(benches, bench_single_update, bench_convergence);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_single_update, bench_convergence);

@@ -3,46 +3,45 @@
 
 use copycat_bench::gen::{random_graph, GraphSpec};
 use copycat_graph::{spcsh, steiner_exact, top_k_steiner};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use copycat_util::bench::Harness;
 
-fn bench_size_sweep(c: &mut Criterion) {
+fn bench_size_sweep(c: &mut Harness) {
     let mut group = c.benchmark_group("e3/size_sweep_k4");
     for nodes in [10usize, 40, 160] {
         let (g, t) = random_graph(
             &GraphSpec { nodes, extra_edges: nodes * 2, seed: nodes as u64 },
             4,
         );
-        group.bench_with_input(BenchmarkId::new("exact", nodes), &nodes, |b, _| {
+        group.bench_function(format!("exact/{nodes}"), |b| {
             b.iter(|| steiner_exact(&g, &t).expect("connected").cost)
         });
-        group.bench_with_input(BenchmarkId::new("spcsh", nodes), &nodes, |b, _| {
+        group.bench_function(format!("spcsh/{nodes}"), |b| {
             b.iter(|| spcsh(&g, &t, 0.8).expect("connected").cost)
         });
     }
     group.finish();
 }
 
-fn bench_terminal_sweep(c: &mut Criterion) {
+fn bench_terminal_sweep(c: &mut Harness) {
     let mut group = c.benchmark_group("e3/terminal_sweep_n60");
     group.sample_size(10);
     for k in [2usize, 6, 10] {
         let (g, t) = random_graph(&GraphSpec { nodes: 60, extra_edges: 120, seed: k as u64 }, k);
-        group.bench_with_input(BenchmarkId::new("exact", k), &k, |b, _| {
+        group.bench_function(format!("exact/{k}"), |b| {
             b.iter(|| steiner_exact(&g, &t).expect("connected").cost)
         });
-        group.bench_with_input(BenchmarkId::new("spcsh", k), &k, |b, _| {
+        group.bench_function(format!("spcsh/{k}"), |b| {
             b.iter(|| spcsh(&g, &t, 0.8).expect("connected").cost)
         });
     }
     group.finish();
 }
 
-fn bench_top_k(c: &mut Criterion) {
+fn bench_top_k(c: &mut Harness) {
     let (g, t) = random_graph(&GraphSpec { nodes: 30, extra_edges: 60, seed: 5 }, 3);
     c.bench_function("e3/top5_exact_n30", |b| {
         b.iter(|| top_k_steiner(&g, &t, 5).len())
     });
 }
 
-criterion_group!(benches, bench_size_sweep, bench_terminal_sweep, bench_top_k);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_size_sweep, bench_terminal_sweep, bench_top_k);

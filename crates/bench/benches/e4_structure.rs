@@ -5,9 +5,9 @@ use copycat_document::corpus::{render_list, Faker, ListSpec, Tier};
 use copycat_document::Document;
 use copycat_extract::StructureLearner;
 use copycat_semantic::TypeRegistry;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use copycat_util::bench::Harness;
 
-fn bench_learn(c: &mut Criterion) {
+fn bench_learn(c: &mut Harness) {
     let registry = TypeRegistry::with_builtins();
     let learner = StructureLearner::new();
     let mut group = c.benchmark_group("e4/learn_latency");
@@ -17,12 +17,11 @@ fn bench_learn(c: &mut Criterion) {
         let spec = ListSpec::new("Shelters", &["Name", "Street", "City"], tier, 7);
         let doc = Document::Site(render_list(&spec, &rows).site);
         let examples: Vec<Vec<String>> = rows[..2].to_vec();
-        group.bench_with_input(BenchmarkId::from_parameter(tier.name()), &tier, |b, _| {
+        group.bench_function(tier.name(), |b| {
             b.iter(|| learner.learn(&doc, &examples, &registry).len())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_learn);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_learn);

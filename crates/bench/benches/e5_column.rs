@@ -2,9 +2,9 @@
 //! suggestion round trip, including executing the candidate queries).
 
 use copycat_core::scenario::{Scenario, ScenarioConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use copycat_util::bench::Harness;
 
-fn bench_suggestions(c: &mut Criterion) {
+fn bench_suggestions(c: &mut Harness) {
     let mut s = Scenario::build(&ScenarioConfig { venues: 20, ..Default::default() });
     s.import_shelters(1);
     let mut group = c.benchmark_group("e5");
@@ -15,5 +15,4 @@ fn bench_suggestions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_suggestions);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_suggestions);

@@ -3,9 +3,9 @@
 
 use copycat_document::corpus::Faker;
 use copycat_semantic::TypeRegistry;
-use criterion::{criterion_group, criterion_main, Criterion};
+use copycat_util::bench::Harness;
 
-fn bench_recognition(c: &mut Criterion) {
+fn bench_recognition(c: &mut Harness) {
     let registry = TypeRegistry::with_builtins();
     let mut f = Faker::new(3);
     let streets: Vec<String> = (0..20).map(|_| f.street()).collect();
@@ -25,5 +25,4 @@ fn bench_recognition(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_recognition);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_recognition);

@@ -4,11 +4,10 @@
 use copycat_document::corpus::perturb_string;
 use copycat_linkage::{approximate_join, LabeledPair, MatchLearner, TfIdfIndex};
 use copycat_services::{World, WorldConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use copycat_util::bench::Harness;
+use copycat_util::rng::{SeedableRng, StdRng};
 
-fn bench_linkage(c: &mut Criterion) {
+fn bench_linkage(c: &mut Harness) {
     let world = World::generate(&WorldConfig { venues: 100, ..Default::default() });
     let mut rng = StdRng::seed_from_u64(1);
     let left: Vec<Vec<String>> = world.venues.iter().map(|v| vec![v.name.clone()]).collect();
@@ -40,5 +39,4 @@ fn bench_linkage(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_linkage);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_linkage);

@@ -2,14 +2,13 @@
 //! one-example import, and the zip dependent-join completion.
 
 use copycat_bench::e8_figure4::run;
-use criterion::{criterion_group, criterion_main, Criterion};
+use copycat_util::bench::Harness;
 
-fn bench_figure4(c: &mut Criterion) {
+fn bench_figure4(c: &mut Harness) {
     let mut group = c.benchmark_group("e8");
     group.sample_size(10);
     group.bench_function("figure4_end_to_end", |b| b.iter(|| run().rows));
     group.finish();
 }
 
-criterion_group!(benches, bench_figure4);
-criterion_main!(benches);
+copycat_util::bench_main!(bench_figure4);

@@ -5,8 +5,7 @@
 
 use copycat_document::corpus::Faker;
 use copycat_semantic::TypeRegistry;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use copycat_util::rng::{Rng, SeedableRng, StdRng};
 
 /// One accuracy measurement.
 #[derive(Debug, Clone)]

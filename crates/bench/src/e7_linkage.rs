@@ -7,8 +7,7 @@ use copycat_linkage::{
 };
 use copycat_services::{World, WorldConfig};
 use copycat_document::corpus::perturb_string;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use copycat_util::rng::{SeedableRng, StdRng};
 
 /// One measurement row.
 #[derive(Debug, Clone)]

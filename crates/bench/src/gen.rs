@@ -6,8 +6,7 @@
 
 use copycat_graph::{EdgeKind, NodeId, SourceGraph};
 use copycat_query::Schema;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use copycat_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Parameters for a random graph.
 #[derive(Debug, Clone, Copy)]

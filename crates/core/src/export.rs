@@ -69,24 +69,27 @@ pub fn to_xml(tab: &Tab) -> String {
 
 /// Export as a JSON array of objects keyed by column name.
 pub fn to_json(tab: &Tab) -> String {
-    let rows: Vec<serde_json::Value> = tab
+    use copycat_util::Json;
+    let rows: Vec<Json> = tab
         .committed_rows()
         .into_iter()
         .map(|row| {
-            let mut obj = serde_json::Map::new();
-            for (i, cell) in row.into_iter().enumerate() {
-                let key = tab
-                    .columns
-                    .get(i)
-                    .map(|c| c.name.clone())
-                    .unwrap_or_else(|| format!("col{i}"));
-                obj.insert(key, serde_json::Value::String(cell));
-            }
-            serde_json::Value::Object(obj)
+            Json::obj(
+                row.into_iter()
+                    .enumerate()
+                    .map(|(i, cell)| {
+                        let key = tab
+                            .columns
+                            .get(i)
+                            .map(|c| c.name.clone())
+                            .unwrap_or_else(|| format!("col{i}"));
+                        (key, Json::Str(cell))
+                    })
+                    .collect(),
+            )
         })
         .collect();
-    serde_json::to_string_pretty(&serde_json::Value::Array(rows))
-        .expect("string-only values serialize")
+    Json::Arr(rows).to_string_pretty()
 }
 
 /// Export as KML placemarks — the "plot the shelters on a map" output of
@@ -155,7 +158,7 @@ mod tests {
     #[test]
     fn json_roundtrips() {
         let json = to_json(&tab());
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = copycat_util::Json::parse(&json).unwrap();
         assert_eq!(v.as_array().unwrap().len(), 2);
         assert_eq!(v[0]["Name"], "Creek, HS");
     }

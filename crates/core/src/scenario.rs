@@ -13,8 +13,7 @@ use copycat_document::{Document, DocumentId};
 use copycat_services::{
     AddressResolver, Geocoder, ReversePhone, World, WorldConfig, ZipResolver,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use copycat_util::rng::{SeedableRng, StdRng};
 use std::sync::Arc;
 
 /// Scenario parameters.

@@ -18,10 +18,10 @@ use copycat_extract::Wrapper;
 use copycat_graph::{Edge, Node, SourceGraph};
 use copycat_query::{Relation, Schema};
 use copycat_semantic::PatternSet;
-use serde::{Deserialize, Serialize};
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// One saved relation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedRelation {
     /// Catalog name.
     pub name: String,
@@ -31,8 +31,28 @@ pub struct SavedRelation {
     pub rows: Vec<Vec<String>>,
 }
 
+impl ToJson for SavedRelation {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("schema".into(), self.schema.to_json()),
+            ("rows".into(), self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SavedRelation {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SavedRelation {
+            name: String::from_json(j.field("name")?)?,
+            schema: Schema::from_json(j.field("schema")?)?,
+            rows: Vec::from_json(j.field("rows")?)?,
+        })
+    }
+}
+
 /// A saved session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedSession {
     /// Imported relations.
     pub relations: Vec<SavedRelation>,
@@ -45,6 +65,30 @@ pub struct SavedSession {
     pub wrappers: Vec<(String, Wrapper)>,
     /// User-defined semantic types.
     pub user_types: Vec<(String, PatternSet)>,
+}
+
+impl ToJson for SavedSession {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("relations".into(), self.relations.to_json()),
+            ("graph_nodes".into(), self.graph_nodes.to_json()),
+            ("graph_edges".into(), self.graph_edges.to_json()),
+            ("wrappers".into(), self.wrappers.to_json()),
+            ("user_types".into(), self.user_types.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SavedSession {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SavedSession {
+            relations: Vec::from_json(j.field("relations")?)?,
+            graph_nodes: Vec::from_json(j.field("graph_nodes")?)?,
+            graph_edges: Vec::from_json(j.field("graph_edges")?)?,
+            wrappers: Vec::from_json(j.field("wrappers")?)?,
+            user_types: Vec::from_json(j.field("user_types")?)?,
+        })
+    }
 }
 
 impl CopyCat {
@@ -81,7 +125,7 @@ impl CopyCat {
 
     /// Serialize to JSON.
     pub fn save_session_json(&self) -> String {
-        serde_json::to_string_pretty(&self.save_session()).expect("session state serializes")
+        self.save_session().to_json().to_string_pretty()
     }
 
     /// Restore a session into a fresh engine: relations re-materialize,
@@ -109,8 +153,10 @@ impl CopyCat {
     }
 
     /// Restore from JSON.
-    pub fn load_session_json(json: &str) -> Result<CopyCat, serde_json::Error> {
-        Ok(Self::load_session(&serde_json::from_str(json)?))
+    pub fn load_session_json(json: &str) -> Result<CopyCat, JsonError> {
+        Ok(Self::load_session(&SavedSession::from_json(&Json::parse(
+            json,
+        )?)?))
     }
 }
 

@@ -5,8 +5,7 @@
 //! plausible strings for document-structure experiments, plus controlled
 //! string perturbation used by the record-linkage experiments (E7).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use copycat_util::rng::{Rng, SeedableRng, StdRng};
 
 const FIRST_NAMES: &[&str] = &[
     "Ann", "Bob", "Carla", "David", "Elena", "Frank", "Grace", "Hector", "Irene", "James",
@@ -221,7 +220,7 @@ fn apply_one(rng: &mut StdRng, s: &str, kind: PerturbKind, abbrevs: &[(&str, &st
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use copycat_util::rng::SeedableRng;
 
     #[test]
     fn deterministic_given_seed() {

@@ -16,8 +16,7 @@
 
 use crate::html::{HtmlDocument, NodeId};
 use crate::site::{Url, Website};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use copycat_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Page-complexity tier; see module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

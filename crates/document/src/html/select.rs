@@ -6,11 +6,11 @@
 //! structure learner generalizes over when it turns two pasted example rows
 //! into "all the rows of this table" (§3.1).
 
-use serde::{Deserialize, Serialize};
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Sibling-index constraint of a [`TagStep`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StepIndex {
     /// Match only the n-th same-tag sibling (0-based).
     Nth(usize),
@@ -20,7 +20,7 @@ pub enum StepIndex {
 
 /// One component of a [`TagPath`]: a tag name plus a sibling-index
 /// constraint.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TagStep {
     /// Lower-cased tag name; text nodes use `#text`, comments `#comment`.
     pub tag: String,
@@ -60,9 +60,26 @@ impl TagStep {
 }
 
 /// A root-to-node structural address, possibly wildcarded.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct TagPath {
     steps: Vec<TagStep>,
+}
+
+impl ToJson for TagPath {
+    /// A path serializes as its `Display` syntax (`table[0]/tr[*]`),
+    /// which [`TagPath::parse`] round-trips.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for TagPath {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let s = j
+            .as_str()
+            .ok_or_else(|| JsonError::expected("tag-path string", j))?;
+        TagPath::parse(s).ok_or_else(|| JsonError::new(format!("malformed tag path {s:?}")))
+    }
 }
 
 impl TagPath {
@@ -209,6 +226,17 @@ mod tests {
     fn lgg_fails_on_shape_mismatch() {
         assert!(p("ul[0]/li[1]").lgg(&p("ol[0]/li[1]")).is_none());
         assert!(p("ul[0]/li[1]").lgg(&p("ul[0]")).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for s in ["table[0]/tr[*]/td[1]", ""] {
+            let path = p(s);
+            let back =
+                TagPath::from_json(&Json::parse(&path.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(back, path);
+        }
+        assert!(TagPath::from_json(&Json::str("not[a]path[")).is_err());
     }
 
     #[test]

@@ -7,12 +7,25 @@
 //! and for the URL-pattern expert to find regularities.
 
 use crate::html::HtmlDocument;
-use rustc_hash::FxHashMap;
+use copycat_util::hash::FxHashMap;
 use std::fmt;
 
 /// A site-relative URL, e.g. `/shelters?page=2`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Url(String);
+
+impl copycat_util::json::ToJson for Url {
+    /// A URL serializes as its raw string.
+    fn to_json(&self) -> copycat_util::Json {
+        copycat_util::Json::Str(self.0.clone())
+    }
+}
+
+impl copycat_util::json::FromJson for Url {
+    fn from_json(j: &copycat_util::Json) -> Result<Self, copycat_util::JsonError> {
+        Ok(Url(String::from_json(j)?))
+    }
+}
 
 impl Url {
     /// Wrap a URL string.
@@ -212,7 +225,7 @@ impl Website {
         let Some(start) = self.entry.clone() else {
             return Vec::new();
         };
-        let mut seen = rustc_hash::FxHashSet::default();
+        let mut seen = copycat_util::hash::FxHashSet::default();
         let mut queue = std::collections::VecDeque::new();
         let mut out = Vec::new();
         seen.insert(start.clone());

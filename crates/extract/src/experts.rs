@@ -20,7 +20,7 @@
 use copycat_document::html::{HtmlDocument, NodeId, TagPath};
 use copycat_document::{Page, Website};
 use copycat_semantic::TypeRegistry;
-use rustc_hash::FxHashMap;
+use copycat_util::hash::FxHashMap;
 
 /// A candidate record set proposed by a structural expert.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -15,7 +15,7 @@
 use crate::wrapper::{extract_field, FieldRule, PageScope, RecordFilter, Wrapper};
 use copycat_document::html::{HtmlDocument, NodeId, TagPath};
 use copycat_document::{Document, Page, Website};
-use rustc_hash::FxHashSet;
+use copycat_util::hash::FxHashSet;
 
 /// Refine a wrapper given rejected rows. Rows not listed in `rejected`
 /// are treated as kept. Returns the refined wrapper; when no candidate
@@ -103,7 +103,7 @@ fn attrs_of(html: &HtmlDocument, node: NodeId) -> Vec<(String, String)> {
 /// records, using the most frequent child tag of the first record.
 fn common_child_shape(kept: &[Rec<'_>]) -> Option<(String, usize)> {
     let (h0, n0, _) = kept.first()?;
-    let mut counts: rustc_hash::FxHashMap<&str, usize> = rustc_hash::FxHashMap::default();
+    let mut counts: copycat_util::hash::FxHashMap<&str, usize> = copycat_util::hash::FxHashMap::default();
     for &c in &h0.node(*n0).children {
         if let Some(t) = h0.tag(c) {
             *counts.entry(t).or_default() += 1;

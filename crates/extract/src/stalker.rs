@@ -11,12 +11,13 @@
 //! covering counterpart of the paper's most-general-consistent search.
 
 use copycat_document::TextDocument;
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// Maximum landmark length retained from each example's context.
 const MAX_CONTEXT: usize = 24;
 
 /// A learned per-field extraction rule.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LandmarkRule {
     /// Literal text that must appear immediately before the field (empty =
     /// field starts at the beginning of the line).
@@ -24,6 +25,24 @@ pub struct LandmarkRule {
     /// Literal text that must appear immediately after the field (empty =
     /// field runs to the end of the line).
     pub suffix: String,
+}
+
+impl ToJson for LandmarkRule {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("prefix".into(), self.prefix.to_json()),
+            ("suffix".into(), self.suffix.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LandmarkRule {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(LandmarkRule {
+            prefix: String::from_json(j.field("prefix")?)?,
+            suffix: String::from_json(j.field("suffix")?)?,
+        })
+    }
 }
 
 impl LandmarkRule {

@@ -6,9 +6,10 @@
 
 use copycat_document::html::{HtmlDocument, NodeId, StepIndex, TagPath, TagStep};
 use copycat_document::{Document, Page, Sheet, Website};
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// How one output field is obtained from a record node.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldRule {
     /// Follow a tag path *relative to the record node* and take the target
     /// element's text content. The empty path takes the record's own text.
@@ -19,9 +20,32 @@ pub enum FieldRule {
     PrecedingHeading(String),
 }
 
+impl ToJson for FieldRule {
+    fn to_json(&self) -> Json {
+        match self {
+            FieldRule::Relative(p) => Json::obj(vec![("Relative".into(), p.to_json())]),
+            FieldRule::PrecedingHeading(t) => {
+                Json::obj(vec![("PrecedingHeading".into(), t.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for FieldRule {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(p) = j.get("Relative") {
+            return Ok(FieldRule::Relative(TagPath::from_json(p)?));
+        }
+        if let Some(t) = j.get("PrecedingHeading") {
+            return Ok(FieldRule::PrecedingHeading(String::from_json(t)?));
+        }
+        Err(JsonError::expected("field rule", j))
+    }
+}
+
 /// A predicate a record node must satisfy; learned from feedback
 /// (e.g. rejecting advertisement rows).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecordFilter {
     /// Reject records whose attribute equals this value
     /// (e.g. `class="ad"`).
@@ -52,8 +76,66 @@ pub enum RecordFilter {
     },
 }
 
+impl ToJson for RecordFilter {
+    fn to_json(&self) -> Json {
+        match self {
+            RecordFilter::AttrNotEquals { attr, value } => Json::obj(vec![(
+                "AttrNotEquals".into(),
+                Json::obj(vec![
+                    ("attr".into(), attr.to_json()),
+                    ("value".into(), value.to_json()),
+                ]),
+            )]),
+            RecordFilter::MinNonEmptyFields(k) => {
+                Json::obj(vec![("MinNonEmptyFields".into(), k.to_json())])
+            }
+            RecordFilter::ChildCount { tag, count } => Json::obj(vec![(
+                "ChildCount".into(),
+                Json::obj(vec![
+                    ("tag".into(), tag.to_json()),
+                    ("count".into(), count.to_json()),
+                ]),
+            )]),
+            RecordFilter::FieldEquals { field, value } => Json::obj(vec![(
+                "FieldEquals".into(),
+                Json::obj(vec![
+                    ("field".into(), field.to_json()),
+                    ("value".into(), value.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for RecordFilter {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = j.get("AttrNotEquals") {
+            return Ok(RecordFilter::AttrNotEquals {
+                attr: String::from_json(body.field("attr")?)?,
+                value: String::from_json(body.field("value")?)?,
+            });
+        }
+        if let Some(k) = j.get("MinNonEmptyFields") {
+            return Ok(RecordFilter::MinNonEmptyFields(usize::from_json(k)?));
+        }
+        if let Some(body) = j.get("ChildCount") {
+            return Ok(RecordFilter::ChildCount {
+                tag: String::from_json(body.field("tag")?)?,
+                count: usize::from_json(body.field("count")?)?,
+            });
+        }
+        if let Some(body) = j.get("FieldEquals") {
+            return Ok(RecordFilter::FieldEquals {
+                field: usize::from_json(body.field("field")?)?,
+                value: String::from_json(body.field("value")?)?,
+            });
+        }
+        Err(JsonError::expected("record filter", j))
+    }
+}
+
 /// Which pages of a site a wrapper extracts from.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PageScope {
     /// Only the page the examples came from.
     SinglePage(copycat_document::Url),
@@ -61,8 +143,29 @@ pub enum PageScope {
     AllPages,
 }
 
+impl ToJson for PageScope {
+    fn to_json(&self) -> Json {
+        match self {
+            PageScope::SinglePage(u) => Json::obj(vec![("SinglePage".into(), u.to_json())]),
+            PageScope::AllPages => Json::str("AllPages"),
+        }
+    }
+}
+
+impl FromJson for PageScope {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if j.as_str() == Some("AllPages") {
+            return Ok(PageScope::AllPages);
+        }
+        if let Some(u) = j.get("SinglePage") {
+            return Ok(PageScope::SinglePage(copycat_document::Url::from_json(u)?));
+        }
+        Err(JsonError::expected("page scope", j))
+    }
+}
+
 /// An executable extraction rule over one kind of source document.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Wrapper {
     /// Extraction from a (possibly multi-page) Web site.
     Html {
@@ -88,6 +191,56 @@ pub enum Wrapper {
         /// Per-field landmark rules.
         rules: Vec<crate::stalker::LandmarkRule>,
     },
+}
+
+impl ToJson for Wrapper {
+    fn to_json(&self) -> Json {
+        match self {
+            Wrapper::Html { record_path, fields, filters, scope } => Json::obj(vec![(
+                "Html".into(),
+                Json::obj(vec![
+                    ("record_path".into(), record_path.to_json()),
+                    ("fields".into(), fields.to_json()),
+                    ("filters".into(), filters.to_json()),
+                    ("scope".into(), scope.to_json()),
+                ]),
+            )]),
+            Wrapper::Sheet { columns, skip_rows } => Json::obj(vec![(
+                "Sheet".into(),
+                Json::obj(vec![
+                    ("columns".into(), columns.to_json()),
+                    ("skip_rows".into(), skip_rows.to_json()),
+                ]),
+            )]),
+            Wrapper::Text { rules } => Json::obj(vec![(
+                "Text".into(),
+                Json::obj(vec![("rules".into(), rules.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Wrapper {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = j.get("Html") {
+            return Ok(Wrapper::Html {
+                record_path: TagPath::from_json(body.field("record_path")?)?,
+                fields: Vec::from_json(body.field("fields")?)?,
+                filters: Vec::from_json(body.field("filters")?)?,
+                scope: PageScope::from_json(body.field("scope")?)?,
+            });
+        }
+        if let Some(body) = j.get("Sheet") {
+            return Ok(Wrapper::Sheet {
+                columns: Vec::from_json(body.field("columns")?)?,
+                skip_rows: usize::from_json(body.field("skip_rows")?)?,
+            });
+        }
+        if let Some(body) = j.get("Text") {
+            return Ok(Wrapper::Text { rules: Vec::from_json(body.field("rules")?)? });
+        }
+        Err(JsonError::expected("wrapper", j))
+    }
 }
 
 impl Wrapper {
@@ -415,6 +568,36 @@ mod tests {
         assert_eq!(resolve_relative(&doc, div, &rel), Some(span));
         assert!(is_descendant(&doc, div, span));
         assert!(!is_descendant(&doc, span, div));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let wrappers = vec![
+            tr_wrapper(vec![
+                RecordFilter::AttrNotEquals { attr: "class".into(), value: "ad".into() },
+                RecordFilter::MinNonEmptyFields(2),
+                RecordFilter::ChildCount { tag: "td".into(), count: 2 },
+                RecordFilter::FieldEquals { field: 1, value: "Coconut Creek".into() },
+            ]),
+            Wrapper::Html {
+                record_path: TagPath::parse("ul[*]/li[*]").unwrap(),
+                fields: vec![FieldRule::PrecedingHeading("h2".into())],
+                filters: vec![],
+                scope: PageScope::AllPages,
+            },
+            Wrapper::Sheet { columns: vec![2, 0], skip_rows: 1 },
+            Wrapper::Text {
+                rules: vec![crate::stalker::LandmarkRule {
+                    prefix: "Name: ".into(),
+                    suffix: ";".into(),
+                }],
+            },
+        ];
+        for w in wrappers {
+            let text = w.to_json().to_string();
+            let back = Wrapper::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, w, "round-trip through {text}");
+        }
     }
 
     #[test]

@@ -1,19 +1,20 @@
 //! The source graph data structure.
 
 use copycat_query::Schema;
-use rustc_hash::FxHashMap;
+use copycat_util::hash::FxHashMap;
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Node handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Edge handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u32);
 
 /// What a node is.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// A materialized source relation (shadowed rectangle in Figure 4).
     Relation,
@@ -23,7 +24,7 @@ pub enum NodeKind {
 
 /// A node: a source or service with its visible schema. For services the
 /// schema is inputs-then-outputs, with `input_arity` marking the split.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Catalog name.
     pub name: String,
@@ -39,7 +40,7 @@ pub struct Node {
 }
 
 /// How an edge connects two nodes.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EdgeKind {
     /// Equi-join on the conjunction of these column-name pairs (§4.1's
     /// default: "the conjunction of all possible join predicates").
@@ -63,7 +64,7 @@ pub enum EdgeKind {
 /// A weighted association edge. `weight` is a *cost*: lower is more
 /// relevant. (The paper's query score is "the sum of its constituent edge
 /// weights", minimized by the Steiner search.)
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Edge {
     /// One endpoint.
     pub a: NodeId,
@@ -73,6 +74,129 @@ pub struct Edge {
     pub kind: EdgeKind,
     /// Cost (lower = more relevant); adjusted by MIRA.
     pub weight: f64,
+}
+
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(NodeId(u32::from_json(j)?))
+    }
+}
+
+impl ToJson for EdgeId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for EdgeId {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(EdgeId(u32::from_json(j)?))
+    }
+}
+
+impl ToJson for NodeKind {
+    fn to_json(&self) -> Json {
+        match self {
+            NodeKind::Relation => Json::str("Relation"),
+            NodeKind::Service => Json::str("Service"),
+        }
+    }
+}
+
+impl FromJson for NodeKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("Relation") => Ok(NodeKind::Relation),
+            Some("Service") => Ok(NodeKind::Service),
+            _ => Err(JsonError::expected("node kind", j)),
+        }
+    }
+}
+
+impl ToJson for Node {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("kind".into(), self.kind.to_json()),
+            ("schema".into(), self.schema.to_json()),
+            ("input_arity".into(), self.input_arity.to_json()),
+            ("cost_hint".into(), self.cost_hint.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Node {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Node {
+            name: String::from_json(j.field("name")?)?,
+            kind: NodeKind::from_json(j.field("kind")?)?,
+            schema: Schema::from_json(j.field("schema")?)?,
+            input_arity: usize::from_json(j.field("input_arity")?)?,
+            cost_hint: f64::from_json(j.field("cost_hint")?)?,
+        })
+    }
+}
+
+impl ToJson for EdgeKind {
+    fn to_json(&self) -> Json {
+        match self {
+            EdgeKind::Join { pairs } => Json::obj(vec![(
+                "Join".into(),
+                Json::obj(vec![("pairs".into(), pairs.to_json())]),
+            )]),
+            EdgeKind::Bind { bindings } => Json::obj(vec![(
+                "Bind".into(),
+                Json::obj(vec![("bindings".into(), bindings.to_json())]),
+            )]),
+            EdgeKind::Link { pairs } => Json::obj(vec![(
+                "Link".into(),
+                Json::obj(vec![("pairs".into(), pairs.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for EdgeKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = j.get("Join") {
+            return Ok(EdgeKind::Join { pairs: Vec::from_json(body.field("pairs")?)? });
+        }
+        if let Some(body) = j.get("Bind") {
+            return Ok(EdgeKind::Bind { bindings: Vec::from_json(body.field("bindings")?)? });
+        }
+        if let Some(body) = j.get("Link") {
+            return Ok(EdgeKind::Link { pairs: Vec::from_json(body.field("pairs")?)? });
+        }
+        Err(JsonError::expected("edge kind", j))
+    }
+}
+
+impl ToJson for Edge {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("a".into(), self.a.to_json()),
+            ("b".into(), self.b.to_json()),
+            ("kind".into(), self.kind.to_json()),
+            ("weight".into(), self.weight.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Edge {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Edge {
+            a: NodeId::from_json(j.field("a")?)?,
+            b: NodeId::from_json(j.field("b")?)?,
+            kind: EdgeKind::from_json(j.field("kind")?)?,
+            weight: f64::from_json(j.field("weight")?)?,
+        })
+    }
 }
 
 /// Default cost assigned to discovered associations. It sits below the
@@ -342,5 +466,25 @@ mod tests {
         let e = EdgeId(0);
         g.set_cost(e, -5.0);
         assert_eq!(g.cost(e), MIN_EDGE_COST);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (g, _, _, _) = tiny();
+        let nodes_json =
+            g.node_ids().map(|n| g.node(n).clone()).collect::<Vec<_>>().to_json().to_string();
+        let edges_json =
+            g.edge_ids().map(|e| g.edge(e).clone()).collect::<Vec<_>>().to_json().to_string();
+        let nodes: Vec<Node> = Vec::from_json(&Json::parse(&nodes_json).unwrap()).unwrap();
+        let edges: Vec<Edge> = Vec::from_json(&Json::parse(&edges_json).unwrap()).unwrap();
+        let back = SourceGraph::from_parts(nodes, edges);
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for i in 0..g.edge_count() {
+            let (a, b) = (g.edge(EdgeId(i as u32)), back.edge(EdgeId(i as u32)));
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.weight, b.weight);
+        }
+        assert_eq!(back.node_by_name("zip_resolver"), g.node_by_name("zip_resolver"));
     }
 }

@@ -15,7 +15,7 @@
 //! pruning (the SPCSH knob ablated in experiment A3).
 
 use crate::source_graph::{EdgeId, NodeId, SourceGraph};
-use rustc_hash::FxHashSet;
+use copycat_util::hash::FxHashSet;
 use std::collections::BinaryHeap;
 
 /// A Steiner tree: the chosen edges, the spanned nodes, and total cost.
@@ -315,8 +315,7 @@ mod tests {
     use super::*;
     use crate::source_graph::EdgeKind;
     use copycat_query::Schema;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use copycat_util::rng::{Rng, SeedableRng, StdRng};
 
     fn chain(costs: &[f64]) -> (SourceGraph, Vec<NodeId>) {
         let mut g = SourceGraph::new();

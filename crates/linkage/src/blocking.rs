@@ -5,7 +5,7 @@
 //! 4-character prefix of one), which is cheap and loses essentially no
 //! true matches on name/address data.
 
-use rustc_hash::{FxHashMap, FxHashSet};
+use copycat_util::hash::{FxHashMap, FxHashSet};
 
 fn block_keys(s: &str) -> Vec<String> {
     let mut keys = Vec::new();

@@ -1,7 +1,7 @@
 //! String-similarity heuristics. All return a similarity in `[0, 1]`
 //! (1 = identical). Comparisons are case-insensitive.
 
-use rustc_hash::FxHashMap;
+use copycat_util::hash::FxHashMap;
 
 /// The metric inventory (feature identifiers for the learner and the E7
 /// experiment table).

@@ -8,8 +8,8 @@
 
 use crate::relation::Relation;
 use crate::service::Service;
-use parking_lot::RwLock;
-use rustc_hash::FxHashMap;
+use copycat_util::sync::RwLock;
+use copycat_util::hash::FxHashMap;
 use std::sync::Arc;
 
 /// Shared catalog of relations and services.

@@ -7,7 +7,7 @@ use crate::schema::{Field, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use copycat_provenance::Provenance;
-use rustc_hash::FxHashMap;
+use copycat_util::hash::FxHashMap;
 use std::fmt;
 
 /// Execution errors.

@@ -1,10 +1,10 @@
 //! Schemas: named, optionally semantically-typed columns.
 
-use serde::{Deserialize, Serialize};
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// One column of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Column name.
     pub name: String,
@@ -25,8 +25,26 @@ impl Field {
     }
 }
 
+impl ToJson for Field {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("sem_type".into(), self.sem_type.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Field {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Field {
+            name: String::from_json(j.field("name")?)?,
+            sem_type: Option::from_json(j.field("sem_type")?)?,
+        })
+    }
+}
+
 /// An ordered list of fields.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -107,6 +125,19 @@ impl Schema {
     }
 }
 
+impl ToJson for Schema {
+    /// A schema serializes as its field array.
+    fn to_json(&self) -> Json {
+        self.fields.to_json()
+    }
+}
+
+impl FromJson for Schema {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Schema { fields: Vec::from_json(j)? })
+    }
+}
+
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
@@ -166,5 +197,12 @@ mod tests {
     fn display() {
         let s = Schema::new(vec![Field::new("A"), Field::typed("B", "PR-Zip")]);
         assert_eq!(s.to_string(), "(A, B:PR-Zip)");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = Schema::new(vec![Field::new("A"), Field::typed("B", "PR-Zip")]);
+        let back = Schema::from_json(&Json::parse(&s.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -1,11 +1,11 @@
 //! Cell values.
 
-use serde::{Deserialize, Serialize};
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A cell value. CopyCat data is overwhelmingly textual (it arrives via
 /// the clipboard), with numbers appearing in geocodes and conversions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Missing / padded (union homogenization pads with nulls, §4.2).
     Null,
@@ -132,6 +132,29 @@ impl From<f64> for Value {
     }
 }
 
+impl ToJson for Value {
+    /// Null ↔ `null`, strings ↔ JSON strings, numbers ↔ JSON numbers —
+    /// the three variants map onto distinct JSON scalar kinds.
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Null => Json::Null,
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::Num(n) => Json::Num(*n),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Null => Ok(Value::Null),
+            Json::Str(s) => Ok(Value::Str(s.clone())),
+            Json::Num(n) => Ok(Value::Num(*n)),
+            other => Err(JsonError::expected("null, string, or number", other)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +187,14 @@ mod tests {
         };
         assert_eq!(h(&Value::Num(5.0)), h(&Value::str("5")));
         assert_eq!(h(&Value::Null), h(&Value::Null));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for v in [Value::Null, Value::str("Margate"), Value::Num(-1.5)] {
+            let back = Value::from_json(&Json::parse(&v.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fmt;
 
 /// Generalized description of one token. Ordered roughly by generality;
 /// [`TokenClass::generalize`] computes the least upper bound of two classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TokenClass {
     /// Digits of a specific length, e.g. `Digits(3)` = "3-digit number".
     Digits(u8),
@@ -124,6 +124,61 @@ impl TokenClass {
                     || matches!(self, MixedWord) // MixedWord subsumes all word shapes
             }
         }
+    }
+}
+
+impl copycat_util::json::ToJson for TokenClass {
+    /// Unit variants serialize as their name; `Digits(n)` and
+    /// `Punct(c)` as single-field objects.
+    fn to_json(&self) -> copycat_util::Json {
+        use copycat_util::Json;
+        match self {
+            TokenClass::Digits(n) => {
+                Json::obj(vec![("Digits".into(), Json::Num(*n as f64))])
+            }
+            TokenClass::Punct(c) => {
+                Json::obj(vec![("Punct".into(), Json::str(c.to_string()))])
+            }
+            TokenClass::AnyDigits => Json::str("AnyDigits"),
+            TokenClass::CapWord => Json::str("CapWord"),
+            TokenClass::UpperWord => Json::str("UpperWord"),
+            TokenClass::LowerWord => Json::str("LowerWord"),
+            TokenClass::MixedWord => Json::str("MixedWord"),
+            TokenClass::AlphaNum => Json::str("AlphaNum"),
+            TokenClass::Any => Json::str("Any"),
+        }
+    }
+}
+
+impl copycat_util::json::FromJson for TokenClass {
+    fn from_json(j: &copycat_util::Json) -> Result<Self, copycat_util::JsonError> {
+        use copycat_util::JsonError;
+        if let Some(name) = j.as_str() {
+            return match name {
+                "AnyDigits" => Ok(TokenClass::AnyDigits),
+                "CapWord" => Ok(TokenClass::CapWord),
+                "UpperWord" => Ok(TokenClass::UpperWord),
+                "LowerWord" => Ok(TokenClass::LowerWord),
+                "MixedWord" => Ok(TokenClass::MixedWord),
+                "AlphaNum" => Ok(TokenClass::AlphaNum),
+                "Any" => Ok(TokenClass::Any),
+                other => Err(JsonError::new(format!("unknown token class {other:?}"))),
+            };
+        }
+        if let Some(n) = j.get("Digits") {
+            return Ok(TokenClass::Digits(u8::from_json(n)?));
+        }
+        if let Some(c) = j.get("Punct") {
+            let s = c
+                .as_str()
+                .ok_or_else(|| JsonError::expected("single-char string", c))?;
+            let mut chars = s.chars();
+            match (chars.next(), chars.next()) {
+                (Some(ch), None) => return Ok(TokenClass::Punct(ch)),
+                _ => return Err(JsonError::new(format!("Punct needs one char, got {s:?}"))),
+            }
+        }
+        Err(JsonError::expected("token class", j))
     }
 }
 

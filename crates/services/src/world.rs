@@ -5,8 +5,7 @@
 //! geocoder all agree — which is what makes end-to-end integration results
 //! verifiable in the experiments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use copycat_util::rng::{Rng, SeedableRng, StdRng};
 
 const CITY_NAMES: &[&str] = &[
     "Coconut Creek", "Pompano Beach", "Fort Lauderdale", "Margate", "Coral Springs",

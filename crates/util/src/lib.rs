@@ -1,0 +1,37 @@
+//! Hermetic in-tree runtime for the CopyCat workspace.
+//!
+//! The reproduction must build and test on any machine, offline, first
+//! try — so nothing in this workspace may depend on the crates.io
+//! registry. This crate provides dependency-free replacements for the
+//! small slices of external-crate API the system actually uses:
+//!
+//! - [`rng`] — a seedable, deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256++) with a `rand`-style `StdRng`/`SeedableRng`/`Rng`
+//!   surface (`gen_range`, `gen_bool`, `shuffle`).
+//! - [`hash`] — the FxHash function with `FxHashMap`/`FxHashSet`
+//!   aliases (replaces `rustc-hash`).
+//! - [`json`] — a JSON value type, serializer and parser, plus the
+//!   derive-free [`json::ToJson`]/[`json::FromJson`] trait pair
+//!   (replaces `serde`/`serde_json`).
+//! - [`check`] — a small property-testing harness with seeded case
+//!   generation, tape-based shrinking, and regression-seed replay
+//!   (replaces `proptest`).
+//! - [`bench`] — a micro-benchmark harness with warmup and
+//!   median/p95 reporting (replaces `criterion`).
+//! - [`sync`] — non-poisoning `Mutex`/`RwLock` wrappers over `std`
+//!   (replaces `parking_lot`).
+//!
+//! Every generator in this crate is deterministic per seed, so bench
+//! tables and property tests are bit-reproducible across runs on the
+//! same machine.
+
+pub mod bench;
+pub mod check;
+pub mod hash;
+pub mod json;
+pub mod rng;
+pub mod sync;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::{Rng, SeedableRng, StdRng};

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The offline verification gate: proves the hermetic build holds.
+# Builds everything, runs the full test suite, and regenerates the E1
+# table — all with --offline, so any reintroduced registry dependency
+# fails here before it reaches CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo run --release --offline -p copycat-bench --bin harness -- e1

@@ -8,3 +8,5 @@ pub use copycat_provenance as provenance;
 pub use copycat_query as query;
 pub use copycat_semantic as semantic;
 pub use copycat_services as services;
+pub use copycat_util as util;
+pub use copycat_util::{prop_ensure, prop_ensure_eq};
