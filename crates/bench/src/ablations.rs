@@ -150,6 +150,8 @@ pub fn run_a2(seeds: u64) -> Vec<A2Row> {
 /// A3 outcome row.
 #[derive(Debug, Clone)]
 pub struct A3Row {
+    /// Graph size the sweep ran at.
+    pub nodes: usize,
     /// Prune quantile (1.0 = no pruning).
     pub quantile: f64,
     /// Mean SPCSH time.
@@ -158,8 +160,9 @@ pub struct A3Row {
     pub cost_ratio: f64,
 }
 
-/// Sweep the SPCSH prune quantile.
-pub fn run_a3(quantiles: &[f64], seeds: u64) -> Vec<A3Row> {
+/// Sweep the SPCSH prune quantile on `nodes`-node graphs (edge density
+/// fixed at 3× nodes, 5 terminals).
+pub fn run_a3(quantiles: &[f64], seeds: u64, nodes: usize) -> Vec<A3Row> {
     let mut out = Vec::new();
     for &q in quantiles {
         let mut total_time = Duration::ZERO;
@@ -167,7 +170,7 @@ pub fn run_a3(quantiles: &[f64], seeds: u64) -> Vec<A3Row> {
         let mut n = 0usize;
         for seed in 0..seeds {
             let (g, t) =
-                random_graph(&GraphSpec { nodes: 80, extra_edges: 240, seed }, 5);
+                random_graph(&GraphSpec { nodes, extra_edges: nodes * 3, seed }, 5);
             let exact = steiner_exact(&g, &t).expect("connected").cost;
             let start = Instant::now();
             let approx = spcsh(&g, &t, q).expect("connected");
@@ -176,6 +179,7 @@ pub fn run_a3(quantiles: &[f64], seeds: u64) -> Vec<A3Row> {
             n += 1;
         }
         out.push(A3Row {
+            nodes,
             quantile: q,
             time: total_time / seeds as u32,
             cost_ratio: ratio_sum / n as f64,
@@ -215,10 +219,13 @@ mod tests {
 
     #[test]
     fn a3_ratios_within_guarantee() {
-        let rows = run_a3(&[0.5, 1.0], 3);
-        for r in &rows {
-            assert!(r.cost_ratio >= 1.0 - 1e-9, "{r:?}");
-            assert!(r.cost_ratio <= 2.5, "{r:?}");
+        for nodes in [40, 80] {
+            let rows = run_a3(&[0.5, 1.0], 3, nodes);
+            for r in &rows {
+                assert_eq!(r.nodes, nodes);
+                assert!(r.cost_ratio >= 1.0 - 1e-9, "{r:?}");
+                assert!(r.cost_ratio <= 2.5, "{r:?}");
+            }
         }
     }
 }

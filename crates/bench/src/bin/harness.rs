@@ -64,10 +64,14 @@ fn section_e2() -> String {
     out
 }
 
+/// The sweeps behind both the E3 table and `BENCH_steiner.json`.
+const E3_SIZES: &[usize] = &[10, 20, 40, 80, 160, 300, 600];
+const E3_TERMINALS: &[usize] = &[2, 4, 6, 8, 10, 12, 14];
+
 fn section_e3() -> String {
     let mut out = String::new();
     writeln!(out, "== E3: Steiner search scale-up (exact vs SPCSH) ==\n").unwrap();
-    let (sizes, terms) = e3_steiner::run(&[10, 20, 40, 80, 160, 300], &[2, 4, 6, 8, 10, 12]);
+    let (sizes, terms) = e3_steiner::run(E3_SIZES, E3_TERMINALS);
     let mut t = TextTable::new(&["nodes", "terminals", "exact time", "spcsh time", "cost ratio"]);
     for r in sizes.iter().chain(terms.iter()) {
         t.row(vec![
@@ -80,6 +84,14 @@ fn section_e3() -> String {
     }
     writeln!(out, "{}", t.render()).unwrap();
     out
+}
+
+/// `harness -- e3-json`: the E3 sweep as machine-readable JSON rows on
+/// stdout, nothing else (consumed by `scripts/bench_json.sh`).
+fn e3_json() -> String {
+    let (sizes, terms) = e3_steiner::run(E3_SIZES, E3_TERMINALS);
+    let all: Vec<e3_steiner::E3Row> = sizes.into_iter().chain(terms).collect();
+    e3_steiner::rows_to_json(&all).to_string()
 }
 
 fn section_e4() -> String {
@@ -222,10 +234,16 @@ fn section_a2() -> String {
 fn section_a3() -> String {
     let mut out = String::new();
     writeln!(out, "== A3: SPCSH prune-quantile sweep ==\n").unwrap();
-    let rows = ablations::run_a3(&[0.3, 0.5, 0.7, 0.9, 1.0], 5);
-    let mut t = TextTable::new(&["prune quantile", "mean time", "mean cost ratio"]);
-    for r in &rows {
-        t.row(vec![format!("{:.1}", r.quantile), dur(r.time), f3(r.cost_ratio)]);
+    let mut t = TextTable::new(&["nodes", "prune quantile", "mean time", "mean cost ratio"]);
+    for nodes in [80, 240] {
+        for r in ablations::run_a3(&[0.3, 0.5, 0.7, 0.9, 1.0], 5, nodes) {
+            t.row(vec![
+                r.nodes.to_string(),
+                format!("{:.1}", r.quantile),
+                dur(r.time),
+                f3(r.cost_ratio),
+            ]);
+        }
     }
     writeln!(out, "{}", t.render()).unwrap();
     out
@@ -233,6 +251,10 @@ fn section_a3() -> String {
 
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
+    if which.iter().any(|w| w == "e3-json") {
+        println!("{}", e3_json());
+        return;
+    }
     let all = which.is_empty() || which.iter().any(|w| w == "all");
     let want = |name: &str| all || which.iter().any(|w| w == name);
 

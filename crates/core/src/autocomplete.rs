@@ -365,20 +365,25 @@ pub fn tree_to_plan(graph: &SourceGraph, tree: &SteinerTree) -> Option<Plan> {
     Some(plan)
 }
 
-/// Discover ranked queries whose sources cover `terminals` (§4.2 mode 2).
-/// Uses the exact top-k search on small graphs, SPCSH on larger ones.
-pub fn discover_queries(
-    graph: &SourceGraph,
-    catalog: &Catalog,
-    terminals: &[NodeId],
-    k: usize,
-) -> Vec<ScoredQuery> {
+/// The Steiner search behind query discovery: exact top-k on small
+/// graphs with few terminals, SPCSH on larger ones.
+pub fn search_trees(graph: &SourceGraph, terminals: &[NodeId], k: usize) -> Vec<SteinerTree> {
     const EXACT_NODE_LIMIT: usize = 64;
-    let trees: Vec<SteinerTree> = if graph.node_count() <= EXACT_NODE_LIMIT {
+    if graph.node_count() <= EXACT_NODE_LIMIT
+        && terminals.len() <= copycat_graph::MAX_EXACT_TERMINALS
+    {
         copycat_graph::top_k_steiner(graph, terminals, k)
     } else {
         copycat_graph::spcsh(graph, terminals, 0.8).into_iter().collect()
-    };
+    }
+}
+
+/// Plan and execute each tree, dropping unplannable or failing ones.
+fn trees_to_queries(
+    graph: &SourceGraph,
+    catalog: &Catalog,
+    trees: Vec<SteinerTree>,
+) -> Vec<ScoredQuery> {
     let mut out = Vec::new();
     for tree in trees {
         let Some(plan) = tree_to_plan(graph, &tree) else {
@@ -391,6 +396,33 @@ pub fn discover_queries(
         out.push(ScoredQuery { plan, cost: tree.cost, tree, result });
     }
     out
+}
+
+/// Discover ranked queries whose sources cover `terminals` (§4.2 mode 2).
+/// Uses the exact top-k search on small graphs, SPCSH on larger ones.
+pub fn discover_queries(
+    graph: &SourceGraph,
+    catalog: &Catalog,
+    terminals: &[NodeId],
+    k: usize,
+) -> Vec<ScoredQuery> {
+    trees_to_queries(graph, catalog, search_trees(graph, terminals, k))
+}
+
+/// [`discover_queries`] with the Steiner search memoized in `cache`:
+/// repeated pastes against an unchanged graph reuse the cached trees;
+/// a graph change (feedback, new edges) invalidates via the version
+/// stamp. Query execution always runs fresh — the catalog's contents
+/// are not part of the cache key.
+pub fn discover_queries_cached(
+    graph: &SourceGraph,
+    catalog: &Catalog,
+    terminals: &[NodeId],
+    k: usize,
+    cache: &crate::cache::QueryCache,
+) -> Vec<ScoredQuery> {
+    let trees = cache.trees_for(graph, terminals, k, || search_trees(graph, terminals, k));
+    trees_to_queries(graph, catalog, trees)
 }
 
 #[cfg(test)]
@@ -531,6 +563,62 @@ mod tests {
         assert!(!queries.is_empty());
         for w in queries.windows(2) {
             assert!(w[0].cost <= w[1].cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cached_discovery_tracks_mira_feedback() {
+        use crate::cache::QueryCache;
+        let (mut graph, catalog) = setup();
+        let shelters = graph.node_by_name("Shelters").unwrap();
+        let contacts = graph.node_by_name("Contacts").unwrap();
+        // The setup graph is a tree; add an alternative (costlier)
+        // Shelters–Contacts join so the terminal pair has two distinct
+        // explanations to rank.
+        graph.add_edge_with_cost(
+            shelters,
+            contacts,
+            EdgeKind::Join { pairs: vec![("Name".into(), "Venue".into())] },
+            2.5,
+        );
+        let terminals = [shelters, contacts];
+        let cache = QueryCache::default();
+        let warm = discover_queries_cached(&graph, &catalog, &terminals, 3, &cache);
+        assert!(warm.len() >= 2, "need alternatives to re-rank");
+        // Second call: trees come from the cache and the answers match a
+        // cold search exactly.
+        let cached = discover_queries_cached(&graph, &catalog, &terminals, 3, &cache);
+        let cold = discover_queries(&graph, &catalog, &terminals, 3);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cached.len(), cold.len());
+        for (a, b) in cached.iter().zip(cold.iter()) {
+            assert_eq!(a.tree, b.tree);
+        }
+        // MIRA feedback prefers the runner-up query; the version bump
+        // must invalidate, and the cached path must agree with a cold
+        // search on the new ranking.
+        let tau = copycat_graph::Mira::default().apply(
+            &mut graph,
+            &warm[1].tree.edges,
+            &warm[0].tree.edges,
+        );
+        assert!(tau > 0.0, "feedback must change the graph");
+        let after = discover_queries_cached(&graph, &catalog, &terminals, 3, &cache);
+        let after_cold = discover_queries(&graph, &catalog, &terminals, 3);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(after.len(), after_cold.len());
+        for (a, b) in after.iter().zip(after_cold.iter()) {
+            assert_eq!(a.tree, b.tree);
+            assert!((a.cost - b.cost).abs() < 1e-12);
+        }
+        // MIRA guarantees preferred-now-cheaper-than-rejected; the
+        // re-ranking must be visible through the cache.
+        let pos = |qs: &[ScoredQuery], edges: &[copycat_graph::EdgeId]| {
+            qs.iter().position(|q| q.tree.edges == edges)
+        };
+        let pref = pos(&after, &warm[1].tree.edges).expect("preferred query still discovered");
+        if let Some(rej) = pos(&after, &warm[0].tree.edges) {
+            assert!(pref < rej, "feedback must reorder through the cache");
         }
     }
 

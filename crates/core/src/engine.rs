@@ -13,6 +13,7 @@
 //!   provenance) to the MIRA learner.
 
 use crate::autocomplete::{self, ColumnSuggestion, ScoredQuery};
+use crate::cache::{CacheStats, QueryCache};
 use crate::workspace::{Tab, Workspace};
 use copycat_document::{Clipboard, Document, DocumentId};
 use copycat_extract::{execute as run_wrapper, refine, ScoredWrapper, StructureLearner, Wrapper};
@@ -77,6 +78,10 @@ pub struct CopyCat {
     transform_columns: copycat_util::hash::FxHashMap<usize, TransformState>,
     /// Undo stack of view-state snapshots (§5 "advanced interactions").
     undo_stack: Vec<Snapshot>,
+    /// Version-stamped cache of Steiner searches: repeated pastes reuse
+    /// results; MIRA updates and edge insertions invalidate via the
+    /// graph version.
+    query_cache: QueryCache,
 }
 
 /// A transform column's learned program plus its accumulated examples.
@@ -157,6 +162,7 @@ impl CopyCat {
             cleaning: false,
             transform_columns: copycat_util::hash::FxHashMap::default(),
             undo_stack: Vec::new(),
+            query_cache: QueryCache::default(),
         }
     }
 
@@ -580,7 +586,18 @@ impl CopyCat {
         if terminals.is_empty() {
             return Vec::new();
         }
-        autocomplete::discover_queries(&self.graph, &self.catalog, &terminals, k)
+        autocomplete::discover_queries_cached(
+            &self.graph,
+            &self.catalog,
+            &terminals,
+            k,
+            &self.query_cache,
+        )
+    }
+
+    /// Hit/miss/invalidation counters of the engine's query cache.
+    pub fn query_cache_stats(&self) -> CacheStats {
+        self.query_cache.stats()
     }
 
     /// Feedback on discovered queries: the accepted one is constrained to
@@ -861,9 +878,12 @@ impl CopyCat {
             .collect()
     }
 
-    /// Replace the source graph wholesale (session restore).
+    /// Replace the source graph wholesale (session restore). The query
+    /// cache is dropped: the new graph's version numbering is unrelated
+    /// to the old one's.
     pub(crate) fn restore_graph(&mut self, graph: SourceGraph) {
         self.graph = graph;
+        self.query_cache.clear();
     }
 
     /// Re-register a saved wrapper without a live document.
@@ -1069,8 +1089,8 @@ mod tests {
         );
     }
 
-    #[test]
-    fn second_source_and_query_discovery() {
+    /// Shelters + Contacts imported and committed (the Example 1 pair).
+    fn two_source_engine() -> (Arc<World>, CopyCat) {
         let w = world();
         let rows = w.shelter_rows();
         let contacts = w.contact_rows();
@@ -1100,6 +1120,14 @@ mod tests {
         cc.accept_suggested_rows();
         cc.name_column(2, "Venue");
         cc.commit_source("Contacts");
+        (w, cc)
+    }
+
+    #[test]
+    fn second_source_and_query_discovery() {
+        let (w, cc) = two_source_engine();
+        let rows = w.shelter_rows();
+        let contacts = w.contact_rows();
         // A tuple mixing a shelter street (only in Shelters) and a
         // contact phone (only in Contacts) implies a join query across
         // the two sources.
@@ -1112,6 +1140,42 @@ mod tests {
         assert!(top.plan.sources().contains(&"Shelters"));
         assert!(top.plan.sources().contains(&"Contacts"));
         assert!(!top.result.is_empty(), "join should produce rows");
+    }
+
+    #[test]
+    fn query_cache_hits_repeats_and_invalidates_on_feedback() {
+        let (w, mut cc) = two_source_engine();
+        let rows = w.shelter_rows();
+        let contacts = w.contact_rows();
+        let values = [rows[0][1].as_str(), contacts[0][1].as_str()];
+        let first = cc.discover_queries_for_tuple(&values, 3);
+        assert!(!first.is_empty());
+        assert_eq!(cc.query_cache_stats().misses, 1);
+        // Same paste again: the Steiner search is served from the cache.
+        let again = cc.discover_queries_for_tuple(&values, 3);
+        assert_eq!(cc.query_cache_stats().hits, 1);
+        assert_eq!(first.len(), again.len());
+        for (a, b) in first.iter().zip(again.iter()) {
+            assert_eq!(a.tree, b.tree);
+        }
+        if first.len() >= 2 {
+            // Feedback on the ranking bumps the graph version …
+            let updates = cc.prefer_query(&first[1], &[&first[0]]);
+            assert!(updates > 0, "preferring a costlier query must adjust edges");
+            // … so the next discovery recomputes and matches a cold search.
+            let after = cc.discover_queries_for_tuple(&values, 3);
+            assert_eq!(cc.query_cache_stats().invalidations, 1);
+            // Cold search over the same terminals the engine derived.
+            let terminals: Vec<NodeId> = ["Shelters", "Contacts"]
+                .iter()
+                .filter_map(|n| cc.graph.node_by_name(n))
+                .collect();
+            let cold = autocomplete::discover_queries(&cc.graph, &cc.catalog, &terminals, 3);
+            assert_eq!(after.len(), cold.len());
+            for (a, b) in after.iter().zip(cold.iter()) {
+                assert_eq!(a.tree, b.tree);
+            }
+        }
     }
 
     fn imported_engine() -> (Arc<World>, CopyCat) {

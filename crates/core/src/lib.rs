@@ -26,6 +26,7 @@
 //! ```
 
 pub mod autocomplete;
+pub mod cache;
 pub mod engine;
 pub mod explain;
 pub mod export;
@@ -36,6 +37,7 @@ pub mod simulator;
 pub mod workspace;
 
 pub use autocomplete::{ColumnSuggestion, ScoredQuery};
+pub use cache::{CacheStats, QueryCache};
 pub use engine::{CopyCat, EditEffect, Mode, TransformSuggestion, TupleRejection};
 pub use explain::{explain, explain_row, Explanation};
 pub use formsvc::FormService;

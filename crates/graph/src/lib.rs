@@ -32,4 +32,7 @@ pub use source_graph::{
     Edge, EdgeId, EdgeKind, Node, NodeId, NodeKind, SourceGraph, DEFAULT_EDGE_COST,
     MIN_EDGE_COST, SUGGESTION_COST_THRESHOLD,
 };
-pub use steiner::{spcsh, steiner_exact, top_k_steiner, SteinerTree};
+pub use steiner::{
+    spcsh, steiner_exact, steiner_exact_in, top_k_steiner, top_k_steiner_opts, SteinerScratch,
+    SteinerTree, MAX_EXACT_TERMINALS,
+};

@@ -218,6 +218,8 @@ pub struct SourceGraph {
     edges: Vec<Edge>,
     by_name: FxHashMap<String, NodeId>,
     adjacency: Vec<Vec<EdgeId>>,
+    /// Monotonic structure/cost version; see [`SourceGraph::version`].
+    version: u64,
 }
 
 impl SourceGraph {
@@ -238,7 +240,14 @@ impl SourceGraph {
             adjacency[e.a.0 as usize].push(EdgeId(i as u32));
             adjacency[e.b.0 as usize].push(EdgeId(i as u32));
         }
-        Self { nodes, edges, by_name, adjacency }
+        Self { nodes, edges, by_name, adjacency, version: 0 }
+    }
+
+    /// Monotonic version stamp. Bumped whenever the search-relevant shape
+    /// of the graph changes: node/edge insertion or an effective cost
+    /// update (MIRA feedback). Query caches key on this to invalidate.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Add a relation node.
@@ -283,6 +292,7 @@ impl SourceGraph {
         self.by_name.insert(name.clone(), id);
         self.nodes.push(Node { name, kind, schema, input_arity, cost_hint });
         self.adjacency.push(Vec::new());
+        self.version += 1;
         id
     }
 
@@ -303,6 +313,7 @@ impl SourceGraph {
         self.edges.push(Edge { a, b, kind, weight });
         self.adjacency[a.0 as usize].push(id);
         self.adjacency[b.0 as usize].push(id);
+        self.version += 1;
         id
     }
 
@@ -322,8 +333,13 @@ impl SourceGraph {
     }
 
     /// Set an edge's cost (used by MIRA), clamped to [`MIN_EDGE_COST`].
+    /// Bumps the graph version only when the effective cost changes.
     pub fn set_cost(&mut self, id: EdgeId, cost: f64) {
-        self.edges[id.0 as usize].weight = cost.max(MIN_EDGE_COST);
+        let clamped = cost.max(MIN_EDGE_COST);
+        if self.edges[id.0 as usize].weight != clamped {
+            self.edges[id.0 as usize].weight = clamped;
+            self.version += 1;
+        }
     }
 
     /// Edge cost.
@@ -466,6 +482,24 @@ mod tests {
         let e = EdgeId(0);
         g.set_cost(e, -5.0);
         assert_eq!(g.cost(e), MIN_EDGE_COST);
+    }
+
+    #[test]
+    fn version_bumps_on_change_only() {
+        let (mut g, _, _, _) = tiny();
+        let v0 = g.version();
+        // No-op cost update: version unchanged.
+        let current = g.cost(EdgeId(0));
+        g.set_cost(EdgeId(0), current);
+        assert_eq!(g.version(), v0);
+        // Effective update bumps.
+        g.set_cost(EdgeId(0), current + 0.5);
+        assert_eq!(g.version(), v0 + 1);
+        // Insertions bump.
+        let n = g.add_relation("extra", Schema::of(&["X"]));
+        assert_eq!(g.version(), v0 + 2);
+        g.add_edge(NodeId(0), n, EdgeKind::Join { pairs: vec![] });
+        assert_eq!(g.version(), v0 + 3);
     }
 
     #[test]

@@ -13,10 +13,22 @@
 //! solver, plus edge-exclusion branching for top-k. The approximation is
 //! a shortest-path component heuristic with optional cost-quantile edge
 //! pruning (the SPCSH knob ablated in experiment A3).
+//!
+//! The DP is laid out for speed: flat `mask*n` tables in a reusable
+//! [`SteinerScratch`], a branchless vectorizable min-plus merge (merge
+//! derivations are re-found at traceback instead of stored), a queued
+//! Bellman–Ford grow step over a banned-edge-filtered CSR adjacency
+//! built once per solve, and a greedy feasible upper bound that skips
+//! hopeless merge pairs and caps label propagation. Top-k branching
+//! solves its independent child subproblems on scoped worker threads
+//! when the host has cores to spare and the subproblem is large enough
+//! to pay for them.
 
 use crate::source_graph::{EdgeId, NodeId, SourceGraph};
-use copycat_util::hash::FxHashSet;
+use copycat_util::hash::{FxHashSet, FxHasher};
 use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A Steiner tree: the chosen edges, the spanned nodes, and total cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,34 +58,271 @@ impl SteinerTree {
 }
 
 /// Maximum supported terminal count for the exact algorithm (the DP is
-/// exponential in it).
-pub const MAX_EXACT_TERMINALS: usize = 12;
+/// exponential in it). The flat-table DP keeps 16 terminals tractable
+/// (≈2 s at 60 nodes); interactive workloads stay well below that.
+pub const MAX_EXACT_TERMINALS: usize = 16;
+
+const INF: f64 = f64::INFINITY;
+
+/// DP table size (`2^k * n` cells) past which computing the greedy
+/// upper bound pays for itself. Below this the solve is microseconds
+/// anyway and the extra Dijkstras would dominate.
+const UB_PRUNE_MIN_CELLS: usize = 1 << 12;
+
+/// Sentinel for "no backpointer" in the packed reconstruction tables.
+const NONE32: u32 = u32::MAX;
+
+/// Reusable scratch buffers for exact Steiner searches. Allocate one per
+/// search session (or per worker thread) and pass it to
+/// [`steiner_exact_in`]; repeated solves then reuse the DP tables, the
+/// relaxation worklist, and the filtered adjacency instead of
+/// reallocating.
+#[derive(Debug, Default)]
+pub struct SteinerScratch {
+    /// `dp[mask * n + v]`: cheapest tree spanning terminal set `mask`
+    /// rooted at node `v`.
+    dp: Vec<f64>,
+    /// Backpointers, packed into two flat `u32` planes (see
+    /// [`SteinerScratch::reconstruct`] for the encoding).
+    back_a: Vec<u32>,
+    back_b: Vec<u32>,
+    /// Min of `dp[mask]` over nodes, used to skip all-infinite merges.
+    mask_min: Vec<f64>,
+    /// Binary min-heap storage (upper-bound pass only).
+    heap: Vec<(f64, u32)>,
+    /// Grow-step worklist: FIFO of nodes with pending relaxations plus
+    /// membership flags, reused across masks.
+    queue: Vec<u32>,
+    in_queue: Vec<bool>,
+    /// Banned-filtered CSR adjacency: node `v`'s neighbors live at
+    /// `adj_*[adj_off[v]..adj_off[v + 1]]`.
+    adj_off: Vec<u32>,
+    adj_node: Vec<u32>,
+    adj_edge: Vec<u32>,
+    adj_cost: Vec<f64>,
+    /// Per-edge banned flags, rebuilt per solve (O(banned), not O(m)).
+    banned_flag: Vec<bool>,
+    /// Upper-bound pass state: per-node distance, predecessor, and
+    /// tree-membership (0 = outside, 1 = in tree, 2 = unreached terminal).
+    ub_dist: Vec<f64>,
+    ub_pred: Vec<u32>,
+    ub_state: Vec<u8>,
+}
+
+impl SteinerScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild the CSR adjacency for `g` with `banned` edges removed.
+    /// After this, the inner relaxation loop touches only flat arrays.
+    fn build_adjacency(&mut self, g: &SourceGraph, banned: &[EdgeId]) {
+        let n = g.node_count();
+        self.banned_flag.clear();
+        self.banned_flag.resize(g.edge_count(), false);
+        for &e in banned {
+            self.banned_flag[e.0 as usize] = true;
+        }
+        self.adj_off.clear();
+        self.adj_node.clear();
+        self.adj_edge.clear();
+        self.adj_cost.clear();
+        self.adj_off.push(0);
+        for v in 0..n {
+            let vid = NodeId(v as u32);
+            for &e in g.incident(vid) {
+                if self.banned_flag[e.0 as usize] {
+                    continue;
+                }
+                self.adj_node.push(g.other_end(e, vid).0);
+                self.adj_edge.push(e.0);
+                self.adj_cost.push(g.cost(e));
+            }
+            self.adj_off.push(self.adj_node.len() as u32);
+        }
+    }
+
+    /// Walk the derivation from `(full, best_v)` and collect tree edges.
+    /// Grow steps are recorded as backpointers (`back_b` = edge,
+    /// `back_a` = predecessor node); merge steps store nothing — the
+    /// merge loop is branchless — and are re-derived here by finding a
+    /// submask pair whose stored sums reproduce the cell's value
+    /// bit-exactly (the winning write computed exactly that sum from the
+    /// same, by-then-final rows).
+    fn reconstruct(&self, n: usize, full: usize, best_v: usize) -> Vec<EdgeId> {
+        let mut edges = Vec::new();
+        let mut stack = vec![(full, best_v)];
+        while let Some((mask, v)) = stack.pop() {
+            let idx = mask * n + v;
+            let b = self.back_b[idx];
+            if b != NONE32 {
+                edges.push(EdgeId(b));
+                stack.push((mask, self.back_a[idx] as usize));
+                continue;
+            }
+            if mask & (mask - 1) == 0 {
+                continue; // singleton terminal
+            }
+            let val = self.dp[idx];
+            let mut sub = (mask - 1) & mask;
+            let mut found = false;
+            while sub > 0 {
+                let other = mask ^ sub;
+                if sub < other && self.dp[sub * n + v] + self.dp[other * n + v] == val {
+                    stack.push((sub, v));
+                    stack.push((other, v));
+                    found = true;
+                    break;
+                }
+                sub = (sub - 1) & mask;
+            }
+            assert!(found, "no merge derivation for a finite DP cell");
+        }
+        edges
+    }
+
+    /// Feasible-cost upper bound over the filtered CSR adjacency: greedy
+    /// nearest-terminal attachment (the SPCSH core without pruning), so
+    /// the bound respects banned edges. Returns `INF` when the terminals
+    /// are disconnected. Any DP label above this bound can never sit on
+    /// an optimal derivation (labels only grow along one), so the solver
+    /// uses it to cut merges, heap pushes, and whole masks.
+    fn upper_bound(&mut self, n: usize, terminals: &[NodeId]) -> f64 {
+        self.ub_state.clear();
+        self.ub_state.resize(n, 0);
+        let mut left = 0usize;
+        for &t in &terminals[1..] {
+            if self.ub_state[t.0 as usize] == 0 {
+                self.ub_state[t.0 as usize] = 2;
+                left += 1;
+            }
+        }
+        if self.ub_state[terminals[0].0 as usize] == 2 {
+            left -= 1;
+        }
+        self.ub_state[terminals[0].0 as usize] = 1;
+        let mut total = 0.0;
+        while left > 0 {
+            self.ub_dist.clear();
+            self.ub_dist.resize(n, INF);
+            self.ub_pred.clear();
+            self.ub_pred.resize(n, NONE32);
+            self.heap.clear();
+            for v in 0..n {
+                if self.ub_state[v] == 1 {
+                    self.ub_dist[v] = 0.0;
+                    heap_push(&mut self.heap, (0.0, v as u32));
+                }
+            }
+            let mut reached = NONE32;
+            while let Some((c, v)) = heap_pop(&mut self.heap) {
+                let vu = v as usize;
+                if c > self.ub_dist[vu] {
+                    continue;
+                }
+                if self.ub_state[vu] == 2 {
+                    reached = v;
+                    break;
+                }
+                for i in self.adj_off[vu] as usize..self.adj_off[vu + 1] as usize {
+                    let u = self.adj_node[i] as usize;
+                    let nc = c + self.adj_cost[i];
+                    if nc < self.ub_dist[u] {
+                        self.ub_dist[u] = nc;
+                        self.ub_pred[u] = v;
+                        heap_push(&mut self.heap, (nc, u as u32));
+                    }
+                }
+            }
+            if reached == NONE32 {
+                return INF;
+            }
+            total += self.ub_dist[reached as usize];
+            let mut v = reached as usize;
+            while self.ub_state[v] != 1 {
+                if self.ub_state[v] == 2 {
+                    left -= 1;
+                }
+                self.ub_state[v] = 1;
+                let p = self.ub_pred[v];
+                if p == NONE32 {
+                    break;
+                }
+                v = p as usize;
+            }
+        }
+        total
+    }
+}
+
+/// Push onto the in-place binary min-heap.
+fn heap_push(h: &mut Vec<(f64, u32)>, item: (f64, u32)) {
+    h.push(item);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if h[parent].0 <= h[i].0 {
+            break;
+        }
+        h.swap(parent, i);
+        i = parent;
+    }
+}
+
+/// Pop the minimum from the in-place binary min-heap.
+fn heap_pop(h: &mut Vec<(f64, u32)>) -> Option<(f64, u32)> {
+    if h.is_empty() {
+        return None;
+    }
+    let last = h.len() - 1;
+    h.swap(0, last);
+    let top = h.pop();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < h.len() && h[l].0 < h[smallest].0 {
+            smallest = l;
+        }
+        if r < h.len() && h[r].0 < h[smallest].0 {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        h.swap(i, smallest);
+        i = smallest;
+    }
+    top
+}
 
 /// Exact minimum-cost Steiner tree via Dreyfus–Wagner. Returns `None`
 /// when the terminals are not connected (or `terminals` is empty).
 ///
+/// Allocates fresh scratch; use [`steiner_exact_in`] to amortize
+/// allocations across repeated solves.
+///
 /// # Panics
 /// Panics when more than [`MAX_EXACT_TERMINALS`] terminals are given.
 pub fn steiner_exact(g: &SourceGraph, terminals: &[NodeId]) -> Option<SteinerTree> {
-    steiner_exact_banned(g, terminals, &FxHashSet::default())
+    steiner_exact_in(g, terminals, &mut SteinerScratch::new())
 }
 
-/// Backpointer for tree reconstruction.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Back {
-    /// Singleton terminal at this node.
-    Leaf,
-    /// Extended from the same mask at another node along an edge.
-    Grow(NodeId, EdgeId),
-    /// Merged two submask trees at this node (stores one submask; the
-    /// complement is implied).
-    Merge(u32),
-}
-
-fn steiner_exact_banned(
+/// [`steiner_exact`] with caller-provided scratch buffers.
+pub fn steiner_exact_in(
     g: &SourceGraph,
     terminals: &[NodeId],
-    banned: &FxHashSet<EdgeId>,
+    scratch: &mut SteinerScratch,
+) -> Option<SteinerTree> {
+    steiner_exact_banned_in(g, terminals, &[], scratch)
+}
+
+fn steiner_exact_banned_in(
+    g: &SourceGraph,
+    terminals: &[NodeId],
+    banned: &[EdgeId],
+    s: &mut SteinerScratch,
 ) -> Option<SteinerTree> {
     let k = terminals.len();
     assert!(
@@ -88,82 +337,118 @@ fn steiner_exact_banned(
     }
     let n = g.node_count();
     let full: u32 = (1u32 << k) - 1;
-    const INF: f64 = f64::INFINITY;
-    // dp[mask][v], back[mask][v]
-    let mut dp = vec![vec![INF; n]; (full + 1) as usize];
-    let mut back = vec![vec![Back::Leaf; n]; (full + 1) as usize];
+    let masks = full as usize + 1;
+    s.build_adjacency(g, banned);
+    // A feasible solution's cost bounds every label worth keeping. The
+    // greedy bound costs a few Dijkstras, so only pay for it when the DP
+    // table is big enough for pruning to matter. The tiny relative slack
+    // keeps the optimum itself alive under float-summation-order noise.
+    let ub = if masks * n >= UB_PRUNE_MIN_CELLS {
+        s.upper_bound(n, terminals) * (1.0 + 1e-9)
+    } else {
+        INF
+    };
+    s.dp.clear();
+    s.dp.resize(masks * n, INF);
+    s.back_a.clear();
+    s.back_a.resize(masks * n, NONE32);
+    s.back_b.clear();
+    s.back_b.resize(masks * n, NONE32);
+    s.mask_min.clear();
+    s.mask_min.resize(masks, INF);
     for (i, &t) in terminals.iter().enumerate() {
-        dp[1 << i][t.0 as usize] = 0.0;
+        s.dp[(1usize << i) * n + t.0 as usize] = 0.0;
+        s.mask_min[1 << i] = 0.0;
     }
     for mask in 1..=full {
         let m = mask as usize;
-        // Merge step: combine disjoint submasks at the same node.
-        let mut sub = (mask - 1) & mask;
-        while sub > 0 {
-            let other = mask ^ sub;
-            if sub < other {
-                // Each unordered pair once.
-                for v in 0..n {
-                    let c = dp[sub as usize][v] + dp[other as usize][v];
-                    if c < dp[m][v] {
-                        dp[m][v] = c;
-                        back[m][v] = Back::Merge(sub);
+        let base = m * n;
+        // Split so submask rows (strictly below `base`) stay readable
+        // while this mask's row is written.
+        let (lower, upper) = s.dp.split_at_mut(base);
+        let dpm = &mut upper[..n];
+        // Merge step: combine disjoint submask halves at the same node.
+        // The inner loop is a pure min-plus scan — no backpointers
+        // (merges are re-derived at traceback) and no branches — so it
+        // vectorizes. A pair is skipped outright when the sum of its
+        // halves' row minima already exceeds the feasible upper bound,
+        // or when either half is everywhere-infinite.
+        if mask & (mask - 1) != 0 {
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                let other = mask ^ sub;
+                if sub < other {
+                    let floor = s.mask_min[sub as usize] + s.mask_min[other as usize];
+                    if floor < INF && floor <= ub {
+                        let sb = sub as usize * n;
+                        let ob = other as usize * n;
+                        for v in 0..n {
+                            let c = lower[sb + v] + lower[ob + v];
+                            dpm[v] = if c < dpm[v] { c } else { dpm[v] };
+                        }
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+        }
+        // Grow step: shortest-path closure of the row over the filtered
+        // CSR adjacency via queued relaxation (Bellman–Ford with a
+        // worklist). After the first pass only nodes that actually
+        // improved re-enter the queue, so near-fixpoint rows — the
+        // common case once small masks are done — cost almost nothing.
+        // Labels above the feasible bound are useless and not propagated.
+        s.queue.clear();
+        s.in_queue.clear();
+        s.in_queue.resize(n, false);
+        for (v, &c) in dpm.iter().enumerate() {
+            if c < INF {
+                s.queue.push(v as u32);
+                s.in_queue[v] = true;
+            }
+        }
+        let mut head = 0;
+        while head < s.queue.len() {
+            let v = s.queue[head] as usize;
+            head += 1;
+            s.in_queue[v] = false;
+            let dv = dpm[v];
+            let (lo, hi) = (s.adj_off[v] as usize, s.adj_off[v + 1] as usize);
+            for i in lo..hi {
+                let u = s.adj_node[i] as usize;
+                let nc = dv + s.adj_cost[i];
+                if nc < dpm[u] && nc <= ub {
+                    dpm[u] = nc;
+                    s.back_a[base + u] = v as u32;
+                    s.back_b[base + u] = s.adj_edge[i];
+                    if !s.in_queue[u] {
+                        s.in_queue[u] = true;
+                        s.queue.push(u as u32);
                     }
                 }
             }
-            sub = (sub - 1) & mask;
         }
-        // Grow step: Dijkstra relaxation within this mask.
-        let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF64>, usize)> = dp[m]
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c < INF)
-            .map(|(v, &c)| (std::cmp::Reverse(OrdF64(c)), v))
-            .collect();
-        while let Some((std::cmp::Reverse(OrdF64(c)), v)) = heap.pop() {
-            if c > dp[m][v] {
-                continue;
-            }
-            let vid = NodeId(v as u32);
-            for &e in g.incident(vid) {
-                if banned.contains(&e) {
-                    continue;
-                }
-                let u = g.other_end(e, vid).0 as usize;
-                let nc = c + g.cost(e);
-                if nc < dp[m][u] {
-                    dp[m][u] = nc;
-                    back[m][u] = Back::Grow(vid, e);
-                    heap.push((std::cmp::Reverse(OrdF64(nc)), u));
-                }
+        let mut mask_min = INF;
+        for &c in dpm.iter() {
+            if c < mask_min {
+                mask_min = c;
             }
         }
+        s.mask_min[m] = mask_min;
     }
     // Optimum: min over v of dp[full][v].
-    let (best_v, best_cost) = dp[full as usize]
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("no NaN costs"))
-        .map(|(v, &c)| (v, c))?;
+    let full_base = full as usize * n;
+    let (mut best_v, mut best_cost) = (0usize, INF);
+    for v in 0..n {
+        let c = s.dp[full_base + v];
+        if c < best_cost {
+            best_cost = c;
+            best_v = v;
+        }
+    }
     if best_cost.is_infinite() {
         return None;
     }
-    // Reconstruct.
-    let mut edges = Vec::new();
-    let mut stack = vec![(full, best_v)];
-    while let Some((mask, v)) = stack.pop() {
-        match back[mask as usize][v] {
-            Back::Leaf => {}
-            Back::Grow(from, e) => {
-                edges.push(e);
-                stack.push((mask, from.0 as usize));
-            }
-            Back::Merge(sub) => {
-                stack.push((sub, v));
-                stack.push((mask ^ sub, v));
-            }
-        }
-    }
+    let edges = s.reconstruct(n, full as usize, best_v);
     Some(SteinerTree::from_edges(g, edges, terminals))
 }
 
@@ -185,36 +470,165 @@ impl Ord for OrdF64 {
     }
 }
 
+/// A top-k branching candidate: a solved tree plus the edge set its
+/// subproblem banned. Ordered so the candidate `BinaryHeap` pops the
+/// cheapest tree first, with a deterministic tie-break — sequential and
+/// parallel branching therefore enumerate identical sequences.
+#[derive(Debug)]
+struct Candidate {
+    cost: f64,
+    /// Tree edges, sorted (the reconstruction output is sorted).
+    edges: Vec<EdgeId>,
+    /// Banned edges of the subproblem that produced this tree.
+    banned: Vec<EdgeId>,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.edges == other.edges && self.banned == other.banned
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: cheapest cost wins, ties broken structurally.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then_with(|| self.edges.cmp(&other.edges))
+            .then_with(|| self.banned.cmp(&other.banned))
+    }
+}
+
+/// Cheap dedup key for a sorted edge set (the `seen` set stores these
+/// 64-bit keys instead of cloning whole edge vectors).
+fn edge_key(edges: &[EdgeId]) -> u64 {
+    let mut h = FxHasher::default();
+    edges.hash(&mut h);
+    h.finish()
+}
+
+/// Whether a banned-child solve is big enough to pay for worker threads:
+/// the DP table is `2^k * n` cells, and thread startup costs ~tens of µs.
+/// On a single-core host there is nothing to win, so never spawn there.
+fn parallel_worthwhile(g: &SourceGraph, terminals: &[NodeId]) -> bool {
+    std::thread::available_parallelism().map_or(false, |p| p.get() > 1)
+        && terminals.len() <= MAX_EXACT_TERMINALS
+        && g.node_count().saturating_mul(1usize << terminals.len()) >= 1 << 14
+}
+
+/// Solve every child subproblem (one banned set each) on scoped worker
+/// threads, each with its own scratch. Results keep child order, so the
+/// caller's heap evolution is identical to the sequential path.
+fn solve_children_parallel(
+    g: &SourceGraph,
+    terminals: &[NodeId],
+    children: &[Vec<EdgeId>],
+) -> Vec<Option<SteinerTree>> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(children.len());
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<SteinerTree>> = vec![None; children.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut scratch = SteinerScratch::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= children.len() {
+                            break;
+                        }
+                        local.push((
+                            i,
+                            steiner_exact_banned_in(g, terminals, &children[i], &mut scratch),
+                        ));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, t) in h.join().expect("steiner worker panicked") {
+                out[i] = t;
+            }
+        }
+    });
+    out
+}
+
 /// Exact top-k Steiner trees by nondecreasing cost, via edge-exclusion
-/// branching over [`steiner_exact`]. Distinct edge sets only.
+/// branching over [`steiner_exact`]. Distinct edge sets only. Child
+/// subproblems run on worker threads when large enough to pay for them.
 pub fn top_k_steiner(g: &SourceGraph, terminals: &[NodeId], k: usize) -> Vec<SteinerTree> {
+    top_k_steiner_opts(g, terminals, k, parallel_worthwhile(g, terminals))
+}
+
+/// [`top_k_steiner`] with explicit control over parallel branching
+/// (`parallel = false` forces the sequential path; both modes return
+/// identical results).
+pub fn top_k_steiner_opts(
+    g: &SourceGraph,
+    terminals: &[NodeId],
+    k: usize,
+    parallel: bool,
+) -> Vec<SteinerTree> {
     let mut out: Vec<SteinerTree> = Vec::new();
-    let mut seen: FxHashSet<Vec<EdgeId>> = FxHashSet::default();
-    // Heap of candidate (cost, tree, banned-set) ordered by min cost.
-    let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF64>, Vec<EdgeId>, Vec<EdgeId>)> =
-        BinaryHeap::new();
-    let Some(first) = steiner_exact(g, terminals) else {
+    if k == 0 {
+        return out;
+    }
+    let mut scratch = SteinerScratch::new();
+    let Some(first) = steiner_exact_in(g, terminals, &mut scratch) else {
         return out;
     };
-    heap.push((std::cmp::Reverse(OrdF64(first.cost)), first.edges.clone(), Vec::new()));
-    while let Some((_, edges, banned_vec)) = heap.pop() {
-        if !seen.insert(edges.clone()) {
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    heap.push(Candidate { cost: first.cost, edges: first.edges, banned: Vec::new() });
+    while let Some(cand) = heap.pop() {
+        if !seen.insert(edge_key(&cand.edges)) {
             continue;
         }
-        let tree = SteinerTree::from_edges(g, edges.clone(), terminals);
-        out.push(tree);
+        let Candidate { edges, banned, .. } = cand;
+        out.push(SteinerTree::from_edges(g, edges, terminals));
         if out.len() >= k {
             break;
         }
         // Branch: ban each edge of this tree in turn (any distinct tree
-        // must omit at least one of them).
-        for &e in &edges {
-            let mut banned: FxHashSet<EdgeId> = banned_vec.iter().copied().collect();
-            banned.insert(e);
-            if let Some(t) = steiner_exact_banned(g, terminals, &banned) {
-                let mut bv = banned_vec.clone();
-                bv.push(e);
-                heap.push((std::cmp::Reverse(OrdF64(t.cost)), t.edges, bv));
+        // must omit at least one of them). The child solves share no
+        // state, so they can run concurrently.
+        let tree_edges = &out.last().expect("just pushed").edges;
+        let children: Vec<Vec<EdgeId>> = tree_edges
+            .iter()
+            .map(|&e| {
+                let mut b = banned.clone();
+                b.push(e);
+                b
+            })
+            .collect();
+        let solved: Vec<Option<SteinerTree>> = if parallel && children.len() >= 2 {
+            solve_children_parallel(g, terminals, &children)
+        } else {
+            children
+                .iter()
+                .map(|b| steiner_exact_banned_in(g, terminals, b, &mut scratch))
+                .collect()
+        };
+        for (b, t) in children.into_iter().zip(solved) {
+            if let Some(t) = t {
+                heap.push(Candidate { cost: t.cost, edges: t.edges, banned: b });
             }
         }
     }
@@ -263,7 +677,6 @@ fn spcsh_banned(
 
     while !remaining.is_empty() {
         // Multi-source Dijkstra from the current tree.
-        const INF: f64 = f64::INFINITY;
         let mut dist = vec![INF; n];
         let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
         let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF64>, usize)> = BinaryHeap::new();
@@ -315,7 +728,9 @@ mod tests {
     use super::*;
     use crate::source_graph::EdgeKind;
     use copycat_query::Schema;
+    use copycat_util::check::{check, Gen};
     use copycat_util::rng::{Rng, SeedableRng, StdRng};
+    use copycat_util::{prop_ensure, prop_ensure_eq};
 
     fn chain(costs: &[f64]) -> (SourceGraph, Vec<NodeId>) {
         let mut g = SourceGraph::new();
@@ -464,6 +879,20 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_sound() {
+        // Solving different problems through one scratch must not leak
+        // state between solves.
+        let mut scratch = SteinerScratch::new();
+        for seed in 0..10 {
+            let g = random_graph(seed, 9, 8);
+            let terminals = vec![NodeId(0), NodeId(4), NodeId(8)];
+            let fresh = steiner_exact(&g, &terminals).map(|t| t.cost);
+            let reused = steiner_exact_in(&g, &terminals, &mut scratch).map(|t| t.cost);
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn exact_matches_brute_force_on_random_graphs() {
         for seed in 0..20 {
             let g = random_graph(seed, 9, 8);
@@ -478,6 +907,93 @@ mod tests {
                 other => panic!("seed {seed}: {other:?}"),
             }
         }
+    }
+
+    /// Draw a small random graph from the property-test tape: ≤8 nodes,
+    /// optional spanning backbone (absent → possibly disconnected),
+    /// random extra edges, and 1–5 distinct terminals.
+    fn gen_graph(gen: &mut Gen) -> (SourceGraph, Vec<NodeId>) {
+        let n = gen.usize_in(2..9);
+        let mut g = SourceGraph::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| g.add_relation(format!("n{i}"), Schema::of(&["X"])))
+            .collect();
+        let join = || EdgeKind::Join { pairs: vec![("X".into(), "X".into())] };
+        if gen.bool_p(0.8) {
+            for i in 1..n {
+                let j = gen.usize_in(0..i);
+                g.add_edge_with_cost(nodes[i], nodes[j], join(), gen.f64_in(0.1..3.0));
+            }
+        }
+        for _ in 0..gen.usize_in(0..10) {
+            let a = gen.usize_in(0..n);
+            let b = gen.usize_in(0..n);
+            if a != b {
+                g.add_edge_with_cost(nodes[a], nodes[b], join(), gen.f64_in(0.1..3.0));
+            }
+        }
+        let k = gen.usize_in(1..n.min(5) + 1);
+        let mut terminals = Vec::with_capacity(k);
+        while terminals.len() < k {
+            let cand = nodes[gen.usize_in(0..n)];
+            if !terminals.contains(&cand) {
+                terminals.push(cand);
+            }
+        }
+        (g, terminals)
+    }
+
+    #[test]
+    fn prop_exact_matches_brute_force() {
+        check("steiner-exact-vs-brute", 64, &[], |gen| {
+            let (g, terminals) = gen_graph(gen);
+            let exact = steiner_exact(&g, &terminals);
+            let brute = brute_force(&g, &terminals);
+            match (&exact, brute) {
+                (Some(t), Some(b)) => {
+                    prop_ensure!(
+                        (t.cost - b).abs() < 1e-9,
+                        "exact {} vs brute {b} on {g}",
+                        t.cost
+                    );
+                    // The reported cost is consistent with the edge set,
+                    // and the tree spans every terminal.
+                    prop_ensure!((g.tree_cost(&t.edges) - t.cost).abs() < 1e-9);
+                    for term in &terminals {
+                        prop_ensure!(t.nodes.contains(term), "terminal {term:?} not spanned");
+                    }
+                }
+                (None, None) => {}
+                other => return Err(format!("exact/brute disagree on feasibility: {other:?}")),
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn prop_top_k_sorted_distinct_and_mode_independent() {
+        check("top-k-parallel-vs-seq", 32, &[], |gen| {
+            let (g, terminals) = gen_graph(gen);
+            let k = gen.usize_in(1..7);
+            let seq = top_k_steiner_opts(&g, &terminals, k, false);
+            let par = top_k_steiner_opts(&g, &terminals, k, true);
+            for trees in [&seq, &par] {
+                for pair in trees.windows(2) {
+                    prop_ensure!(pair[0].cost <= pair[1].cost + 1e-9, "costs decrease");
+                    prop_ensure!(pair[0].edges != pair[1].edges, "duplicate tree");
+                }
+            }
+            prop_ensure_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(par.iter()) {
+                prop_ensure_eq!(a.edges, b.edges);
+                prop_ensure!((a.cost - b.cost).abs() < 1e-9);
+            }
+            if let Some(first) = seq.first() {
+                let opt = steiner_exact(&g, &terminals).expect("feasible");
+                prop_ensure!((first.cost - opt.cost).abs() < 1e-9, "first tree not optimal");
+            }
+            Ok(())
+        });
     }
 
     #[test]

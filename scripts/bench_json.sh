@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Emit the E3 Steiner scale-up sweep as machine-readable JSON
+# (BENCH_steiner.json at the repo root), so every PR leaves a perf
+# trajectory the next one can diff against. Rows are
+# {nodes, terminals, exact_us, spcsh_us, ratio}; exact_us/ratio are null
+# where the exact solve is out of the sweep's range.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_steiner.json"
+cargo run --release --offline -p copycat-bench --bin harness -- e3-json > "$OUT"
+test -s "$OUT" || { echo "bench_json: $OUT is empty" >&2; exit 1; }
+echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"

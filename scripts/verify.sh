@@ -9,3 +9,6 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo run --release --offline -p copycat-bench --bin harness -- e1
+# Smoke: the perf-trajectory emitter runs and produces non-empty JSON
+# (no timing assertions — numbers vary by machine).
+scripts/bench_json.sh
