@@ -9,7 +9,7 @@
 use copycat_bench::table::{dur, f1, f3, TextTable};
 use copycat_bench::{
     ablations, e1_keystrokes, e2_feedback, e3_steiner, e4_structure, e5_column, e6_semantic,
-    e7_linkage, e8_figure4,
+    e7_linkage, e8_figure4, serve_load,
 };
 use std::fmt::Write;
 
@@ -192,6 +192,39 @@ fn section_e8() -> String {
     out
 }
 
+/// The sweep behind both the serve section and `BENCH_serve.json`.
+const SERVE_CONCURRENCY: &[usize] = &[1, 2, 4];
+const SERVE_REQUESTS_PER_CLIENT: usize = 150;
+
+fn section_serve() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== S1: copycat-serve throughput/latency (closed-loop clients, in-process) ==\n"
+    )
+    .unwrap();
+    let rows = serve_load::run(SERVE_CONCURRENCY, SERVE_REQUESTS_PER_CLIENT);
+    let mut t = TextTable::new(&["clients", "requests", "throughput rps", "p50", "p99"]);
+    for r in &rows {
+        t.row(vec![
+            r.clients.to_string(),
+            r.requests.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            dur(std::time::Duration::from_micros(r.p50_us)),
+            dur(std::time::Duration::from_micros(r.p99_us)),
+        ]);
+    }
+    writeln!(out, "{}", t.render()).unwrap();
+    out
+}
+
+/// `harness -- serve-json`: the serve sweep as machine-readable JSON on
+/// stdout (consumed by `scripts/bench_json.sh` into `BENCH_serve.json`).
+fn serve_json() -> String {
+    let rows = serve_load::run(SERVE_CONCURRENCY, SERVE_REQUESTS_PER_CLIENT);
+    serve_load::rows_to_json(&rows).to_string()
+}
+
 fn section_a1() -> String {
     let mut out = String::new();
     writeln!(
@@ -255,6 +288,10 @@ fn main() {
         println!("{}", e3_json());
         return;
     }
+    if which.iter().any(|w| w == "serve-json") {
+        println!("{}", serve_json());
+        return;
+    }
     let all = which.is_empty() || which.iter().any(|w| w == "all");
     let want = |name: &str| all || which.iter().any(|w| w == name);
 
@@ -267,6 +304,7 @@ fn main() {
         ("e6", section_e6),
         ("e7", section_e7),
         ("e8", section_e8),
+        ("serve", section_serve),
         ("a1", section_a1),
         ("a2", section_a2),
         ("a3", section_a3),

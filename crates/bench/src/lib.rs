@@ -16,4 +16,5 @@ pub mod e6_semantic;
 pub mod e7_linkage;
 pub mod e8_figure4;
 pub mod gen;
+pub mod serve_load;
 pub mod table;

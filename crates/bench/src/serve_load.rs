@@ -1,0 +1,259 @@
+//! Serve-layer load generation: closed-loop clients against the
+//! in-process transport, reporting throughput and latency quantiles
+//! per concurrency level.
+//!
+//! Each client owns one session (multi-tenant, so clients never contend
+//! on a session lock), performs a fixed warm-up conversation (import
+//! two joinable sources), then issues a timed loop of the interactive
+//! hot path: query discovery (`autocomplete`, hitting the query cache
+//! after the first round), `render`, and `session_stats`. Clients are
+//! closed-loop — one outstanding request each — so the offered load
+//! scales with the concurrency level and the queue never overflows.
+
+use copycat_serve::server::{Server, ServerConfig};
+use copycat_util::hist::Histogram;
+use copycat_util::json::Json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One concurrency level's aggregate results.
+#[derive(Debug, Clone)]
+pub struct ServeLoadRow {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Timed requests issued across all clients.
+    pub requests: u64,
+    /// Responses with `ok:true`.
+    pub ok: u64,
+    /// Wall time for the timed portion.
+    pub elapsed: Duration,
+    /// Timed requests per second (all clients together).
+    pub throughput_rps: f64,
+    /// Client-observed median latency (µs).
+    pub p50_us: u64,
+    /// Client-observed tail latency (µs).
+    pub p99_us: u64,
+}
+
+fn esc(s: &str) -> String {
+    Json::str(s).to_string()
+}
+
+/// The per-client warm-up: a session with two committed, joinable
+/// sources, tagged so tenants never share values.
+fn warm_up(server: &Server, session: &str, tag: &str) -> (String, String) {
+    let s = format!("\"session\":{}", esc(session));
+    let rows: Vec<Vec<String>> = (0..4)
+        .map(|i| {
+            vec![
+                format!("Venue-{tag}-{i}"),
+                format!("{i} Oak St {tag}"),
+                format!("City{}", i % 2),
+            ]
+        })
+        .collect();
+    let contacts: Vec<Vec<String>> = (0..4)
+        .map(|i| {
+            vec![
+                format!("Person-{tag}-{i}"),
+                format!("555-0{i}-{tag}"),
+                format!("Venue-{tag}-{i}"),
+            ]
+        })
+        .collect();
+    let rows_json = |rows: &[Vec<String>]| {
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| esc(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!("[{}]", rendered.join(","))
+    };
+    let mut lines = vec![
+        format!("{{\"id\":0,\"op\":\"create_session\",{s}}}"),
+        format!(
+            "{{\"id\":0,\"op\":\"open_doc\",{s},\"name\":\"Shelters\",\
+             \"headers\":[\"Venue\",\"Street\",\"City\"],\"rows\":{}}}",
+            rows_json(&rows)
+        ),
+    ];
+    for r in &rows {
+        let cells: Vec<String> = r.iter().map(|c| esc(c)).collect();
+        lines.push(format!(
+            "{{\"id\":0,\"op\":\"paste\",{s},\"doc\":0,\"values\":[{}]}}",
+            cells.join(",")
+        ));
+    }
+    lines.push(format!("{{\"id\":0,\"op\":\"accept_rows\",{s}}}"));
+    lines.push(format!(
+        "{{\"id\":0,\"op\":\"name_column\",{s},\"col\":0,\"name\":\"Venue\"}}"
+    ));
+    lines.push(format!(
+        "{{\"id\":0,\"op\":\"commit_source\",{s},\"name\":\"Shelters\"}}"
+    ));
+    lines.push(format!(
+        "{{\"id\":0,\"op\":\"open_doc\",{s},\"name\":\"Contacts\",\
+         \"headers\":[\"Person\",\"Phone\",\"Venue\"],\"rows\":{}}}",
+        rows_json(&contacts)
+    ));
+    for r in &contacts {
+        let cells: Vec<String> = r.iter().map(|c| esc(c)).collect();
+        lines.push(format!(
+            "{{\"id\":0,\"op\":\"paste\",{s},\"doc\":1,\"values\":[{}]}}",
+            cells.join(",")
+        ));
+    }
+    lines.push(format!("{{\"id\":0,\"op\":\"accept_rows\",{s}}}"));
+    lines.push(format!(
+        "{{\"id\":0,\"op\":\"name_column\",{s},\"col\":2,\"name\":\"Venue\"}}"
+    ));
+    lines.push(format!(
+        "{{\"id\":0,\"op\":\"commit_source\",{s},\"name\":\"Contacts\"}}"
+    ));
+    for line in &lines {
+        server.handle_line(line);
+    }
+    (rows[0][1].clone(), contacts[0][1].clone())
+}
+
+/// Run the timed loop for one client; records latencies into `hist`.
+/// Returns (requests, ok).
+fn client_loop(
+    server: &Server,
+    session: &str,
+    probes: (&str, &str),
+    requests: usize,
+    hist: &Histogram,
+) -> (u64, u64) {
+    let s = format!("\"session\":{}", esc(session));
+    let script = [
+        format!(
+            "{{\"id\":1,\"op\":\"autocomplete\",{s},\"values\":[{},{}],\"k\":3}}",
+            esc(probes.0),
+            esc(probes.1)
+        ),
+        format!("{{\"id\":2,\"op\":\"render\",{s}}}"),
+        format!("{{\"id\":3,\"op\":\"session_stats\",{s}}}"),
+    ];
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    for i in 0..requests {
+        let line = &script[i % script.len()];
+        let start = Instant::now();
+        let resp = server.handle_line(line);
+        hist.record(start.elapsed());
+        sent += 1;
+        if resp.contains("\"ok\":true") {
+            ok += 1;
+        }
+    }
+    (sent, ok)
+}
+
+/// Drive one concurrency level: `clients` closed-loop clients, each
+/// issuing `requests_per_client` timed requests over its own session.
+pub fn run_level(clients: usize, requests_per_client: usize) -> ServeLoadRow {
+    let server = Arc::new(Server::new(ServerConfig {
+        workers: clients.clamp(2, 8),
+        queue_depth: (clients * 2).max(16),
+        shards: 8,
+    }));
+    // Warm up all sessions before the clock starts.
+    let probes: Vec<(String, String)> = (0..clients)
+        .map(|c| warm_up(&server, &format!("client-{c}"), &format!("c{c}")))
+        .collect();
+
+    let hist = Arc::new(Histogram::default());
+    let started = Instant::now();
+    let (mut sent, mut ok) = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let hist = Arc::clone(&hist);
+                let (a, b) = probes[c].clone();
+                scope.spawn(move || {
+                    client_loop(
+                        &server,
+                        &format!("client-{c}"),
+                        (&a, &b),
+                        requests_per_client,
+                        &hist,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (s, o) = h.join().expect("client thread");
+            sent += s;
+            ok += o;
+        }
+    });
+    let elapsed = started.elapsed();
+    let snap = hist.snapshot();
+    let row = ServeLoadRow {
+        clients,
+        requests: sent,
+        ok,
+        elapsed,
+        throughput_rps: sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: snap.p50_us,
+        p99_us: snap.p99_us,
+    };
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(),
+        Err(_) => unreachable!("clients joined"),
+    }
+    row
+}
+
+/// The full sweep over concurrency levels.
+pub fn run(concurrency: &[usize], requests_per_client: usize) -> Vec<ServeLoadRow> {
+    concurrency
+        .iter()
+        .map(|&c| run_level(c.max(1), requests_per_client))
+        .collect()
+}
+
+/// Render rows as the `BENCH_serve.json` payload.
+pub fn rows_to_json(rows: &[ServeLoadRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("clients".into(), Json::Num(r.clients as f64)),
+                    ("requests".into(), Json::Num(r.requests as f64)),
+                    ("ok".into(), Json::Num(r.ok as f64)),
+                    (
+                        "elapsed_us".into(),
+                        Json::Num(r.elapsed.as_micros() as f64),
+                    ),
+                    ("throughput_rps".into(), Json::Num(r.throughput_rps)),
+                    ("p50_us".into(), Json::Num(r.p50_us as f64)),
+                    ("p99_us".into(), Json::Num(r.p99_us as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_generator_produces_clean_runs() {
+        let rows = run(&[1, 2], 30);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.requests, 30 * r.clients as u64);
+            assert_eq!(r.ok, r.requests, "all load-gen requests must succeed");
+            assert!(r.throughput_rps > 0.0);
+            assert!(r.p99_us >= r.p50_us);
+        }
+        let json = rows_to_json(&rows).to_string();
+        assert!(json.contains("throughput_rps"));
+    }
+}

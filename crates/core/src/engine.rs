@@ -879,11 +879,14 @@ impl CopyCat {
     }
 
     /// Replace the source graph wholesale (session restore). The query
-    /// cache is dropped: the new graph's version numbering is unrelated
-    /// to the old one's.
+    /// cache is *replaced*, not just cleared: the new graph's version
+    /// numbering is unrelated to the old one's, so no cached tree — and
+    /// no hit/miss counter — may survive the swap. A loaded session
+    /// always starts cold and can never serve a stale cached query
+    /// result.
     pub(crate) fn restore_graph(&mut self, graph: SourceGraph) {
         self.graph = graph;
-        self.query_cache.clear();
+        self.query_cache = QueryCache::default();
     }
 
     /// Re-register a saved wrapper without a live document.

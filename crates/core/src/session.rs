@@ -133,6 +133,13 @@ impl CopyCat {
     /// reattachment, user types re-register. Services must be
     /// re-registered by the caller (their closures are not serializable);
     /// existing graph nodes are reused so learned costs survive.
+    ///
+    /// The restored engine's query cache is guaranteed cold: the graph
+    /// swap replaces the [`crate::cache::QueryCache`] wholesale and the
+    /// restored graph reports a fresh [`SourceGraph::version`], so no
+    /// cached Steiner result from any earlier engine can be served
+    /// against the restored graph (see
+    /// `loaded_session_never_serves_stale_cached_queries`).
     pub fn load_session(saved: &SavedSession) -> CopyCat {
         let mut cc = CopyCat::new();
         for r in &saved.relations {
@@ -226,6 +233,147 @@ mod tests {
             "rejected geocoder stays below the threshold: {:?}",
             suggs.iter().map(|c| &c.label).collect::<Vec<_>>()
         );
+    }
+
+    /// Regression (serve-layer bugfix): an engine restored from a saved
+    /// session must start with a *cold* query cache and a fresh graph
+    /// version. Before the fix, `restore_graph` only cleared the cache
+    /// map (keeping counters) and `SourceGraph::from_parts` restarted
+    /// version numbering at 0 — the same stamp a fresh engine's cached
+    /// entries carry — so a cache that survived the swap could validate
+    /// stale trees against the restored graph.
+    #[test]
+    fn loaded_session_never_serves_stale_cached_queries() {
+        let mut s = Scenario::build(&ScenarioConfig { venues: 10, ..Default::default() });
+        // Import both sources with a shared "Venue" column so a join
+        // query across them is discoverable (the Example 1 pair).
+        let row0: Vec<&str> = s.shelter_rows[0].iter().map(String::as_str).collect();
+        s.engine.paste_example(s.shelters_doc, &row0);
+        s.engine.accept_suggested_rows();
+        s.engine.name_column(0, "Venue");
+        s.engine.set_column_type(2, "PR-City");
+        s.engine.commit_source("Shelters");
+        s.engine.start_import_tab("contacts");
+        let c0: Vec<&str> = s.contact_rows[0].iter().map(String::as_str).collect();
+        s.engine.paste_example(s.contacts_doc, &c0);
+        s.engine.accept_suggested_rows();
+        s.engine.name_column(2, "Venue");
+        s.engine.commit_source("Contacts");
+        let values: Vec<&str> = vec![&s.shelter_rows[0][1], &s.contact_rows[0][1]];
+        // Warm the donor engine's cache.
+        let warm = s.engine.discover_queries_for_tuple(&values, 3);
+        assert!(!warm.is_empty());
+        s.engine.discover_queries_for_tuple(&values, 3);
+        assert_eq!(s.engine.query_cache_stats().hits, 1);
+
+        let json = s.engine.save_session_json();
+        let restored = CopyCat::load_session_json(&json).expect("valid json");
+        // The restored graph cannot collide with a fresh graph's version.
+        assert!(restored.graph().version() > 0);
+        assert_eq!(
+            restored.graph().version(),
+            (restored.graph().node_count() + restored.graph().edge_count()) as u64
+        );
+        // Counters restart with the engine: the first discovery is a
+        // genuine miss, not a stale hit.
+        assert_eq!(restored.query_cache_stats(), crate::cache::CacheStats::default());
+        let after = restored.discover_queries_for_tuple(&values, 3);
+        let stats = restored.query_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "{stats:?}");
+        // And the freshly computed result agrees with a cold search on
+        // the restored graph.
+        let terminals: Vec<copycat_graph::NodeId> = ["Shelters", "Contacts"]
+            .iter()
+            .filter_map(|n| restored.graph().node_by_name(n))
+            .collect();
+        let cold = crate::autocomplete::discover_queries(
+            restored.graph(),
+            restored.catalog(),
+            &terminals,
+            3,
+        );
+        assert_eq!(after.len(), cold.len());
+        for (a, b) in after.iter().zip(cold.iter()) {
+            assert_eq!(a.tree, b.tree);
+        }
+    }
+
+    /// Seeded property: `save_session_json` → `load_session_json` is
+    /// lossless for relations, learned edge costs, and user-defined
+    /// types, for arbitrary world sizes, feedback histories, and
+    /// learned type vocabularies.
+    #[test]
+    fn prop_session_json_roundtrip_is_lossless() {
+        use copycat_util::{check::check, prop_ensure, prop_ensure_eq};
+        check("session_json_roundtrip", 16, &[], |g| {
+            let venues = g.usize_in(3..12);
+            let seed = g.u64_in(1..1_000);
+            let mut s = Scenario::build(&ScenarioConfig {
+                venues,
+                seed,
+                ..Default::default()
+            });
+            s.import_shelters(1);
+            // A feedback history: accept/reject some of the shown column
+            // suggestions so edge costs move off their defaults.
+            for _ in 0..g.usize_in(0..3) {
+                let suggs = s.engine.column_suggestions();
+                if suggs.is_empty() {
+                    break;
+                }
+                let pick = g.usize_in(0..suggs.len());
+                if g.bool_p(0.5) {
+                    s.engine.reject_column(&suggs[pick]);
+                } else {
+                    s.engine.accept_column(&suggs[pick]);
+                }
+            }
+            // User-defined types with generated vocabularies.
+            let n_types = g.usize_in(0..3);
+            let mut type_names = Vec::new();
+            for t in 0..n_types {
+                let name = format!("UserType{t}");
+                let examples: Vec<String> = (0..3)
+                    .map(|_| g.string_of("ABC-0123", 4..8))
+                    .collect();
+                s.engine.registry_mut().learn_type(&name, &examples);
+                type_names.push(name);
+            }
+
+            let json = s.engine.save_session_json();
+            let restored = CopyCat::load_session_json(&json)
+                .map_err(|e| format!("load failed: {e}"))?;
+            // Relations: same names, schemas, and rows.
+            let mut names = s.engine.catalog().relation_names();
+            names.retain(|n| !n.contains('≈'));
+            for name in names {
+                let a = s.engine.catalog().relation(&name).expect("source relation");
+                let b = restored.catalog().relation(&name);
+                prop_ensure!(b.is_some(), "relation {name} lost in roundtrip");
+                let b = b.unwrap();
+                prop_ensure_eq!(a.schema().names(), b.schema().names());
+                prop_ensure_eq!(a.as_texts(), b.as_texts());
+            }
+            // Graph: identical topology and learned costs.
+            prop_ensure_eq!(s.engine.graph().node_count(), restored.graph().node_count());
+            prop_ensure_eq!(s.engine.graph().edge_count(), restored.graph().edge_count());
+            for e in s.engine.graph().edge_ids() {
+                prop_ensure_eq!(s.engine.graph().cost(e), restored.graph().cost(e));
+            }
+            // User-defined types survive.
+            for name in &type_names {
+                prop_ensure!(
+                    restored.registry().get(name).is_some(),
+                    "user type {name} lost in roundtrip"
+                );
+            }
+            // Wrappers survive (detached).
+            prop_ensure_eq!(
+                s.engine.saved_wrappers().len(),
+                restored.saved_wrappers().len()
+            );
+            Ok(())
+        });
     }
 
     #[test]

@@ -230,6 +230,14 @@ impl SourceGraph {
 
     /// Rebuild a graph from saved nodes and edges (session restore). Node
     /// and edge ids are their positions in the vectors.
+    ///
+    /// The version starts at `nodes + edges` — exactly where it would
+    /// stand had the graph been built incrementally — never at 0. A
+    /// non-empty restored graph therefore cannot share a version stamp
+    /// with the fresh graph a new engine starts from, so any
+    /// [`version`](Self::version)-keyed cache that (incorrectly)
+    /// survived a graph swap can never validate its stale entries
+    /// against the restored graph.
     pub fn from_parts(nodes: Vec<Node>, edges: Vec<Edge>) -> Self {
         let mut by_name = FxHashMap::default();
         let mut adjacency = vec![Vec::new(); nodes.len()];
@@ -240,7 +248,8 @@ impl SourceGraph {
             adjacency[e.a.0 as usize].push(EdgeId(i as u32));
             adjacency[e.b.0 as usize].push(EdgeId(i as u32));
         }
-        Self { nodes, edges, by_name, adjacency, version: 0 }
+        let version = (nodes.len() + edges.len()) as u64;
+        Self { nodes, edges, by_name, adjacency, version }
     }
 
     /// Monotonic version stamp. Bumped whenever the search-relevant shape
@@ -520,5 +529,21 @@ mod tests {
             assert_eq!(a.weight, b.weight);
         }
         assert_eq!(back.node_by_name("zip_resolver"), g.node_by_name("zip_resolver"));
+    }
+
+    #[test]
+    fn restored_graph_version_matches_incremental_construction() {
+        let (g, _, _, _) = tiny();
+        let nodes: Vec<Node> = g.node_ids().map(|n| g.node(n).clone()).collect();
+        let edges: Vec<Edge> = g.edge_ids().map(|e| g.edge(e).clone()).collect();
+        let back = SourceGraph::from_parts(nodes, edges);
+        // A non-empty restored graph never reports the fresh-graph
+        // version 0 — stale version-0-stamped cache entries from an
+        // earlier engine can therefore never validate against it.
+        assert_eq!(
+            back.version(),
+            (back.node_count() + back.edge_count()) as u64
+        );
+        assert!(back.version() > 0);
     }
 }

@@ -1,0 +1,79 @@
+//! The copycat-serve binary.
+//!
+//! ```text
+//! copycat-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--shards N]
+//! copycat-serve smoke
+//! ```
+//!
+//! The default mode binds a TCP listener and serves line-delimited JSON
+//! until a client issues `{"op":"shutdown"}`. `smoke` runs one request
+//! of every class through an in-process server and exits non-zero if a
+//! required class fails — the hook `scripts/verify.sh` uses.
+
+use copycat_serve::server::{Server, ServerConfig};
+use copycat_serve::{smoke, tcp};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("smoke") {
+        return run_smoke();
+    }
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = (args[i].as_str(), args.get(i + 1));
+        let Some(value) = value else {
+            eprintln!("missing value for {flag}");
+            return ExitCode::from(2);
+        };
+        match flag {
+            "--addr" => addr = value.clone(),
+            "--workers" => config.workers = value.parse().unwrap_or(config.workers),
+            "--queue" => config.queue_depth = value.parse().unwrap_or(config.queue_depth),
+            "--shards" => config.shards = value.parse().unwrap_or(config.shards),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 2;
+    }
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    eprintln!(
+        "copycat-serve listening on {addr} ({} workers, queue {})",
+        config.workers, config.queue_depth
+    );
+    match tcp::serve(listener, Server::new(config)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_smoke() -> ExitCode {
+    match smoke::run_default() {
+        Ok(log) => {
+            for x in &log {
+                println!("{} {}", if x.ok { "ok " } else { "err" }, x.op);
+            }
+            println!("smoke: {} exchanges, all required classes ok", log.len());
+            ExitCode::SUCCESS
+        }
+        Err(failed) => {
+            eprintln!("smoke FAILED at {}:\n  request:  {}\n  response: {}",
+                failed.op, failed.request, failed.response);
+            ExitCode::from(1)
+        }
+    }
+}

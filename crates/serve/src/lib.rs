@@ -1,0 +1,42 @@
+//! copycat-serve — a multi-tenant session server for the CopyCat
+//! engine.
+//!
+//! The paper's CopyCat is a single-user desktop tool; this crate is the
+//! headless serving layer that hosts *many* interactive sessions at
+//! once, one engine per tenant, behind a line-delimited JSON protocol:
+//!
+//! - [`registry`] — FxHash-sharded session registry; per-session mutex,
+//!   per-shard `RwLock`, cross-tenant concurrency.
+//! - [`pool`] — bounded worker pool: `try_send` admission, explicit
+//!   `overloaded` rejection, drain-on-shutdown.
+//! - [`deadline`] — per-request budgets spanning wall time *and* the
+//!   virtual latency of fault-injected services.
+//! - [`metrics`] — per-class counters + fixed-bucket latency
+//!   histograms (p50/p99), readable via the `stats` request.
+//! - [`protocol`] — the request/response grammar (see `DESIGN.md`,
+//!   "Serving layer").
+//! - [`server`] — admission, dispatch, graceful drain; its
+//!   [`Server::handle_line`] is the in-process transport.
+//! - [`tcp`] — the socket transport (`copycat-serve` binary).
+//! - [`smoke`] — one scripted request per request class, used by the
+//!   verify pipeline.
+//!
+//! Responses carry no timing, so a request script is byte-deterministic
+//! whether sessions are driven sequentially or concurrently; latency is
+//! observable only through the metrics registry.
+
+pub mod deadline;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod smoke;
+pub mod tcp;
+
+pub use deadline::Deadline;
+pub use metrics::{ClassMetrics, Metrics};
+pub use pool::{Job, Pool, SubmitError};
+pub use protocol::{err_response, ok_response, ErrorKind, Op, Request};
+pub use registry::{RegistryError, Session, SessionRegistry, SessionState};
+pub use server::{Server, ServerConfig};

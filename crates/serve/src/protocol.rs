@@ -1,0 +1,297 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! One request per line, one response per line, in order. A request is
+//! a JSON object:
+//!
+//! ```json
+//! {"id": 7, "op": "autocomplete", "session": "alice",
+//!  "values": ["7782 Cypress Ave", "(954) 555-7735"], "k": 3,
+//!  "deadline_ms": 250}
+//! ```
+//!
+//! `id` is echoed verbatim in the response so clients can pipeline.
+//! `deadline_ms` is an optional per-request budget: queue wait, lock
+//! wait, execution, and any *virtual* service latency accrued by
+//! [`copycat_services::Flaky`] probes all draw from it, and the server
+//! checks it at operator boundaries (dequeue, post-lookup, post-engine).
+//!
+//! A response is `{"id": …, "ok": true, "result": {…}}` or
+//! `{"id": …, "ok": false, "error": {"kind": "…", "message": "…"}}`.
+//! Error kinds are closed (see [`ErrorKind`]) so clients can switch on
+//! them; `overloaded` and `timeout` are the backpressure/deadline
+//! signals, never conflated with `internal`.
+
+use copycat_util::json::{Json, JsonError};
+
+/// Every request class the server speaks. One histogram + counter set
+/// per class lives in the metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Liveness probe.
+    Ping,
+    /// Create a named session.
+    CreateSession,
+    /// Restore a session from a `save_session` snapshot.
+    LoadSession,
+    /// Snapshot a session (JSON string, reloadable).
+    SaveSession,
+    /// Drop a session.
+    CloseSession,
+    /// Names of live sessions.
+    ListSessions,
+    /// Register an in-memory spreadsheet document.
+    OpenDoc,
+    /// Paste an example row from a document (import mode).
+    Paste,
+    /// Accept all suggested rows.
+    AcceptRows,
+    /// Rename a column.
+    NameColumn,
+    /// Pick a column's semantic type.
+    SetColumnType,
+    /// Commit the active tab as a named source.
+    CommitSource,
+    /// Register the seeded simulated-service bundle.
+    RegisterWorld,
+    /// Re-register one world service wrapped in fault injection.
+    RegisterFlaky,
+    /// Ranked column auto-completions for the active query.
+    ColumnSuggestions,
+    /// Accept a previously returned column suggestion by index.
+    AcceptColumn,
+    /// Reject a previously returned column suggestion by index.
+    RejectColumn,
+    /// Discover ranked queries for a pasted tuple (the Steiner path).
+    Autocomplete,
+    /// Prefer one discovered query over others (MIRA feedback).
+    Feedback,
+    /// Explain a row's provenance.
+    Explain,
+    /// Export the active tab (csv/json/xml).
+    Export,
+    /// Render the active tab as text.
+    Render,
+    /// Per-session cache stats and view-state depth.
+    SessionStats,
+    /// Server-wide metrics snapshot.
+    Stats,
+    /// Begin a graceful shutdown (stop admitting, drain in-flight).
+    Shutdown,
+    /// Synthetic class for unparseable requests, so rejects are
+    /// observable in the metrics too. Never parsed from the wire.
+    Invalid,
+}
+
+impl Op {
+    /// Every class, in protocol order (metrics iteration order).
+    pub const ALL: [Op; 26] = [
+        Op::Ping,
+        Op::CreateSession,
+        Op::LoadSession,
+        Op::SaveSession,
+        Op::CloseSession,
+        Op::ListSessions,
+        Op::OpenDoc,
+        Op::Paste,
+        Op::AcceptRows,
+        Op::NameColumn,
+        Op::SetColumnType,
+        Op::CommitSource,
+        Op::RegisterWorld,
+        Op::RegisterFlaky,
+        Op::ColumnSuggestions,
+        Op::AcceptColumn,
+        Op::RejectColumn,
+        Op::Autocomplete,
+        Op::Feedback,
+        Op::Explain,
+        Op::Export,
+        Op::Render,
+        Op::SessionStats,
+        Op::Stats,
+        Op::Shutdown,
+        Op::Invalid,
+    ];
+
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::CreateSession => "create_session",
+            Op::LoadSession => "load_session",
+            Op::SaveSession => "save_session",
+            Op::CloseSession => "close_session",
+            Op::ListSessions => "list_sessions",
+            Op::OpenDoc => "open_doc",
+            Op::Paste => "paste",
+            Op::AcceptRows => "accept_rows",
+            Op::NameColumn => "name_column",
+            Op::SetColumnType => "set_column_type",
+            Op::CommitSource => "commit_source",
+            Op::RegisterWorld => "register_world",
+            Op::RegisterFlaky => "register_flaky",
+            Op::ColumnSuggestions => "column_suggestions",
+            Op::AcceptColumn => "accept_column",
+            Op::RejectColumn => "reject_column",
+            Op::Autocomplete => "autocomplete",
+            Op::Feedback => "feedback",
+            Op::Explain => "explain",
+            Op::Export => "export",
+            Op::Render => "render",
+            Op::SessionStats => "session_stats",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+            Op::Invalid => "invalid",
+        }
+    }
+
+    /// Parse a wire name (`invalid` is internal-only, never accepted).
+    pub fn parse(s: &str) -> Option<Op> {
+        Op::ALL
+            .iter()
+            .copied()
+            .find(|o| *o != Op::Invalid && o.as_str() == s)
+    }
+
+    /// The metrics-table index of this class.
+    pub fn index(self) -> usize {
+        Op::ALL.iter().position(|&o| o == self).expect("op listed")
+    }
+}
+
+/// Typed error kinds — a closed vocabulary clients can dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON, unknown op, or missing/ill-typed parameter.
+    BadRequest,
+    /// The named session does not exist.
+    NoSuchSession,
+    /// `create_session` for a name already live.
+    SessionExists,
+    /// The admission queue is full — retry later (backpressure).
+    Overloaded,
+    /// The request's deadline elapsed (wall or virtual time).
+    Timeout,
+    /// The server is draining; no new work admitted.
+    ShuttingDown,
+    /// A handler panicked or an invariant failed.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::NoSuchSession => "no_such_session",
+            ErrorKind::SessionExists => "session_exists",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request: the class, the raw body for parameter extraction,
+/// and the routing/deadline envelope.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Echoed in the response.
+    pub id: Json,
+    /// The request class.
+    pub op: Op,
+    /// Target session, when the op is session-scoped.
+    pub session: Option<String>,
+    /// Per-request budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The whole request object (parameter lookup).
+    pub body: Json,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, (Json, String)> {
+        let body = Json::parse(line).map_err(|e| (Json::Null, format!("{e}")))?;
+        let id = body.get("id").cloned().unwrap_or(Json::Null);
+        let op_name = body
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| (id.clone(), "missing \"op\"".to_string()))?;
+        let op = Op::parse(op_name)
+            .ok_or_else(|| (id.clone(), format!("unknown op {op_name:?}")))?;
+        let session = body.get("session").and_then(Json::as_str).map(str::to_string);
+        let deadline_ms = body.get("deadline_ms").and_then(Json::as_f64).map(|v| v as u64);
+        Ok(Request { id, op, session, deadline_ms, body })
+    }
+
+    /// A required string parameter.
+    pub fn str_param(&self, key: &str) -> Result<&str, JsonError> {
+        self.body
+            .field(key)?
+            .as_str()
+            .ok_or_else(|| JsonError::new(format!("{key:?} must be a string")))
+    }
+
+    /// A required non-negative integer parameter.
+    pub fn usize_param(&self, key: &str) -> Result<usize, JsonError> {
+        let n = self
+            .body
+            .field(key)?
+            .as_f64()
+            .ok_or_else(|| JsonError::new(format!("{key:?} must be a number")))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(JsonError::new(format!("{key:?} must be a non-negative integer")));
+        }
+        Ok(n as usize)
+    }
+
+    /// A required number parameter.
+    pub fn f64_param(&self, key: &str) -> Result<f64, JsonError> {
+        self.body
+            .field(key)?
+            .as_f64()
+            .ok_or_else(|| JsonError::new(format!("{key:?} must be a number")))
+    }
+
+    /// A required array-of-strings parameter.
+    pub fn strings_param(&self, key: &str) -> Result<Vec<String>, JsonError> {
+        self.body
+            .field(key)?
+            .as_array()
+            .ok_or_else(|| JsonError::new(format!("{key:?} must be an array")))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| JsonError::new(format!("{key:?} must hold strings")))
+            })
+            .collect()
+    }
+}
+
+/// Serialize a success response.
+pub fn ok_response(id: &Json, result: Json) -> String {
+    Json::obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Json::Bool(true)),
+        ("result".into(), result),
+    ])
+    .to_string()
+}
+
+/// Serialize an error response.
+pub fn err_response(id: &Json, kind: ErrorKind, message: &str) -> String {
+    Json::obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::obj(vec![
+                ("kind".into(), Json::str(kind.as_str())),
+                ("message".into(), Json::str(message)),
+            ]),
+        ),
+    ])
+    .to_string()
+}

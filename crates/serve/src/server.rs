@@ -1,0 +1,636 @@
+//! The session server: admission → bounded pool → per-session engine
+//! dispatch → metrics, with graceful drain.
+//!
+//! [`Server::handle_line`] *is* the in-process transport: callers hand
+//! it one request line and block for the one response line. The TCP
+//! listener ([`crate::tcp`]) is a thin byte pump over the same method,
+//! so tests and benches exercise exactly the code a socket client hits.
+//!
+//! Request lifecycle and where deadlines are checked:
+//!
+//! 1. **Parse** — failures are counted under the synthetic `invalid`
+//!    class and answered `bad_request` inline.
+//! 2. **Admission** — draining servers answer `shutting_down`; a full
+//!    queue answers `overloaded`. The deadline starts here, so time
+//!    spent queued counts against the budget.
+//! 3. **Dequeue** (worker) — expired requests answer `timeout` without
+//!    touching any session.
+//! 4. **Post-lookup** — after the session lock is taken but before the
+//!    engine runs.
+//! 5. **Post-engine** — after the engine op, with any *virtual* service
+//!    latency accrued by [`Flaky`] probes charged to the budget. The
+//!    op's effects are kept (a consistent prefix), but the client is
+//!    told `timeout`.
+//!
+//! Responses never embed timing, so a given request script produces
+//! byte-identical responses whether sessions are driven sequentially or
+//! concurrently — the determinism contract the serve tests pin.
+
+use crate::deadline::Deadline;
+use crate::metrics::Metrics;
+use crate::pool::{Job, Pool, SubmitError};
+use crate::protocol::{err_response, ok_response, ErrorKind, Op, Request};
+use crate::registry::{SessionRegistry, SessionState};
+use copycat_core::{explain, export, CopyCat};
+use copycat_document::corpus::contact_sheet;
+use copycat_document::{Document, DocumentId};
+use copycat_query::Service;
+use copycat_services::{
+    AddressResolver, CurrencyConverter, Flaky, Geocoder, ReversePhone, UnitConverter, World,
+    WorldConfig, ZipResolver,
+};
+use copycat_util::json::{Json, JsonError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+/// Pool and registry sizing.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission queue depth; beyond it requests are `overloaded`.
+    pub queue_depth: usize,
+    /// Registry shard count (rounded up to a power of two).
+    pub shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, queue_depth: 64, shards: 8 }
+    }
+}
+
+/// State shared between the front door and the workers.
+pub(crate) struct Inner {
+    registry: SessionRegistry,
+    metrics: Metrics,
+    accepting: AtomicBool,
+}
+
+/// The multi-tenant session server.
+pub struct Server {
+    inner: Arc<Inner>,
+    pool: Pool,
+}
+
+type OpResult = Result<Json, (ErrorKind, String)>;
+
+fn bad(e: JsonError) -> (ErrorKind, String) {
+    (ErrorKind::BadRequest, e.to_string())
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn jnum(n: usize) -> Json {
+    Json::Num(n as f64)
+}
+
+fn jrows(rows: &[Vec<String>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| Json::Arr(r.iter().map(|c| Json::str(c.as_str())).collect()))
+            .collect(),
+    )
+}
+
+fn jstrings(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::str(s.as_str())).collect())
+}
+
+impl Server {
+    /// A server with the given sizing.
+    pub fn new(config: ServerConfig) -> Server {
+        let inner = Arc::new(Inner {
+            registry: SessionRegistry::new(config.shards),
+            metrics: Metrics::new(),
+            accepting: AtomicBool::new(true),
+        });
+        let worker_inner = Arc::clone(&inner);
+        let pool = Pool::new(
+            config.workers,
+            config.queue_depth,
+            Arc::new(move |job| worker_inner.handle_job(job)),
+        );
+        Server { inner, pool }
+    }
+
+    /// A server with default sizing.
+    pub fn with_defaults() -> Server {
+        Server::new(ServerConfig::default())
+    }
+
+    /// The metrics registry (test/bench introspection).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The session registry (test introspection).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.inner.registry
+    }
+
+    /// Whether the server has begun draining.
+    pub fn draining(&self) -> bool {
+        !self.inner.accepting.load(Ordering::SeqCst)
+    }
+
+    /// Jobs currently queued.
+    pub fn queued(&self) -> usize {
+        self.pool.queued()
+    }
+
+    /// Handle one request line, blocking until its response line.
+    ///
+    /// This is the in-process transport: every transport funnels here.
+    pub fn handle_line(&self, line: &str) -> String {
+        let metrics = &self.inner.metrics;
+        let req = match Request::parse(line) {
+            Ok(r) => r,
+            Err((id, msg)) => {
+                metrics.admitted(Op::Invalid);
+                metrics.error(Op::Invalid, 0);
+                return err_response(&id, ErrorKind::BadRequest, &msg);
+            }
+        };
+        let op = req.op;
+        metrics.admitted(op);
+        // `shutdown` is handled inline: it must work even when the
+        // queue is full, and it is what closes the front door.
+        if op == Op::Shutdown {
+            self.inner.accepting.store(false, Ordering::SeqCst);
+            metrics.ok(op, 0);
+            return ok_response(&req.id, obj(vec![("draining", Json::Bool(true))]));
+        }
+        if self.draining() {
+            metrics.shed(op);
+            return err_response(&req.id, ErrorKind::ShuttingDown, "server is draining");
+        }
+        let deadline = Deadline::starting_now(req.deadline_ms);
+        let (reply, reply_rx) = sync_channel(1);
+        let id = req.id.clone();
+        let job = Job { request: req, deadline, reply };
+        match self.pool.submit(job) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => {
+                    // Unreachable by construction (workers always reply,
+                    // even for drained jobs) — but never hang a client.
+                    metrics.error(op, 0);
+                    err_response(&id, ErrorKind::Internal, "worker dropped the reply")
+                }
+            },
+            Err((job, SubmitError::Full)) => {
+                metrics.overloaded(op);
+                err_response(&job.request.id, ErrorKind::Overloaded, "admission queue full; retry")
+            }
+            Err((job, SubmitError::Closed)) => {
+                metrics.shed(op);
+                err_response(&job.request.id, ErrorKind::ShuttingDown, "server is draining")
+            }
+        }
+    }
+
+    /// [`handle_line`](Server::handle_line) plus response parsing, for
+    /// tests and scripts.
+    pub fn handle(&self, line: &str) -> Json {
+        Json::parse(&self.handle_line(line)).expect("server responses are valid JSON")
+    }
+
+    /// Graceful shutdown: stop admitting, drain queued work, join the
+    /// workers. Every already-admitted request still gets its response.
+    pub fn shutdown(self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        self.pool.shutdown();
+    }
+}
+
+impl Inner {
+    fn handle_job(&self, job: Job) {
+        let Job { request, mut deadline, reply } = job;
+        let op = request.op;
+        if deadline.expired() {
+            self.metrics.timeout(op, deadline.spent_us());
+            let _ = reply.send(err_response(
+                &request.id,
+                ErrorKind::Timeout,
+                "deadline exceeded while queued",
+            ));
+            return;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(&request, &mut deadline)));
+        let spent = deadline.spent_us();
+        let resp = match result {
+            Ok(Ok(json)) => {
+                if deadline.expired() {
+                    self.metrics.timeout(op, spent);
+                    err_response(
+                        &request.id,
+                        ErrorKind::Timeout,
+                        "deadline exceeded during execution",
+                    )
+                } else {
+                    self.metrics.ok(op, spent);
+                    ok_response(&request.id, json)
+                }
+            }
+            Ok(Err((kind, msg))) => {
+                if kind == ErrorKind::Timeout {
+                    self.metrics.timeout(op, spent);
+                } else {
+                    self.metrics.error(op, spent);
+                }
+                err_response(&request.id, kind, &msg)
+            }
+            Err(_) => {
+                self.metrics.error(op, spent);
+                err_response(&request.id, ErrorKind::Internal, "handler panicked")
+            }
+        };
+        let _ = reply.send(resp);
+    }
+
+    /// Run a session-scoped op under the session lock, charging any
+    /// virtual service latency the op accrued to the request deadline.
+    fn with_session<F>(&self, req: &Request, deadline: &mut Deadline, f: F) -> OpResult
+    where
+        F: FnOnce(&mut SessionState) -> OpResult,
+    {
+        let name = req
+            .session
+            .as_deref()
+            .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
+        let session = self.registry.get(name).map_err(|_| {
+            (ErrorKind::NoSuchSession, format!("no session named {name:?}"))
+        })?;
+        let mut state = session.state.lock();
+        if deadline.expired() {
+            return Err((ErrorKind::Timeout, "deadline exceeded awaiting session".to_string()));
+        }
+        let virtual_before = state.virtual_latency_ms();
+        let result = f(&mut state);
+        let accrued = state.virtual_latency_ms().saturating_sub(virtual_before);
+        deadline.charge_virtual_ms(accrued);
+        result
+    }
+
+    fn dispatch(&self, req: &Request, deadline: &mut Deadline) -> OpResult {
+        match req.op {
+            Op::Ping => Ok(obj(vec![("pong", Json::Bool(true))])),
+            Op::CreateSession => self.create_session(req),
+            Op::LoadSession => self.load_session(req),
+            Op::CloseSession => self.close_session(req),
+            Op::ListSessions => Ok(obj(vec![(
+                "sessions",
+                jstrings(&self.registry.names()),
+            )])),
+            Op::Stats => Ok(self.stats()),
+            Op::SaveSession => self.with_session(req, deadline, |s| {
+                Ok(obj(vec![("snapshot", Json::str(&s.engine.save_session_json()))]))
+            }),
+            Op::OpenDoc => self.with_session(req, deadline, |s| open_doc(req, s)),
+            Op::Paste => self.with_session(req, deadline, |s| paste(req, s)),
+            Op::AcceptRows => self.with_session(req, deadline, |s| {
+                Ok(obj(vec![("accepted", jnum(s.engine.accept_suggested_rows()))]))
+            }),
+            Op::NameColumn => self.with_session(req, deadline, |s| {
+                let col = req.usize_param("col").map_err(bad)?;
+                let name = req.str_param("name").map_err(bad)?;
+                Ok(obj(vec![("renamed", Json::Bool(s.engine.name_column(col, name)))]))
+            }),
+            Op::SetColumnType => self.with_session(req, deadline, |s| {
+                let col = req.usize_param("col").map_err(bad)?;
+                let ty = req.str_param("type").map_err(bad)?;
+                Ok(obj(vec![("set", Json::Bool(s.engine.set_column_type(col, ty)))]))
+            }),
+            Op::CommitSource => self.with_session(req, deadline, |s| {
+                let name = req.str_param("name").map_err(bad)?;
+                Ok(obj(vec![("rows", jnum(s.engine.commit_source(name)))]))
+            }),
+            Op::RegisterWorld => self.with_session(req, deadline, |s| register_world(req, s)),
+            Op::RegisterFlaky => self.with_session(req, deadline, |s| register_flaky(req, s)),
+            Op::ColumnSuggestions => self.with_session(req, deadline, |s| {
+                s.last_suggestions = s.engine.column_suggestions();
+                let listed: Vec<Json> = s
+                    .last_suggestions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sg)| {
+                        obj(vec![
+                            ("index", jnum(i)),
+                            ("label", Json::str(&sg.label)),
+                            ("cost", Json::Num(sg.cost)),
+                            (
+                                "columns",
+                                Json::Arr(
+                                    sg.new_fields
+                                        .iter()
+                                        .map(|f| Json::str(&f.name))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Ok(obj(vec![("suggestions", Json::Arr(listed))]))
+            }),
+            Op::AcceptColumn => self.with_session(req, deadline, |s| {
+                let i = req.usize_param("index").map_err(bad)?;
+                let sugg = s.last_suggestions.get(i).cloned().ok_or_else(|| {
+                    (ErrorKind::BadRequest, format!("no suggestion at index {i}"))
+                })?;
+                s.engine.accept_column(&sugg);
+                s.last_suggestions.clear();
+                Ok(obj(vec![("accepted", jnum(i))]))
+            }),
+            Op::RejectColumn => self.with_session(req, deadline, |s| {
+                let i = req.usize_param("index").map_err(bad)?;
+                let sugg = s.last_suggestions.get(i).cloned().ok_or_else(|| {
+                    (ErrorKind::BadRequest, format!("no suggestion at index {i}"))
+                })?;
+                s.engine.reject_column(&sugg);
+                Ok(obj(vec![("rejected", jnum(i))]))
+            }),
+            Op::Autocomplete => self.with_session(req, deadline, |s| {
+                let values = req.strings_param("values").map_err(bad)?;
+                let k = req.body.get("k").and_then(Json::as_f64).map_or(3, |v| v as usize);
+                let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                s.last_queries = s.engine.discover_queries_for_tuple(&refs, k);
+                let listed: Vec<Json> = s
+                    .last_queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        obj(vec![
+                            ("index", jnum(i)),
+                            ("cost", Json::Num(q.cost)),
+                            (
+                                "sources",
+                                Json::Arr(
+                                    q.plan.sources().iter().map(|n| Json::str(*n)).collect(),
+                                ),
+                            ),
+                            (
+                                "columns",
+                                Json::Arr(
+                                    q.result
+                                        .schema()
+                                        .names()
+                                        .iter()
+                                        .map(|n| Json::str(*n))
+                                        .collect(),
+                                ),
+                            ),
+                            ("rows", jnum(q.result.len())),
+                        ])
+                    })
+                    .collect();
+                Ok(obj(vec![("queries", Json::Arr(listed))]))
+            }),
+            Op::Feedback => self.with_session(req, deadline, |s| {
+                let accept = req.usize_param("accept").map_err(bad)?;
+                let reject: Vec<usize> = match req.body.get("reject") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|v| {
+                            v.as_f64().map(|n| n as usize).ok_or_else(|| {
+                                (ErrorKind::BadRequest, "\"reject\" must hold numbers".to_string())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                    None => (0..s.last_queries.len()).filter(|&i| i != accept).collect(),
+                    Some(_) => {
+                        return Err((ErrorKind::BadRequest, "\"reject\" must be an array".into()))
+                    }
+                };
+                let accepted = s.last_queries.get(accept).cloned().ok_or_else(|| {
+                    (ErrorKind::BadRequest, format!("no query at index {accept}"))
+                })?;
+                let rejected: Vec<_> = reject
+                    .iter()
+                    .filter(|&&i| i != accept)
+                    .filter_map(|&i| s.last_queries.get(i))
+                    .collect();
+                let constraints = s.engine.prefer_query(&accepted, &rejected);
+                Ok(obj(vec![("constraints", jnum(constraints))]))
+            }),
+            Op::Explain => self.with_session(req, deadline, |s| {
+                let row = req.usize_param("row").map_err(bad)?;
+                let tab = s.engine.workspace().active();
+                let e = explain::explain_row(tab, row).ok_or_else(|| {
+                    (ErrorKind::BadRequest, format!("no row {row} in the active tab"))
+                })?;
+                Ok(obj(vec![
+                    ("queries", jstrings(&e.queries)),
+                    ("sources", jstrings(&e.sources)),
+                    ("alternatives", jnum(e.alternatives.len())),
+                    ("text", Json::str(&explain::render(&e))),
+                ]))
+            }),
+            Op::Export => self.with_session(req, deadline, |s| {
+                let format = req.str_param("format").map_err(bad)?;
+                let tab = s.engine.workspace().active();
+                let data = match format {
+                    "csv" => export::to_csv(tab),
+                    "json" => export::to_json(tab),
+                    "xml" => export::to_xml(tab),
+                    other => {
+                        return Err((
+                            ErrorKind::BadRequest,
+                            format!("unknown format {other:?} (csv|json|xml)"),
+                        ))
+                    }
+                };
+                Ok(obj(vec![("format", Json::str(format)), ("data", Json::str(&data))]))
+            }),
+            Op::Render => self.with_session(req, deadline, |s| {
+                Ok(obj(vec![("text", Json::str(&s.engine.render()))]))
+            }),
+            Op::SessionStats => self.with_session(req, deadline, |s| {
+                let cache = s.engine.query_cache_stats();
+                Ok(obj(vec![
+                    (
+                        "query_cache",
+                        obj(vec![
+                            ("hits", Json::Num(cache.hits as f64)),
+                            ("misses", Json::Num(cache.misses as f64)),
+                            ("invalidations", Json::Num(cache.invalidations as f64)),
+                        ]),
+                    ),
+                    ("undo_depth", jnum(s.engine.undo_depth())),
+                    ("relations", jnum(s.engine.catalog().relation_names().len())),
+                    ("graph_version", Json::Num(s.engine.graph().version() as f64)),
+                ]))
+            }),
+            // Handled inline at admission; a worker never sees them.
+            Op::Shutdown | Op::Invalid => Err((
+                ErrorKind::Internal,
+                format!("{:?} must not reach the pool", req.op),
+            )),
+        }
+    }
+
+    fn create_session(&self, req: &Request) -> OpResult {
+        let name = req
+            .session
+            .as_deref()
+            .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
+        self.registry.create(name, CopyCat::new()).map_err(|_| {
+            (ErrorKind::SessionExists, format!("session {name:?} already exists"))
+        })?;
+        Ok(obj(vec![("session", Json::str(name))]))
+    }
+
+    fn load_session(&self, req: &Request) -> OpResult {
+        let name = req
+            .session
+            .as_deref()
+            .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
+        let snapshot = req.str_param("snapshot").map_err(bad)?;
+        let engine = CopyCat::load_session_json(snapshot)
+            .map_err(|e| (ErrorKind::BadRequest, format!("bad snapshot: {e}")))?;
+        let relations = engine.catalog().relation_names().len();
+        self.registry.replace(name, engine);
+        Ok(obj(vec![
+            ("session", Json::str(name)),
+            ("relations", jnum(relations)),
+        ]))
+    }
+
+    fn close_session(&self, req: &Request) -> OpResult {
+        let name = req
+            .session
+            .as_deref()
+            .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
+        self.registry
+            .remove(name)
+            .map_err(|_| (ErrorKind::NoSuchSession, format!("no session named {name:?}")))?;
+        Ok(obj(vec![("closed", Json::str(name))]))
+    }
+
+    fn stats(&self) -> Json {
+        let mut cache = copycat_core::CacheStats::default();
+        let mut sessions = 0usize;
+        self.registry.for_each(|s| {
+            let state = s.state.lock();
+            let c = state.engine.query_cache_stats();
+            cache.hits += c.hits;
+            cache.misses += c.misses;
+            cache.invalidations += c.invalidations;
+            sessions += 1;
+        });
+        Json::obj(vec![
+            ("server".to_string(), self.metrics.snapshot_json()),
+            ("sessions".to_string(), jnum(sessions)),
+            (
+                "query_cache".to_string(),
+                Json::obj(vec![
+                    ("hits".to_string(), Json::Num(cache.hits as f64)),
+                    ("misses".to_string(), Json::Num(cache.misses as f64)),
+                    (
+                        "invalidations".to_string(),
+                        Json::Num(cache.invalidations as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn open_doc(req: &Request, s: &mut SessionState) -> OpResult {
+    let name = req.str_param("name").map_err(bad)?;
+    let headers = req.strings_param("headers").map_err(bad)?;
+    let rows = rows_param(req, "rows")?;
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let sheet = contact_sheet(name, &header_refs, rows);
+    let DocumentId(id) = s.engine.open(Document::Sheet(sheet));
+    Ok(obj(vec![("doc", jnum(id as usize))]))
+}
+
+fn paste(req: &Request, s: &mut SessionState) -> OpResult {
+    let doc = req.usize_param("doc").map_err(bad)?;
+    let values = req.strings_param("values").map_err(bad)?;
+    let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+    let suggested = s.engine.paste_example(DocumentId(doc as u32), &refs);
+    Ok(obj(vec![("suggested", jnum(suggested))]))
+}
+
+fn register_world(req: &Request, s: &mut SessionState) -> OpResult {
+    let mut config = WorldConfig::default();
+    if let Some(seed) = req.body.get("seed").and_then(Json::as_f64) {
+        config.seed = seed as u64;
+    }
+    if let Some(venues) = req.body.get("venues").and_then(Json::as_f64) {
+        config.venues = (venues as usize).max(1);
+    }
+    let world = Arc::new(World::generate(&config));
+    s.engine.register_service(Arc::new(ZipResolver::new(Arc::clone(&world))));
+    s.engine.register_service(Arc::new(Geocoder::new(Arc::clone(&world))));
+    s.engine.register_service(Arc::new(AddressResolver::new(Arc::clone(&world))));
+    s.engine.register_service(Arc::new(ReversePhone::new(Arc::clone(&world))));
+    s.engine.register_service(Arc::new(CurrencyConverter::new()));
+    s.engine.register_service(Arc::new(UnitConverter::new()));
+    let services: Vec<String> = s.engine.catalog().service_names();
+    // The generated rows go back to the client so a remote tester can
+    // paste world-consistent data without sharing memory with us.
+    let shelters = world.shelter_rows();
+    let contacts = world.contact_rows();
+    s.world = Some(world);
+    Ok(obj(vec![
+        ("services", jstrings(&services)),
+        ("shelters", jrows(&shelters)),
+        ("contacts", jrows(&contacts)),
+    ]))
+}
+
+fn register_flaky(req: &Request, s: &mut SessionState) -> OpResult {
+    let name = req.str_param("service").map_err(bad)?;
+    let failure_rate = req.body.get("failure_rate").and_then(Json::as_f64).unwrap_or(0.0);
+    let latency_ms = req
+        .body
+        .get("latency_ms")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+        .max(0.0) as u64;
+    let seed = req.body.get("seed").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+    let inner: Arc<dyn Service> = s
+        .engine
+        .catalog()
+        .service(name)
+        .ok_or_else(|| (ErrorKind::BadRequest, format!("no service named {name:?}")))?;
+    let flaky = Arc::new(Flaky::new(inner, failure_rate, latency_ms, seed));
+    s.engine.register_service(Arc::clone(&flaky) as Arc<dyn Service>);
+    s.probes.push(flaky);
+    Ok(obj(vec![
+        ("wrapped", Json::str(name)),
+        ("latency_ms", Json::Num(latency_ms as f64)),
+        ("failure_rate", Json::Num(failure_rate)),
+    ]))
+}
+
+fn rows_param(req: &Request, key: &str) -> Result<Vec<Vec<String>>, (ErrorKind, String)> {
+    let arr = req
+        .body
+        .field(key)
+        .map_err(bad)?
+        .as_array()
+        .ok_or_else(|| (ErrorKind::BadRequest, format!("{key:?} must be an array")))?;
+    arr.iter()
+        .map(|row| {
+            row.as_array()
+                .ok_or_else(|| {
+                    (ErrorKind::BadRequest, format!("{key:?} must hold arrays of strings"))
+                })?
+                .iter()
+                .map(|c| {
+                    c.as_str().map(str::to_string).ok_or_else(|| {
+                        (ErrorKind::BadRequest, format!("{key:?} cells must be strings"))
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}

@@ -1,0 +1,289 @@
+//! An end-to-end smoke script: one request per request class through
+//! the in-process transport, ending in a graceful shutdown.
+//!
+//! Used three ways: `copycat-serve smoke` (the verify-script hook), the
+//! serve test suite (asserts every class round-trips), and as living
+//! documentation of a full client conversation.
+
+use crate::protocol::Op;
+use crate::server::{Server, ServerConfig};
+use copycat_util::json::Json;
+
+/// One request/response exchange from the smoke run.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// The request class exercised.
+    pub op: &'static str,
+    /// The request line sent.
+    pub request: String,
+    /// The response line received.
+    pub response: String,
+    /// Whether the response was `ok:true`.
+    pub ok: bool,
+}
+
+fn esc(s: &str) -> String {
+    Json::str(s).to_string()
+}
+
+fn row_json(row: &[String]) -> String {
+    let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn rows_json(rows: &[Vec<String>]) -> String {
+    let rendered: Vec<String> = rows.iter().map(|r| row_json(r)).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+/// Drive one request of every class through `server`, in a realistic
+/// order (import two sources, learn, autocomplete, save/load, drain).
+///
+/// Returns the exchanges; `Err` carries the first exchange that failed
+/// when it was required to succeed. The `invalid` class is exercised
+/// with a garbage line and is *expected* to fail with `bad_request`.
+pub fn run(server: &Server) -> Result<Vec<Exchange>, Box<Exchange>> {
+    let mut log: Vec<Exchange> = Vec::new();
+    let mut next_id = 0u64;
+    let mut call = |op: Op, line: String, must_ok: bool| -> Result<Json, Box<Exchange>> {
+        let response = server.handle_line(&line);
+        let parsed = Json::parse(&response).expect("server responses parse");
+        let ok = parsed["ok"].as_bool() == Some(true);
+        let exchange = Exchange { op: op.as_str(), request: line, response, ok };
+        let failed = must_ok && !ok;
+        log.push(exchange.clone());
+        if failed {
+            return Err(Box::new(exchange));
+        }
+        Ok(parsed)
+    };
+    let mut id = || {
+        next_id += 1;
+        next_id
+    };
+    let s = "\"session\":\"smoke\"";
+
+    call(Op::Ping, format!("{{\"id\":{},\"op\":\"ping\"}}", id()), true)?;
+    call(
+        Op::CreateSession,
+        format!("{{\"id\":{},\"op\":\"create_session\",{s}}}", id()),
+        true,
+    )?;
+    let world = call(
+        Op::RegisterWorld,
+        format!(
+            "{{\"id\":{},\"op\":\"register_world\",{s},\"seed\":2009,\"venues\":10}}",
+            id()
+        ),
+        true,
+    )?;
+    let shelters = rows_of(&world["result"]["shelters"]);
+    let contacts = rows_of(&world["result"]["contacts"]);
+
+    // Import source 1: shelters.
+    let doc = call(
+        Op::OpenDoc,
+        format!(
+            "{{\"id\":{},\"op\":\"open_doc\",{s},\"name\":\"ShelterSheet\",\
+             \"headers\":[\"Name\",\"Street\",\"City\"],\"rows\":{}}}",
+            id(),
+            rows_json(&shelters)
+        ),
+        true,
+    )?;
+    let doc_id = doc["result"]["doc"].as_f64().expect("doc id") as u64;
+    call(
+        Op::Paste,
+        format!(
+            "{{\"id\":{},\"op\":\"paste\",{s},\"doc\":{doc_id},\"values\":{}}}",
+            id(),
+            row_json(&shelters[0])
+        ),
+        true,
+    )?;
+    call(Op::AcceptRows, format!("{{\"id\":{},\"op\":\"accept_rows\",{s}}}", id()), true)?;
+    call(
+        Op::NameColumn,
+        format!("{{\"id\":{},\"op\":\"name_column\",{s},\"col\":0,\"name\":\"Name\"}}", id()),
+        true,
+    )?;
+    call(
+        Op::SetColumnType,
+        format!(
+            "{{\"id\":{},\"op\":\"set_column_type\",{s},\"col\":2,\"type\":\"PR-City\"}}",
+            id()
+        ),
+        true,
+    )?;
+    call(
+        Op::CommitSource,
+        format!("{{\"id\":{},\"op\":\"commit_source\",{s},\"name\":\"Shelters\"}}", id()),
+        true,
+    )?;
+
+    // Wrap a service in (healthy) fault injection; its virtual latency
+    // is charged to deadlines from here on.
+    call(
+        Op::RegisterFlaky,
+        format!(
+            "{{\"id\":{},\"op\":\"register_flaky\",{s},\"service\":\"zip_resolver\",\
+             \"failure_rate\":0,\"latency_ms\":1,\"seed\":1}}",
+            id()
+        ),
+        true,
+    )?;
+
+    // Column auto-completion on the committed source.
+    let suggs = call(
+        Op::ColumnSuggestions,
+        format!("{{\"id\":{},\"op\":\"column_suggestions\",{s}}}", id()),
+        true,
+    )?;
+    let n_suggs = suggs["result"]["suggestions"].as_array().map_or(0, |a| a.len());
+    call(
+        Op::AcceptColumn,
+        format!("{{\"id\":{},\"op\":\"accept_column\",{s},\"index\":0}}", id()),
+        n_suggs > 0,
+    )?;
+    // A fresh suggestion round to reject from.
+    call(
+        Op::ColumnSuggestions,
+        format!("{{\"id\":{},\"op\":\"column_suggestions\",{s}}}", id()),
+        true,
+    )?;
+    call(
+        Op::RejectColumn,
+        format!("{{\"id\":{},\"op\":\"reject_column\",{s},\"index\":0}}", id()),
+        false, // ok only when the second round was non-empty
+    )?;
+
+    // Import source 2: contacts (shares venue names with shelters).
+    let doc2 = call(
+        Op::OpenDoc,
+        format!(
+            "{{\"id\":{},\"op\":\"open_doc\",{s},\"name\":\"ContactSheet\",\
+             \"headers\":[\"Person\",\"Phone\",\"Venue\"],\"rows\":{}}}",
+            id(),
+            rows_json(&contacts)
+        ),
+        true,
+    )?;
+    let doc2_id = doc2["result"]["doc"].as_f64().expect("doc id") as u64;
+    call(
+        Op::Paste,
+        format!(
+            "{{\"id\":{},\"op\":\"paste\",{s},\"doc\":{doc2_id},\"values\":{}}}",
+            id(),
+            row_json(&contacts[0])
+        ),
+        true,
+    )?;
+    call(Op::AcceptRows, format!("{{\"id\":{},\"op\":\"accept_rows\",{s}}}", id()), true)?;
+    call(
+        Op::NameColumn,
+        format!("{{\"id\":{},\"op\":\"name_column\",{s},\"col\":2,\"name\":\"Name\"}}", id()),
+        true,
+    )?;
+    call(
+        Op::CommitSource,
+        format!("{{\"id\":{},\"op\":\"commit_source\",{s},\"name\":\"Contacts\"}}", id()),
+        true,
+    )?;
+
+    // Query discovery across both sources + feedback on the ranking.
+    let queries = call(
+        Op::Autocomplete,
+        format!(
+            "{{\"id\":{},\"op\":\"autocomplete\",{s},\"values\":[{},{}],\"k\":3}}",
+            id(),
+            esc(&shelters[0][1]),
+            esc(&contacts[0][1]),
+        ),
+        true,
+    )?;
+    let n_queries = queries["result"]["queries"].as_array().map_or(0, |a| a.len());
+    call(
+        Op::Feedback,
+        format!("{{\"id\":{},\"op\":\"feedback\",{s},\"accept\":0}}", id()),
+        n_queries > 0,
+    )?;
+
+    call(
+        Op::Explain,
+        format!("{{\"id\":{},\"op\":\"explain\",{s},\"row\":0}}", id()),
+        true,
+    )?;
+    call(
+        Op::Export,
+        format!("{{\"id\":{},\"op\":\"export\",{s},\"format\":\"csv\"}}", id()),
+        true,
+    )?;
+    call(Op::Render, format!("{{\"id\":{},\"op\":\"render\",{s}}}", id()), true)?;
+    call(
+        Op::SessionStats,
+        format!("{{\"id\":{},\"op\":\"session_stats\",{s}}}", id()),
+        true,
+    )?;
+
+    // Snapshot, drop, restore, list.
+    let saved = call(
+        Op::SaveSession,
+        format!("{{\"id\":{},\"op\":\"save_session\",{s}}}", id()),
+        true,
+    )?;
+    let snapshot = saved["result"]["snapshot"].as_str().expect("snapshot").to_string();
+    call(
+        Op::CloseSession,
+        format!("{{\"id\":{},\"op\":\"close_session\",{s}}}", id()),
+        true,
+    )?;
+    call(
+        Op::LoadSession,
+        format!(
+            "{{\"id\":{},\"op\":\"load_session\",{s},\"snapshot\":{}}}",
+            id(),
+            esc(&snapshot)
+        ),
+        true,
+    )?;
+    call(
+        Op::ListSessions,
+        format!("{{\"id\":{},\"op\":\"list_sessions\"}}", id()),
+        true,
+    )?;
+
+    // The synthetic class: garbage must answer bad_request, not hang.
+    call(Op::Invalid, "this is not json".to_string(), false)?;
+
+    call(Op::Stats, format!("{{\"id\":{},\"op\":\"stats\"}}", id()), true)?;
+    call(Op::Shutdown, format!("{{\"id\":{},\"op\":\"shutdown\"}}", id()), true)?;
+
+    Ok(log)
+}
+
+/// Build a default-sized server, run the smoke script, shut down.
+pub fn run_default() -> Result<Vec<Exchange>, Box<Exchange>> {
+    let server = Server::new(ServerConfig::default());
+    let result = run(&server);
+    server.shutdown();
+    result
+}
+
+fn rows_of(j: &Json) -> Vec<Vec<String>> {
+    j.as_array()
+        .map(|rows| {
+            rows.iter()
+                .map(|r| {
+                    r.as_array()
+                        .map(|cells| {
+                            cells
+                                .iter()
+                                .filter_map(|c| c.as_str().map(str::to_string))
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}

@@ -1,0 +1,64 @@
+//! The TCP transport: a thin byte pump over [`Server::handle_line`].
+//!
+//! One thread per connection, line-delimited JSON both ways, flushed
+//! per response. Everything interesting — admission, backpressure,
+//! deadlines, metrics — lives below in the server, so a socket client
+//! and an in-process test observe identical behavior.
+
+use crate::server::Server;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+/// Serve `listener` until a client issues `shutdown`, then drain and
+/// return. Consumes the server (shutdown joins its workers).
+pub fn serve(listener: TcpListener, server: Server) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let server = Arc::new(server);
+    let mut connections = Vec::new();
+    loop {
+        let (stream, _) = listener.accept()?;
+        if server.draining() {
+            break;
+        }
+        let srv = Arc::clone(&server);
+        connections.push(thread::spawn(move || {
+            let _ = handle_connection(stream, &srv, addr);
+        }));
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(),
+        Err(_) => unreachable!("all connection threads joined"),
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    server: &Server,
+    addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = server.handle_line(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if server.draining() {
+            // Wake the acceptor (it blocks in accept) so the listener
+            // loop notices the drain and exits.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,421 @@
+//! Integration tests for the serving layer: full-surface smoke,
+//! determinism under concurrency, graceful drain, deadline handling
+//! with fault-injected services, and the TCP transport.
+
+use copycat_serve::protocol::Op;
+use copycat_serve::server::{Server, ServerConfig};
+use copycat_serve::smoke;
+use copycat_util::check::check;
+use copycat_util::json::Json;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- smoke
+
+/// Every request class round-trips through the in-process transport.
+#[test]
+fn smoke_round_trips_every_request_class() {
+    let log = smoke::run_default().unwrap_or_else(|failed| {
+        panic!(
+            "smoke failed at {}: request {} got {}",
+            failed.op, failed.request, failed.response
+        )
+    });
+    for op in Op::ALL {
+        assert!(
+            log.iter().any(|x| x.op == op.as_str()),
+            "class {:?} never exercised",
+            op.as_str()
+        );
+    }
+    // Garbage lines answer bad_request; everything else succeeded or was
+    // an allowed data-dependent miss.
+    for x in &log {
+        if x.op == "invalid" {
+            assert!(!x.ok);
+            assert!(x.response.contains("bad_request"), "{}", x.response);
+        }
+    }
+}
+
+// ------------------------------------------------- deterministic scripts
+
+/// The per-session conversation the determinism test drives: import two
+/// small sources whose rows embed `tag`, join-discover, give feedback,
+/// snapshot. Every response to this script is timing-free.
+fn session_script(session: &str, tag: &str, venues: usize) -> Vec<String> {
+    let esc = |s: &str| Json::str(s).to_string();
+    let mut lines = Vec::new();
+    let s = format!("\"session\":{}", esc(session));
+    let mut id = 0u64;
+    let mut push = |id: &mut u64, body: String| {
+        *id += 1;
+        lines.push(format!("{{\"id\":{id},{body}}}"));
+    };
+    let shelter_rows: Vec<Vec<String>> = (0..venues)
+        .map(|i| {
+            vec![
+                format!("Venue-{tag}-{i}"),
+                format!("{i} Oak St {tag}"),
+                format!("City{}", i % 3),
+            ]
+        })
+        .collect();
+    let contact_rows: Vec<Vec<String>> = (0..venues)
+        .map(|i| {
+            vec![
+                format!("Person-{tag}-{i}"),
+                format!("555-01{i:02}-{tag}"),
+                format!("Venue-{tag}-{i}"),
+            ]
+        })
+        .collect();
+    let rows_json = |rows: &[Vec<String>]| {
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| esc(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!("[{}]", rendered.join(","))
+    };
+
+    push(&mut id, format!("\"op\":\"create_session\",{s}"));
+    push(
+        &mut id,
+        format!(
+            "\"op\":\"open_doc\",{s},\"name\":\"Shelters\",\
+             \"headers\":[\"Venue\",\"Street\",\"City\"],\"rows\":{}",
+            rows_json(&shelter_rows)
+        ),
+    );
+    for row in &shelter_rows {
+        let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+        push(
+            &mut id,
+            format!("\"op\":\"paste\",{s},\"doc\":0,\"values\":[{}]", cells.join(",")),
+        );
+    }
+    push(&mut id, format!("\"op\":\"accept_rows\",{s}"));
+    push(&mut id, format!("\"op\":\"name_column\",{s},\"col\":0,\"name\":\"Venue\""));
+    push(&mut id, format!("\"op\":\"commit_source\",{s},\"name\":\"Shelters\""));
+    push(
+        &mut id,
+        format!(
+            "\"op\":\"open_doc\",{s},\"name\":\"Contacts\",\
+             \"headers\":[\"Person\",\"Phone\",\"Venue\"],\"rows\":{}",
+            rows_json(&contact_rows)
+        ),
+    );
+    for row in &contact_rows {
+        let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+        push(
+            &mut id,
+            format!("\"op\":\"paste\",{s},\"doc\":1,\"values\":[{}]", cells.join(",")),
+        );
+    }
+    push(&mut id, format!("\"op\":\"accept_rows\",{s}"));
+    push(&mut id, format!("\"op\":\"name_column\",{s},\"col\":2,\"name\":\"Venue\""));
+    push(&mut id, format!("\"op\":\"commit_source\",{s},\"name\":\"Contacts\""));
+    push(
+        &mut id,
+        format!(
+            "\"op\":\"autocomplete\",{s},\"values\":[{},{}],\"k\":3",
+            esc(&shelter_rows[0][1]),
+            esc(&contact_rows[0][1]),
+        ),
+    );
+    push(&mut id, format!("\"op\":\"feedback\",{s},\"accept\":0"));
+    push(&mut id, format!("\"op\":\"autocomplete\",{s},\"values\":[{},{}],\"k\":3",
+        esc(&shelter_rows[0][1]),
+        esc(&contact_rows[0][1]),
+    ));
+    push(&mut id, format!("\"op\":\"render\",{s}"));
+    push(&mut id, format!("\"op\":\"session_stats\",{s}"));
+    push(&mut id, format!("\"op\":\"save_session\",{s}"));
+    lines
+}
+
+fn drive(server: &Server, script: &[String]) -> Vec<String> {
+    script.iter().map(|line| server.handle_line(line)).collect()
+}
+
+/// N sessions driven concurrently produce byte-identical per-session
+/// responses to the same sessions driven sequentially, the queries they
+/// discover are real, and the metrics reconcile every admitted request
+/// with exactly one response.
+#[test]
+fn concurrent_sessions_are_deterministic_and_reconcile() {
+    check("serve_concurrent_determinism", 4, &[], |g| {
+        let n_sessions = g.usize_in(2..5);
+        let venues = g.usize_in(3..6);
+        let scripts: Vec<(String, Vec<String>)> = (0..n_sessions)
+            .map(|i| {
+                let name = format!("tenant-{i}");
+                let script = session_script(&name, &format!("t{i}"), venues);
+                (name, script)
+            })
+            .collect();
+
+        // Sequential reference run.
+        let reference = Server::new(ServerConfig { workers: 2, queue_depth: 64, shards: 4 });
+        let expected: Vec<Vec<String>> = scripts
+            .iter()
+            .map(|(_, script)| drive(&reference, script))
+            .collect();
+        reference.shutdown();
+
+        // The reference discovers at least one cross-source query.
+        let discovery = Json::parse(&expected[0][scripts[0].1.len() - 6]).expect("json");
+        copycat_util::prop_ensure!(
+            discovery["result"]["queries"]
+                .as_array()
+                .is_some_and(|qs| !qs.is_empty()),
+            "expected cross-source queries, got {discovery}"
+        );
+
+        // Concurrent run: one closed-loop client thread per session.
+        let server = Arc::new(Server::new(ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            shards: 4,
+        }));
+        let mut handles = Vec::new();
+        for (_, script) in scripts.iter() {
+            let server = Arc::clone(&server);
+            let script = script.clone();
+            handles.push(std::thread::spawn(move || drive(&server, &script)));
+        }
+        let got: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        for (i, (exp, act)) in expected.iter().zip(&got).enumerate() {
+            copycat_util::prop_ensure_eq!(
+                exp,
+                act,
+                "session {i}: concurrent responses differ from sequential"
+            );
+        }
+
+        // Reconciliation: every admitted request produced one response.
+        let sent: u64 = scripts.iter().map(|(_, s)| s.len() as u64).sum();
+        copycat_util::prop_ensure_eq!(server.metrics().grand_total(), sent);
+        copycat_util::prop_ensure_eq!(server.metrics().grand_responses(), sent);
+
+        let server = Arc::into_inner(server).expect("all clients joined");
+        server.shutdown();
+        Ok(())
+    });
+}
+
+// ------------------------------------------------------- graceful drain
+
+/// Shutdown while clients are mid-flight: every sent request receives a
+/// response (ok or shutting_down), nothing hangs, and the metrics
+/// reconcile.
+#[test]
+fn shutdown_drains_in_flight_requests_without_dropping_responses() {
+    let server = Arc::new(Server::new(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        shards: 2,
+    }));
+    let mut clients = Vec::new();
+    for c in 0..4 {
+        let server = Arc::clone(&server);
+        clients.push(std::thread::spawn(move || {
+            let mut sent = 0u64;
+            let mut received = 0u64;
+            let mut shed = false;
+            for i in 0..200 {
+                let line = format!("{{\"id\":\"c{c}-{i}\",\"op\":\"ping\"}}");
+                sent += 1;
+                let resp = server.handle_line(&line);
+                assert!(!resp.is_empty());
+                received += 1;
+                if resp.contains("shutting_down") {
+                    shed = true;
+                    break;
+                }
+            }
+            (sent, received, shed)
+        }));
+    }
+    // Let the clients get going, then drain.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let resp = server.handle_line("{\"id\":0,\"op\":\"shutdown\"}");
+    assert!(resp.contains("\"draining\":true"), "{resp}");
+
+    let mut total_sent = 0;
+    let mut total_received = 0;
+    for c in clients {
+        let (sent, received, _) = c.join().unwrap();
+        assert_eq!(sent, received, "a client lost a response");
+        total_sent += sent;
+        total_received += received;
+    }
+    assert_eq!(total_sent, total_received);
+    // +1 for the shutdown request itself.
+    assert_eq!(server.metrics().grand_total(), total_sent + 1);
+    assert_eq!(server.metrics().grand_responses(), total_sent + 1);
+    let server = Arc::into_inner(server).expect("clients joined");
+    server.shutdown();
+}
+
+// ------------------------------------------- deadlines + fault injection
+
+fn setup_session_with_flaky(server: &Server, latency_ms: u64) {
+    let world = server.handle(
+        "{\"id\":1,\"op\":\"create_session\",\"session\":\"s\"}",
+    );
+    assert_eq!(world["ok"].as_bool(), Some(true));
+    let world = server.handle(
+        "{\"id\":2,\"op\":\"register_world\",\"session\":\"s\",\"seed\":2009,\"venues\":8}",
+    );
+    assert_eq!(world["ok"].as_bool(), Some(true), "{world}");
+    let shelters = &world["result"]["shelters"];
+    let rows = shelters.to_string();
+    let open = server.handle(&format!(
+        "{{\"id\":3,\"op\":\"open_doc\",\"session\":\"s\",\"name\":\"Sheet\",\
+         \"headers\":[\"Name\",\"Street\",\"City\"],\"rows\":{rows}}}"
+    ));
+    assert_eq!(open["ok"].as_bool(), Some(true), "{open}");
+    let first = shelters[0].to_string();
+    let paste = server.handle(&format!(
+        "{{\"id\":4,\"op\":\"paste\",\"session\":\"s\",\"doc\":0,\"values\":{first}}}"
+    ));
+    assert_eq!(paste["ok"].as_bool(), Some(true), "{paste}");
+    for line in [
+        "{\"id\":5,\"op\":\"accept_rows\",\"session\":\"s\"}",
+        "{\"id\":6,\"op\":\"set_column_type\",\"session\":\"s\",\"col\":2,\"type\":\"PR-City\"}",
+        "{\"id\":7,\"op\":\"commit_source\",\"session\":\"s\",\"name\":\"Shelters\"}",
+    ] {
+        let resp = server.handle(line);
+        assert_eq!(resp["ok"].as_bool(), Some(true), "{resp}");
+    }
+    let flaky = server.handle(&format!(
+        "{{\"id\":8,\"op\":\"register_flaky\",\"session\":\"s\",\"service\":\"zip_resolver\",\
+         \"failure_rate\":0,\"latency_ms\":{latency_ms},\"seed\":7}}"
+    ));
+    assert_eq!(flaky["ok"].as_bool(), Some(true), "{flaky}");
+}
+
+/// A request whose deadline is exceeded by injected (virtual) service
+/// latency gets a typed `timeout` error — deterministically, with no
+/// thread ever sleeping — and the session stays fully usable after.
+#[test]
+fn virtual_service_latency_trips_deadlines_deterministically() {
+    let server = Server::new(ServerConfig::default());
+    // 500ms of virtual latency per zip_resolver call, 100ms budgets.
+    setup_session_with_flaky(&server, 500);
+
+    let suggest = server.handle(
+        "{\"id\":9,\"op\":\"column_suggestions\",\"session\":\"s\",\"deadline_ms\":100}",
+    );
+    assert_eq!(suggest["ok"].as_bool(), Some(false), "{suggest}");
+    assert_eq!(
+        suggest["error"]["kind"].as_str(),
+        Some("timeout"),
+        "virtual latency must trip the deadline: {suggest}"
+    );
+
+    // The shard lock is not poisoned: the same session still answers.
+    let render = server.handle("{\"id\":10,\"op\":\"render\",\"session\":\"s\"}");
+    assert_eq!(render["ok"].as_bool(), Some(true), "{render}");
+    // Without a deadline the same operation succeeds.
+    let suggest = server.handle(
+        "{\"id\":11,\"op\":\"column_suggestions\",\"session\":\"s\"}",
+    );
+    assert_eq!(suggest["ok"].as_bool(), Some(true), "{suggest}");
+
+    // The timeout is visible in the metrics, under its class.
+    let stats = server.handle("{\"id\":12,\"op\":\"stats\"}");
+    let class = &stats["result"]["server"]["classes"]["column_suggestions"];
+    assert_eq!(class["timeout"].as_f64(), Some(1.0), "{stats}");
+    assert_eq!(class["ok"].as_f64(), Some(1.0), "{stats}");
+    server.shutdown();
+}
+
+/// Deadlines also fire while queued: a request admitted with an already
+/// elapsed budget times out at dequeue without touching the session.
+#[test]
+fn zero_budget_requests_time_out_at_dequeue() {
+    let server = Server::new(ServerConfig::default());
+    let create = server.handle("{\"id\":1,\"op\":\"create_session\",\"session\":\"s\"}");
+    assert_eq!(create["ok"].as_bool(), Some(true));
+    let resp = server.handle(
+        "{\"id\":2,\"op\":\"render\",\"session\":\"s\",\"deadline_ms\":0}",
+    );
+    assert_eq!(resp["ok"].as_bool(), Some(false), "{resp}");
+    assert_eq!(resp["error"]["kind"].as_str(), Some("timeout"), "{resp}");
+    server.shutdown();
+}
+
+// ------------------------------------------------------- error taxonomy
+
+#[test]
+fn typed_errors_cover_the_protocol_taxonomy() {
+    let server = Server::new(ServerConfig::default());
+    let kind = |resp: Json| resp["error"]["kind"].as_str().unwrap_or("?").to_string();
+
+    // bad_request: garbage, unknown op, missing param.
+    assert_eq!(kind(server.handle("not json")), "bad_request");
+    assert_eq!(kind(server.handle("{\"id\":1,\"op\":\"warp\"}")), "bad_request");
+    assert_eq!(
+        kind(server.handle("{\"id\":1,\"op\":\"create_session\"}")),
+        "bad_request"
+    );
+    // no_such_session.
+    assert_eq!(
+        kind(server.handle("{\"id\":1,\"op\":\"render\",\"session\":\"ghost\"}")),
+        "no_such_session"
+    );
+    // session_exists.
+    let ok = server.handle("{\"id\":1,\"op\":\"create_session\",\"session\":\"dup\"}");
+    assert_eq!(ok["ok"].as_bool(), Some(true));
+    assert_eq!(
+        kind(server.handle("{\"id\":1,\"op\":\"create_session\",\"session\":\"dup\"}")),
+        "session_exists"
+    );
+    // shutting_down.
+    let drain = server.handle("{\"id\":1,\"op\":\"shutdown\"}");
+    assert_eq!(drain["ok"].as_bool(), Some(true));
+    assert_eq!(kind(server.handle("{\"id\":1,\"op\":\"ping\"}")), "shutting_down");
+    server.shutdown();
+}
+
+// ----------------------------------------------------------------- tcp
+
+#[test]
+fn tcp_transport_round_trips_and_drains() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = Server::new(ServerConfig::default());
+    let serve_thread = std::thread::spawn(move || copycat_serve::tcp::serve(listener, server));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut write = |line: &str| {
+        let mut s = &stream;
+        s.write_all(line.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        s.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        Json::parse(resp.trim()).expect("json response")
+    };
+
+    let pong = write("{\"id\":1,\"op\":\"ping\"}");
+    assert_eq!(pong["ok"].as_bool(), Some(true));
+    assert_eq!(pong["result"]["pong"].as_bool(), Some(true));
+    let made = write("{\"id\":2,\"op\":\"create_session\",\"session\":\"tcp\"}");
+    assert_eq!(made["ok"].as_bool(), Some(true));
+    let listed = write("{\"id\":3,\"op\":\"list_sessions\"}");
+    assert_eq!(listed["result"]["sessions"][0].as_str(), Some("tcp"));
+    let drain = write("{\"id\":4,\"op\":\"shutdown\"}");
+    assert_eq!(drain["result"]["draining"].as_bool(), Some(true));
+
+    serve_thread.join().unwrap().expect("serve exits cleanly");
+}

@@ -1,0 +1,255 @@
+//! A bounded multi-producer/multi-consumer channel.
+//!
+//! The serving layer's worker pools need three things `std::sync::mpsc`
+//! does not give them: multiple consumers (one queue, many workers), a
+//! non-blocking `try_send` that reports *full* distinctly from *closed*
+//! (backpressure → an explicit overload rejection, never an unbounded
+//! queue), and drain-on-close semantics (dropping every sender lets
+//! receivers finish the queued items before seeing `Closed`, so a
+//! graceful shutdown never drops accepted work).
+//!
+//! Built on `Mutex` + `Condvar`; no spinning, no allocation per send
+//! beyond the ring's `VecDeque`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a send did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError {
+    /// The queue is at capacity (backpressure: reject or retry).
+    Full,
+    /// Every receiver is gone; the value can never be consumed.
+    Closed,
+}
+
+/// Why a receive returned nothing: every sender is gone and the queue
+/// has been drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    /// Signaled when an item arrives or the channel closes.
+    not_empty: Condvar,
+    /// Signaled when an item leaves or the channel closes.
+    not_full: Condvar,
+}
+
+/// The sending half; clonable (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clonable (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A bounded channel holding at most `capacity` in-flight items.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        capacity: capacity.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+fn lock<'a, T>(shared: &'a Shared<T>) -> std::sync::MutexGuard<'a, State<T>> {
+    match shared.state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue without blocking. `Err(Full)` is the backpressure signal.
+    pub fn try_send(&self, value: T) -> Result<(), (T, TrySendError)> {
+        let mut st = lock(&self.shared);
+        if st.receivers == 0 {
+            return Err((value, TrySendError::Closed));
+        }
+        if st.queue.len() >= self.shared.capacity {
+            return Err((value, TrySendError::Full));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, blocking while the queue is full. `Err` when every
+    /// receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut st = lock(&self.shared);
+        loop {
+            if st.receivers == 0 {
+                return Err(value);
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(value);
+                drop(st);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = match self.shared.not_full.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Items currently queued (racy; for metrics only).
+    pub fn queued(&self) -> usize {
+        lock(&self.shared).queue.len()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared).senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared);
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake every blocked receiver so it can observe closure.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue, blocking while empty. Drains queued items even after
+    /// every sender is dropped; only then reports `Closed`.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = lock(&self.shared);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = match self.shared.not_empty.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Dequeue without blocking; `None` when empty (closed or not).
+    pub fn try_recv(&self) -> Option<T> {
+        let v = lock(&self.shared).queue.pop_front();
+        if v.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        v
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared).receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared);
+        st.receivers -= 1;
+        let last = st.receivers == 0;
+        drop(st);
+        if last {
+            // Wake blocked senders so they can observe closure.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn try_send_reports_full_then_recovers() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let (v, e) = tx.try_send(3).unwrap_err();
+        assert_eq!((v, e), (3, TrySendError::Full));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn close_drains_before_reporting_closed() {
+        let (tx, rx) = bounded::<u32>(8);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+        assert_eq!(tx.try_send(7).unwrap_err().1, TrySendError::Closed);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let (tx, rx) = bounded::<u64>(4);
+        let sum = AtomicU64::new(0);
+        let received = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let (sum, received) = (&sum, &received);
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        received.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            drop(rx);
+        });
+        assert_eq!(received.load(Ordering::Relaxed), 400);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..400u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixed-bucket latency histograms with lock-free recording.
+//!
+//! The serving layer's metrics registry wants per-request-class latency
+//! quantiles that many worker threads can record into without
+//! coordination. [`Histogram`] uses a fixed 1–2–5 bucket ladder over
+//! microseconds (1µs … 10s, plus an overflow bucket) and atomic
+//! counters, so `record` is a single `fetch_add` and quantiles are a
+//! cumulative walk at read time. Quantiles report a bucket's upper
+//! bound — an over-estimate never off by more than the ladder's step
+//! (≤2.5×), which is plenty for p50/p99 dashboards and regression
+//! tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket upper bounds in microseconds: a 1–2–5 ladder from 1µs to 10s.
+pub const BUCKET_BOUNDS_US: [u64; 22] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// A concurrent fixed-bucket histogram of microsecond values.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// One counter per bound, plus a final overflow bucket.
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+/// A point-in-time read of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (µs).
+    pub sum_us: u64,
+    /// Largest recorded value (µs).
+    pub max_us: u64,
+    /// Median estimate (µs; bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile estimate (µs; bucket upper bound).
+    pub p99_us: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record a `Duration`.
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_us(d.as_micros() as u64);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket whose cumulative count reaches `q·count`. Zero when
+    /// empty; the observed max for the overflow bucket.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.max_us.load(Ordering::Relaxed));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot (counters are relaxed; exact only
+    /// when recording is quiescent, which is how tests read it).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count(),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.p50_us, s.p99_us, s.max_us), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum_us, (1..=1000u64).sum::<u64>());
+        // p50 of 1..=1000 is 500; the 1-2-5 ladder reports its bucket's
+        // upper bound, 500 exactly.
+        assert_eq!(s.p50_us, 500);
+        // p99 = 990 lands in the (500, 1000] bucket.
+        assert_eq!(s.p99_us, 1000);
+        assert_eq!(s.max_us, 1000);
+    }
+
+    #[test]
+    fn overflow_reports_observed_max() {
+        let h = Histogram::new();
+        h.record_us(99_000_000);
+        assert_eq!(h.quantile_us(0.5), 99_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_us(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -20,14 +20,21 @@
 //!   median/p95 reporting (replaces `criterion`).
 //! - [`sync`] — non-poisoning `Mutex`/`RwLock` wrappers over `std`
 //!   (replaces `parking_lot`).
+//! - [`channel`] — a bounded MPMC channel with non-blocking
+//!   backpressure (`try_send` → `Full`) and drain-on-close semantics
+//!   (replaces `crossbeam-channel` for the serving layer's pools).
+//! - [`hist`] — lock-free fixed-bucket latency histograms with
+//!   p50/p99 estimates (the metrics registry's primitive).
 //!
 //! Every generator in this crate is deterministic per seed, so bench
 //! tables and property tests are bit-reproducible across runs on the
 //! same machine.
 
 pub mod bench;
+pub mod channel;
 pub mod check;
 pub mod hash;
+pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod sync;

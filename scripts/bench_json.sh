@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Emit the E3 Steiner scale-up sweep as machine-readable JSON
-# (BENCH_steiner.json at the repo root), so every PR leaves a perf
-# trajectory the next one can diff against. Rows are
-# {nodes, terminals, exact_us, spcsh_us, ratio}; exact_us/ratio are null
-# where the exact solve is out of the sweep's range.
+# Emit the machine-readable perf trajectory at the repo root, so every
+# PR leaves numbers the next one can diff against:
+#
+#   BENCH_steiner.json — the E3 Steiner scale-up sweep. Rows are
+#     {nodes, terminals, exact_us, spcsh_us, ratio}; exact_us/ratio are
+#     null where the exact solve is out of the sweep's range.
+#   BENCH_serve.json — copycat-serve throughput/latency under
+#     closed-loop load at several concurrency levels. Rows are
+#     {clients, requests, ok, elapsed_us, throughput_rps, p50_us, p99_us}.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="BENCH_steiner.json"
 cargo run --release --offline -p copycat-bench --bin harness -- e3-json > "$OUT"
+test -s "$OUT" || { echo "bench_json: $OUT is empty" >&2; exit 1; }
+echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"
+
+OUT="BENCH_serve.json"
+cargo run --release --offline -p copycat-bench --bin harness -- serve-json > "$OUT"
 test -s "$OUT" || { echo "bench_json: $OUT is empty" >&2; exit 1; }
 echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"

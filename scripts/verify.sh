@@ -9,6 +9,10 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo run --release --offline -p copycat-bench --bin harness -- e1
+# Serve smoke: spawn an in-process copycat-serve, round-trip one request
+# of every request class, and drain gracefully. Exits non-zero if any
+# required class fails.
+cargo run --release --offline -p copycat-serve -- smoke
 # Smoke: the perf-trajectory emitter runs and produces non-empty JSON
 # (no timing assertions — numbers vary by machine).
 scripts/bench_json.sh
