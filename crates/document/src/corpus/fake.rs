@@ -90,7 +90,7 @@ impl Faker {
 
     /// `n` shelter rows: `[name, street, city]`. Names are deduplicated.
     pub fn shelters(&mut self, n: usize) -> Vec<Vec<String>> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = copycat_util::hash::FxHashSet::default();
         let mut rows = Vec::with_capacity(n);
         while rows.len() < n {
             let mut name = self.shelter_name();

@@ -548,6 +548,8 @@ fn solve_children_parallel(
                     let mut scratch = SteinerScratch::new();
                     let mut local = Vec::new();
                     loop {
+                        // relaxed: a work-index dispenser needs only the
+                        // RMW's atomicity; the scope join publishes results.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= children.len() {
                             break;

@@ -228,7 +228,7 @@ impl TfIdfIndex {
     /// Add one document's tokens.
     pub fn add(&mut self, s: &str) {
         self.docs += 1;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = copycat_util::hash::FxHashSet::default();
         for t in tokens(s) {
             if seen.insert(t.clone()) {
                 *self.doc_freq.entry(t).or_default() += 1;

@@ -1,0 +1,60 @@
+//! Findings: what a rule reports, plus stable ordering and JSON.
+
+use copycat_util::json::Json;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (kebab-case, e.g. `panic-path`).
+    pub rule: &'static str,
+    /// Repo-relative path, `/`-separated on every platform.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The canonical sort key: findings are reported in `(file, line,
+    /// rule, message)` order regardless of the order files were walked
+    /// or rules ran — the stability the property test pins.
+    pub fn sort_key(&self) -> (String, u32, &'static str, String) {
+        (self.file.clone(), self.line, self.rule, self.message.clone())
+    }
+
+    /// JSON for one finding.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rule".into(), Json::str(self.rule)),
+            ("file".into(), Json::str(&self.file)),
+            ("line".into(), Json::Num(self.line as f64)),
+            ("message".into(), Json::str(&self.message)),
+        ])
+    }
+}
+
+/// Sort findings into canonical order.
+pub fn sort(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+}
+
+/// The `copycat-lint json` payload: every finding plus per-rule totals.
+pub fn report_json(findings: &[Finding]) -> Json {
+    let mut by_rule: Vec<(String, u64)> = Vec::new();
+    for f in findings {
+        match by_rule.iter_mut().find(|(r, _)| r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((f.rule.to_string(), 1)),
+        }
+    }
+    by_rule.sort();
+    Json::obj(vec![
+        ("total".into(), Json::Num(findings.len() as f64)),
+        (
+            "by_rule".into(),
+            Json::obj(by_rule.into_iter().map(|(r, n)| (r, Json::Num(n as f64))).collect()),
+        ),
+        ("findings".into(), Json::Arr(findings.iter().map(Finding::to_json).collect())),
+    ])
+}

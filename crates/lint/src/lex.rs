@@ -1,0 +1,383 @@
+//! A lightweight Rust lexer: code tokens plus a separate comment list.
+//!
+//! The rule engine does not need a real parse tree — every invariant it
+//! enforces is expressible over a flat token stream with line numbers
+//! and brace depths. The lexer therefore only has to get the *boundaries*
+//! right: string/char/byte/raw-string literals must never leak their
+//! contents as tokens (rule needles live inside the lint's own source as
+//! string literals), comments must be captured verbatim (suppressions
+//! and justification comments are parsed out of them), and `::` must be
+//! one token so needles like `Instant :: now` are three tokens long.
+//!
+//! Everything else is deliberately loose: numbers are "a digit then
+//! whatever alphanumeric tail follows", lifetimes are single tokens, and
+//! all remaining punctuation is one character per token.
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation (single char, except the combined `::`).
+    Punct,
+    /// String / char / byte / numeric literal, or a lifetime.
+    Lit,
+}
+
+/// One code token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text (literals keep their quotes).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain), text without delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Comment body, delimiters stripped, newlines preserved.
+    pub text: String,
+}
+
+/// Lexed file: the code token stream and the comment list, in order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens (comments and whitespace removed).
+    pub toks: Vec<Tok>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. Never fails: unterminated literals/comments consume to
+/// end-of-file, which is the only sane recovery for a linter.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.string_literal(line);
+            } else if c == '\'' {
+                self.quote(line);
+            } else if is_raw_string_start(&self.chars[self.pos..]) {
+                self.raw_string(line);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump(); // `b`
+                self.quote(line);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.bump();
+                self.string_literal(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if c == '_' || c.is_alphanumeric() {
+                self.ident(line);
+            } else if c == ':' && self.peek(1) == Some(':') {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Punct, "::".to_string(), line);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, end_line: line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, end_line: self.line, text });
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump(); // whatever is escaped, including `"` and `\`
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Lit, "\"…\"".to_string(), line);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // `'`
+        match (self.peek(0), self.peek(1)) {
+            (Some('\\'), _) => {
+                // Escaped char literal: consume escape, then to closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lit, "'…'".to_string(), line);
+            }
+            (Some(c), Some('\'')) => {
+                // `'x'`: a one-char literal.
+                let _ = c;
+                self.bump();
+                self.bump();
+                self.push(TokKind::Lit, "'…'".to_string(), line);
+            }
+            (Some(c), _) if c == '_' || c.is_alphanumeric() => {
+                // A lifetime: `'a`, `'static`, …
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lit, text, line);
+            }
+            _ => {
+                // Degenerate (`'(`…): emit the quote as punctuation.
+                self.push(TokKind::Punct, "'".to_string(), line);
+            }
+        }
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        // Prefix: `r`, `br`, or `rb`, then `#…#"`.
+        while let Some(c) = self.peek(0) {
+            if c == 'r' || c == 'b' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening `"`
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Lit, "r\"…\"".to_string(), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // One decimal point, and never the `..` of a range.
+                seen_dot = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Lit, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+/// Whether `rest` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#`,
+/// `rb…` — a letter prefix of r/b followed by optional hashes and `"`.
+fn is_raw_string_start(rest: &[char]) -> bool {
+    let mut i = 0;
+    let mut saw_r = false;
+    while i < 2 {
+        match rest.get(i) {
+            Some('r') => {
+                saw_r = true;
+                i += 1;
+            }
+            Some('b') if i == 0 => i += 1,
+            _ => break,
+        }
+    }
+    if !saw_r || i == 0 {
+        return false;
+    }
+    while rest.get(i) == Some(&'#') {
+        i += 1;
+    }
+    rest.get(i) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        assert_eq!(
+            texts("let x = Instant::now();"),
+            vec!["let", "x", "=", "Instant", "::", "now", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_never_leak_tokens() {
+        let l = lex("let s = \"Instant::now() // not a comment\"; f(s)");
+        assert!(l.toks.iter().all(|t| t.text != "Instant" && t.text != "now"));
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = lex(r####"let a = r#"quote " inside"#; let b = "esc \" end"; done"####);
+        let names: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Ident).collect();
+        assert_eq!(names.last().unwrap().text, "done");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(
+            texts("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").len(),
+            lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").toks.len()
+        );
+        let l = lex("let c: char = ';'; struct S<'long_lifetime>;");
+        // The `;` inside the char literal must not terminate anything.
+        assert_eq!(l.toks.iter().filter(|t| t.text == ";").count(), 2);
+        assert!(l.toks.iter().any(|t| t.text == "'long_lifetime"));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("a();\n// first\nb(); // trailing\n/* block\nspans */ c();");
+        assert_eq!(l.comments.len(), 3);
+        assert_eq!(l.comments[0].line, 2);
+        assert_eq!(l.comments[0].text.trim(), "first");
+        assert_eq!(l.comments[1].line, 3);
+        assert_eq!(l.comments[2].line, 4);
+        assert_eq!(l.comments[2].end_line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ token");
+        assert_eq!(l.toks.len(), 1);
+        assert_eq!(l.toks[0].text, "token");
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        assert_eq!(texts("for i in 0..10 {}"), vec!["for", "i", "in", "0", ".", ".", "10", "{", "}"]);
+        assert_eq!(texts("let x = 1.5;"), vec!["let", "x", "=", "1.5", ";"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

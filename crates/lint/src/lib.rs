@@ -1,0 +1,97 @@
+//! copycat-lint: the in-tree determinism & concurrency invariant
+//! checker.
+//!
+//! The reproduction's quantitative claims — byte-identical
+//! concurrent-vs-sequential replay, virtual-time deadlines, seedable
+//! experiments — rest on invariants no compiler enforces: nobody reads
+//! the wall clock outside the deadline/bench modules, nobody iterates a
+//! random-seeded hash map, no request path panics, no lock guard blocks
+//! on a channel. This crate enforces them mechanically, hermetically
+//! (no clippy plugins, no registry crates): a lightweight Rust lexer
+//! ([`lex`]), a token-tree matcher with per-file context ([`file`]), a
+//! rule engine ([`rules`]), machine-readable findings ([`findings`]),
+//! and a committed ratchet ([`baseline`]) that lets the finding count
+//! only go down.
+//!
+//! ## Suppressions
+//!
+//! A finding is silenced inline with
+//!
+//! ```text
+//! // lint:allow(<rule>) <reason>
+//! ```
+//!
+//! on the offending line (trailing) or the line above (standalone). The
+//! reason is mandatory; a reasonless or unknown-rule `lint:allow` is
+//! itself a finding (`bad-suppression`). Two rules accept justification
+//! comments instead: `relaxed-atomics` wants `// relaxed: <why>` and
+//! `unsafe-safety` wants `// SAFETY: <invariant>` at the site.
+//!
+//! ## CLI
+//!
+//! - `copycat-lint check` — exit non-zero on any non-baseline finding.
+//! - `copycat-lint json` — full findings report as JSON on stdout.
+//! - `copycat-lint baseline` — regenerate `LINT_BASELINE.json`, printing
+//!   a diff summary. Strict rules are never written to the baseline.
+
+pub mod baseline;
+pub mod file;
+pub mod findings;
+pub mod lex;
+pub mod rules;
+pub mod walk;
+
+use crate::file::FileCtx;
+use crate::findings::Finding;
+use std::io;
+use std::path::Path;
+
+/// Run every rule over one file's source, `path` being its
+/// repo-relative `/`-separated location (rule scoping keys off it).
+/// Returns findings in canonical sorted order, suppressions applied.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    let names = rules::names();
+    let ctx = FileCtx::new(path, src, &names);
+    let mut out = ctx.bad_suppressions.clone();
+    for rule in rules::all() {
+        rule.check(&ctx, &mut out);
+    }
+    findings::sort(&mut out);
+    out
+}
+
+/// Analyze a pre-loaded set of `(path, source)` files — the testable
+/// core of [`analyze_tree`]. Output order is independent of input
+/// order (the property the stable-order test pins).
+pub fn analyze_files<S: AsRef<str>>(files: &[(S, S)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (path, src) in files {
+        out.extend(analyze_source(path.as_ref(), src.as_ref()));
+    }
+    findings::sort(&mut out);
+    out
+}
+
+/// Walk `crates/*/src/**/*.rs` under `root` and analyze everything.
+pub fn analyze_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut out = Vec::new();
+    for rel in walk::lintable_files(root)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(analyze_source(&rel, &src));
+    }
+    findings::sort(&mut out);
+    Ok(out)
+}
+
+/// The committed baseline's file name, relative to the repo root.
+pub const BASELINE_FILE: &str = "LINT_BASELINE.json";
+
+/// Load the committed baseline (absent file = empty baseline).
+pub fn load_baseline(root: &Path) -> Result<baseline::Baseline, String> {
+    let path = root.join(BASELINE_FILE);
+    if !path.is_file() {
+        return Ok(baseline::Baseline::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    baseline::from_json(&text)
+}

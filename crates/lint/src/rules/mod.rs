@@ -1,0 +1,85 @@
+//! The rule engine: every invariant is one [`Rule`] over a [`FileCtx`].
+//!
+//! Rule catalogue (see `DESIGN.md` § Static analysis for the rationale):
+//!
+//! | rule | strict | scope |
+//! |------|--------|-------|
+//! | `wallclock` | yes | everywhere except `serve::deadline`, `util::bench`, `crates/bench` |
+//! | `randomstate` | yes | everywhere except `crates/util` |
+//! | `panic-path` | yes | `crates/serve/src` request paths (not tests, not the smoke harness) |
+//! | `unsafe-safety` | yes | everywhere |
+//! | `relaxed-atomics` | no | non-test code, all crates |
+//! | `guard-across-blocking` | no | non-test code, all crates |
+//! | `spawn-discipline` | no | non-test code except `serve::pool` |
+//!
+//! *Strict* rules may never appear in the baseline: a finding is fixed
+//! or suppressed inline with a reason, never ratcheted.
+
+pub mod guard_blocking;
+pub mod panic_path;
+pub mod randomstate;
+pub mod relaxed_atomics;
+pub mod spawn_discipline;
+pub mod unsafe_safety;
+pub mod wallclock;
+
+use crate::file::FileCtx;
+use crate::findings::Finding;
+
+/// One invariant checker.
+pub trait Rule {
+    /// The kebab-case rule name used in findings, suppressions, and the
+    /// baseline.
+    fn name(&self) -> &'static str;
+    /// Scan one file, appending findings.
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Finding>);
+}
+
+/// Every rule, in catalogue order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(wallclock::Wallclock),
+        Box::new(randomstate::RandomStateRule),
+        Box::new(panic_path::PanicPath),
+        Box::new(relaxed_atomics::RelaxedAtomics),
+        Box::new(guard_blocking::GuardAcrossBlocking),
+        Box::new(spawn_discipline::SpawnDiscipline),
+        Box::new(unsafe_safety::UnsafeSafety),
+    ]
+}
+
+/// Rule names whose findings can never be baselined ("strict"): they
+/// guard the determinism contract itself, so the only ways past them
+/// are a fix or an inline `lint:allow` with a reason.
+pub const STRICT: [&str; 4] = ["wallclock", "randomstate", "panic-path", "unsafe-safety"];
+
+/// Every rule name (for suppression validation).
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|r| r.name()).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Run every rule over `src` as if it lived at `path`; return the
+    /// surviving findings in canonical order.
+    pub fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let names = names();
+        let ctx = FileCtx::new(path, src, &names);
+        let mut out = ctx.bad_suppressions.clone();
+        for rule in all() {
+            rule.check(&ctx, &mut out);
+        }
+        crate::findings::sort(&mut out);
+        out
+    }
+
+    /// Rule names that fired, deduplicated, sorted.
+    pub fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> = run_at(path, src).iter().map(|f| f.rule).collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+}

@@ -1,0 +1,85 @@
+//! `randomstate` — the std default hasher is banned outside `crates/util`.
+//!
+//! `std::collections::HashMap/HashSet` seed SipHash from process-level
+//! randomness, so iteration order differs run to run. Any code that
+//! iterates such a map — rendering, tie-breaking, test assertions —
+//! becomes nondeterministic, which is exactly the class of bug the
+//! Karma/Q/Steiner experiment tables cannot tolerate. The workspace rule
+//! is: collections hash with the in-tree FxHash shims
+//! (`copycat_util::hash::FxHashMap`/`FxHashSet`) or an ordered map.
+//! `crates/util` itself is exempt — it defines the shims and
+//! differential-tests them against std.
+
+use crate::file::FileCtx;
+use crate::findings::Finding;
+use crate::rules::Rule;
+
+/// Constructor tails that pick the default (random) hasher.
+const CONSTRUCTORS: [&str; 3] = ["new", "with_capacity", "default"];
+
+/// The rule. Applies to test code too — a test iterating a std map can
+/// pass on one run and fail on the next. (Named with a `Rule` suffix so
+/// the needle below does not match its own definition.)
+pub struct RandomStateRule;
+
+impl Rule for RandomStateRule {
+    fn name(&self) -> &'static str {
+        "randomstate"
+    }
+
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Finding>) {
+        if ctx.path.starts_with("crates/util/") {
+            return;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            for ctor in CONSTRUCTORS {
+                for i in ctx.find_all(&[ty, "::", ctor]) {
+                    ctx.report(
+                        out,
+                        self.name(),
+                        ctx.toks[i].line,
+                        format!(
+                            "std {ty}::{ctor}() uses the random-seeded default hasher; use \
+                             copycat_util::hash::Fx{ty} for deterministic iteration"
+                        ),
+                    );
+                }
+            }
+        }
+        for i in ctx.find_all(&["RandomState"]) {
+            ctx.report(
+                out,
+                self.name(),
+                ctx.toks[i].line,
+                "std RandomState is seeded per-process; use FxBuildHasher".to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::run_at;
+
+    #[test]
+    fn flags_every_default_hasher_constructor() {
+        let src = "fn f() {\n  let a = std::collections::HashMap::new();\n  \
+                   let b = HashSet::with_capacity(8);\n  let c: HashMap<u8, u8> = HashMap::default();\n}";
+        let found = run_at("crates/linkage/src/x.rs", src);
+        assert_eq!(found.len(), 3);
+        assert!(found.iter().all(|f| f.rule == "randomstate"));
+    }
+
+    #[test]
+    fn fx_shims_and_util_itself_pass() {
+        let fx = "fn f() { let a = FxHashMap::default(); let b: FxHashSet<u8> = FxHashSet::default(); }";
+        assert!(run_at("crates/linkage/src/x.rs", fx).is_empty());
+        let std_use = "fn f() { let a = HashMap::new(); }";
+        assert!(run_at("crates/util/src/hash.rs", std_use).is_empty());
+    }
+
+    #[test]
+    fn btreemap_is_fine() {
+        assert!(run_at("crates/core/src/x.rs", "fn f() { let a = BTreeMap::new(); }").is_empty());
+    }
+}

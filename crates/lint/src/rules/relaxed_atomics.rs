@@ -1,0 +1,81 @@
+//! `relaxed-atomics` — every `Ordering::Relaxed` carries its proof.
+//!
+//! Relaxed is the right ordering for monotone statistics counters and
+//! index dispensers, and the wrong one the moment a reader *reconciles*
+//! one atomic against another (the serve `stats` total==responses check
+//! is the canonical example: it needs Release increments and Acquire
+//! loads to never observe responses > total). The rule cannot tell the
+//! two apart — so it demands the author state which one this is: each
+//! `Ordering::Relaxed` site must have a comment containing `relaxed:`
+//! on the same line or within two lines above, naming why no reader
+//! orders against this access.
+
+use crate::file::FileCtx;
+use crate::findings::Finding;
+use crate::rules::Rule;
+
+/// The justification marker looked for in comments.
+pub const MARKER: &str = "relaxed:";
+
+/// The rule. Test code is exempt: tests synchronize via `join`/scope
+/// exit, which makes Relaxed counters exact there.
+pub struct RelaxedAtomics;
+
+impl Rule for RelaxedAtomics {
+    fn name(&self) -> &'static str {
+        "relaxed-atomics"
+    }
+
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Finding>) {
+        for i in ctx.find_all(&["Ordering", "::", "Relaxed"]) {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let line = ctx.toks[i].line;
+            if ctx.justified(line, MARKER) {
+                continue;
+            }
+            ctx.report(
+                out,
+                self.name(),
+                line,
+                format!(
+                    "Ordering::Relaxed without a `// {MARKER} <why>` justification — \
+                     if any reader reconciles this against another atomic, use \
+                     Release/Acquire instead"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::run_at;
+
+    #[test]
+    fn unjustified_relaxed_fires() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let found = run_at("crates/services/src/x.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "relaxed-atomics");
+    }
+
+    #[test]
+    fn trailing_and_preceding_justifications_pass() {
+        let trailing =
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); // relaxed: pure stat\n}";
+        assert!(run_at("crates/services/src/x.rs", trailing).is_empty());
+        let above = "fn f(c: &AtomicU64) {\n  // relaxed: monotone counter, no reader reconciles\n  \
+                     c.fetch_add(1,\n    Ordering::Relaxed);\n}";
+        assert!(run_at("crates/services/src/x.rs", above).is_empty());
+    }
+
+    #[test]
+    fn acquire_release_need_no_comment_and_tests_are_exempt() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Release); c.load(Ordering::Acquire); }";
+        assert!(run_at("crates/serve/src/x.rs", src).is_empty());
+        let test = "#[cfg(test)]\nmod t {\n  fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}";
+        assert!(run_at("crates/serve/src/x.rs", test).is_empty());
+    }
+}

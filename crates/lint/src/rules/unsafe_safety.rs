@@ -1,0 +1,59 @@
+//! `unsafe-safety` — every `unsafe` carries a `// SAFETY:` proof.
+//!
+//! The workspace currently contains no `unsafe` at all, and this rule is
+//! the ratchet that keeps any future block honest: an `unsafe` token
+//! (block, fn, impl or trait) must have a comment containing `SAFETY:`
+//! on its line or within two lines above, stating the invariant that
+//! makes it sound. Applies everywhere, tests included — an unsound test
+//! is still UB.
+
+use crate::file::FileCtx;
+use crate::findings::Finding;
+use crate::rules::Rule;
+
+/// The proof marker looked for in comments.
+pub const MARKER: &str = "SAFETY:";
+
+/// The rule.
+pub struct UnsafeSafety;
+
+impl Rule for UnsafeSafety {
+    fn name(&self) -> &'static str {
+        "unsafe-safety"
+    }
+
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Finding>) {
+        for i in ctx.find_all(&["unsafe"]) {
+            let line = ctx.toks[i].line;
+            if ctx.justified(line, MARKER) {
+                continue;
+            }
+            ctx.report(
+                out,
+                self.name(),
+                line,
+                format!("`unsafe` without a `// {MARKER} <invariant>` comment"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::run_at;
+
+    #[test]
+    fn bare_unsafe_fires_even_in_tests() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(run_at("crates/util/src/x.rs", src).len(), 1);
+        let test = "#[test]\nfn t(p: *const u8) { let _ = unsafe { *p }; }";
+        assert_eq!(run_at("crates/util/src/x.rs", test).len(), 1);
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let src = "fn f(p: *const u8) -> u8 {\n  // SAFETY: p is derived from a live &u8 above\n  \
+                   unsafe { *p }\n}";
+        assert!(run_at("crates/util/src/x.rs", src).is_empty());
+    }
+}

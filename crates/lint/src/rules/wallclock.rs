@@ -1,0 +1,89 @@
+//! `wallclock` — wall-clock reads are banned outside the three places
+//! that own time.
+//!
+//! The reproduction's experiments and the serving layer's tests depend
+//! on *virtual* time: `Flaky` latency is an accrued counter, deadlines
+//! charge it explicitly, and a request script must produce
+//! byte-identical responses on any machine at any load. One stray
+//! `Instant::now()` in an operator turns a deterministic replay into a
+//! flaky one. Time is therefore confined to: `crates/serve/src/deadline.rs`
+//! (the deadline clock), `crates/util/src/bench.rs` (the bench harness),
+//! and `crates/bench/` (experiment drivers, which *measure* wall time on
+//! purpose).
+
+use crate::file::FileCtx;
+use crate::findings::Finding;
+use crate::rules::Rule;
+
+const ALLOWED_FILES: [&str; 2] = ["crates/serve/src/deadline.rs", "crates/util/src/bench.rs"];
+const ALLOWED_DIRS: [&str; 1] = ["crates/bench/"];
+
+/// The rule. Applies to test code too: a test that reads the wall clock
+/// is a test whose outcome depends on the machine.
+pub struct Wallclock;
+
+impl Rule for Wallclock {
+    fn name(&self) -> &'static str {
+        "wallclock"
+    }
+
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Finding>) {
+        if ALLOWED_FILES.contains(&ctx.path.as_str())
+            || ALLOWED_DIRS.iter().any(|d| ctx.path.starts_with(d))
+        {
+            return;
+        }
+        for clock in ["Instant", "SystemTime"] {
+            for i in ctx.find_all(&[clock, "::", "now"]) {
+                ctx.report(
+                    out,
+                    self.name(),
+                    ctx.toks[i].line,
+                    format!(
+                        "{clock}::now() outside serve::deadline / util::bench / crates/bench \
+                         breaks virtual-time determinism"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::{rules_fired, run_at};
+
+    #[test]
+    fn flags_wall_clock_reads_anywhere_including_tests() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g() { let t = std::time::SystemTime::now(); }\n}";
+        let found = run_at("crates/graph/src/x.rs", src);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == "wallclock"));
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 4);
+    }
+
+    #[test]
+    fn allowed_owners_of_time_pass() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(run_at("crates/serve/src/deadline.rs", src).is_empty());
+        assert!(run_at("crates/util/src/bench.rs", src).is_empty());
+        assert!(run_at("crates/bench/src/e3_steiner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_mentions_do_not_fire() {
+        assert_eq!(
+            rules_fired("crates/core/src/x.rs", "fn f() { log(\"Instant::now\"); }"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "// lint:allow(wallclock) boot banner timestamp, never in a result\n\
+                   fn f() { let t = SystemTime::now(); }";
+        assert!(run_at("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a lock guard held across a blocking channel send.
+
+use copycat_util::sync::Mutex;
+use std::sync::mpsc::Sender;
+
+pub fn drain(m: &Mutex<Vec<String>>, tx: &Sender<String>) {
+    let guard = m.lock();
+    for item in guard.iter() {
+        let _ = tx.send(item.clone());
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: fallible spellings on the request path, panics confined to
+//! test regions (also under a virtual `crates/serve/src/` path).
+
+pub fn parse(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn must(v: Result<u32, String>) -> u32 {
+    v.unwrap_or_else(|_| 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(parse(Some(1)), 1);
+        assert_eq!(Some(2).unwrap(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: panicking operators on a serve request path (this file is
+//! analyzed under a virtual `crates/serve/src/` path).
+
+pub fn parse(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn must(v: Result<u32, String>) -> u32 {
+    v.expect("value present")
+}
+
+pub fn never(flag: bool) -> u32 {
+    if flag {
+        panic!("boom");
+    }
+    0
+}

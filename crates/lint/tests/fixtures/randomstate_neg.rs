@@ -1,0 +1,10 @@
+//! Fixture: the deterministic FxHash shims are the sanctioned spelling.
+
+use copycat_util::hash::{FxHashMap, FxHashSet};
+
+pub fn build() -> usize {
+    let mut m: FxHashMap<String, u32> = FxHashMap::default();
+    m.insert("x".into(), 1);
+    let s: FxHashSet<u32> = FxHashSet::default();
+    m.len() + s.len()
+}

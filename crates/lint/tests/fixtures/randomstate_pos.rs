@@ -1,0 +1,10 @@
+//! Fixture: std hash collections with the random-seeded default hasher.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> usize {
+    let mut m: HashMap<String, u32> = HashMap::new();
+    m.insert("x".into(), 1);
+    let s: HashSet<u32> = HashSet::default();
+    m.len() + s.len()
+}

@@ -1,0 +1,17 @@
+//! Fixture: every Relaxed carries a `relaxed:` justification; stronger
+//! orderings need none.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // relaxed: standalone stat counter, nothing reconciles it.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(c: &AtomicU64) {
+    c.store(1, Ordering::Release);
+}
+
+pub fn observe(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}

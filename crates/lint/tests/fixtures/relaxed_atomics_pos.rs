@@ -1,0 +1,7 @@
+//! Fixture: an unjustified `Ordering::Relaxed`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

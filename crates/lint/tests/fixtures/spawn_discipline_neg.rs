@@ -1,0 +1,9 @@
+//! Fixture: scoped threads join deterministically and are welcome.
+
+pub fn scoped_sum(xs: &mut [u64]) {
+    std::thread::scope(|s| {
+        for x in xs.iter_mut() {
+            s.spawn(move || *x += 1);
+        }
+    });
+}

@@ -1,0 +1,12 @@
+//! Fixture: free-range thread spawns outside the worker pool.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}
+
+pub fn named() -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("rogue".to_string())
+        .spawn(|| {})
+        .map(|_| ())
+}

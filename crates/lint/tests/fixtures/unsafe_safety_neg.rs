@@ -1,0 +1,8 @@
+//! Fixture: the `unsafe` block documents its invariant.
+
+pub fn reinterpret(v: &[u8]) -> u32 {
+    assert!(v.len() >= 4);
+    // SAFETY: length asserted above; read_unaligned imposes no
+    // alignment requirement on the source pointer.
+    unsafe { std::ptr::read_unaligned(v.as_ptr() as *const u32) }
+}

@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block with no `SAFETY:` comment.
+
+pub fn reinterpret(v: &[u8]) -> u32 {
+    unsafe { std::ptr::read_unaligned(v.as_ptr() as *const u32) }
+}

@@ -1,0 +1,9 @@
+//! Fixture: duration arithmetic and clock *mentions* are fine — only a
+//! real `Instant::now()` / `SystemTime::now()` call site fires.
+
+pub fn micros(d: std::time::Duration) -> u128 {
+    d.as_micros()
+}
+
+/// String literals never match token needles.
+pub const DOC: &str = "Instant::now() is banned; SystemTime::now() too";

@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads outside the deadline/bench exemptions.
+
+pub fn elapsed() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,156 @@
+//! End-to-end tests for copycat-lint: every rule against its positive
+//! and negative fixture, finding-order stability under shuffled input,
+//! and a self-check of the real tree against the committed baseline.
+
+use copycat_lint::{analyze_files, analyze_source, analyze_tree, load_baseline};
+use copycat_util::check::check;
+
+/// `(rule, virtual path, positive fixture, negative fixture)`. The
+/// virtual path places the fixture where the rule applies — fixtures
+/// live under `tests/fixtures/`, which the tree walk never visits.
+const FIXTURES: &[(&str, &str, &str, &str)] = &[
+    (
+        "wallclock",
+        "crates/query/src/fixture.rs",
+        include_str!("fixtures/wallclock_pos.rs"),
+        include_str!("fixtures/wallclock_neg.rs"),
+    ),
+    (
+        "randomstate",
+        "crates/query/src/fixture.rs",
+        include_str!("fixtures/randomstate_pos.rs"),
+        include_str!("fixtures/randomstate_neg.rs"),
+    ),
+    (
+        "panic-path",
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/panic_path_pos.rs"),
+        include_str!("fixtures/panic_path_neg.rs"),
+    ),
+    (
+        "relaxed-atomics",
+        "crates/graph/src/fixture.rs",
+        include_str!("fixtures/relaxed_atomics_pos.rs"),
+        include_str!("fixtures/relaxed_atomics_neg.rs"),
+    ),
+    (
+        "guard-across-blocking",
+        "crates/query/src/fixture.rs",
+        include_str!("fixtures/guard_blocking_pos.rs"),
+        include_str!("fixtures/guard_blocking_neg.rs"),
+    ),
+    (
+        "spawn-discipline",
+        "crates/services/src/fixture.rs",
+        include_str!("fixtures/spawn_discipline_pos.rs"),
+        include_str!("fixtures/spawn_discipline_neg.rs"),
+    ),
+    (
+        "unsafe-safety",
+        "crates/query/src/fixture.rs",
+        include_str!("fixtures/unsafe_safety_pos.rs"),
+        include_str!("fixtures/unsafe_safety_neg.rs"),
+    ),
+];
+
+#[test]
+fn every_positive_fixture_fires_exactly_its_rule() {
+    for (rule, path, pos, _) in FIXTURES {
+        let findings = analyze_source(path, pos);
+        assert!(
+            !findings.is_empty(),
+            "{rule}: positive fixture produced no findings"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{rule}: positive fixture also fired {} at {}:{}",
+                f.rule, f.file, f.line
+            );
+        }
+    }
+}
+
+#[test]
+fn every_negative_fixture_is_clean() {
+    for (rule, path, _, neg) in FIXTURES {
+        let findings = analyze_source(path, neg);
+        assert!(
+            findings.is_empty(),
+            "{rule}: negative fixture fired {:?}",
+            findings
+                .iter()
+                .map(|f| format!("{} at line {}", f.rule, f.line))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn finding_order_is_independent_of_walk_order() {
+    // The corpus: every positive fixture under a distinct path (the
+    // real walk never hands the analyzer duplicate paths).
+    let corpus: Vec<(String, String)> = FIXTURES
+        .iter()
+        .enumerate()
+        .map(|(i, (rule, _, pos, _))| {
+            let dir = if *rule == "panic-path" { "serve" } else { "query" };
+            (
+                format!("crates/{dir}/src/fixture_{i}.rs"),
+                pos.to_string(),
+            )
+        })
+        .collect();
+    let canonical = analyze_files(&corpus);
+    assert!(!canonical.is_empty());
+    check("lint.shuffle_invariance", 64, &[], |g| {
+        // A Fisher-Yates permutation drawn from the generator.
+        let mut shuffled = corpus.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = g.usize_in(0..i + 1);
+            shuffled.swap(i, j);
+        }
+        let got = analyze_files(&shuffled);
+        if got == canonical {
+            Ok(())
+        } else {
+            Err(format!(
+                "shuffled input changed the report: {} vs {} findings",
+                got.len(),
+                canonical.len()
+            ))
+        }
+    });
+}
+
+#[test]
+fn real_tree_matches_committed_baseline() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let findings = analyze_tree(&root).expect("walk the repo");
+    let baseline = load_baseline(&root).expect("parse committed baseline");
+    let verdict = copycat_lint::baseline::compare(&findings, &baseline);
+    assert!(
+        verdict.illegal_entries.is_empty(),
+        "baseline names unbaselineable rules: {:?}",
+        verdict.illegal_entries
+    );
+    assert!(
+        verdict.violations.is_empty(),
+        "tree has non-baselined findings:\n{}",
+        verdict
+            .violations
+            .iter()
+            .map(|f| format!("  {} {}:{} {}", f.rule, f.file, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Strict rules must be at zero outright, not merely baselined.
+    for ((rule, file), n) in &baseline.counts {
+        assert!(
+            !copycat_lint::rules::STRICT.contains(&rule.as_str()),
+            "strict rule {rule} baselined for {file} (count {n})"
+        );
+    }
+}

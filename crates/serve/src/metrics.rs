@@ -2,8 +2,17 @@
 //! request class, aggregated once and read by the `stats` request.
 //!
 //! Everything is lock-free after construction — workers record with
-//! relaxed atomics ([`copycat_util::hist::Histogram`] underneath), the
-//! snapshot walks the fixed [`Op::ALL`] table. Latency is recorded for
+//! Release increments, the stats reader reconciles with Acquire loads
+//! ([`copycat_util::hist::Histogram`] underneath), and the snapshot
+//! walks the fixed [`Op::ALL`] table. The orderings matter because the
+//! drain invariant (`responses <= total`, with equality at quiescence)
+//! is checked by reconciling counters written by different threads: a
+//! request's `total` increment happens-before its outcome increment
+//! via the job channel, so a snapshot that reads outcomes *first* and
+//! totals *second* (see [`snapshot_json`](Metrics::snapshot_json)) can
+//! never observe a response without its admission.
+//!
+//! Latency is recorded for
 //! *executed* requests; `overloaded` rejections are counted but not
 //! timed (they never ran), and `timeout` records the time actually
 //! burned (wall + virtual) before the deadline fired, which is what an
@@ -58,47 +67,51 @@ impl Metrics {
         &self.classes[op.index()]
     }
 
-    /// Count an admission (or admission attempt).
+    /// Count an admission (or admission attempt). Release pairs with
+    /// the Acquire in [`grand_total`](Metrics::grand_total).
     pub fn admitted(&self, op: Op) {
-        self.class(op).total.fetch_add(1, Ordering::Relaxed);
+        self.class(op).total.fetch_add(1, Ordering::Release);
     }
 
-    /// Count a success and record its latency.
+    /// Count a success and record its latency. Outcome increments are
+    /// Release so an Acquire reader that observes one also observes
+    /// everything the worker published before it (the latency record,
+    /// and — via the job channel's edges — the admission increment).
     pub fn ok(&self, op: Op, us: u64) {
         let c = self.class(op);
-        c.ok.fetch_add(1, Ordering::Relaxed);
         c.latency.record_us(us);
+        c.ok.fetch_add(1, Ordering::Release);
     }
 
     /// Count a typed error and record its latency.
     pub fn error(&self, op: Op, us: u64) {
         let c = self.class(op);
-        c.error.fetch_add(1, Ordering::Relaxed);
         c.latency.record_us(us);
+        c.error.fetch_add(1, Ordering::Release);
     }
 
     /// Count a deadline miss, recording the time burned before it fired.
     pub fn timeout(&self, op: Op, us: u64) {
         let c = self.class(op);
-        c.timeout.fetch_add(1, Ordering::Relaxed);
         c.latency.record_us(us);
+        c.timeout.fetch_add(1, Ordering::Release);
     }
 
     /// Count a queue-full rejection (not timed — it never ran).
     pub fn overloaded(&self, op: Op) {
-        self.class(op).overloaded.fetch_add(1, Ordering::Relaxed);
+        self.class(op).overloaded.fetch_add(1, Ordering::Release);
     }
 
     /// Count a drain-time rejection.
     pub fn shed(&self, op: Op) {
-        self.class(op).shed.fetch_add(1, Ordering::Relaxed);
+        self.class(op).shed.fetch_add(1, Ordering::Release);
     }
 
     /// Total requests observed across every class.
     pub fn grand_total(&self) -> u64 {
         self.classes
             .iter()
-            .map(|c| c.total.load(Ordering::Relaxed))
+            .map(|c| c.total.load(Ordering::Acquire))
             .sum()
     }
 
@@ -109,11 +122,11 @@ impl Metrics {
         self.classes
             .iter()
             .map(|c| {
-                c.ok.load(Ordering::Relaxed)
-                    + c.error.load(Ordering::Relaxed)
-                    + c.overloaded.load(Ordering::Relaxed)
-                    + c.timeout.load(Ordering::Relaxed)
-                    + c.shed.load(Ordering::Relaxed)
+                c.ok.load(Ordering::Acquire)
+                    + c.error.load(Ordering::Acquire)
+                    + c.overloaded.load(Ordering::Acquire)
+                    + c.timeout.load(Ordering::Acquire)
+                    + c.shed.load(Ordering::Acquire)
             })
             .sum()
     }
@@ -121,10 +134,17 @@ impl Metrics {
     /// The `stats` payload: per-class counters + p50/p99, classes with
     /// zero traffic omitted.
     pub fn snapshot_json(&self) -> Json {
+        // Read outcomes before totals: an outcome's Release increment
+        // happened-after its admission's (via the job channel), so the
+        // later Acquire load of `total` sees every admission behind an
+        // observed response — `responses <= total` holds even while
+        // workers are racing the snapshot.
+        let responses = self.grand_responses();
+        let grand_total = self.grand_total();
         let mut classes = Vec::new();
         for op in Op::ALL {
             let c = self.class(op);
-            let total = c.total.load(Ordering::Relaxed);
+            let total = c.total.load(Ordering::Acquire);
             if total == 0 {
                 continue;
             }
@@ -133,14 +153,14 @@ impl Metrics {
                 op.as_str().to_string(),
                 Json::obj(vec![
                     ("total".into(), Json::Num(total as f64)),
-                    ("ok".into(), Json::Num(c.ok.load(Ordering::Relaxed) as f64)),
-                    ("error".into(), Json::Num(c.error.load(Ordering::Relaxed) as f64)),
+                    ("ok".into(), Json::Num(c.ok.load(Ordering::Acquire) as f64)),
+                    ("error".into(), Json::Num(c.error.load(Ordering::Acquire) as f64)),
                     (
                         "overloaded".into(),
-                        Json::Num(c.overloaded.load(Ordering::Relaxed) as f64),
+                        Json::Num(c.overloaded.load(Ordering::Acquire) as f64),
                     ),
-                    ("timeout".into(), Json::Num(c.timeout.load(Ordering::Relaxed) as f64)),
-                    ("shed".into(), Json::Num(c.shed.load(Ordering::Relaxed) as f64)),
+                    ("timeout".into(), Json::Num(c.timeout.load(Ordering::Acquire) as f64)),
+                    ("shed".into(), Json::Num(c.shed.load(Ordering::Acquire) as f64)),
                     (
                         "latency".into(),
                         Json::obj(vec![
@@ -159,8 +179,8 @@ impl Metrics {
             ));
         }
         Json::obj(vec![
-            ("total".into(), Json::Num(self.grand_total() as f64)),
-            ("responses".into(), Json::Num(self.grand_responses() as f64)),
+            ("total".into(), Json::Num(grand_total as f64)),
+            ("responses".into(), Json::Num(responses as f64)),
             ("classes".into(), Json::obj(classes)),
         ])
     }

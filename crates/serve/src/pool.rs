@@ -12,8 +12,9 @@
 //! shutdown invariant).
 
 use crate::deadline::Deadline;
-use crate::protocol::Request;
+use crate::protocol::{err_response, ErrorKind, Request};
 use copycat_util::channel::{self, Receiver, Sender, TrySendError};
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -44,6 +45,22 @@ pub struct Pool {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// Run one job, keeping the one-response-per-job contract even if the
+/// handler panics: the caller blocked on `reply` gets a typed
+/// `internal` error instead of a hung rendezvous, and the worker
+/// survives to serve the next job.
+fn run_one(handler: &(dyn Fn(Job) + Send + Sync), job: Job) {
+    let reply = job.reply.clone();
+    let id = job.request.id.clone();
+    if std::panic::catch_unwind(AssertUnwindSafe(|| handler(job))).is_err() {
+        let _ = reply.send(err_response(
+            &id,
+            ErrorKind::Internal,
+            "handler panicked; worker recovered",
+        ));
+    }
+}
+
 impl Pool {
     /// Spawn `workers` threads running `handler` over a queue of
     /// `queue_depth` jobs.
@@ -54,17 +71,21 @@ impl Pool {
     ) -> Pool {
         let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::bounded(queue_depth.max(1));
         let workers = (0..workers.max(1))
-            .map(|i| {
+            .filter_map(|i| {
                 let rx = rx.clone();
                 let handler = Arc::clone(&handler);
+                // A failed spawn (thread exhaustion) degrades capacity
+                // instead of panicking; if *every* spawn fails, all
+                // receivers drop and submissions report `Closed`, which
+                // the server turns into a typed shutting_down response.
                 std::thread::Builder::new()
                     .name(format!("copycat-serve-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            handler(job);
+                            run_one(&*handler, job);
                         }
                     })
-                    .expect("spawn worker")
+                    .ok()
             })
             .collect();
         Pool { tx, workers }
@@ -154,6 +175,34 @@ mod tests {
         for rx in rxs {
             assert_eq!(rx.recv().unwrap(), "done");
         }
+    }
+
+    #[test]
+    fn panicking_handler_yields_typed_internal_error_not_a_dead_worker() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        // Single worker: if the panic killed it, the second job would
+        // never be handled and shutdown would hang on a queued job.
+        let pool = Pool::new(1, 4, Arc::new(move |j: Job| {
+            if c.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("injected handler failure");
+            }
+            let _ = j.reply.send("ok".to_string());
+        }));
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let (tx1, rx1) = sync_channel(1);
+        assert!(pool.submit(job(tx1)).is_ok());
+        let first = rx1.recv().unwrap();
+        std::panic::set_hook(prev_hook);
+        let parsed = Json::parse(&first).unwrap();
+        assert_eq!(parsed["error"]["kind"].as_str(), Some("internal"));
+        // The same (only) worker must still be alive to serve this one.
+        let (tx2, rx2) = sync_channel(1);
+        assert!(pool.submit(job(tx2)).is_ok());
+        assert_eq!(rx2.recv().unwrap(), "ok");
+        pool.shutdown();
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -153,9 +153,11 @@ impl Op {
             .find(|o| *o != Op::Invalid && o.as_str() == s)
     }
 
-    /// The metrics-table index of this class.
+    /// The metrics-table index of this class. [`Op::ALL`] lists the
+    /// variants in declaration order, so the discriminant *is* the
+    /// table index (asserted by `op_index_matches_all_order`).
     pub fn index(self) -> usize {
-        Op::ALL.iter().position(|&o| o == self).expect("op listed")
+        self as usize
     }
 }
 
@@ -294,4 +296,30 @@ pub fn err_response(id: &Json, kind: ErrorKind, message: &str) -> String {
         ),
     ])
     .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_index_matches_all_order() {
+        // `index()` relies on ALL listing variants in declaration
+        // order; this pins the invariant for every variant.
+        for (i, op) in Op::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op:?}");
+            assert_eq!(Op::ALL[op.index()], *op);
+        }
+    }
+
+    #[test]
+    fn every_wire_name_round_trips() {
+        for op in Op::ALL {
+            if op == Op::Invalid {
+                assert_eq!(Op::parse(op.as_str()), None);
+            } else {
+                assert_eq!(Op::parse(op.as_str()), Some(op));
+            }
+        }
+    }
 }

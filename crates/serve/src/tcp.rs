@@ -8,33 +8,31 @@
 use crate::server::Server;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
 use std::thread;
 
 /// Serve `listener` until a client issues `shutdown`, then drain and
 /// return. Consumes the server (shutdown joins its workers).
 pub fn serve(listener: TcpListener, server: Server) -> std::io::Result<()> {
     let addr = listener.local_addr()?;
-    let server = Arc::new(server);
-    let mut connections = Vec::new();
-    loop {
-        let (stream, _) = listener.accept()?;
-        if server.draining() {
-            break;
+    // A scope (rather than detached spawns) guarantees every connection
+    // thread has joined before the scope returns, so the server can be
+    // consumed by `shutdown` below without reference counting.
+    let accepted = thread::scope(|scope| {
+        loop {
+            let (stream, _) = listener.accept()?;
+            if server.draining() {
+                return Ok(());
+            }
+            let srv = &server;
+            scope.spawn(move || {
+                let _ = handle_connection(stream, srv, addr);
+            });
         }
-        let srv = Arc::clone(&server);
-        connections.push(thread::spawn(move || {
-            let _ = handle_connection(stream, &srv, addr);
-        }));
-    }
-    for c in connections {
-        let _ = c.join();
-    }
-    match Arc::try_unwrap(server) {
-        Ok(s) => s.shutdown(),
-        Err(_) => unreachable!("all connection threads joined"),
-    }
-    Ok(())
+    });
+    // Drain even when the accept loop died on an I/O error: admitted
+    // work still gets its responses.
+    server.shutdown();
+    accepted
 }
 
 fn handle_connection(

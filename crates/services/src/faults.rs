@@ -40,16 +40,21 @@ impl Flaky {
 
     /// Calls observed so far.
     pub fn calls(&self) -> u64 {
+        // relaxed: standalone stat counter; readers report it after the
+        // calls they care about have quiesced, nothing reconciles it.
         self.calls.load(Ordering::Relaxed)
     }
 
     /// Failures injected so far.
     pub fn failures(&self) -> u64 {
+        // relaxed: standalone stat counter, see `calls`.
         self.failures.load(Ordering::Relaxed)
     }
 
     /// Total virtual latency accrued (ms).
     pub fn virtual_latency_ms(&self) -> u64 {
+        // relaxed: read for deadline charging under the session lock
+        // that already serializes operator execution, or after quiesce.
         self.virtual_latency.load(Ordering::Relaxed)
     }
 
@@ -79,11 +84,15 @@ impl Service for Flaky {
     }
 
     fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        // relaxed: standalone stat counters (see the accessors above);
+        // no reader reconciles them against each other mid-flight.
         self.calls.fetch_add(1, Ordering::Relaxed);
         if self.should_fail(inputs) {
+            // relaxed: standalone stat counter.
             self.failures.fetch_add(1, Ordering::Relaxed);
             return Vec::new();
         }
+        // relaxed: accumulated charge, read under the session lock.
         self.virtual_latency
             .fetch_add(self.latency_per_call, Ordering::Relaxed);
         self.inner.call(inputs)

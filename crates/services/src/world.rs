@@ -145,7 +145,7 @@ impl World {
         }
 
         let mut venues = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = copycat_util::hash::FxHashSet::default();
         while venues.len() < config.venues && !streets.is_empty() {
             let street = rng.gen_range(0..streets.len());
             let city = &cities[streets[street].city];

@@ -55,9 +55,16 @@ impl Histogram {
             .iter()
             .position(|&b| us <= b)
             .unwrap_or(BUCKET_BOUNDS_US.len());
+        // relaxed: published by the Release increment of `count` below.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        // Release pairs with the Acquire load in `count()`: a reader
+        // whose rank is computed from this count also observes the
+        // bucket increment above, so the cumulative walk in
+        // `quantile_us` can never come up short of its rank.
+        self.count.fetch_add(1, Ordering::Release);
+        // relaxed: mean-only statistic; no reader reconciles it.
         self.sum_us.fetch_add(us, Ordering::Relaxed);
+        // relaxed: monotone max; any stale read is still a valid max.
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
@@ -66,9 +73,11 @@ impl Histogram {
         self.record_us(d.as_micros() as u64);
     }
 
-    /// Values recorded so far.
+    /// Values recorded so far. The Acquire pairs with the Release
+    /// increment in [`record_us`](Histogram::record_us): every bucket
+    /// write behind an observed count is visible after this load.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Acquire)
     }
 
     /// The value at quantile `q` in `[0, 1]`: the upper bound of the
@@ -82,23 +91,30 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
+            // relaxed: the Acquire in `count()` above already ordered
+            // every bucket write this rank depends on.
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 return BUCKET_BOUNDS_US
                     .get(i)
                     .copied()
+                    // relaxed: monotone max, see `record_us`.
                     .unwrap_or_else(|| self.max_us.load(Ordering::Relaxed));
             }
         }
+        // relaxed: monotone max, see `record_us`.
         self.max_us.load(Ordering::Relaxed)
     }
 
-    /// A consistent-enough snapshot (counters are relaxed; exact only
-    /// when recording is quiescent, which is how tests read it).
+    /// A consistent-enough snapshot (exact when recording is quiescent,
+    /// which is how tests read it; racing reads are never short of the
+    /// observed count, see [`count`](Histogram::count)).
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
             count: self.count(),
+            // relaxed: mean-only statistic; no reader reconciles it.
             sum_us: self.sum_us.load(Ordering::Relaxed),
+            // relaxed: monotone max, see `record_us`.
             max_us: self.max_us.load(Ordering::Relaxed),
             p50_us: self.quantile_us(0.50),
             p99_us: self.quantile_us(0.99),

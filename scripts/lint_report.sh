@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Emit the full copycat-lint findings report as JSON on stdout (pass a
+# path as $1 to also write it to a file). Unlike `check`, this reports
+# every finding including baselined ones — it's the audit view, not the
+# gate. See DESIGN.md § Static analysis for the rule catalogue and
+# `// lint:allow(<rule>) <reason>` suppression syntax.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -ge 1 ]]; then
+  cargo run --release --offline -q -p copycat-lint -- json | tee "$1"
+else
+  cargo run --release --offline -q -p copycat-lint -- json
+fi

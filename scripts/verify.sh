@@ -7,6 +7,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+# Invariant lint: zero non-baselined findings (wall-clock reads, random
+# hasher state, panics on request paths, unjustified Relaxed, …). The
+# ratchet lives in LINT_BASELINE.json; see DESIGN.md § Static analysis.
+cargo run --release --offline -q -p copycat-lint -- check
 cargo test -q --offline --workspace
 cargo run --release --offline -p copycat-bench --bin harness -- e1
 # Serve smoke: spawn an in-process copycat-serve, round-trip one request
