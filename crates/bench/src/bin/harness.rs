@@ -8,8 +8,8 @@
 
 use copycat_bench::table::{dur, f1, f3, TextTable};
 use copycat_bench::{
-    ablations, e1_keystrokes, e2_feedback, e3_steiner, e4_structure, e5_column, e6_semantic,
-    e7_linkage, e8_figure4, serve_load,
+    ablations, chaos_sweep, e1_keystrokes, e2_feedback, e3_steiner, e4_structure, e5_column,
+    e6_semantic, e7_linkage, e8_figure4, serve_load,
 };
 use std::fmt::Write;
 
@@ -225,6 +225,47 @@ fn serve_json() -> String {
     serve_load::rows_to_json(&rows).to_string()
 }
 
+/// The sweep behind both the F1 table and `BENCH_faults.json`.
+const FAULT_RATES: &[f64] = &[0.0, 0.1, 0.3, 0.6, 1.0];
+
+fn section_faults() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== F1: fault tolerance (failure rate x resilience mode, virtual time) ==\n"
+    )
+    .unwrap();
+    let rows = chaos_sweep::run(FAULT_RATES);
+    let mut t = TextTable::new(&[
+        "failure rate",
+        "mode",
+        "completeness",
+        "degraded",
+        "virtual ms",
+        "retries",
+        "trips",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            f1(r.rate * 100.0) + "%",
+            r.mode.to_string(),
+            f3(r.completeness),
+            if r.degraded { "yes".into() } else { "no".into() },
+            r.virtual_ms.to_string(),
+            r.retries.to_string(),
+            r.trips.to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.render()).unwrap();
+    out
+}
+
+/// `harness -- faults-json`: the chaos sweep as machine-readable JSON on
+/// stdout (consumed by `scripts/bench_json.sh` into `BENCH_faults.json`).
+fn faults_json() -> String {
+    chaos_sweep::rows_to_json(&chaos_sweep::run(FAULT_RATES)).to_string()
+}
+
 fn section_a1() -> String {
     let mut out = String::new();
     writeln!(
@@ -292,6 +333,10 @@ fn main() {
         println!("{}", serve_json());
         return;
     }
+    if which.iter().any(|w| w == "faults-json") {
+        println!("{}", faults_json());
+        return;
+    }
     let all = which.is_empty() || which.iter().any(|w| w == "all");
     let want = |name: &str| all || which.iter().any(|w| w == name);
 
@@ -305,6 +350,7 @@ fn main() {
         ("e7", section_e7),
         ("e8", section_e8),
         ("serve", section_serve),
+        ("faults", section_faults),
         ("a1", section_a1),
         ("a2", section_a2),
         ("a3", section_a3),

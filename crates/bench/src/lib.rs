@@ -7,6 +7,7 @@
 //! and the Criterion benches time the hot paths.
 
 pub mod ablations;
+pub mod chaos_sweep;
 pub mod e1_keystrokes;
 pub mod e2_feedback;
 pub mod e3_steiner;

@@ -15,7 +15,7 @@ use copycat_graph::{EdgeId, EdgeKind, NodeId, NodeKind, SourceGraph, SteinerTree
 use copycat_linkage::{approximate_join, MatchLearner, Matcher, TfIdfIndex};
 use copycat_provenance::Provenance;
 use copycat_query::{
-    execute_labeled, Catalog, Field, Plan, Relation, Schema, Value,
+    execute_reported, Catalog, Field, Plan, Relation, Schema, Value,
 };
 
 /// A proposed column auto-completion (Figure 2's highlighted Zip column).
@@ -36,6 +36,10 @@ pub struct ColumnSuggestion {
     pub label: String,
     /// Edge cost (lower ranks first).
     pub cost: f64,
+    /// Why this completion is degraded (`"service:kind"` of the first
+    /// failure, or a failover note), `None` when the answer is
+    /// complete. Degraded completions rank below healthy ones.
+    pub degraded: Option<String>,
 }
 
 /// A query discovered from a pasted tuple, with its executed answers.
@@ -49,6 +53,9 @@ pub struct ScoredQuery {
     pub cost: f64,
     /// Executed results.
     pub result: Relation,
+    /// Why this query's answer is degraded (service failures during
+    /// execution), `None` when complete.
+    pub degraded: Option<String>,
 }
 
 /// Generate ranked column completions for the current query.
@@ -148,9 +155,10 @@ pub fn column_suggestions(
                 )
             }
         };
-        let Ok(result) = execute_labeled(&plan, catalog, &label) else {
+        let Ok((result, report)) = execute_reported(&plan, catalog, &label) else {
             continue;
         };
+        let degraded = degraded_note(&report);
         let new_fields: Vec<Field> = result.schema().fields()[current_schema.arity()..].to_vec();
         if new_fields.is_empty() {
             continue;
@@ -177,7 +185,7 @@ pub fn column_suggestions(
                             .map(Value::as_text)
                             .collect(),
                     );
-                    provenance.push(Some(t.provenance.clone()));
+                    provenance.push(Some(annotate_degraded(t.provenance.clone(), &degraded)));
                 }
                 None => {
                     values.push(vec![String::new(); new_fields.len()]);
@@ -196,15 +204,44 @@ pub fn column_suggestions(
             plan,
             label,
             cost: edge.weight,
+            degraded,
         });
     }
+    sort_suggestions(&mut out);
+    out
+}
+
+/// Ranking for column completions: healthy before degraded, then by
+/// cost, then label for determinism. A healthy equivalent replacement
+/// therefore outranks a degraded primary — §3.2's failover, expressed
+/// as ranking.
+pub fn sort_suggestions(out: &mut [ColumnSuggestion]) {
     out.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .expect("finite costs")
+        a.degraded
+            .is_some()
+            .cmp(&b.degraded.is_some())
+            .then_with(|| a.cost.partial_cmp(&b.cost).expect("finite costs"))
             .then_with(|| a.label.cmp(&b.label))
     });
-    out
+}
+
+/// Compress an [`copycat_query::ExecReport`] into a one-line degraded
+/// note (`None` when the execution was complete).
+fn degraded_note(report: &copycat_query::ExecReport) -> Option<String> {
+    if report.is_complete() {
+        return None;
+    }
+    let f = &report.failures[0];
+    Some(format!("{}:{}", f.service, f.kind))
+}
+
+/// Wrap a tuple's provenance in a `degraded:` label so `explain` can
+/// say the answer may be incomplete and why.
+fn annotate_degraded(p: Provenance, degraded: &Option<String>) -> Provenance {
+    match degraded {
+        Some(d) => Provenance::labeled(format!("degraded:{d}"), p),
+        None => p,
+    }
 }
 
 /// Materialize a record-link edge as an auxiliary relation
@@ -291,9 +328,43 @@ pub fn tree_to_plan(graph: &SourceGraph, tree: &SteinerTree) -> Option<Plan> {
         .nodes
         .iter()
         .find(|&&n| graph.node(n).kind == NodeKind::Relation)?;
-    let mut plan = Plan::scan(graph.node(root).name.clone());
-    let mut in_plan = vec![root];
-    let mut remaining: Vec<EdgeId> = tree.edges.clone();
+    let plan = Plan::scan(graph.node(root).name.clone());
+    expand_plan(graph, plan, vec![root], tree.edges.clone())
+}
+
+/// Extend an existing plan along a tree's edges, starting from the
+/// nodes the plan already spans. Edges internal to the base node set
+/// are dropped (already answered by the base plan); the rest are
+/// expanded outward exactly as [`tree_to_plan`] would. This is the
+/// failover path: the base plan is the user's current tab and the tree
+/// is a banned-edge re-plan that reaches a replacement source.
+pub fn extend_plan_along(
+    graph: &SourceGraph,
+    base_plan: &Plan,
+    base_nodes: &[NodeId],
+    tree: &SteinerTree,
+) -> Option<Plan> {
+    let remaining: Vec<EdgeId> = tree
+        .edges
+        .iter()
+        .copied()
+        .filter(|&e| {
+            let edge = graph.edge(e);
+            !(base_nodes.contains(&edge.a) && base_nodes.contains(&edge.b))
+        })
+        .collect();
+    expand_plan(graph, base_plan.clone(), base_nodes.to_vec(), remaining)
+}
+
+/// The shared expansion loop: grow `plan` outward edge by edge until
+/// every edge is consumed, deferring bind edges whose feeding relation
+/// has not joined yet. `None` when no expansion order works.
+fn expand_plan(
+    graph: &SourceGraph,
+    mut plan: Plan,
+    mut in_plan: Vec<NodeId>,
+    mut remaining: Vec<EdgeId>,
+) -> Option<Plan> {
     while !remaining.is_empty() {
         let mut progressed = false;
         let mut i = 0;
@@ -368,13 +439,28 @@ pub fn tree_to_plan(graph: &SourceGraph, tree: &SteinerTree) -> Option<Plan> {
 /// The Steiner search behind query discovery: exact top-k on small
 /// graphs with few terminals, SPCSH on larger ones.
 pub fn search_trees(graph: &SourceGraph, terminals: &[NodeId], k: usize) -> Vec<SteinerTree> {
+    search_trees_banned(graph, terminals, k, &[])
+}
+
+/// [`search_trees`] with a set of banned edges no tree may use — the
+/// failover search: a tripped service's edges are banned so the
+/// explanations route through replacement sources instead.
+pub fn search_trees_banned(
+    graph: &SourceGraph,
+    terminals: &[NodeId],
+    k: usize,
+    banned: &[EdgeId],
+) -> Vec<SteinerTree> {
     const EXACT_NODE_LIMIT: usize = 64;
     if graph.node_count() <= EXACT_NODE_LIMIT
         && terminals.len() <= copycat_graph::MAX_EXACT_TERMINALS
     {
-        copycat_graph::top_k_steiner(graph, terminals, k)
+        copycat_graph::top_k_steiner_banned(graph, terminals, k, banned)
     } else {
-        copycat_graph::spcsh(graph, terminals, 0.8).into_iter().collect()
+        copycat_graph::spcsh(graph, terminals, 0.8)
+            .into_iter()
+            .filter(|t| !t.edges.iter().any(|e| banned.contains(e)))
+            .collect()
     }
 }
 
@@ -390,10 +476,25 @@ fn trees_to_queries(
             continue;
         };
         let label = format!("Q:{}", plan);
-        let Ok(result) = execute_labeled(&plan, catalog, &label) else {
+        let Ok((result, report)) = execute_reported(&plan, catalog, &label) else {
             continue;
         };
-        out.push(ScoredQuery { plan, cost: tree.cost, tree, result });
+        let degraded = degraded_note(&report);
+        let result = match &degraded {
+            // Re-wrap every tuple so the degradation is provenance-visible.
+            Some(_) => {
+                let mut wrapped = Relation::empty(result.name(), result.schema().clone());
+                for t in result.tuples() {
+                    wrapped.push(copycat_query::Tuple::new(
+                        t.values.clone(),
+                        annotate_degraded(t.provenance.clone(), &degraded),
+                    ));
+                }
+                wrapped
+            }
+            None => result,
+        };
+        out.push(ScoredQuery { plan, cost: tree.cost, tree, result, degraded });
     }
     out
 }
@@ -421,8 +522,169 @@ pub fn discover_queries_cached(
     k: usize,
     cache: &crate::cache::QueryCache,
 ) -> Vec<ScoredQuery> {
-    let trees = cache.trees_for(graph, terminals, k, || search_trees(graph, terminals, k));
+    discover_queries_cached_banned(graph, catalog, terminals, k, &[], cache)
+}
+
+/// [`discover_queries_cached`] with banned edges (tripped services'
+/// edges during failover). The ban set is part of the cache key.
+pub fn discover_queries_cached_banned(
+    graph: &SourceGraph,
+    catalog: &Catalog,
+    terminals: &[NodeId],
+    k: usize,
+    banned: &[EdgeId],
+    cache: &crate::cache::QueryCache,
+) -> Vec<ScoredQuery> {
+    let trees = cache.trees_for_banned(graph, terminals, k, banned, || {
+        search_trees_banned(graph, terminals, k, banned)
+    });
     trees_to_queries(graph, catalog, trees)
+}
+
+/// Output semantic types of a service node (its schema is inputs then
+/// outputs; `input_arity` splits them). `None` when any output column
+/// is untyped — equivalence needs types on both sides.
+fn service_output_types(graph: &SourceGraph, n: NodeId) -> Option<Vec<String>> {
+    let node = graph.node(n);
+    let outs = &node.schema.fields()[node.input_arity..];
+    if outs.is_empty() {
+        return None;
+    }
+    let mut types = Vec::with_capacity(outs.len());
+    for f in outs {
+        types.push(f.sem_type.clone()?);
+    }
+    types.sort();
+    Some(types)
+}
+
+/// Propose replacement-source completions when services have tripped
+/// their circuit breakers (§3.2: "propose replacement sources if a
+/// source is down"). For each tripped service with an *equivalent*
+/// replacement — a healthy service producing the same output semantic
+/// types — the top-k Steiner search is re-run with every tripped
+/// service's edges banned, and the resulting trees are grafted onto
+/// the current plan. Each proposal is annotated (provenance-visible)
+/// with why the replacement was used.
+pub fn failover_suggestions(
+    graph: &SourceGraph,
+    catalog: &Catalog,
+    current_plan: &Plan,
+    current_nodes: &[NodeId],
+    current_rows: &[Vec<String>],
+    tripped: &[String],
+) -> Vec<ColumnSuggestion> {
+    let mut out = Vec::new();
+    if tripped.is_empty() || current_nodes.is_empty() {
+        return out;
+    }
+    let Ok(current) = copycat_query::execute(current_plan, catalog) else {
+        return out;
+    };
+    let current_schema = current.schema().clone();
+    let tripped_nodes: Vec<NodeId> = tripped
+        .iter()
+        .filter_map(|name| graph.node_by_name(name))
+        .filter(|&n| graph.node(n).kind == NodeKind::Service)
+        .collect();
+    if tripped_nodes.is_empty() {
+        return out;
+    }
+    let mut banned: Vec<EdgeId> = tripped_nodes
+        .iter()
+        .flat_map(|&n| graph.incident(n).iter().copied())
+        .collect();
+    banned.sort_unstable();
+    banned.dedup();
+    for &t in &tripped_nodes {
+        let Some(want) = service_output_types(graph, t) else {
+            continue;
+        };
+        for r in graph.node_ids() {
+            if r == t
+                || graph.node(r).kind != NodeKind::Service
+                || tripped_nodes.contains(&r)
+                || current_nodes.contains(&r)
+            {
+                continue;
+            }
+            if service_output_types(graph, r).as_ref() != Some(&want) {
+                continue; // not an equivalent source
+            }
+            let mut terminals: Vec<NodeId> = current_nodes.to_vec();
+            terminals.push(r);
+            for tree in search_trees_banned(graph, &terminals, 2, &banned) {
+                let Some(plan) = extend_plan_along(graph, current_plan, current_nodes, &tree)
+                else {
+                    continue;
+                };
+                let t_name = &graph.node(t).name;
+                let r_name = &graph.node(r).name;
+                let note = format!("failover:{t_name}->{r_name}");
+                let label = format!("Q:{}+{} ({note})", graph.node(current_nodes[0]).name, r_name);
+                let Ok((result, _report)) = execute_reported(&plan, catalog, &label) else {
+                    continue;
+                };
+                let new_fields: Vec<Field> =
+                    result.schema().fields()[current_schema.arity()..].to_vec();
+                if new_fields.is_empty() {
+                    continue;
+                }
+                let degraded = Some(note);
+                let mut values = Vec::with_capacity(current_rows.len());
+                let mut provenance = Vec::with_capacity(current_rows.len());
+                let mut any = false;
+                for row in current_rows {
+                    let hit = result.tuples().iter().find(|tu| {
+                        row.iter()
+                            .take(current_schema.arity())
+                            .enumerate()
+                            .all(|(i, v)| tu.values.get(i).map(Value::as_text).as_deref() == Some(v))
+                    });
+                    match hit {
+                        Some(tu) => {
+                            any = true;
+                            values.push(
+                                tu.values[current_schema.arity()..]
+                                    .iter()
+                                    .map(Value::as_text)
+                                    .collect(),
+                            );
+                            provenance
+                                .push(Some(annotate_degraded(tu.provenance.clone(), &degraded)));
+                        }
+                        None => {
+                            values.push(vec![String::new(); new_fields.len()]);
+                            provenance.push(None);
+                        }
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                // The suggestion's graph edge: the tree edge touching the
+                // replacement service.
+                let Some(edge) = tree.edges.iter().copied().find(|&e| {
+                    let edge = graph.edge(e);
+                    edge.a == r || edge.b == r
+                }) else {
+                    continue;
+                };
+                out.push(ColumnSuggestion {
+                    new_fields,
+                    values,
+                    provenance,
+                    edge,
+                    plan,
+                    label,
+                    cost: tree.cost,
+                    degraded,
+                });
+            }
+        }
+    }
+    sort_suggestions(&mut out);
+    out
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! only the terminal sets that are actually queried again get
 //! recomputed.
 
-use copycat_graph::{NodeId, SourceGraph, SteinerTree};
+use copycat_graph::{EdgeId, NodeId, SourceGraph, SteinerTree};
 use copycat_util::hash::FxHashMap;
 use copycat_util::sync::Mutex;
 use std::collections::VecDeque;
@@ -33,11 +33,16 @@ struct Entry {
     trees: Vec<SteinerTree>,
 }
 
+/// Cache key: sorted deduped terminals, k, and the sorted banned-edge
+/// set (empty for the normal path; a failover search with tripped
+/// services banned is a distinct entry).
+type Key = (Vec<NodeId>, usize, Vec<EdgeId>);
+
 #[derive(Debug, Default)]
 struct Inner {
-    map: FxHashMap<(Vec<NodeId>, usize), Entry>,
+    map: FxHashMap<Key, Entry>,
     /// Insertion order for FIFO eviction.
-    order: VecDeque<(Vec<NodeId>, usize)>,
+    order: VecDeque<Key>,
     stats: CacheStats,
 }
 
@@ -74,10 +79,27 @@ impl QueryCache {
         k: usize,
         compute: impl FnOnce() -> Vec<SteinerTree>,
     ) -> Vec<SteinerTree> {
+        self.trees_for_banned(g, terminals, k, &[], compute)
+    }
+
+    /// [`QueryCache::trees_for`] with a banned-edge set in the key —
+    /// the failover search path (tripped services' edges banned) caches
+    /// separately from the healthy one.
+    pub fn trees_for_banned(
+        &self,
+        g: &SourceGraph,
+        terminals: &[NodeId],
+        k: usize,
+        banned: &[EdgeId],
+        compute: impl FnOnce() -> Vec<SteinerTree>,
+    ) -> Vec<SteinerTree> {
         let mut key_terms = terminals.to_vec();
         key_terms.sort_unstable();
         key_terms.dedup();
-        let key = (key_terms, k);
+        let mut key_banned = banned.to_vec();
+        key_banned.sort_unstable();
+        key_banned.dedup();
+        let key = (key_terms, k, key_banned);
         let version = g.version();
         {
             let mut inner = self.inner.lock();

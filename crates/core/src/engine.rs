@@ -18,11 +18,12 @@ use crate::workspace::{Tab, Workspace};
 use copycat_document::{Clipboard, Document, DocumentId};
 use copycat_extract::{execute as run_wrapper, refine, ScoredWrapper, StructureLearner, Wrapper};
 use copycat_graph::{
-    discover_associations, AssocOptions, Mira, NodeId, SourceGraph,
+    discover_associations, AssocOptions, EdgeId, EdgeKind, Mira, NodeId, SourceGraph,
     SUGGESTION_COST_THRESHOLD,
 };
 use copycat_linkage::{LabeledPair, MatchLearner, Matcher, TfIdfIndex};
 use copycat_query::{Catalog, Field, Plan, Relation, Schema, Service};
+use copycat_services::{HealthRegistry, HealthSnapshot, Resilient, RetryPolicy};
 use copycat_semantic::{Program, TransformLearner, TypeRegistry};
 use std::sync::Arc;
 
@@ -82,6 +83,10 @@ pub struct CopyCat {
     /// results; MIRA updates and edge insertions invalidate via the
     /// graph version.
     query_cache: QueryCache,
+    /// Health of services registered with retry/breaker protection
+    /// ([`CopyCat::register_resilient`]): breaker states, retry/trip
+    /// counters, and observed failure rates feeding failover.
+    health: HealthRegistry,
 }
 
 /// A transform column's learned program plus its accumulated examples.
@@ -163,6 +168,7 @@ impl CopyCat {
             transform_columns: copycat_util::hash::FxHashMap::default(),
             undo_stack: Vec::new(),
             query_cache: QueryCache::default(),
+            health: HealthRegistry::new(),
         }
     }
 
@@ -485,23 +491,117 @@ impl CopyCat {
         }
     }
 
+    /// Register a service wrapped in deterministic retry + circuit
+    /// breaking ([`Resilient`]), tracked by the engine's health
+    /// registry so failover can ban its edges when the breaker trips.
+    pub fn register_resilient(
+        &mut self,
+        svc: Arc<dyn Service>,
+        policy: RetryPolicy,
+    ) -> Arc<Resilient> {
+        let wrapped = Arc::new(Resilient::new(svc, policy));
+        self.health.register(wrapped.clone());
+        self.register_service(wrapped.clone() as Arc<dyn Service>);
+        wrapped
+    }
+
+    /// The engine's service-health registry (breaker states, retry and
+    /// trip counters for every [`CopyCat::register_resilient`] service).
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
+    }
+
+    /// Health snapshots for every resilient service, registration order.
+    pub fn health_snapshots(&self) -> Vec<HealthSnapshot> {
+        self.health.snapshots()
+    }
+
+    /// Re-price tracked services' graph edges from *observed* health:
+    /// a resilient wrapper's `cost()` reflects its observed failure
+    /// rate, so a service that keeps exhausting retries gets costlier
+    /// bind edges (dropping in MIRA/Steiner ranking) and a recovered
+    /// one cheapens again. Edge costs are scaled by the hint ratio so
+    /// MIRA's learned adjustments survive; the graph version bumps
+    /// only on an effective change (cache-friendly).
+    pub fn refresh_service_costs(&mut self) {
+        for snap in self.health.snapshots() {
+            let Some(resilient) = self.health.get(&snap.service) else {
+                continue;
+            };
+            let Some(node) = self.graph.node_by_name(&snap.service) else {
+                continue;
+            };
+            let new_hint = resilient.cost().max(0.1);
+            let old_hint = self.graph.set_cost_hint(node, new_hint);
+            if (new_hint - old_hint).abs() < 1e-12 {
+                continue;
+            }
+            for e in self.graph.incident(node).to_vec() {
+                if matches!(self.graph.edge(e).kind, EdgeKind::Bind { .. }) {
+                    let scaled = self.graph.cost(e) / old_hint * new_hint;
+                    self.graph.set_cost(e, scaled);
+                }
+            }
+        }
+    }
+
+    /// Edges incident to services whose breaker is currently open —
+    /// banned from discovery so explanations route around them.
+    fn tripped_edges(&self) -> Vec<EdgeId> {
+        let mut banned: Vec<EdgeId> = self
+            .health
+            .tripped_services()
+            .iter()
+            .filter_map(|name| self.graph.node_by_name(name))
+            .flat_map(|n| self.graph.incident(n).iter().copied())
+            .collect();
+        banned.sort_unstable();
+        banned.dedup();
+        banned
+    }
+
     /// Ranked column auto-completions for the active integration query
     /// (Figure 2). The list is remembered so feedback can compare the
     /// accepted suggestion against the alternatives shown.
+    ///
+    /// Completions degraded by service failures rank below healthy
+    /// ones, and when a circuit breaker is open the list additionally
+    /// carries failover proposals that re-plan through equivalent
+    /// replacement sources with the tripped service's edges banned.
     pub fn column_suggestions(&mut self) -> Vec<ColumnSuggestion> {
-        let Some(plan) = &self.current_plan else {
+        self.refresh_service_costs();
+        let Some(plan) = self.current_plan.clone() else {
             return Vec::new();
         };
         let rows = self.workspace.active().committed_rows();
-        let suggs = autocomplete::column_suggestions(
+        let mut suggs = autocomplete::column_suggestions(
             &self.graph,
             &self.catalog,
-            plan,
+            &plan,
             &self.current_nodes,
             &rows,
             SUGGESTION_COST_THRESHOLD,
             self.link_matcher.as_ref(),
         );
+        let tripped = self.health.tripped_services();
+        if !tripped.is_empty() {
+            let failover = autocomplete::failover_suggestions(
+                &self.graph,
+                &self.catalog,
+                &plan,
+                &self.current_nodes,
+                &rows,
+                &tripped,
+            );
+            for f in failover {
+                // A replacement already surfaced as a healthy direct
+                // suggestion makes the failover proposal redundant.
+                if !suggs.iter().any(|s| s.edge == f.edge) {
+                    suggs.push(f);
+                }
+            }
+            autocomplete::sort_suggestions(&mut suggs);
+        }
         self.last_shown = suggs.clone();
         suggs
     }
@@ -586,11 +686,12 @@ impl CopyCat {
         if terminals.is_empty() {
             return Vec::new();
         }
-        autocomplete::discover_queries_cached(
+        autocomplete::discover_queries_cached_banned(
             &self.graph,
             &self.catalog,
             &terminals,
             k,
+            &self.tripped_edges(),
             &self.query_cache,
         )
     }

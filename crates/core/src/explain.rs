@@ -20,13 +20,25 @@ pub struct Explanation {
     pub sources: Vec<String>,
     /// The alternative witness sets, rendered one per line.
     pub alternatives: Vec<String>,
+    /// Degradation notes carried in the provenance (`degraded:` labels):
+    /// why this answer may be incomplete or came from a replacement
+    /// source. Empty for a fully healthy derivation.
+    pub degraded: Vec<String>,
 }
 
 /// Explain a provenance expression.
 pub fn explain(p: &Provenance) -> Explanation {
     let graph = DerivationGraph::from_provenance(p);
     let derivation = graph.render_text();
-    let queries = p.labels().iter().map(|s| s.to_string()).collect();
+    let (degraded, queries): (Vec<String>, Vec<String>) = p
+        .labels()
+        .iter()
+        .map(|s| s.to_string())
+        .partition(|l| l.starts_with("degraded:"));
+    let degraded: Vec<String> = degraded
+        .into_iter()
+        .map(|l| l["degraded:".len()..].to_string())
+        .collect();
     let sources = p.relations().iter().map(|s| s.to_string()).collect();
     let alternatives = witnesses(p)
         .into_iter()
@@ -37,7 +49,7 @@ pub fn explain(p: &Provenance) -> Explanation {
                 .join(" ⊗ ")
         })
         .collect();
-    Explanation { derivation, queries, sources, alternatives }
+    Explanation { derivation, queries, sources, alternatives, degraded }
 }
 
 /// Explain row `i` of a tab. Pasted rows (no provenance) explain as user
@@ -51,6 +63,7 @@ pub fn explain_row(tab: &Tab, i: usize) -> Option<Explanation> {
             queries: Vec::new(),
             sources: Vec::new(),
             alternatives: Vec::new(),
+            degraded: Vec::new(),
         }),
     }
 }
@@ -69,6 +82,9 @@ pub fn render(e: &Explanation) -> String {
     }
     if !e.sources.is_empty() {
         out.push_str(&format!("Sources: {}\n", e.sources.join(", ")));
+    }
+    if !e.degraded.is_empty() {
+        out.push_str(&format!("Degraded: {}\n", e.degraded.join(", ")));
     }
     if e.alternatives.len() > 1 {
         out.push_str("Alternative explanations:\n");
@@ -113,6 +129,21 @@ mod tests {
         assert_eq!(e.alternatives.len(), 2);
         let text = render(&e);
         assert!(text.contains("Alternative explanations"));
+    }
+
+    #[test]
+    fn degraded_labels_are_surfaced() {
+        let p = Provenance::labeled(
+            "degraded:failover:ZipCodes->ZipBackup",
+            zip_prov(),
+        );
+        let e = explain(&p);
+        // The degraded marker is split out of the query list …
+        assert_eq!(e.queries, vec!["Q:Shelters+zip_resolver"]);
+        assert_eq!(e.degraded, vec!["failover:ZipCodes->ZipBackup"]);
+        // … and the rendered pane says why a replacement was used.
+        let text = render(&e);
+        assert!(text.contains("Degraded: failover:ZipCodes->ZipBackup"), "{text}");
     }
 
     #[test]

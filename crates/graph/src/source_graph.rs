@@ -356,6 +356,18 @@ impl SourceGraph {
         self.edges[id.0 as usize].weight
     }
 
+    /// Update a node's access-cost hint (clamped like
+    /// [`SourceGraph::add_service_with_cost`]) and return the previous
+    /// value. Observed service health feeds in here; callers re-price
+    /// the incident edges themselves via [`SourceGraph::set_cost`]
+    /// (which bumps the version only on an effective change).
+    pub fn set_cost_hint(&mut self, n: NodeId, hint: f64) -> f64 {
+        let clamped = hint.max(0.1);
+        let old = self.nodes[n.0 as usize].cost_hint;
+        self.nodes[n.0 as usize].cost_hint = clamped;
+        old
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()

@@ -588,17 +588,44 @@ pub fn top_k_steiner_opts(
     k: usize,
     parallel: bool,
 ) -> Vec<SteinerTree> {
+    top_k_steiner_banned_opts(g, terminals, k, &[], parallel)
+}
+
+/// [`top_k_steiner`] with an initial set of banned edges that no
+/// returned tree may use. This is the failover entry point: when a
+/// service's circuit breaker trips, its incident edges are banned and
+/// the search re-plans over the remaining sources (§3.2's "propose
+/// replacement sources").
+pub fn top_k_steiner_banned(
+    g: &SourceGraph,
+    terminals: &[NodeId],
+    k: usize,
+    banned: &[EdgeId],
+) -> Vec<SteinerTree> {
+    top_k_steiner_banned_opts(g, terminals, k, banned, parallel_worthwhile(g, terminals))
+}
+
+/// [`top_k_steiner_banned`] with explicit control over parallel
+/// branching. The initial ban seeds every branch, so the exclusion
+/// holds across the whole top-k enumeration, not just the first tree.
+pub fn top_k_steiner_banned_opts(
+    g: &SourceGraph,
+    terminals: &[NodeId],
+    k: usize,
+    init_banned: &[EdgeId],
+    parallel: bool,
+) -> Vec<SteinerTree> {
     let mut out: Vec<SteinerTree> = Vec::new();
     if k == 0 {
         return out;
     }
     let mut scratch = SteinerScratch::new();
-    let Some(first) = steiner_exact_in(g, terminals, &mut scratch) else {
+    let Some(first) = steiner_exact_banned_in(g, terminals, init_banned, &mut scratch) else {
         return out;
     };
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-    heap.push(Candidate { cost: first.cost, edges: first.edges, banned: Vec::new() });
+    heap.push(Candidate { cost: first.cost, edges: first.edges, banned: init_banned.to_vec() });
     while let Some(cand) = heap.pop() {
         if !seen.insert(edge_key(&cand.edges)) {
             continue;
@@ -1068,6 +1095,43 @@ mod tests {
         for t in &terminals {
             assert!(pruned.nodes.contains(t));
         }
+    }
+
+    #[test]
+    fn banned_top_k_excludes_edges_everywhere() {
+        // Same diamond: banning the cheap path's first edge must drop
+        // *every* tree using it from the enumeration, not just the first.
+        let mut g = SourceGraph::new();
+        let ids: Vec<NodeId> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| g.add_relation(*n, Schema::of(&["X"])))
+            .collect();
+        let j = |a: &str, b: &str| EdgeKind::Join { pairs: vec![(a.into(), b.into())] };
+        let ab = g.add_edge_with_cost(ids[0], ids[1], j("X", "X"), 1.0);
+        g.add_edge_with_cost(ids[1], ids[3], j("X", "X"), 1.0);
+        g.add_edge_with_cost(ids[0], ids[2], j("X", "X"), 1.5);
+        g.add_edge_with_cost(ids[2], ids[3], j("X", "X"), 1.5);
+        let trees = top_k_steiner_banned(&g, &[ids[0], ids[3]], 3, &[ab]);
+        assert_eq!(trees.len(), 1, "only the c-path survives the ban");
+        assert_eq!(trees[0].cost, 3.0);
+        for t in &trees {
+            assert!(!t.edges.contains(&ab));
+        }
+        // Empty ban is exactly the plain top-k.
+        let plain = top_k_steiner(&g, &[ids[0], ids[3]], 3);
+        let unbanned = top_k_steiner_banned(&g, &[ids[0], ids[3]], 3, &[]);
+        assert_eq!(plain.len(), unbanned.len());
+        for (a, b) in plain.iter().zip(&unbanned) {
+            assert_eq!(a.edges, b.edges);
+        }
+        // Banning everything on one side of a cut → no trees.
+        let touches = |e: EdgeId, u: NodeId, v: NodeId| {
+            let edge = g.edge(e);
+            (edge.a == u && edge.b == v) || (edge.a == v && edge.b == u)
+        };
+        let cd = g.edge_ids().find(|&e| touches(e, ids[2], ids[3])).unwrap();
+        let bd = g.edge_ids().find(|&e| touches(e, ids[1], ids[3])).unwrap();
+        assert!(top_k_steiner_banned(&g, &[ids[0], ids[3]], 3, &[cd, bd]).is_empty());
     }
 
     #[test]

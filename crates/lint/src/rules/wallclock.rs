@@ -73,6 +73,17 @@ mod tests {
     }
 
     #[test]
+    fn retry_and_breaker_machinery_is_not_allowlisted() {
+        // The resilience layer (retry backoff, circuit breakers) runs on
+        // a virtual clock by design; a wall-clock read there must fire.
+        // This pins that no allowlist entry was added for it.
+        let src = "fn f() { let t = Instant::now(); }";
+        let found = run_at("crates/services/src/health.rs", src);
+        assert_eq!(found.len(), 1, "health.rs must not own wall time");
+        assert!(run_at("crates/services/src/faults.rs", src).len() == 1);
+    }
+
+    #[test]
     fn string_mentions_do_not_fire() {
         assert_eq!(
             rules_fired("crates/core/src/x.rs", "fn f() { log(\"Instant::now\"); }"),

@@ -49,9 +49,54 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// One service failure observed while executing a plan: which service,
+/// which failure mode (`unavailable` / `too_slow` / `incomplete`), and
+/// a human-readable detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceFailure {
+    /// The failing service's catalog name.
+    pub service: String,
+    /// The failure mode ([`crate::service::ServiceError::kind`]).
+    pub kind: String,
+    /// Display form of the underlying error.
+    pub detail: String,
+}
+
+/// What went wrong *inside* an otherwise successful execution. A plan
+/// whose dependent join hits a down service still returns the rows it
+/// could derive; the report records that the answer may be degraded —
+/// the distinction §3.2 needs between "empty because there is no
+/// match" and "empty because the source failed".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Every service failure, in call order.
+    pub failures: Vec<ServiceFailure>,
+}
+
+impl ExecReport {
+    /// True when no service failed — the answer is complete.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The distinct failing services, first-failure order.
+    pub fn failed_services(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for f in &self.failures {
+            if !out.contains(&f.service.as_str()) {
+                out.push(&f.service);
+            }
+        }
+        out
+    }
+}
+
 /// Execute a plan against the catalog. The result is named `result`.
+/// Lenient: service failures degrade to skipped tuples (the report is
+/// discarded); use [`execute_reported`] to observe them.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Relation, ExecError> {
-    let (schema, tuples) = eval(plan, catalog)?;
+    let mut report = ExecReport::default();
+    let (schema, tuples) = eval(plan, catalog, &mut report)?;
     let mut rel = Relation::empty("result", schema);
     for t in tuples {
         rel.push(t);
@@ -66,7 +111,20 @@ pub fn execute_labeled(
     catalog: &Catalog,
     label: &str,
 ) -> Result<Relation, ExecError> {
-    let (schema, tuples) = eval(plan, catalog)?;
+    let (rel, _report) = execute_reported(plan, catalog, label)?;
+    Ok(rel)
+}
+
+/// Execute with a query label and return the [`ExecReport`] alongside
+/// the rows, so callers can tell a complete answer from one degraded
+/// by service failures (and know *which* services to fail over from).
+pub fn execute_reported(
+    plan: &Plan,
+    catalog: &Catalog,
+    label: &str,
+) -> Result<(Relation, ExecReport), ExecError> {
+    let mut report = ExecReport::default();
+    let (schema, tuples) = eval(plan, catalog, &mut report)?;
     let mut rel = Relation::empty("result", schema);
     for t in tuples {
         rel.push(Tuple::new(
@@ -74,10 +132,14 @@ pub fn execute_labeled(
             Provenance::labeled(label.to_string(), t.provenance),
         ));
     }
-    Ok(rel)
+    Ok((rel, report))
 }
 
-fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecError> {
+fn eval(
+    plan: &Plan,
+    catalog: &Catalog,
+    report: &mut ExecReport,
+) -> Result<(Schema, Vec<Tuple>), ExecError> {
     match plan {
         Plan::Scan { relation } => {
             let rel = catalog
@@ -86,7 +148,7 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
             Ok((rel.schema().clone(), rel.tuples().to_vec()))
         }
         Plan::Select { input, predicate } => {
-            let (schema, tuples) = eval(input, catalog)?;
+            let (schema, tuples) = eval(input, catalog, report)?;
             check_predicate_columns(predicate, &schema)?;
             let kept = tuples
                 .into_iter()
@@ -95,7 +157,7 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
             Ok((schema, kept))
         }
         Plan::Project { input, columns } => {
-            let (schema, tuples) = eval(input, catalog)?;
+            let (schema, tuples) = eval(input, catalog, report)?;
             let idx: Vec<usize> = columns
                 .iter()
                 .map(|c| {
@@ -119,8 +181,8 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
             Ok((out_schema, out))
         }
         Plan::Join { left, right, on } => {
-            let (ls, lt) = eval(left, catalog)?;
-            let (rs, rt) = eval(right, catalog)?;
+            let (ls, lt) = eval(left, catalog, report)?;
+            let (rs, rt) = eval(right, catalog, report)?;
             let lcols: Vec<usize> = on
                 .iter()
                 .map(|(l, _)| ls.index_of(l).ok_or_else(|| ExecError::UnknownColumn(l.clone())))
@@ -174,7 +236,7 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
             Ok((out_schema, out))
         }
         Plan::DependentJoin { input, service, bindings } => {
-            let (schema, tuples) = eval(input, catalog)?;
+            let (schema, tuples) = eval(input, catalog, report)?;
             let svc = catalog
                 .service(service)
                 .ok_or_else(|| ExecError::UnknownService(service.clone()))?;
@@ -212,7 +274,31 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
                 if inputs.iter().any(Value::is_null) {
                     continue; // unbound input: the service cannot be called
                 }
-                for answer in svc.call(&inputs) {
+                let answers = match svc.try_call(&inputs) {
+                    Ok(answers) => answers,
+                    Err(crate::service::ServiceError::Incomplete { partial, .. }) => {
+                        // Keep what the source did return; the report
+                        // marks the answer as possibly missing rows.
+                        report.failures.push(ServiceFailure {
+                            service: service.clone(),
+                            kind: "incomplete".into(),
+                            detail: format!("service '{service}' returned a truncated answer"),
+                        });
+                        partial
+                    }
+                    Err(e) => {
+                        // Unavailable / too slow: no answer for this
+                        // input tuple. Record and move on — a failed
+                        // bind drops the tuple, never the whole query.
+                        report.failures.push(ServiceFailure {
+                            service: service.clone(),
+                            kind: e.kind().into(),
+                            detail: e.to_string(),
+                        });
+                        continue;
+                    }
+                };
+                for answer in answers {
                     let mut values = t.values.clone();
                     let mut answer = answer;
                     answer.resize(sig.outputs.arity(), Value::Null);
@@ -235,7 +321,7 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
             }
             let mut evaluated = Vec::with_capacity(inputs.len());
             for i in inputs {
-                evaluated.push(eval(i, catalog)?);
+                evaluated.push(eval(i, catalog, report)?);
             }
             let merged = evaluated
                 .iter()
@@ -259,7 +345,7 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
             Ok((merged, out))
         }
         Plan::Distinct { input } => {
-            let (schema, tuples) = eval(input, catalog)?;
+            let (schema, tuples) = eval(input, catalog, report)?;
             let mut groups: Vec<(Vec<Value>, Provenance)> = Vec::new();
             let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
             for t in tuples {
@@ -282,7 +368,7 @@ fn eval(plan: &Plan, catalog: &Catalog) -> Result<(Schema, Vec<Tuple>), ExecErro
             Ok((schema, out))
         }
         Plan::Limit { input, n } => {
-            let (schema, mut tuples) = eval(input, catalog)?;
+            let (schema, mut tuples) = eval(input, catalog, report)?;
             tuples.truncate(*n);
             Ok((schema, tuples))
         }
@@ -484,5 +570,86 @@ mod tests {
             r.schema().names(),
             vec!["Name", "Street", "City", "Street_2", "City_2"]
         );
+    }
+
+    #[test]
+    fn reported_execution_distinguishes_failure_from_empty() {
+        use crate::service::{CallOutcome, Service, ServiceError};
+
+        // A resolver that is down for Margate, empty for Tamarac.
+        struct Partial;
+        impl Service for Partial {
+            fn name(&self) -> &str {
+                "zip_resolver"
+            }
+            fn signature(&self) -> &Signature {
+                static SIG: std::sync::OnceLock<Signature> = std::sync::OnceLock::new();
+                SIG.get_or_init(|| Signature {
+                    inputs: Schema::of(&["street", "city"]),
+                    outputs: Schema::of(&["Zip"]),
+                })
+            }
+            fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+                self.try_call(inputs).unwrap_or_default()
+            }
+            fn try_call(&self, inputs: &[Value]) -> CallOutcome {
+                match inputs[1].as_text().as_str() {
+                    "Margate" => Err(ServiceError::Unavailable { service: "zip_resolver".into() }),
+                    _ => Ok(vec![]),
+                }
+            }
+        }
+
+        let cat = catalog();
+        cat.add_service(Arc::new(Partial)); // replaces the healthy one
+        let plan = Plan::scan("shelters").dependent_join("zip_resolver", &["Street", "City"]);
+        let (rel, report) = execute_reported(&plan, &cat, "Q-zip").unwrap();
+        // Both answers are empty-or-failed, so zero rows either way …
+        assert_eq!(rel.len(), 0);
+        // … but the report says two of the three lookups *failed*
+        // (the Tamarac row was a legitimate no-match, not a failure).
+        assert!(!report.is_complete());
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failed_services(), vec!["zip_resolver"]);
+        assert_eq!(report.failures[0].kind, "unavailable");
+    }
+
+    #[test]
+    fn incomplete_answers_keep_partial_rows() {
+        use crate::service::{CallOutcome, Service, ServiceError};
+
+        struct Truncating;
+        impl Service for Truncating {
+            fn name(&self) -> &str {
+                "multi"
+            }
+            fn signature(&self) -> &Signature {
+                static SIG: std::sync::OnceLock<Signature> = std::sync::OnceLock::new();
+                SIG.get_or_init(|| Signature {
+                    inputs: Schema::of(&["city"]),
+                    outputs: Schema::of(&["Zip"]),
+                })
+            }
+            fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+                self.try_call(inputs).unwrap_or_default()
+            }
+            fn try_call(&self, _inputs: &[Value]) -> CallOutcome {
+                Err(ServiceError::Incomplete {
+                    service: "multi".into(),
+                    partial: vec![vec![Value::str("33063")]],
+                })
+            }
+        }
+
+        let cat = catalog();
+        cat.add_service(Arc::new(Truncating));
+        let plan = Plan::scan("shelters").dependent_join("multi", &["City"]);
+        let (rel, report) = execute_reported(&plan, &cat, "Q").unwrap();
+        // The partial rows survive (one per input tuple) …
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.tuples()[0].values[3], Value::str("33063"));
+        // … and the report flags every truncated call.
+        assert_eq!(report.failures.len(), 3);
+        assert_eq!(report.failures[0].kind, "incomplete");
     }
 }

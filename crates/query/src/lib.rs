@@ -25,10 +25,10 @@ pub mod tuple;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use exec::{execute, execute_labeled, ExecError};
+pub use exec::{execute, execute_labeled, execute_reported, ExecError, ExecReport, ServiceFailure};
 pub use plan::{Plan, Predicate};
 pub use relation::Relation;
 pub use schema::{Field, Schema};
-pub use service::{FnService, Service, Signature};
+pub use service::{CallOutcome, FnService, Renamed, Service, ServiceError, Signature};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -9,6 +9,79 @@
 use crate::schema::Schema;
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
+
+/// Why a service call did not produce a complete answer — the three
+/// failure modes §3.2 names when motivating replacement sources: a
+/// source that "is down, too slow, or does not provide a complete set
+/// of results". Typed so callers can distinguish them from a
+/// legitimately empty answer (a resolver that simply has no match).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The source is down: no answer at all.
+    Unavailable {
+        /// The failing service.
+        service: String,
+    },
+    /// The source answered, but only after exceeding its latency
+    /// budget; the answer is discarded and the (virtual) time charged.
+    TooSlow {
+        /// The failing service.
+        service: String,
+        /// Virtual latency charged before giving up (ms).
+        latency_ms: u64,
+    },
+    /// The source answered with a truncated result set.
+    Incomplete {
+        /// The failing service.
+        service: String,
+        /// The rows it did return (callers may keep them, degraded).
+        partial: Vec<Vec<Value>>,
+    },
+}
+
+impl ServiceError {
+    /// The failing service's name.
+    pub fn service(&self) -> &str {
+        match self {
+            ServiceError::Unavailable { service }
+            | ServiceError::TooSlow { service, .. }
+            | ServiceError::Incomplete { service, .. } => service,
+        }
+    }
+
+    /// A closed kind name (`unavailable` / `too_slow` / `incomplete`)
+    /// for wire protocols and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Unavailable { .. } => "unavailable",
+            ServiceError::TooSlow { .. } => "too_slow",
+            ServiceError::Incomplete { .. } => "incomplete",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Unavailable { service } => write!(f, "service '{service}' unavailable"),
+            ServiceError::TooSlow { service, latency_ms } => {
+                write!(f, "service '{service}' too slow ({latency_ms}ms virtual)")
+            }
+            ServiceError::Incomplete { service, partial } => write!(
+                f,
+                "service '{service}' returned an incomplete answer ({} rows)",
+                partial.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The result of one typed service invocation: complete answers, or a
+/// [`ServiceError`] naming the failure mode.
+pub type CallOutcome = Result<Vec<Vec<Value>>, ServiceError>;
 
 /// The binding signature of a service: which columns must be bound
 /// (inputs) and which it produces (outputs).
@@ -40,6 +113,15 @@ pub trait Service: Send + Sync {
     /// match), one, or several ("in some cases the shelter name may be
     /// ambiguous and might return multiple answers", Example 1).
     fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>>;
+
+    /// Typed invocation: like [`Service::call`] but failures are
+    /// reported as a [`ServiceError`] instead of collapsing into an
+    /// empty `Vec`. The default forwards to `call` and never fails —
+    /// an always-healthy service is exactly one whose every outcome is
+    /// `Ok`. Fault-injecting and resilience wrappers override this.
+    fn try_call(&self, inputs: &[Value]) -> CallOutcome {
+        Ok(self.call(inputs))
+    }
 
     /// Relative invocation cost (used as a default edge weight hint in the
     /// source graph). Defaults to 1.0.
@@ -88,6 +170,54 @@ where
     }
 }
 
+/// Forward every call to an existing service under a different catalog
+/// name. This is how an *equivalent replacement source* (§3.2) is
+/// registered: same signature, same answers, distinct identity, so the
+/// engine can fail over to it when the primary's breaker trips.
+pub struct Renamed {
+    name: String,
+    inner: Arc<dyn Service>,
+}
+
+impl Renamed {
+    /// Wrap `inner` under `name`.
+    pub fn new(name: impl Into<String>, inner: Arc<dyn Service>) -> Self {
+        Self { name: name.into(), inner }
+    }
+}
+
+impl Service for Renamed {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> &Signature {
+        self.inner.signature()
+    }
+
+    fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        self.inner.call(inputs)
+    }
+
+    fn try_call(&self, inputs: &[Value]) -> CallOutcome {
+        // Forward the typed path too, but re-attribute failures to the
+        // alias: the caller asked *this* catalog entry for the answer.
+        self.inner.try_call(inputs).map_err(|e| match e {
+            ServiceError::Unavailable { .. } => ServiceError::Unavailable { service: self.name.clone() },
+            ServiceError::TooSlow { latency_ms, .. } => {
+                ServiceError::TooSlow { service: self.name.clone(), latency_ms }
+            }
+            ServiceError::Incomplete { partial, .. } => {
+                ServiceError::Incomplete { service: self.name.clone(), partial }
+            }
+        })
+    }
+
+    fn cost(&self) -> f64 {
+        self.inner.cost()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +240,53 @@ mod tests {
         assert_eq!(svc.call(&[Value::str("Margate")]), vec![vec![Value::str("33063")]]);
         assert!(svc.call(&[Value::str("Nowhere")]).is_empty());
         assert_eq!(svc.signature().to_string(), "(city) -> (zip)");
+    }
+
+    #[test]
+    fn default_try_call_never_fails() {
+        let sig = Signature {
+            inputs: Schema::of(&["city"]),
+            outputs: Schema::of(&["zip"]),
+        };
+        let svc = FnService::new("zips", sig, |_inp: &[Value]| vec![]);
+        // A legitimately empty answer is Ok([]) — not an error.
+        assert_eq!(svc.try_call(&[Value::str("Nowhere")]), Ok(vec![]));
+    }
+
+    #[test]
+    fn renamed_forwards_and_reattributes() {
+        struct Down;
+        impl Service for Down {
+            fn name(&self) -> &str {
+                "primary"
+            }
+            fn signature(&self) -> &Signature {
+                static SIG: std::sync::OnceLock<Signature> = std::sync::OnceLock::new();
+                SIG.get_or_init(|| Signature {
+                    inputs: Schema::of(&["a"]),
+                    outputs: Schema::of(&["b"]),
+                })
+            }
+            fn call(&self, _inputs: &[Value]) -> Vec<Vec<Value>> {
+                vec![]
+            }
+            fn try_call(&self, _inputs: &[Value]) -> CallOutcome {
+                Err(ServiceError::Unavailable { service: "primary".into() })
+            }
+        }
+        let alias = Renamed::new("backup", Arc::new(Down));
+        assert_eq!(alias.name(), "backup");
+        let err = alias.try_call(&[Value::str("x")]).unwrap_err();
+        assert_eq!(err.service(), "backup");
+        assert_eq!(err.kind(), "unavailable");
+    }
+
+    #[test]
+    fn error_display_names_kind() {
+        let e = ServiceError::TooSlow { service: "geo".into(), latency_ms: 120 };
+        assert!(e.to_string().contains("geo"));
+        assert!(e.to_string().contains("120"));
+        let e = ServiceError::Incomplete { service: "geo".into(), partial: vec![vec![]] };
+        assert!(e.to_string().contains("1 rows"));
     }
 }

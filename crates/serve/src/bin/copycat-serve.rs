@@ -3,12 +3,16 @@
 //! ```text
 //! copycat-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--shards N]
 //! copycat-serve smoke
+//! copycat-serve chaos
 //! ```
 //!
 //! The default mode binds a TCP listener and serves line-delimited JSON
 //! until a client issues `{"op":"shutdown"}`. `smoke` runs one request
 //! of every class through an in-process server and exits non-zero if a
-//! required class fails — the hook `scripts/verify.sh` uses.
+//! required class fails — the hook `scripts/verify.sh` uses. `chaos`
+//! runs the fault-injection script (hard-down primary, retries, breaker
+//! trip, failover to a replacement alias) and exits non-zero if the
+//! failover path misbehaves.
 
 use copycat_serve::server::{Server, ServerConfig};
 use copycat_serve::{smoke, tcp};
@@ -19,6 +23,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("smoke") {
         return run_smoke();
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        return run_chaos();
     }
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
@@ -72,6 +79,23 @@ fn run_smoke() -> ExitCode {
         }
         Err(failed) => {
             eprintln!("smoke FAILED at {}:\n  request:  {}\n  response: {}",
+                failed.op, failed.request, failed.response);
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_chaos() -> ExitCode {
+    match smoke::run_chaos_default() {
+        Ok(log) => {
+            for x in &log {
+                println!("{} {}", if x.ok { "ok " } else { "err" }, x.op);
+            }
+            println!("chaos: {} exchanges, breaker tripped, failover served", log.len());
+            ExitCode::SUCCESS
+        }
+        Err(failed) => {
+            eprintln!("chaos FAILED at {}:\n  request:  {}\n  response: {}",
                 failed.op, failed.request, failed.response);
             ExitCode::from(1)
         }

@@ -71,6 +71,9 @@ pub enum Op {
     Export,
     /// Render the active tab as text.
     Render,
+    /// Per-service health: breaker states, retry/trip counters,
+    /// observed failure rates, and virtual backoff charged.
+    Health,
     /// Per-session cache stats and view-state depth.
     SessionStats,
     /// Server-wide metrics snapshot.
@@ -84,7 +87,7 @@ pub enum Op {
 
 impl Op {
     /// Every class, in protocol order (metrics iteration order).
-    pub const ALL: [Op; 26] = [
+    pub const ALL: [Op; 27] = [
         Op::Ping,
         Op::CreateSession,
         Op::LoadSession,
@@ -107,6 +110,7 @@ impl Op {
         Op::Explain,
         Op::Export,
         Op::Render,
+        Op::Health,
         Op::SessionStats,
         Op::Stats,
         Op::Shutdown,
@@ -138,6 +142,7 @@ impl Op {
             Op::Explain => "explain",
             Op::Export => "export",
             Op::Render => "render",
+            Op::Health => "health",
             Op::SessionStats => "session_stats",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
@@ -176,6 +181,9 @@ pub enum ErrorKind {
     Timeout,
     /// The server is draining; no new work admitted.
     ShuttingDown,
+    /// A required external service is down or its breaker is open and
+    /// no replacement could answer.
+    Unavailable,
     /// A handler panicked or an invariant failed.
     Internal,
 }
@@ -190,6 +198,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Timeout => "timeout",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Unavailable => "unavailable",
             ErrorKind::Internal => "internal",
         }
     }

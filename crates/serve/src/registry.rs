@@ -43,9 +43,12 @@ impl SessionState {
         }
     }
 
-    /// Total virtual latency accrued across this session's probes (ms).
+    /// Total virtual latency accrued across this session's probes (ms),
+    /// plus the virtual retry backoff charged by the engine's resilient
+    /// service wrappers — all simulated time, no wallclock.
     pub fn virtual_latency_ms(&self) -> u64 {
-        self.probes.iter().map(|p| p.virtual_latency_ms()).sum()
+        let probes: u64 = self.probes.iter().map(|p| p.virtual_latency_ms()).sum();
+        probes + self.engine.health().backoff_virtual_ms()
     }
 }
 

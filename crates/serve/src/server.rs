@@ -34,10 +34,10 @@ use crate::registry::{SessionRegistry, SessionState};
 use copycat_core::{explain, export, CopyCat};
 use copycat_document::corpus::contact_sheet;
 use copycat_document::{Document, DocumentId};
-use copycat_query::Service;
+use copycat_query::{Renamed, Service};
 use copycat_services::{
-    AddressResolver, CurrencyConverter, Flaky, Geocoder, ReversePhone, UnitConverter, World,
-    WorldConfig, ZipResolver,
+    AddressResolver, CurrencyConverter, Flaky, Geocoder, HealthSnapshot, ReversePhone,
+    RetryPolicy, UnitConverter, World, WorldConfig, ZipResolver,
 };
 use copycat_util::json::{Json, JsonError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -99,6 +99,20 @@ fn jrows(rows: &[Vec<String>]) -> Json {
 
 fn jstrings(items: &[String]) -> Json {
     Json::Arr(items.iter().map(|s| Json::str(s.as_str())).collect())
+}
+
+fn jhealth(snap: &HealthSnapshot) -> Json {
+    obj(vec![
+        ("service", Json::str(&snap.service)),
+        ("state", Json::str(snap.state.as_str())),
+        ("calls", Json::Num(snap.calls as f64)),
+        ("failures", Json::Num(snap.failures as f64)),
+        ("retries", Json::Num(snap.retries as f64)),
+        ("trips", Json::Num(snap.trips as f64)),
+        ("short_circuits", Json::Num(snap.short_circuits as f64)),
+        ("observed_failure_rate", Json::Num(snap.observed_failure_rate)),
+        ("backoff_virtual_ms", Json::Num(snap.backoff_virtual_ms as f64)),
+    ])
 }
 
 impl Server {
@@ -315,6 +329,13 @@ impl Inner {
             Op::RegisterFlaky => self.with_session(req, deadline, |s| register_flaky(req, s)),
             Op::ColumnSuggestions => self.with_session(req, deadline, |s| {
                 s.last_suggestions = s.engine.column_suggestions();
+                let tripped = s.engine.health().tripped_services();
+                if s.last_suggestions.is_empty() && !tripped.is_empty() {
+                    return Err((
+                        ErrorKind::Unavailable,
+                        format!("no completions; services down: {}", tripped.join(", ")),
+                    ));
+                }
                 let listed: Vec<Json> = s
                     .last_suggestions
                     .iter()
@@ -324,6 +345,12 @@ impl Inner {
                             ("index", jnum(i)),
                             ("label", Json::str(&sg.label)),
                             ("cost", Json::Num(sg.cost)),
+                            (
+                                "degraded",
+                                sg.degraded
+                                    .as_deref()
+                                    .map_or(Json::Null, Json::str),
+                            ),
                             (
                                 "columns",
                                 Json::Arr(
@@ -368,6 +395,12 @@ impl Inner {
                         obj(vec![
                             ("index", jnum(i)),
                             ("cost", Json::Num(q.cost)),
+                            (
+                                "degraded",
+                                q.degraded
+                                    .as_deref()
+                                    .map_or(Json::Null, Json::str),
+                            ),
                             (
                                 "sources",
                                 Json::Arr(
@@ -450,6 +483,26 @@ impl Inner {
             Op::Render => self.with_session(req, deadline, |s| {
                 Ok(obj(vec![("text", Json::str(&s.engine.render()))]))
             }),
+            Op::Health => self.with_session(req, deadline, |s| {
+                let snaps = s.engine.health_snapshots();
+                let services: Vec<Json> = snaps.iter().map(jhealth).collect();
+                Ok(obj(vec![
+                    ("services", Json::Arr(services)),
+                    (
+                        "tripped",
+                        jstrings(&s.engine.health().tripped_services()),
+                    ),
+                    (
+                        "retries",
+                        Json::Num(s.engine.health().total_retries() as f64),
+                    ),
+                    ("trips", Json::Num(s.engine.health().total_trips() as f64)),
+                    (
+                        "backoff_virtual_ms",
+                        Json::Num(s.engine.health().backoff_virtual_ms() as f64),
+                    ),
+                ]))
+            }),
             Op::SessionStats => self.with_session(req, deadline, |s| {
                 let cache = s.engine.query_cache_stats();
                 Ok(obj(vec![
@@ -464,6 +517,17 @@ impl Inner {
                     ("undo_depth", jnum(s.engine.undo_depth())),
                     ("relations", jnum(s.engine.catalog().relation_names().len())),
                     ("graph_version", Json::Num(s.engine.graph().version() as f64)),
+                    (
+                        "health",
+                        obj(vec![
+                            ("retries", Json::Num(s.engine.health().total_retries() as f64)),
+                            ("trips", Json::Num(s.engine.health().total_trips() as f64)),
+                            (
+                                "backoff_virtual_ms",
+                                Json::Num(s.engine.health().backoff_virtual_ms() as f64),
+                            ),
+                        ]),
+                    ),
                 ]))
             }),
             // Handled inline at admission; a worker never sees them.
@@ -515,12 +579,18 @@ impl Inner {
     fn stats(&self) -> Json {
         let mut cache = copycat_core::CacheStats::default();
         let mut sessions = 0usize;
+        let (mut retries, mut trips, mut backoff_ms, mut tripped) = (0u64, 0u64, 0u64, 0usize);
         self.registry.for_each(|s| {
             let state = s.state.lock();
             let c = state.engine.query_cache_stats();
             cache.hits += c.hits;
             cache.misses += c.misses;
             cache.invalidations += c.invalidations;
+            let h = state.engine.health();
+            retries += h.total_retries();
+            trips += h.total_trips();
+            backoff_ms += h.backoff_virtual_ms();
+            tripped += h.tripped_services().len();
             sessions += 1;
         });
         Json::obj(vec![
@@ -535,6 +605,18 @@ impl Inner {
                         "invalidations".to_string(),
                         Json::Num(cache.invalidations as f64),
                     ),
+                ]),
+            ),
+            (
+                "health".to_string(),
+                Json::obj(vec![
+                    ("retries".to_string(), Json::Num(retries as f64)),
+                    ("trips".to_string(), Json::Num(trips as f64)),
+                    (
+                        "backoff_virtual_ms".to_string(),
+                        Json::Num(backoff_ms as f64),
+                    ),
+                    ("tripped_services".to_string(), jnum(tripped)),
                 ]),
             ),
         ])
@@ -602,13 +684,55 @@ fn register_flaky(req: &Request, s: &mut SessionState) -> OpResult {
         .catalog()
         .service(name)
         .ok_or_else(|| (ErrorKind::BadRequest, format!("no service named {name:?}")))?;
+    // An equivalent replacement source can be registered alongside: the
+    // *un-faulted* service under an alias, available for failover.
+    let replacement = req
+        .body
+        .get("replacement")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    if let Some(alias) = &replacement {
+        s.engine
+            .register_service(Arc::new(Renamed::new(alias.clone(), Arc::clone(&inner))));
+    }
     let flaky = Arc::new(Flaky::new(inner, failure_rate, latency_ms, seed));
-    s.engine.register_service(Arc::clone(&flaky) as Arc<dyn Service>);
+    // With `retries` (or breaker tuning) the fault-injected service is
+    // additionally wrapped in the retry + circuit-breaker layer; its
+    // backoff is charged as virtual latency via the health registry.
+    let retries = req.body.get("retries").and_then(Json::as_f64).map(|v| v as u32);
+    let threshold = req
+        .body
+        .get("breaker_threshold")
+        .and_then(Json::as_f64)
+        .map(|v| v as u32);
+    let cooldown = req.body.get("cooldown_ms").and_then(Json::as_f64).map(|v| v as u64);
+    let resilient = retries.is_some() || threshold.is_some() || cooldown.is_some();
+    if resilient {
+        let mut policy = RetryPolicy::default();
+        if let Some(r) = retries {
+            policy.max_attempts = r.max(1);
+        }
+        if let Some(t) = threshold {
+            policy.breaker_threshold = t.max(1);
+        }
+        if let Some(c) = cooldown {
+            policy.cooldown_ms = c;
+        }
+        s.engine
+            .register_resilient(Arc::clone(&flaky) as Arc<dyn Service>, policy);
+    } else {
+        s.engine.register_service(Arc::clone(&flaky) as Arc<dyn Service>);
+    }
     s.probes.push(flaky);
     Ok(obj(vec![
         ("wrapped", Json::str(name)),
         ("latency_ms", Json::Num(latency_ms as f64)),
         ("failure_rate", Json::Num(failure_rate)),
+        ("resilient", Json::Bool(resilient)),
+        (
+            "replacement",
+            replacement.map_or(Json::Null, |r| Json::str(&r)),
+        ),
     ]))
 }
 

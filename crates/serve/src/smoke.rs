@@ -220,6 +220,11 @@ pub fn run(server: &Server) -> Result<Vec<Exchange>, Box<Exchange>> {
     )?;
     call(Op::Render, format!("{{\"id\":{},\"op\":\"render\",{s}}}", id()), true)?;
     call(
+        Op::Health,
+        format!("{{\"id\":{},\"op\":\"health\",{s}}}", id()),
+        true,
+    )?;
+    call(
         Op::SessionStats,
         format!("{{\"id\":{},\"op\":\"session_stats\",{s}}}", id()),
         true,
@@ -265,6 +270,136 @@ pub fn run(server: &Server) -> Result<Vec<Exchange>, Box<Exchange>> {
 pub fn run_default() -> Result<Vec<Exchange>, Box<Exchange>> {
     let server = Server::new(ServerConfig::default());
     let result = run(&server);
+    server.shutdown();
+    result
+}
+
+/// The chaos smoke: a fault-injected session with retries, a circuit
+/// breaker, and an equivalent replacement source, proving the serve
+/// layer's failover path end to end.
+///
+/// The zip resolver is made *hard down* so its breaker trips, yet
+/// `column_suggestions` must still offer a healthy (non-degraded) Zip
+/// completion through the replacement alias, and `health` must report
+/// the trip with virtual (never wallclock) backoff.
+pub fn run_chaos(server: &Server) -> Result<Vec<Exchange>, Box<Exchange>> {
+    let mut log: Vec<Exchange> = Vec::new();
+    let mut next_id = 0u64;
+    let mut call = |op: Op, line: String, must_ok: bool| -> Result<Json, Box<Exchange>> {
+        let response = server.handle_line(&line);
+        let parsed = Json::parse(&response).expect("server responses parse");
+        let ok = parsed["ok"].as_bool() == Some(true);
+        let exchange = Exchange { op: op.as_str(), request: line, response, ok };
+        let failed = must_ok && !ok;
+        log.push(exchange.clone());
+        if failed {
+            return Err(Box::new(exchange));
+        }
+        Ok(parsed)
+    };
+    let mut id = || {
+        next_id += 1;
+        next_id
+    };
+    let s = "\"session\":\"chaos\"";
+
+    call(
+        Op::CreateSession,
+        format!("{{\"id\":{},\"op\":\"create_session\",{s}}}", id()),
+        true,
+    )?;
+    let world = call(
+        Op::RegisterWorld,
+        format!(
+            "{{\"id\":{},\"op\":\"register_world\",{s},\"seed\":2009,\"venues\":10}}",
+            id()
+        ),
+        true,
+    )?;
+    let shelters = rows_of(&world["result"]["shelters"]);
+    let doc = call(
+        Op::OpenDoc,
+        format!(
+            "{{\"id\":{},\"op\":\"open_doc\",{s},\"name\":\"ShelterSheet\",\
+             \"headers\":[\"Name\",\"Street\",\"City\"],\"rows\":{}}}",
+            id(),
+            rows_json(&shelters)
+        ),
+        true,
+    )?;
+    let doc_id = doc["result"]["doc"].as_f64().expect("doc id") as u64;
+    call(
+        Op::Paste,
+        format!(
+            "{{\"id\":{},\"op\":\"paste\",{s},\"doc\":{doc_id},\"values\":{}}}",
+            id(),
+            row_json(&shelters[0])
+        ),
+        true,
+    )?;
+    call(Op::AcceptRows, format!("{{\"id\":{},\"op\":\"accept_rows\",{s}}}", id()), true)?;
+    call(
+        Op::SetColumnType,
+        format!(
+            "{{\"id\":{},\"op\":\"set_column_type\",{s},\"col\":2,\"type\":\"PR-City\"}}",
+            id()
+        ),
+        true,
+    )?;
+    call(
+        Op::CommitSource,
+        format!("{{\"id\":{},\"op\":\"commit_source\",{s},\"name\":\"Shelters\"}}", id()),
+        true,
+    )?;
+    // Hard-down primary behind retry + breaker, with a healthy alias.
+    call(
+        Op::RegisterFlaky,
+        format!(
+            "{{\"id\":{},\"op\":\"register_flaky\",{s},\"service\":\"zip_resolver\",\
+             \"failure_rate\":1,\"latency_ms\":5,\"seed\":7,\"retries\":3,\
+             \"breaker_threshold\":4,\"cooldown_ms\":400,\
+             \"replacement\":\"zip_backup\"}}",
+            id()
+        ),
+        true,
+    )?;
+    let suggs = call(
+        Op::ColumnSuggestions,
+        format!("{{\"id\":{},\"op\":\"column_suggestions\",{s}}}", id()),
+        true,
+    )?;
+    let listed = suggs["result"]["suggestions"].as_array().unwrap_or(&[]);
+    let healthy_backup = listed
+        .first()
+        .map(|e| e["degraded"] == Json::Null && format!("{}", e["label"]).contains("zip_backup"))
+        .unwrap_or(false);
+    if !healthy_backup {
+        return Err(Box::new(log.last().expect("at least one exchange").clone()));
+    }
+    call(
+        Op::AcceptColumn,
+        format!("{{\"id\":{},\"op\":\"accept_column\",{s},\"index\":0}}", id()),
+        true,
+    )?;
+    let health = call(
+        Op::Health,
+        format!("{{\"id\":{},\"op\":\"health\",{s}}}", id()),
+        true,
+    )?;
+    let tripped = health["result"]["tripped"].as_array().map_or(0, |a| a.len());
+    let trips = health["result"]["trips"].as_f64().unwrap_or(0.0);
+    let backoff = health["result"]["backoff_virtual_ms"].as_f64().unwrap_or(0.0);
+    if tripped == 0 || trips < 1.0 || backoff <= 0.0 {
+        return Err(Box::new(log.last().expect("health exchange").clone()));
+    }
+    call(Op::Stats, format!("{{\"id\":{},\"op\":\"stats\"}}", id()), true)?;
+    Ok(log)
+}
+
+/// Build a default-sized server, run the chaos script, shut down.
+pub fn run_chaos_default() -> Result<Vec<Exchange>, Box<Exchange>> {
+    let server = Server::new(ServerConfig::default());
+    let result = run_chaos(&server);
     server.shutdown();
     result
 }

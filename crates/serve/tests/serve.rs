@@ -37,6 +37,23 @@ fn smoke_round_trips_every_request_class() {
     }
 }
 
+/// The chaos script: a hard-down primary behind retry + breaker fails
+/// over to a healthy replacement alias, with health reported.
+#[test]
+fn chaos_smoke_trips_breaker_and_fails_over() {
+    let log = smoke::run_chaos_default().unwrap_or_else(|failed| {
+        panic!(
+            "chaos failed at {}: request {} got {}",
+            failed.op, failed.request, failed.response
+        )
+    });
+    assert!(log.iter().any(|x| x.op == "health" && x.ok));
+    // The health response is part of the log; spot-check its shape.
+    let health = log.iter().find(|x| x.op == "health").unwrap();
+    assert!(health.response.contains("\"tripped\""), "{}", health.response);
+    assert!(health.response.contains("zip_resolver"), "{}", health.response);
+}
+
 // ------------------------------------------------- deterministic scripts
 
 /// The per-session conversation the determinism test drives: import two
@@ -201,6 +218,118 @@ fn concurrent_sessions_are_deterministic_and_reconcile() {
         copycat_util::prop_ensure_eq!(server.metrics().grand_total(), sent);
         copycat_util::prop_ensure_eq!(server.metrics().grand_responses(), sent);
 
+        let server = Arc::into_inner(server).expect("all clients joined");
+        server.shutdown();
+        Ok(())
+    });
+}
+
+/// Fault-injected sessions stay deterministic under concurrency: each
+/// session wraps its zip resolver in failure injection + retries with a
+/// replacement alias, and the responses — including degraded markers,
+/// retry exhaustion, and health counters — are byte-identical whether
+/// the sessions run sequentially or concurrently.
+#[test]
+fn concurrent_fault_injected_sessions_are_deterministic() {
+    use copycat_services::{World, WorldConfig};
+
+    // One session's chaos script. The world rows are regenerated locally
+    // with the same (seed, venues) the server will use, so the script is
+    // fully static.
+    fn chaos_script(session: &str, seed: u64, rate: f64) -> Vec<String> {
+        let esc = |s: &str| Json::str(s).to_string();
+        let world = World::generate(&WorldConfig { seed, venues: 6, ..WorldConfig::default() });
+        let shelters = world.shelter_rows();
+        let rows_json = {
+            let rendered: Vec<String> = shelters
+                .iter()
+                .map(|r| {
+                    let cells: Vec<String> = r.iter().map(|c| esc(c)).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            format!("[{}]", rendered.join(","))
+        };
+        let first: Vec<String> = shelters[0].iter().map(|c| esc(c)).collect();
+        let s = format!("\"session\":{}", esc(session));
+        let mut lines = Vec::new();
+        let mut id = 0u64;
+        let mut push = |id: &mut u64, body: String| {
+            *id += 1;
+            lines.push(format!("{{\"id\":{id},{body}}}"));
+        };
+        push(&mut id, format!("\"op\":\"create_session\",{s}"));
+        push(
+            &mut id,
+            format!("\"op\":\"register_world\",{s},\"seed\":{seed},\"venues\":6"),
+        );
+        push(
+            &mut id,
+            format!(
+                "\"op\":\"open_doc\",{s},\"name\":\"Sheet\",\
+                 \"headers\":[\"Name\",\"Street\",\"City\"],\"rows\":{rows_json}"
+            ),
+        );
+        push(
+            &mut id,
+            format!("\"op\":\"paste\",{s},\"doc\":0,\"values\":[{}]", first.join(",")),
+        );
+        push(&mut id, format!("\"op\":\"accept_rows\",{s}"));
+        push(
+            &mut id,
+            format!("\"op\":\"set_column_type\",{s},\"col\":2,\"type\":\"PR-City\""),
+        );
+        push(&mut id, format!("\"op\":\"commit_source\",{s},\"name\":\"Shelters\""));
+        push(
+            &mut id,
+            format!(
+                "\"op\":\"register_flaky\",{s},\"service\":\"zip_resolver\",\
+                 \"failure_rate\":{rate},\"latency_ms\":2,\"seed\":{},\"retries\":2,\
+                 \"breaker_threshold\":3,\"cooldown_ms\":100,\
+                 \"replacement\":\"zip_backup\"",
+                seed ^ 0xF417
+            ),
+        );
+        // Two suggestion rounds: the second sees advanced per-input
+        // attempt counters and any breaker state the first produced.
+        push(&mut id, format!("\"op\":\"column_suggestions\",{s}"));
+        push(&mut id, format!("\"op\":\"column_suggestions\",{s}"));
+        push(&mut id, format!("\"op\":\"health\",{s}"));
+        push(&mut id, format!("\"op\":\"session_stats\",{s}"));
+        lines
+    }
+
+    check("serve_chaos_determinism", 3, &[], |g| {
+        let n_sessions = g.usize_in(2..5);
+        let rate = [0.3, 0.6, 1.0][g.usize_in(0..3)];
+        let scripts: Vec<Vec<String>> = (0..n_sessions)
+            .map(|i| chaos_script(&format!("chaos-{i}"), 2009 + i as u64, rate))
+            .collect();
+
+        let reference = Server::new(ServerConfig { workers: 2, queue_depth: 64, shards: 4 });
+        let expected: Vec<Vec<String>> =
+            scripts.iter().map(|sc| drive(&reference, sc)).collect();
+        reference.shutdown();
+
+        let server = Arc::new(Server::new(ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            shards: 4,
+        }));
+        let mut handles = Vec::new();
+        for sc in scripts.iter() {
+            let server = Arc::clone(&server);
+            let sc = sc.clone();
+            handles.push(std::thread::spawn(move || drive(&server, &sc)));
+        }
+        let got: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, (exp, act)) in expected.iter().zip(&got).enumerate() {
+            copycat_util::prop_ensure_eq!(
+                exp,
+                act,
+                "chaos session {i}: concurrent responses differ from sequential"
+            );
+        }
         let server = Arc::into_inner(server).expect("all clients joined");
         server.shutdown();
         Ok(())
@@ -380,6 +509,42 @@ fn typed_errors_cover_the_protocol_taxonomy() {
     let drain = server.handle("{\"id\":1,\"op\":\"shutdown\"}");
     assert_eq!(drain["ok"].as_bool(), Some(true));
     assert_eq!(kind(server.handle("{\"id\":1,\"op\":\"ping\"}")), "shutting_down");
+    server.shutdown();
+}
+
+/// When every service that could complete a column is breaker-open and
+/// no replacement exists, `column_suggestions` answers the typed
+/// `unavailable` error instead of an empty (indistinguishable) list.
+#[test]
+fn tripped_services_without_replacement_answer_unavailable() {
+    let server = Server::new(ServerConfig::default());
+    setup_session_with_flaky(&server, 0); // healthy flaky wrapper on zip
+    // Re-wrap every street/city-bound service hard-down behind a breaker
+    // (no replacement registered).
+    for (i, svc) in ["zip_resolver", "geocoder", "address_resolver"].iter().enumerate() {
+        let resp = server.handle(&format!(
+            "{{\"id\":{},\"op\":\"register_flaky\",\"session\":\"s\",\"service\":\"{svc}\",\
+             \"failure_rate\":1,\"latency_ms\":1,\"seed\":3,\"retries\":2,\
+             \"breaker_threshold\":2,\"cooldown_ms\":1000000}}",
+            20 + i
+        ));
+        assert_eq!(resp["ok"].as_bool(), Some(true), "{resp}");
+    }
+    // First round trips the breakers (answers may be partial/degraded);
+    // once everything is open, the next round is typed unavailable.
+    let mut saw_unavailable = false;
+    for i in 0..4 {
+        let resp = server.handle(&format!(
+            "{{\"id\":{},\"op\":\"column_suggestions\",\"session\":\"s\"}}",
+            30 + i
+        ));
+        if resp["ok"].as_bool() == Some(false) {
+            assert_eq!(resp["error"]["kind"].as_str(), Some("unavailable"), "{resp}");
+            saw_unavailable = true;
+            break;
+        }
+    }
+    assert!(saw_unavailable, "breakers never produced a typed unavailable error");
     server.shutdown();
 }
 

@@ -4,10 +4,13 @@
 //! replacement sources if a source is down, too slow, or does not provide
 //! a complete set of results". [`Flaky`] wraps any service and makes it
 //! exactly that kind of source, deterministically (failures are a pure
-//! function of the inputs and the seed, so tests and experiments are
-//! reproducible).
+//! function of the inputs, the seed, and the per-input *attempt number*,
+//! so tests and experiments are reproducible while retries still get a
+//! fresh deterministic roll instead of failing forever).
 
-use copycat_query::{Service, Signature, Value};
+use copycat_query::{CallOutcome, Service, ServiceError, Signature, Value};
+use copycat_util::hash::FxHashMap;
+use copycat_util::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +25,10 @@ pub struct Flaky {
     calls: AtomicU64,
     failures: AtomicU64,
     virtual_latency: AtomicU64,
+    /// How many times each distinct input tuple has been tried, keyed on
+    /// the input hash. Mixed into the failure roll so an identical retry
+    /// re-rolls deterministically instead of repeating the first outcome.
+    attempts: Mutex<FxHashMap<u64, u64>>,
 }
 
 impl Flaky {
@@ -35,6 +42,7 @@ impl Flaky {
             calls: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             virtual_latency: AtomicU64::new(0),
+            attempts: Mutex::new(FxHashMap::default()),
         }
     }
 
@@ -58,11 +66,24 @@ impl Flaky {
         self.virtual_latency.load(Ordering::Relaxed)
     }
 
-    fn should_fail(&self, inputs: &[Value]) -> bool {
-        if self.failure_rate <= 0.0 {
-            return false;
+    /// The failure rate actually *observed* so far (failures / calls),
+    /// or the configured rate when nothing has been called yet. This is
+    /// what ranking should see: real flakiness, not the static estimate.
+    pub fn observed_failure_rate(&self) -> f64 {
+        let calls = self.calls();
+        if calls == 0 {
+            self.failure_rate
+        } else {
+            self.failures() as f64 / calls as f64
         }
-        // Deterministic hash of (seed, inputs).
+    }
+
+    /// The configured injection rate.
+    pub fn configured_failure_rate(&self) -> f64 {
+        self.failure_rate
+    }
+
+    fn input_hash(&self, inputs: &[Value]) -> u64 {
         let mut h = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         for v in inputs {
             for b in v.as_text().bytes() {
@@ -70,7 +91,57 @@ impl Flaky {
                 h = h.wrapping_mul(0x100_0000_01B3);
             }
         }
-        ((h >> 16) % 10_000) as f64 / 10_000.0 < self.failure_rate
+        h
+    }
+
+    /// Deterministic roll for this attempt. Returns `None` on success,
+    /// or the failure hash (used to pick a failure mode) on failure.
+    fn roll(&self, inputs: &[Value]) -> Option<u64> {
+        if self.failure_rate <= 0.0 {
+            return None;
+        }
+        let base = self.input_hash(inputs);
+        // Mix in the attempt counter so a retried identical call gets a
+        // fresh deterministic roll. First attempt (0) reproduces the
+        // (seed, inputs)-only hash, so two fresh instances calling each
+        // input once still agree (failures_are_deterministic_per_input).
+        let attempt = {
+            let mut map = self.attempts.lock();
+            let n = map.entry(base).or_insert(0);
+            let a = *n;
+            *n += 1;
+            a
+        };
+        let mut h = base;
+        for _ in 0..attempt {
+            h = h.rotate_left(29) ^ 0x9E37_79B9_7F4A_7C15;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        let fails = ((h >> 16) % 10_000) as f64 / 10_000.0 < self.failure_rate;
+        fails.then_some(h)
+    }
+
+    /// Map a failure hash onto one of the three §3.2 failure modes:
+    /// ~½ down, ~¼ too slow, ~¼ incomplete.
+    fn failure_mode(&self, h: u64, inputs: &[Value]) -> ServiceError {
+        let name = self.inner.name().to_string();
+        match (h >> 40) % 4 {
+            0 | 1 => ServiceError::Unavailable { service: name },
+            2 => {
+                // Too slow: the call *did* burn time (triple budget)
+                // before being abandoned.
+                let charged = self.latency_per_call.saturating_mul(3);
+                // relaxed: accumulated charge, read under the session lock.
+                self.virtual_latency.fetch_add(charged, Ordering::Relaxed);
+                ServiceError::TooSlow { service: name, latency_ms: charged }
+            }
+            _ => {
+                // Incomplete: drop the tail of the real answer.
+                let mut partial = self.inner.call(inputs);
+                partial.pop();
+                ServiceError::Incomplete { service: name, partial }
+            }
+        }
     }
 }
 
@@ -84,23 +155,31 @@ impl Service for Flaky {
     }
 
     fn call(&self, inputs: &[Value]) -> Vec<Vec<Value>> {
+        // Legacy untyped path: failures collapse to an empty answer.
+        self.try_call(inputs).unwrap_or_default()
+    }
+
+    fn try_call(&self, inputs: &[Value]) -> CallOutcome {
         // relaxed: standalone stat counters (see the accessors above);
         // no reader reconciles them against each other mid-flight.
         self.calls.fetch_add(1, Ordering::Relaxed);
-        if self.should_fail(inputs) {
+        if let Some(h) = self.roll(inputs) {
             // relaxed: standalone stat counter.
             self.failures.fetch_add(1, Ordering::Relaxed);
-            return Vec::new();
+            return Err(self.failure_mode(h, inputs));
         }
         // relaxed: accumulated charge, read under the session lock.
         self.virtual_latency
             .fetch_add(self.latency_per_call, Ordering::Relaxed);
-        self.inner.call(inputs)
+        Ok(self.inner.call(inputs))
     }
 
     fn cost(&self) -> f64 {
-        // A slow, flaky source should look expensive to the source graph.
-        self.inner.cost() * (1.0 + self.failure_rate) + self.latency_per_call as f64 / 100.0
+        // A slow, flaky source should look expensive to the source
+        // graph — priced off *observed* flakiness once there is any
+        // evidence, falling back to the configured estimate cold.
+        self.inner.cost() * (1.0 + self.observed_failure_rate())
+            + self.latency_per_call as f64 / 100.0
     }
 }
 
@@ -147,6 +226,67 @@ mod tests {
         // Roughly half fail.
         let rate = f1.failures() as f64 / f1.calls() as f64;
         assert!((0.3..0.7).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn retries_reroll_deterministically() {
+        // A retried identical call must NOT be doomed to repeat its
+        // first outcome: at rate 0.5 some input that fails on attempt 0
+        // must succeed on a later attempt, and the whole outcome
+        // sequence must be identical across fresh instances.
+        let f1 = Flaky::new(echo(), 0.5, 0, 7);
+        let f2 = Flaky::new(echo(), 0.5, 0, 7);
+        let mut recovered = 0;
+        for i in 0..40 {
+            let v = [Value::Num(i as f64)];
+            let mut outcomes1 = Vec::new();
+            let mut outcomes2 = Vec::new();
+            for _ in 0..4 {
+                outcomes1.push(f1.try_call(&v).is_ok());
+                outcomes2.push(f2.try_call(&v).is_ok());
+            }
+            assert_eq!(outcomes1, outcomes2, "input {i}");
+            if !outcomes1[0] && outcomes1.iter().any(|&ok| ok) {
+                recovered += 1;
+            }
+        }
+        assert!(recovered > 0, "no failed-then-recovered input in 40 tries");
+    }
+
+    #[test]
+    fn typed_failures_cover_all_modes() {
+        let f = Flaky::new(echo(), 1.0, 10, 3);
+        let mut kinds = std::collections::BTreeSet::new();
+        for i in 0..60 {
+            match f.try_call(&[Value::Num(i as f64)]) {
+                Ok(_) => panic!("rate 1.0 must always fail"),
+                Err(e) => {
+                    assert_eq!(e.service(), "echo");
+                    kinds.insert(e.kind());
+                }
+            }
+        }
+        assert_eq!(
+            kinds.into_iter().collect::<Vec<_>>(),
+            vec!["incomplete", "too_slow", "unavailable"]
+        );
+    }
+
+    #[test]
+    fn observed_rate_tracks_reality() {
+        let f = Flaky::new(echo(), 0.5, 0, 7);
+        // Cold: falls back to the configured estimate.
+        assert_eq!(f.observed_failure_rate(), 0.5);
+        for i in 0..100 {
+            f.call(&[Value::Num(i as f64)]);
+        }
+        let observed = f.observed_failure_rate();
+        assert!((0.3..0.7).contains(&observed), "observed {observed}");
+        assert_eq!(observed, f.failures() as f64 / f.calls() as f64);
+        // A lucky zero-failure streak shows up as cheap cost.
+        let healthy = Flaky::new(echo(), 0.9, 0, 1);
+        // (rate 0.9 but never called: cost still uses the estimate)
+        assert!(healthy.cost() > 1.5);
     }
 
     #[test]

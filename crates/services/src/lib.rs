@@ -23,11 +23,13 @@
 //! generated shelter.
 
 pub mod faults;
+pub mod health;
 pub mod registry;
 pub mod services;
 pub mod world;
 
 pub use faults::Flaky;
+pub use health::{BreakerState, HealthRegistry, HealthSnapshot, Resilient, RetryPolicy};
 pub use registry::register_all;
 pub use services::{
     AddressResolver, CurrencyConverter, Geocoder, ReversePhone, UnitConverter, ZipResolver,

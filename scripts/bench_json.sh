@@ -8,6 +8,10 @@
 #   BENCH_serve.json — copycat-serve throughput/latency under
 #     closed-loop load at several concurrency levels. Rows are
 #     {clients, requests, ok, elapsed_us, throughput_rps, p50_us, p99_us}.
+#   BENCH_faults.json — the F1 fault-tolerance sweep (failure rate x
+#     {no-retry, retry, retry+failover}). Rows are {rate, mode,
+#     completeness, degraded, virtual_ms, retries, trips}; virtual_ms is
+#     simulated time, so these rows ARE machine-independent.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,5 +22,10 @@ echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"
 
 OUT="BENCH_serve.json"
 cargo run --release --offline -p copycat-bench --bin harness -- serve-json > "$OUT"
+test -s "$OUT" || { echo "bench_json: $OUT is empty" >&2; exit 1; }
+echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"
+
+OUT="BENCH_faults.json"
+cargo run --release --offline -p copycat-bench --bin harness -- faults-json > "$OUT"
 test -s "$OUT" || { echo "bench_json: $OUT is empty" >&2; exit 1; }
 echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"

@@ -17,6 +17,10 @@ cargo run --release --offline -p copycat-bench --bin harness -- e1
 # of every request class, and drain gracefully. Exits non-zero if any
 # required class fails.
 cargo run --release --offline -p copycat-serve -- smoke
+# Chaos smoke: hard-down primary behind retry + circuit breaker fails
+# over to a healthy replacement alias; health reports the trip with
+# virtual (never wallclock) backoff. Exits non-zero on any regression.
+cargo run --release --offline -p copycat-serve -- chaos
 # Smoke: the perf-trajectory emitter runs and produces non-empty JSON
 # (no timing assertions — numbers vary by machine).
 scripts/bench_json.sh
