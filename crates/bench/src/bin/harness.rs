@@ -192,9 +192,14 @@ fn section_e8() -> String {
     out
 }
 
-/// The sweep behind both the serve section and `BENCH_serve.json`.
+/// The sweeps behind both the serve section and `BENCH_serve.json`.
 const SERVE_CONCURRENCY: &[usize] = &[1, 2, 4];
 const SERVE_REQUESTS_PER_CLIENT: usize = 150;
+/// Kill-and-recover levels: (journaled records, snapshot cadence).
+const SERVE_RECOVERY_LEVELS: &[(u64, u64)] = &[(100, 16), (400, 64), (400, 8)];
+/// Cross-shard sweep: shard counts at a fixed client count.
+const SERVE_SHARD_COUNTS: &[usize] = &[1, 2, 4];
+const SERVE_SHARD_CLIENTS: usize = 4;
 
 fn section_serve() -> String {
     let mut out = String::new();
@@ -215,14 +220,85 @@ fn section_serve() -> String {
         ]);
     }
     writeln!(out, "{}", t.render()).unwrap();
+
+    writeln!(
+        out,
+        "== S2: kill-and-recover (durable router, sync_every=1, crash = drop) ==\n"
+    )
+    .unwrap();
+    let rows = serve_load::run_recovery(SERVE_RECOVERY_LEVELS);
+    let mut t = TextTable::new(&[
+        "records",
+        "snapshot every",
+        "journal time",
+        "recover time",
+        "replayed",
+        "snapshots",
+        "intact",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.records.to_string(),
+            r.snapshot_every.to_string(),
+            dur(r.journal_elapsed),
+            dur(r.recover_elapsed),
+            r.replayed.to_string(),
+            r.snapshots.to_string(),
+            if r.intact { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    writeln!(out, "{}", t.render()).unwrap();
+
+    writeln!(
+        out,
+        "== S3: cross-shard routing + live migration ({SERVE_SHARD_CLIENTS} clients) ==\n"
+    )
+    .unwrap();
+    let rows = serve_load::run_cross_shard(
+        SERVE_SHARD_COUNTS,
+        SERVE_SHARD_CLIENTS,
+        SERVE_REQUESTS_PER_CLIENT,
+    );
+    let mut t = TextTable::new(&[
+        "shards",
+        "requests",
+        "throughput rps",
+        "migrate mean",
+        "migrations",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.shards.to_string(),
+            r.requests.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            dur(std::time::Duration::from_micros(r.migrate_mean_us)),
+            r.migrations.to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.render()).unwrap();
     out
 }
 
-/// `harness -- serve-json`: the serve sweep as machine-readable JSON on
-/// stdout (consumed by `scripts/bench_json.sh` into `BENCH_serve.json`).
+/// `harness -- serve-json`: the serve sweeps as machine-readable JSON on
+/// stdout (consumed by `scripts/bench_json.sh` into `BENCH_serve.json`):
+/// `{"load": […], "recovery": […], "cross_shard": […]}`.
 fn serve_json() -> String {
-    let rows = serve_load::run(SERVE_CONCURRENCY, SERVE_REQUESTS_PER_CLIENT);
-    serve_load::rows_to_json(&rows).to_string()
+    let load = serve_load::run(SERVE_CONCURRENCY, SERVE_REQUESTS_PER_CLIENT);
+    let recovery = serve_load::run_recovery(SERVE_RECOVERY_LEVELS);
+    let cross = serve_load::run_cross_shard(
+        SERVE_SHARD_COUNTS,
+        SERVE_SHARD_CLIENTS,
+        SERVE_REQUESTS_PER_CLIENT,
+    );
+    copycat_util::json::Json::obj(vec![
+        ("load".into(), serve_load::rows_to_json(&load)),
+        ("recovery".into(), serve_load::recovery_to_json(&recovery)),
+        (
+            "cross_shard".into(),
+            serve_load::cross_shard_to_json(&cross),
+        ),
+    ])
+    .to_string()
 }
 
 /// The sweep behind both the F1 table and `BENCH_faults.json`.

@@ -10,9 +10,11 @@
 //! closed-loop — one outstanding request each — so the offered load
 //! scales with the concurrency level and the queue never overflows.
 
+use copycat_serve::router::{Router, RouterConfig};
 use copycat_serve::server::{Server, ServerConfig};
 use copycat_util::hist::Histogram;
 use copycat_util::json::Json;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,9 +41,11 @@ fn esc(s: &str) -> String {
     Json::str(s).to_string()
 }
 
-/// The per-client warm-up: a session with two committed, joinable
-/// sources, tagged so tenants never share values.
-fn warm_up(server: &Server, session: &str, tag: &str) -> (String, String) {
+/// The per-client warm-up conversation as raw request lines, plus the
+/// two probe values its autocomplete hot path uses. Shared between the
+/// in-process [`Server`] load loop and the [`Router`] sweeps (both
+/// speak the same line protocol).
+fn warm_up_lines(session: &str, tag: &str) -> (Vec<String>, String, String) {
     let s = format!("\"session\":{}", esc(session));
     let rows: Vec<Vec<String>> = (0..4)
         .map(|i| {
@@ -112,10 +116,31 @@ fn warm_up(server: &Server, session: &str, tag: &str) -> (String, String) {
     lines.push(format!(
         "{{\"id\":0,\"op\":\"commit_source\",{s},\"name\":\"Contacts\"}}"
     ));
+    (lines, rows[0][1].clone(), contacts[0][1].clone())
+}
+
+/// The per-client warm-up: a session with two committed, joinable
+/// sources, tagged so tenants never share values.
+fn warm_up(server: &Server, session: &str, tag: &str) -> (String, String) {
+    let (lines, a, b) = warm_up_lines(session, tag);
     for line in &lines {
         server.handle_line(line);
     }
-    (rows[0][1].clone(), contacts[0][1].clone())
+    (a, b)
+}
+
+/// The interactive hot path for one session, as raw request lines.
+fn hot_path_lines(session: &str, probes: (&str, &str)) -> Vec<String> {
+    let s = format!("\"session\":{}", esc(session));
+    vec![
+        format!(
+            "{{\"id\":1,\"op\":\"autocomplete\",{s},\"values\":[{},{}],\"k\":3}}",
+            esc(probes.0),
+            esc(probes.1)
+        ),
+        format!("{{\"id\":2,\"op\":\"render\",{s}}}"),
+        format!("{{\"id\":3,\"op\":\"session_stats\",{s}}}"),
+    ]
 }
 
 /// Run the timed loop for one client; records latencies into `hist`.
@@ -127,16 +152,7 @@ fn client_loop(
     requests: usize,
     hist: &Histogram,
 ) -> (u64, u64) {
-    let s = format!("\"session\":{}", esc(session));
-    let script = [
-        format!(
-            "{{\"id\":1,\"op\":\"autocomplete\",{s},\"values\":[{},{}],\"k\":3}}",
-            esc(probes.0),
-            esc(probes.1)
-        ),
-        format!("{{\"id\":2,\"op\":\"render\",{s}}}"),
-        format!("{{\"id\":3,\"op\":\"session_stats\",{s}}}"),
-    ];
+    let script = hot_path_lines(session, probes);
     let mut sent = 0u64;
     let mut ok = 0u64;
     for i in 0..requests {
@@ -217,7 +233,215 @@ pub fn run(concurrency: &[usize], requests_per_client: usize) -> Vec<ServeLoadRo
         .collect()
 }
 
-/// Render rows as the `BENCH_serve.json` payload.
+/// One kill-and-recover measurement: journal a session under load,
+/// crash it (drop without shutdown), time the recovery replay, and
+/// verify the recovered session answers like a never-crashed control.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Hot-path requests journaled before the crash.
+    pub records: u64,
+    /// Snapshot + WAL-truncate cadence during the run.
+    pub snapshot_every: u64,
+    /// Wall time for the journaled (durable, `sync_every=1`) run.
+    pub journal_elapsed: Duration,
+    /// Wall time for `Router::recover` (load snapshot + replay tail).
+    pub recover_elapsed: Duration,
+    /// Records replayed during recovery (snapshot checkpoint + tail).
+    pub replayed: u64,
+    /// Snapshots taken during the journaled run.
+    pub snapshots: u64,
+    /// Whether the recovered session answered byte-identically to a
+    /// never-crashed control (must always be true).
+    pub intact: bool,
+}
+
+fn bench_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("copycat-bench-{tag}-{}", std::process::id()))
+}
+
+fn stat(j: &Json, section: &str, key: &str) -> u64 {
+    j[section][key].as_f64().unwrap_or(0.0) as u64
+}
+
+/// Kill-and-recover sweep: for each `(records, snapshot_every)` level,
+/// run a durable single-tenant router, crash, recover, and time both
+/// sides of the durability bargain.
+pub fn run_recovery(levels: &[(u64, u64)]) -> Vec<RecoveryRow> {
+    levels
+        .iter()
+        .map(|&(records, snapshot_every)| {
+            let root = bench_root(&format!("recover-{records}-{snapshot_every}"));
+            let _ = std::fs::remove_dir_all(&root);
+            let config = || RouterConfig {
+                shards: 2,
+                server: ServerConfig { workers: 2, queue_depth: 64, shards: 8 },
+                store_root: Some(root.clone()),
+                snapshot_every,
+                sync_every: 1,
+                ..RouterConfig::default()
+            };
+            let (warm, a, b) = warm_up_lines("tenant", "r");
+            let hot = hot_path_lines("tenant", (&a, &b));
+            let durable = Router::new(config());
+            for line in &warm {
+                durable.handle_line(line);
+            }
+            let started = Instant::now();
+            for i in 0..records {
+                durable.handle_line(&hot[(i as usize) % hot.len()]);
+            }
+            let journal_elapsed = started.elapsed();
+            let snapshots = stat(&durable.stats(), "durability", "snapshots");
+            drop(durable); // crash: no shutdown, no final flush
+
+            let started = Instant::now();
+            let recovered = Router::recover(config()).expect("recovery");
+            let recover_elapsed = started.elapsed();
+            let replayed = stat(&recovered.stats(), "durability", "replayed_records");
+
+            let control = Router::new(RouterConfig {
+                shards: 2,
+                server: ServerConfig { workers: 2, queue_depth: 64, shards: 8 },
+                ..RouterConfig::default()
+            });
+            for line in &warm {
+                control.handle_line(line);
+            }
+            for i in 0..records {
+                control.handle_line(&hot[(i as usize) % hot.len()]);
+            }
+            let intact = hot
+                .iter()
+                .all(|line| recovered.handle_line(line) == control.handle_line(line));
+            recovered.shutdown();
+            control.shutdown();
+            let _ = std::fs::remove_dir_all(&root);
+            RecoveryRow {
+                records,
+                snapshot_every,
+                journal_elapsed,
+                recover_elapsed,
+                replayed,
+                snapshots,
+                intact,
+            }
+        })
+        .collect()
+}
+
+/// One cross-shard level: closed-loop clients against a [`Router`]
+/// spreading tenants over `shards` shards, plus the cost of migrating
+/// every tenant once at the end.
+#[derive(Debug, Clone)]
+pub struct CrossShardRow {
+    /// In-process serve shards behind the router.
+    pub shards: usize,
+    /// Concurrent closed-loop clients (one tenant each).
+    pub clients: usize,
+    /// Timed requests across all clients.
+    pub requests: u64,
+    /// Responses with `ok:true`.
+    pub ok: u64,
+    /// Wall time for the timed portion.
+    pub elapsed: Duration,
+    /// Timed requests per second.
+    pub throughput_rps: f64,
+    /// Mean wall time to migrate one live tenant to another shard.
+    pub migrate_mean_us: u64,
+    /// Tenants migrated (always `clients`).
+    pub migrations: u64,
+}
+
+/// Cross-shard sweep: same closed-loop hot path as [`run`], but through
+/// the consistent-hash router at several shard counts, ending with a
+/// full round of live migrations.
+pub fn run_cross_shard(shard_counts: &[usize], clients: usize, requests_per_client: usize) -> Vec<CrossShardRow> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let router = Arc::new(Router::new(RouterConfig {
+                shards,
+                server: ServerConfig {
+                    workers: clients.clamp(2, 8),
+                    queue_depth: (clients * 2).max(16),
+                    shards: 8,
+                },
+                ..RouterConfig::default()
+            }));
+            let probes: Vec<(String, String)> = (0..clients)
+                .map(|c| {
+                    let (lines, a, b) =
+                        warm_up_lines(&format!("client-{c}"), &format!("c{c}"));
+                    for line in &lines {
+                        router.handle_line(line);
+                    }
+                    (a, b)
+                })
+                .collect();
+            let started = Instant::now();
+            let (mut sent, mut ok) = (0u64, 0u64);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let router = Arc::clone(&router);
+                        let (a, b) = probes[c].clone();
+                        scope.spawn(move || {
+                            let script =
+                                hot_path_lines(&format!("client-{c}"), (&a, &b));
+                            let (mut sent, mut ok) = (0u64, 0u64);
+                            for i in 0..requests_per_client {
+                                let resp = router.handle_line(&script[i % script.len()]);
+                                sent += 1;
+                                if resp.contains("\"ok\":true") {
+                                    ok += 1;
+                                }
+                            }
+                            (sent, ok)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (s, o) = h.join().expect("client thread");
+                    sent += s;
+                    ok += o;
+                }
+            });
+            let elapsed = started.elapsed();
+            // Live-migration round: move every tenant one shard over.
+            let mig_started = Instant::now();
+            let mut migrations = 0u64;
+            for c in 0..clients {
+                let name = format!("client-{c}");
+                let to = (router.shard_of(&name) + 1) % shards.max(1);
+                if router.migrate_session(&name, to).is_ok() {
+                    migrations += 1;
+                }
+            }
+            let migrate_mean_us = if migrations > 0 {
+                (mig_started.elapsed().as_micros() / migrations as u128) as u64
+            } else {
+                0
+            };
+            let row = CrossShardRow {
+                shards,
+                clients,
+                requests: sent,
+                ok,
+                elapsed,
+                throughput_rps: sent as f64 / elapsed.as_secs_f64().max(1e-9),
+                migrate_mean_us,
+                migrations,
+            };
+            match Arc::try_unwrap(router) {
+                Ok(r) => r.shutdown(),
+                Err(_) => unreachable!("clients joined"),
+            }
+            row
+        })
+        .collect()
+}
+
+/// Render the load rows (the original `BENCH_serve.json` array).
 pub fn rows_to_json(rows: &[ServeLoadRow]) -> Json {
     Json::Arr(
         rows.iter()
@@ -233,6 +457,60 @@ pub fn rows_to_json(rows: &[ServeLoadRow]) -> Json {
                     ("throughput_rps".into(), Json::Num(r.throughput_rps)),
                     ("p50_us".into(), Json::Num(r.p50_us as f64)),
                     ("p99_us".into(), Json::Num(r.p99_us as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Render the recovery rows as a `BENCH_serve.json` section.
+pub fn recovery_to_json(rows: &[RecoveryRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("records".into(), Json::Num(r.records as f64)),
+                    (
+                        "snapshot_every".into(),
+                        Json::Num(r.snapshot_every as f64),
+                    ),
+                    (
+                        "journal_elapsed_us".into(),
+                        Json::Num(r.journal_elapsed.as_micros() as f64),
+                    ),
+                    (
+                        "recover_us".into(),
+                        Json::Num(r.recover_elapsed.as_micros() as f64),
+                    ),
+                    ("replayed".into(), Json::Num(r.replayed as f64)),
+                    ("snapshots".into(), Json::Num(r.snapshots as f64)),
+                    ("intact".into(), Json::Bool(r.intact)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Render the cross-shard rows as a `BENCH_serve.json` section.
+pub fn cross_shard_to_json(rows: &[CrossShardRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("shards".into(), Json::Num(r.shards as f64)),
+                    ("clients".into(), Json::Num(r.clients as f64)),
+                    ("requests".into(), Json::Num(r.requests as f64)),
+                    ("ok".into(), Json::Num(r.ok as f64)),
+                    (
+                        "elapsed_us".into(),
+                        Json::Num(r.elapsed.as_micros() as f64),
+                    ),
+                    ("throughput_rps".into(), Json::Num(r.throughput_rps)),
+                    (
+                        "migrate_mean_us".into(),
+                        Json::Num(r.migrate_mean_us as f64),
+                    ),
+                    ("migrations".into(), Json::Num(r.migrations as f64)),
                 ])
             })
             .collect(),
@@ -255,5 +533,29 @@ mod tests {
         }
         let json = rows_to_json(&rows).to_string();
         assert!(json.contains("throughput_rps"));
+    }
+
+    #[test]
+    fn recovery_sweep_recovers_intact() {
+        let rows = run_recovery(&[(12, 5)]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].intact, "recovered session diverged from control");
+        assert!(rows[0].replayed > 0, "something must have been replayed");
+        assert!(rows[0].snapshots > 0, "snapshot cadence 5 over 12 records");
+        let json = recovery_to_json(&rows).to_string();
+        assert!(json.contains("recover_us"));
+    }
+
+    #[test]
+    fn cross_shard_sweep_produces_clean_runs() {
+        let rows = run_cross_shard(&[1, 2], 2, 12);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.ok, r.requests, "all cross-shard requests must succeed");
+            assert_eq!(r.migrations, 2, "every tenant migrates once");
+            assert!(r.throughput_rps > 0.0);
+        }
+        let json = cross_shard_to_json(&rows).to_string();
+        assert!(json.contains("migrate_mean_us"));
     }
 }

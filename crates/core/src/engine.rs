@@ -23,7 +23,10 @@ use copycat_graph::{
 };
 use copycat_linkage::{LabeledPair, MatchLearner, Matcher, TfIdfIndex};
 use copycat_query::{Catalog, Field, Plan, Relation, Schema, Service};
-use copycat_services::{HealthRegistry, HealthSnapshot, Resilient, RetryPolicy};
+use copycat_services::{
+    Flaky, HealthRegistry, HealthSnapshot, Resilient, RetryPolicy, SavedFlakyState,
+    SavedServiceHealth,
+};
 use copycat_semantic::{Program, TransformLearner, TypeRegistry};
 use std::sync::Arc;
 
@@ -87,6 +90,16 @@ pub struct CopyCat {
     /// ([`CopyCat::register_resilient`]): breaker states, retry/trip
     /// counters, and observed failure rates feeding failover.
     health: HealthRegistry,
+    /// Health state restored from a [`crate::session::SavedSession`] but
+    /// not yet re-attached: services persist their runtime health (breaker
+    /// status, counters, injected-fault attempt maps) by name, and the
+    /// caller re-registers the implementations *after* `load_session`.
+    /// Each entry is consumed by the matching
+    /// [`CopyCat::register_resilient`] call.
+    pending_health: copycat_util::hash::FxHashMap<String, SavedServiceHealth>,
+    /// Saved fault-injection state for probes registered *without* the
+    /// resilient layer; consumed by [`CopyCat::register_service`].
+    pending_probes: copycat_util::hash::FxHashMap<String, SavedFlakyState>,
 }
 
 /// A transform column's learned program plus its accumulated examples.
@@ -169,6 +182,8 @@ impl CopyCat {
             undo_stack: Vec::new(),
             query_cache: QueryCache::default(),
             health: HealthRegistry::new(),
+            pending_health: copycat_util::hash::FxHashMap::default(),
+            pending_probes: copycat_util::hash::FxHashMap::default(),
         }
     }
 
@@ -477,10 +492,22 @@ impl CopyCat {
     }
 
     /// Register an external service (catalog + graph + associations).
+    ///
+    /// If a saved session restored fault-injection state for a probe of
+    /// this name ([`crate::session::SavedSession::probes`]), it is
+    /// re-applied here so a restored [`Flaky`] continues the exact roll
+    /// sequence it was saved mid-way through.
     pub fn register_service(&mut self, svc: Arc<dyn Service>) {
         let sig = svc.signature().clone();
         let name = svc.name().to_string();
         let cost = svc.cost();
+        if let Some(saved) = self.pending_probes.remove(&name) {
+            if let Some(flaky) =
+                svc.as_any().and_then(|a| a.downcast_ref::<Flaky>())
+            {
+                flaky.restore_state(&saved);
+            }
+        }
         self.catalog.add_service(svc);
         if self.graph.node_by_name(&name).is_none() {
             let mut fields = sig.inputs.fields().to_vec();
@@ -500,9 +527,33 @@ impl CopyCat {
         policy: RetryPolicy,
     ) -> Arc<Resilient> {
         let wrapped = Arc::new(Resilient::new(svc, policy));
+        // Re-attach health restored from a saved session (tripped
+        // breakers, retry/trip counters, inner fault-injection state)
+        // before the service becomes callable: a breaker that was open
+        // at save time must still be open after restore.
+        if let Some(saved) = self.pending_health.remove(wrapped.name()) {
+            wrapped.restore_health(&saved);
+        }
         self.health.register(wrapped.clone());
         self.register_service(wrapped.clone() as Arc<dyn Service>);
         wrapped
+    }
+
+    /// Stash health state from a saved session for re-attachment when
+    /// the caller re-registers the corresponding services (service
+    /// implementations are closures and do not persist; their runtime
+    /// health does).
+    pub(crate) fn stash_saved_health(
+        &mut self,
+        services: &[SavedServiceHealth],
+        probes: &[(String, SavedFlakyState)],
+    ) {
+        for s in services {
+            self.pending_health.insert(s.service.clone(), s.clone());
+        }
+        for (name, s) in probes {
+            self.pending_probes.insert(name.clone(), s.clone());
+        }
     }
 
     /// The engine's service-health registry (breaker states, retry and

@@ -18,6 +18,7 @@ use copycat_extract::Wrapper;
 use copycat_graph::{Edge, Node, SourceGraph};
 use copycat_query::{Relation, Schema};
 use copycat_semantic::PatternSet;
+use copycat_services::{Flaky, SavedFlakyState, SavedServiceHealth};
 use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// One saved relation.
@@ -65,6 +66,15 @@ pub struct SavedSession {
     pub wrappers: Vec<(String, Wrapper)>,
     /// User-defined semantic types.
     pub user_types: Vec<(String, PatternSet)>,
+    /// Runtime health of every resilient service: breaker status, retry
+    /// and trip counters, and (for fault-injected inners) attempt maps.
+    /// Without this a restore silently forgets tripped breakers — the
+    /// restored engine would happily route through a service the saved
+    /// one had already failed over from.
+    pub health: Vec<SavedServiceHealth>,
+    /// Fault-injection state of probes registered *without* the
+    /// resilient layer, by service name.
+    pub probes: Vec<(String, SavedFlakyState)>,
 }
 
 impl ToJson for SavedSession {
@@ -75,6 +85,8 @@ impl ToJson for SavedSession {
             ("graph_edges".into(), self.graph_edges.to_json()),
             ("wrappers".into(), self.wrappers.to_json()),
             ("user_types".into(), self.user_types.to_json()),
+            ("health".into(), self.health.to_json()),
+            ("probes".into(), self.probes.to_json()),
         ])
     }
 }
@@ -87,6 +99,16 @@ impl FromJson for SavedSession {
             graph_edges: Vec::from_json(j.field("graph_edges")?)?,
             wrappers: Vec::from_json(j.field("wrappers")?)?,
             user_types: Vec::from_json(j.field("user_types")?)?,
+            // Absent in sessions saved before health persisted: treat as
+            // "no resilient services had been registered".
+            health: match j.get("health") {
+                Some(h) => Vec::from_json(h)?,
+                None => Vec::new(),
+            },
+            probes: match j.get("probes") {
+                Some(p) => Vec::from_json(p)?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -109,6 +131,20 @@ impl CopyCat {
             .collect();
         let graph_nodes = self.graph().node_ids().map(|n| self.graph().node(n).clone()).collect();
         let graph_edges = self.graph().edge_ids().map(|e| self.graph().edge(e).clone()).collect();
+        // Direct (non-resilient) fault-injection probes in the catalog.
+        // Resilient-wrapped inners are carried by their wrapper's
+        // SavedServiceHealth instead; `Service::as_any` is None for the
+        // wrapper, so each stateful instance is captured exactly once.
+        let probes = self
+            .catalog()
+            .service_names()
+            .into_iter()
+            .filter_map(|name| {
+                let svc = self.catalog().service(&name)?;
+                let flaky = svc.as_any()?.downcast_ref::<Flaky>()?;
+                Some((name, flaky.saved_state()))
+            })
+            .collect();
         SavedSession {
             relations,
             graph_nodes,
@@ -120,6 +156,8 @@ impl CopyCat {
                 .into_iter()
                 .map(|t| (t.name.clone(), t.patterns.clone()))
                 .collect(),
+            health: self.health().saved(),
+            probes,
         }
     }
 
@@ -132,7 +170,10 @@ impl CopyCat {
     /// the graph returns with its learned costs, wrappers await document
     /// reattachment, user types re-register. Services must be
     /// re-registered by the caller (their closures are not serializable);
-    /// existing graph nodes are reused so learned costs survive.
+    /// existing graph nodes are reused so learned costs survive, and
+    /// saved runtime health (tripped breakers, retry/trip counters,
+    /// fault-injection attempt maps) re-attaches to each service as it
+    /// is re-registered.
     ///
     /// The restored engine's query cache is guaranteed cold: the graph
     /// swap replaces the [`crate::cache::QueryCache`] wholesale and the
@@ -156,6 +197,7 @@ impl CopyCat {
         for (name, patterns) in &saved.user_types {
             cc.registry_mut().install_user_type(name, patterns.clone());
         }
+        cc.stash_saved_health(&saved.health, &saved.probes);
         cc
     }
 
@@ -374,6 +416,120 @@ mod tests {
             );
             Ok(())
         });
+    }
+
+    /// Regression (persistence-path bugfix): the session snapshot must
+    /// carry `HealthRegistry` state. Before the fix a restore silently
+    /// forgot tripped breakers, retry/trip counters, and per-input
+    /// fault-injection attempt state — a restored engine would
+    /// immediately route through a service the saved one had already
+    /// failed over from, and injected-fault roll sequences restarted.
+    #[test]
+    fn restore_preserves_tripped_breakers_and_fault_state() {
+        use copycat_query::{Service, Value};
+        use copycat_services::{BreakerState, Flaky, Geocoder, RetryPolicy};
+        use copycat_util::json::ToJson;
+        let mut s = Scenario::build(&ScenarioConfig { venues: 8, ..Default::default() });
+        s.import_shelters(1);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 80,
+            breaker_threshold: 3,
+            cooldown_ms: 600_000,
+        };
+        // Chaos: a zip resolver that always fails, behind retry + breaker…
+        let flaky = Flaky::new(Arc::new(ZipResolver::new(Arc::clone(&s.world))), 1.0, 7, 42);
+        let resilient = s.engine.register_resilient(Arc::new(flaky), policy.clone());
+        // …and a half-failing geocoder probe registered *without* the
+        // resilient layer, so its own attempt counters must persist.
+        let probe = Arc::new(Flaky::new(
+            Arc::new(Geocoder::new(Arc::clone(&s.world))),
+            0.5,
+            3,
+            7,
+        ));
+        s.engine.register_service(probe.clone() as Arc<dyn Service>);
+        let inp = [Value::str("1 Main St"), Value::str("Springfield")];
+        for _ in 0..6 {
+            let _ = resilient.try_call(&inp);
+        }
+        assert_eq!(resilient.breaker_state(), BreakerState::Open, "breaker tripped");
+        for i in 0..10 {
+            let _ = probe.try_call(&[Value::str(format!("{i} Oak")), Value::str("Springfield")]);
+        }
+
+        let json = s.engine.save_session_json();
+        let mut restored = CopyCat::load_session_json(&json).expect("valid json");
+        // Re-register identical implementations (closures don't persist;
+        // runtime health re-attaches as each service re-registers).
+        let flaky2 = Flaky::new(Arc::new(ZipResolver::new(Arc::clone(&s.world))), 1.0, 7, 42);
+        let resilient2 = restored.register_resilient(Arc::new(flaky2), policy);
+        let probe2 = Arc::new(Flaky::new(
+            Arc::new(Geocoder::new(Arc::clone(&s.world))),
+            0.5,
+            3,
+            7,
+        ));
+        restored.register_service(probe2.clone() as Arc<dyn Service>);
+
+        // The tripped breaker is still tripped, with every counter intact.
+        assert_eq!(resilient2.breaker_state(), BreakerState::Open, "restore kept the trip");
+        assert_eq!(
+            resilient2.saved_health().to_json().to_string(),
+            resilient.saved_health().to_json().to_string(),
+            "restored health is byte-identical"
+        );
+        assert_eq!(restored.health_snapshots().len(), 1);
+        // And both engines continue *identically* from here: same
+        // outcomes, same breaker trajectory, same probe roll sequence.
+        for i in 0..40 {
+            let inp = [Value::str(format!("{i} Elm")), Value::str("Springfield")];
+            assert_eq!(
+                resilient.try_call(&inp).is_ok(),
+                resilient2.try_call(&inp).is_ok(),
+                "resilient outcome diverged at call {i}"
+            );
+            assert_eq!(
+                resilient.breaker_state(),
+                resilient2.breaker_state(),
+                "breaker diverged at call {i}"
+            );
+            assert_eq!(
+                probe.try_call(&inp).is_ok(),
+                probe2.try_call(&inp).is_ok(),
+                "probe roll diverged at call {i}"
+            );
+        }
+        assert_eq!(
+            probe.saved_state().to_json().to_string(),
+            probe2.saved_state().to_json().to_string()
+        );
+    }
+
+    /// Sessions saved before health persistence (no `health` / `probes`
+    /// fields) still load: absent fields mean "no resilient services".
+    #[test]
+    fn pre_health_sessions_still_load() {
+        use copycat_util::json::ToJson;
+        let s = trained_scenario();
+        let mut saved = s.engine.save_session();
+        saved.health.clear();
+        saved.probes.clear();
+        let json = saved.to_json();
+        // Strip the new fields entirely to mimic an old on-disk file.
+        let copycat_util::json::Json::Obj(fields) = &json else {
+            panic!("session serializes as an object")
+        };
+        let old = copycat_util::json::Json::obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k.as_str() != "health" && k.as_str() != "probes")
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+        let restored = CopyCat::load_session_json(&old.to_string()).expect("old format loads");
+        assert!(restored.catalog().relation("Shelters").is_some());
     }
 
     #[test]

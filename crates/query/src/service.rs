@@ -128,6 +128,15 @@ pub trait Service: Send + Sync {
     fn cost(&self) -> f64 {
         1.0
     }
+
+    /// Downcast hook for *stateful* services. Session persistence uses
+    /// this to find wrappers whose runtime state (injected-fault
+    /// attempt counters, breaker state) must survive a save/restore;
+    /// stateless services keep the `None` default and are simply
+    /// re-registered on load.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 impl fmt::Debug for dyn Service {

@@ -4,6 +4,7 @@
 //! copycat-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--shards N]
 //! copycat-serve smoke
 //! copycat-serve chaos
+//! copycat-serve recover
 //! ```
 //!
 //! The default mode binds a TCP listener and serves line-delimited JSON
@@ -12,7 +13,10 @@
 //! required class fails — the hook `scripts/verify.sh` uses. `chaos`
 //! runs the fault-injection script (hard-down primary, retries, breaker
 //! trip, failover to a replacement alias) and exits non-zero if the
-//! failover path misbehaves.
+//! failover path misbehaves. `recover` runs the kill-and-recover smoke:
+//! durable router, injected traffic, crash (no shutdown), recovery from
+//! snapshot + WAL, and a byte-for-byte diff against a never-crashed
+//! control.
 
 use copycat_serve::server::{Server, ServerConfig};
 use copycat_serve::{smoke, tcp};
@@ -26,6 +30,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         return run_chaos();
+    }
+    if args.first().map(String::as_str) == Some("recover") {
+        return run_recover();
     }
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
@@ -80,6 +87,22 @@ fn run_smoke() -> ExitCode {
         Err(failed) => {
             eprintln!("smoke FAILED at {}:\n  request:  {}\n  response: {}",
                 failed.op, failed.request, failed.response);
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_recover() -> ExitCode {
+    match smoke::run_recover_default() {
+        Ok(s) => {
+            println!(
+                "recover: {} journaled, crash, {} replayed, {} probes byte-identical",
+                s.journaled, s.replayed, s.probes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("recover FAILED: {e}");
             ExitCode::from(1)
         }
     }

@@ -17,6 +17,10 @@
 //!   "Serving layer").
 //! - [`server`] — admission, dispatch, graceful drain; its
 //!   [`Server::handle_line`] is the in-process transport.
+//! - [`router`] — consistent-hash placement across N in-process
+//!   shards, per-session WAL + snapshot durability (via
+//!   `copycat-store`), kill-and-recover by deterministic replay, and
+//!   live session migration by checkpoint handoff.
 //! - [`tcp`] — the socket transport (`copycat-serve` binary).
 //! - [`smoke`] — one scripted request per request class, used by the
 //!   verify pipeline.
@@ -30,6 +34,7 @@ pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod smoke;
 pub mod tcp;
@@ -39,4 +44,5 @@ pub use metrics::{ClassMetrics, Metrics};
 pub use pool::{Job, Pool, SubmitError};
 pub use protocol::{err_response, ok_response, ErrorKind, Op, Request};
 pub use registry::{RegistryError, Session, SessionRegistry, SessionState};
+pub use router::{MigrationReport, Router, RouterConfig};
 pub use server::{Server, ServerConfig};

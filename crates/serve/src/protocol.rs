@@ -164,6 +164,48 @@ impl Op {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Whether a successful request of this class changes session state
+    /// that recovery-by-replay must reproduce. This is the write-ahead
+    /// log's admission filter: only mutating classes are journaled.
+    ///
+    /// Note `column_suggestions` and `autocomplete` ARE mutating even
+    /// though they look like reads: they record the suggestion/query
+    /// lists later feedback refers to by index, advance the query cache
+    /// counters, and drive registered services (whose breaker machines,
+    /// retry counters and fault-injection rolls all move). Dropping them
+    /// from the journal would make a replayed session diverge.
+    pub fn mutates(self) -> bool {
+        match self {
+            Op::CreateSession
+            | Op::LoadSession
+            | Op::CloseSession
+            | Op::OpenDoc
+            | Op::Paste
+            | Op::AcceptRows
+            | Op::NameColumn
+            | Op::SetColumnType
+            | Op::CommitSource
+            | Op::RegisterWorld
+            | Op::RegisterFlaky
+            | Op::ColumnSuggestions
+            | Op::AcceptColumn
+            | Op::RejectColumn
+            | Op::Autocomplete
+            | Op::Feedback => true,
+            Op::Ping
+            | Op::SaveSession
+            | Op::ListSessions
+            | Op::Explain
+            | Op::Export
+            | Op::Render
+            | Op::Health
+            | Op::SessionStats
+            | Op::Stats
+            | Op::Shutdown
+            | Op::Invalid => false,
+        }
+    }
 }
 
 /// Typed error kinds — a closed vocabulary clients can dispatch on.

@@ -1,0 +1,681 @@
+//! Durable sessions behind a consistent-hash shard router.
+//!
+//! The [`Router`] fronts N in-process [`Server`] shards. Session names
+//! hash onto a vnode ring, so each tenant consistently lands on one
+//! shard; adding shards moves only the sessions whose ring interval
+//! changed. On top of placement it layers *durability by replay*:
+//!
+//! * Every **effectful** request (see [`Op::mutates`] and
+//!   [`response_is_effectful`]) is journaled to the session's
+//!   [`SessionStore`] — an append-only WAL plus periodic snapshots —
+//!   **before the response is released** to the caller. A response you
+//!   received is a response that survives a crash (when
+//!   `sync_every == 1`); effects whose ack never reached you may be
+//!   lost, which is exactly the at-most-once contract a client must
+//!   already handle.
+//! * Recovery ([`Router::recover`]) loads each session's snapshot,
+//!   replays the WAL tail through the owning shard, and resumes. The
+//!   protocol is deterministic by construction (responses carry no
+//!   timing; engines are seeded), so a replayed session is
+//!   *byte-identical* to the one that crashed — the property the
+//!   kill-and-recover tests pin.
+//! * The journaled line is the request body with `deadline_ms`
+//!   stripped: a deadline raced against the wall clock at execution
+//!   time must not race again (and possibly differently) at replay.
+//!
+//! The snapshot payload is the session's *replay checkpoint*: the full
+//! journaled history as a JSON array of request lines. That makes
+//! snapshot+tail recovery and live migration the same operation —
+//! [`Router::migrate_session`] drains the session (its per-session
+//! journal lock serializes every request), checkpoints, replays the
+//! checkpoint on the target shard, and repoints the ring override.
+//!
+//! Lock order: the per-session journal lock is taken *before* the
+//! shard executes, and held across execute → journal append → fsync.
+//! That single lock guarantees WAL order equals execution order and
+//! that no second request for the same session can be acked ahead of
+//! an earlier one's durability. Different sessions proceed in
+//! parallel — the lock is per-name.
+
+use crate::protocol::{ok_response, Op, Request};
+use crate::server::{Server, ServerConfig};
+use copycat_store::{SessionStore, StoreStats};
+use copycat_util::hash::{FxHashMap, FxHasher};
+use copycat_util::json::Json;
+use copycat_util::sync::Mutex;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sizing and durability knobs for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// In-process serve shards.
+    pub shards: usize,
+    /// Ring vnodes per shard (more = smoother balance).
+    pub vnodes: usize,
+    /// Per-shard server sizing.
+    pub server: ServerConfig,
+    /// Root directory for session stores; `None` = ephemeral (no
+    /// durability, placement and migration still work).
+    pub store_root: Option<PathBuf>,
+    /// Snapshot + truncate the WAL after this many records since the
+    /// last checkpoint.
+    pub snapshot_every: u64,
+    /// Group-commit width: fsync after this many journaled records.
+    /// `1` = strict ack durability (every acked effect survives a
+    /// crash); larger values trade the tail of un-synced acks for
+    /// fewer fsyncs.
+    pub sync_every: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: 2,
+            vnodes: 16,
+            server: ServerConfig::default(),
+            store_root: None,
+            snapshot_every: 64,
+            sync_every: 1,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// An ephemeral (no-durability) router with `shards` shards.
+    pub fn ephemeral(shards: usize) -> RouterConfig {
+        RouterConfig { shards, ..RouterConfig::default() }
+    }
+
+    /// A durable router journaling under `root`.
+    pub fn durable(shards: usize, root: impl Into<PathBuf>) -> RouterConfig {
+        RouterConfig { shards, store_root: Some(root.into()), ..RouterConfig::default() }
+    }
+}
+
+/// One session's durability state, guarded as a unit by its own mutex:
+/// holding it serializes execute → append → sync for that session.
+struct SessionJournal {
+    /// Every journaled request line since session creation — the
+    /// replay checkpoint. Snapshot payloads serialize this verbatim.
+    history: Vec<String>,
+    /// The on-disk WAL + snapshot pair (`None` on ephemeral routers).
+    store: Option<SessionStore>,
+    /// Journaled records not yet fsynced (group commit).
+    pending_sync: u64,
+}
+
+/// What a [`Router::migrate_session`] call moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Source shard index.
+    pub from: usize,
+    /// Target shard index.
+    pub to: usize,
+    /// Checkpoint length replayed onto the target.
+    pub replayed: usize,
+}
+
+/// A consistent-hash router over N serve shards with per-session
+/// WAL + snapshot durability. See the module docs for the contract.
+pub struct Router {
+    shards: Vec<Server>,
+    /// Sorted `(ring point, shard)` pairs.
+    ring: Vec<(u64, usize)>,
+    /// Migration overrides: session name → shard, consulted before
+    /// the ring.
+    placed: Mutex<FxHashMap<String, usize>>,
+    sessions: Mutex<FxHashMap<String, Arc<Mutex<SessionJournal>>>>,
+    config: RouterConfig,
+    migrations: AtomicU64,
+    replayed_records: AtomicU64,
+    recovered_sessions: AtomicU64,
+    torn_bytes: AtomicU64,
+}
+
+fn hash64(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+fn build_ring(shards: usize, vnodes: usize) -> Vec<(u64, usize)> {
+    let mut ring: Vec<(u64, usize)> = (0..shards)
+        .flat_map(|s| (0..vnodes.max(1)).map(move |v| (hash64(&format!("shard-{s}/vnode-{v}")), s)))
+        .collect();
+    ring.sort_unstable();
+    ring
+}
+
+/// Whether a response proves the request *reached a session and ran*.
+/// Refused work (queue full, draining, unknown session, duplicate
+/// create) and requests that timed out before execution left no trace
+/// to replay; everything else — including `bad_request` after partial
+/// parameter validation and `unavailable` answers that advanced
+/// breaker machines — must be journaled, because replaying it
+/// reproduces the same state transitions.
+fn response_is_effectful(resp: &str) -> bool {
+    let Ok(j) = Json::parse(resp) else { return true };
+    if j["ok"].as_bool() == Some(true) {
+        return true;
+    }
+    let kind = j["error"]["kind"].as_str().unwrap_or("");
+    match kind {
+        "overloaded" | "shutting_down" | "no_such_session" | "session_exists" => false,
+        // Queued/lock-wait timeouts never touched the engine; an
+        // execution timeout kept its effects (a consistent prefix).
+        "timeout" => j["error"]["message"].as_str() == Some("deadline exceeded during execution"),
+        _ => true,
+    }
+}
+
+/// The journaled form of a request: its body with the `deadline_ms`
+/// envelope stripped, so replay cannot re-race the wall clock.
+fn logged_line(req: &Request) -> String {
+    match &req.body {
+        Json::Obj(fields) => Json::Obj(
+            fields.iter().filter(|(k, _)| k.as_str() != "deadline_ms").cloned().collect(),
+        )
+        .to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// The snapshot payload: the journaled history as a JSON string array.
+fn checkpoint_payload(history: &[String]) -> String {
+    Json::Arr(history.iter().map(|l| Json::str(l.as_str())).collect()).to_string()
+}
+
+fn parse_checkpoint(payload: &str) -> Vec<String> {
+    Json::parse(payload)
+        .ok()
+        .and_then(|j| {
+            j.as_array().map(|items| {
+                items.iter().filter_map(|v| v.as_str().map(str::to_string)).collect()
+            })
+        })
+        .unwrap_or_default()
+}
+
+/// On-disk directory for one session: a sanitized prefix for humans
+/// plus the full-name hash for uniqueness (two names that sanitize
+/// identically still get distinct directories).
+fn session_dir(root: &Path, name: &str) -> PathBuf {
+    let mut sanitized: String = name
+        .chars()
+        .take(40)
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    if sanitized.is_empty() {
+        sanitized.push('s');
+    }
+    root.join(format!("{sanitized}-{:08x}", hash64(name) & 0xffff_ffff))
+}
+
+/// Sidecar recording the raw session name (directory names are lossy).
+const NAME_FILE: &str = "name";
+
+impl Router {
+    /// A router with fresh shards and an empty ring placement.
+    pub fn new(config: RouterConfig) -> Router {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Server::new(config.server.clone()))
+            .collect::<Vec<_>>();
+        let ring = build_ring(shards.len(), config.vnodes);
+        Router {
+            shards,
+            ring,
+            placed: Mutex::new(FxHashMap::default()),
+            sessions: Mutex::new(FxHashMap::default()),
+            config,
+            migrations: AtomicU64::new(0),
+            replayed_records: AtomicU64::new(0),
+            recovered_sessions: AtomicU64::new(0),
+            torn_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuild a router from whatever `config.store_root` holds: for
+    /// every session directory, load the snapshot checkpoint, replay
+    /// it plus the WAL tail through the owning shard, and resume with
+    /// the store positioned to keep appending. Torn WAL tails (a crash
+    /// mid-write) are truncated and counted, never fatal.
+    pub fn recover(config: RouterConfig) -> std::io::Result<Router> {
+        let router = Router::new(config);
+        let Some(root) = router.config.store_root.clone() else {
+            return Ok(router);
+        };
+        if !root.exists() {
+            return Ok(router);
+        }
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&root)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort(); // deterministic recovery order
+        for dir in dirs {
+            let Ok(name) = std::fs::read_to_string(dir.join(NAME_FILE)) else {
+                continue; // not a session directory
+            };
+            let (store, recovery) = SessionStore::recover(&dir)?;
+            let mut history: Vec<String> =
+                recovery.snapshot.as_deref().map(parse_checkpoint).unwrap_or_default();
+            history.extend(recovery.tail.iter().cloned());
+            // relaxed: monotone recovery counters, read only by stats()
+            router.torn_bytes.fetch_add(recovery.torn_bytes, Ordering::Relaxed);
+            let shard = router.ring_shard(&name);
+            for line in &history {
+                let _ = router.shards[shard].handle_line(line);
+            }
+            router
+                .replayed_records
+                // relaxed: monotone recovery counter, stats() only
+                .fetch_add(history.len() as u64, Ordering::Relaxed);
+            // relaxed: monotone recovery counter, stats() only
+            router.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+            router.sessions.lock().insert(
+                name,
+                Arc::new(Mutex::new(SessionJournal {
+                    history,
+                    store: Some(store),
+                    pending_sync: 0,
+                })),
+            );
+        }
+        Ok(router)
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (test/bench introspection).
+    pub fn shard(&self, i: usize) -> &Server {
+        &self.shards[i]
+    }
+
+    /// Where `name` currently lives: a migration override if one
+    /// exists, otherwise its ring interval.
+    pub fn shard_of(&self, name: &str) -> usize {
+        if let Some(&s) = self.placed.lock().get(name) {
+            return s;
+        }
+        self.ring_shard(name)
+    }
+
+    fn ring_shard(&self, name: &str) -> usize {
+        let h = hash64(name);
+        let i = match self.ring.binary_search(&(h, usize::MAX)) {
+            Ok(i) => i,
+            Err(i) => i % self.ring.len(),
+        };
+        self.ring[i].1
+    }
+
+    fn journal_entry(&self, name: &str) -> Arc<Mutex<SessionJournal>> {
+        let mut map = self.sessions.lock();
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Mutex::new(SessionJournal {
+                history: Vec::new(),
+                store: None,
+                pending_sync: 0,
+            }))
+        }))
+    }
+
+    /// Handle one request line, blocking until its response line —
+    /// the same contract as [`Server::handle_line`], with placement
+    /// and durability layered on.
+    pub fn handle_line(&self, line: &str) -> String {
+        let req = match Request::parse(line) {
+            // Unparseable requests go to shard 0 for the identical
+            // bad_request answer (and its `invalid` metrics class).
+            Err(_) => return self.shards[0].handle_line(line),
+            Ok(r) => r,
+        };
+        match req.op {
+            Op::Shutdown => {
+                for s in &self.shards {
+                    let _ = s.handle_line(line);
+                }
+                return ok_response(
+                    &req.id,
+                    Json::obj(vec![("draining".into(), Json::Bool(true))]),
+                );
+            }
+            Op::ListSessions => {
+                let mut names: Vec<String> =
+                    self.shards.iter().flat_map(|s| s.registry().names()).collect();
+                names.sort();
+                let listed = Json::Arr(names.iter().map(|n| Json::str(n.as_str())).collect());
+                return ok_response(&req.id, Json::obj(vec![("sessions".into(), listed)]));
+            }
+            Op::Stats => return ok_response(&req.id, self.stats()),
+            _ => {}
+        }
+        let Some(name) = req.session.clone() else {
+            // Session-less ops (ping) are stateless; any shard answers.
+            return self.shards[0].handle_line(line);
+        };
+        // Every session-scoped op serializes on the journal lock: it
+        // orders the WAL like execution, and it is what `migrate_session`
+        // drains against (reads included — a read racing a migration
+        // must not land on the vacated shard).
+        let journal = self.journal_entry(&name);
+        let mut j = journal.lock();
+        let shard_idx = self.shard_of(&name);
+        let resp = self.shards[shard_idx].handle_line(line);
+        if req.op == Op::CloseSession {
+            if Json::parse(&resp).map(|r| r["ok"].as_bool() == Some(true)).unwrap_or(false) {
+                // A durably *closed* session: remove its journal and
+                // its on-disk state (idempotent), and forget overrides.
+                if let Some(root) = &self.config.store_root {
+                    let _ = SessionStore::destroy(&session_dir(root, &name));
+                }
+                j.history.clear();
+                j.store = None;
+                self.sessions.lock().remove(&name);
+                self.placed.lock().remove(&name);
+            }
+            return resp;
+        }
+        if req.op.mutates() && response_is_effectful(&resp) {
+            let logged = logged_line(&req);
+            j.history.push(logged.clone());
+            if let Some(root) = self.config.store_root.clone() {
+                self.journal_durably(&name, &root, &mut j, &logged);
+            }
+        }
+        resp
+    }
+
+    /// Append one record to the session's store — creating it on the
+    /// first record — group-commit per `sync_every`, and checkpoint
+    /// per `snapshot_every`. Called with the journal lock held, after
+    /// execution, before the response is released: the write-ahead is
+    /// of the *acknowledgment*, not the execution.
+    fn journal_durably(
+        &self,
+        name: &str,
+        root: &Path,
+        j: &mut SessionJournal,
+        logged: &str,
+    ) {
+        if j.store.is_none() {
+            let dir = session_dir(root, name);
+            match SessionStore::create(&dir) {
+                Ok(store) => {
+                    let _ = std::fs::write(dir.join(NAME_FILE), name);
+                    j.store = Some(store);
+                }
+                Err(_) => return, // ephemeral fallback; never fail the request
+            }
+        }
+        let Some(store) = j.store.as_mut() else { return };
+        store.append(logged);
+        j.pending_sync += 1;
+        if j.pending_sync >= self.config.sync_every.max(1) {
+            let _ = store.sync();
+            j.pending_sync = 0;
+        }
+        if store.records_since_snapshot() >= self.config.snapshot_every.max(1) {
+            let _ = store.snapshot(&checkpoint_payload(&j.history));
+            j.pending_sync = 0;
+        }
+    }
+
+    /// [`handle_line`](Router::handle_line) plus response parsing.
+    pub fn handle(&self, line: &str) -> Json {
+        // lint:allow(panic-path) test/script convenience on router-produced JSON, not a request path
+        Json::parse(&self.handle_line(line)).expect("router responses are valid JSON")
+    }
+
+    /// Move a live session to another shard: **drain** (the journal
+    /// lock blocks every request for this session), **checkpoint**
+    /// (durable consistency point when a store exists), **transfer**
+    /// (replay the checkpoint on the target shard), **resume** (repoint
+    /// the placement override and release the lock).
+    pub fn migrate_session(&self, name: &str, to: usize) -> Result<MigrationReport, String> {
+        if to >= self.shards.len() {
+            return Err(format!("no shard {to} (router has {})", self.shards.len()));
+        }
+        let journal = self.journal_entry(name);
+        let mut j = journal.lock();
+        let from = self.shard_of(name);
+        if j.history.is_empty() {
+            return Err(format!("no journaled session named {name:?}"));
+        }
+        if from == to {
+            return Ok(MigrationReport { from, to, replayed: 0 });
+        }
+        let payload = checkpoint_payload(&j.history);
+        if let Some(store) = j.store.as_mut() {
+            store
+                .snapshot(&payload)
+                .map_err(|e| format!("checkpoint failed: {e}"))?;
+            j.pending_sync = 0;
+        }
+        for line in &j.history {
+            let _ = self.shards[to].handle_line(line);
+        }
+        // Vacate the source copy. Direct shard call: migration is an
+        // administrative move, not a journaled protocol event.
+        let close = Json::obj(vec![
+            ("op".into(), Json::str("close_session")),
+            ("session".into(), Json::str(name)),
+        ])
+        .to_string();
+        let _ = self.shards[from].handle_line(&close);
+        self.placed.lock().insert(name.to_string(), to);
+        // relaxed: monotone stat; no reader reconciles it against state
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        Ok(MigrationReport { from, to, replayed: j.history.len() })
+    }
+
+    /// Merged router-level stats: placement, durability accounting,
+    /// and every shard's own metrics snapshot under `"shards"`.
+    pub fn stats(&self) -> Json {
+        let mut sessions = 0usize;
+        let mut durable = StoreStats::default();
+        let mut with_store = 0usize;
+        {
+            let map = self.sessions.lock();
+            for entry in map.values() {
+                let j = entry.lock();
+                sessions += 1;
+                if let Some(store) = &j.store {
+                    let s = store.stats();
+                    with_store += 1;
+                    durable.appends += s.appends;
+                    durable.snapshots += s.snapshots;
+                    durable.sync.syncs += s.sync.syncs;
+                    durable.sync.records_synced += s.sync.records_synced;
+                    durable.sync.bytes_synced += s.sync.bytes_synced;
+                    durable.sync.sync_micros += s.sync.sync_micros;
+                }
+            }
+        }
+        let shard_stats: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("sessions".into(), Json::Num(s.registry().len() as f64)),
+                    ("metrics".into(), s.metrics().snapshot_json()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("shards".into(), Json::Arr(shard_stats)),
+            ("sessions".into(), Json::Num(sessions as f64)),
+            (
+                "placement".into(),
+                Json::obj(vec![
+                    ("ring_points".into(), Json::Num(self.ring.len() as f64)),
+                    (
+                        "overrides".into(),
+                        Json::Num(self.placed.lock().len() as f64),
+                    ),
+                    (
+                        "migrations".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.migrations.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "durability".into(),
+                Json::obj(vec![
+                    ("stores".into(), Json::Num(with_store as f64)),
+                    ("appends".into(), Json::Num(durable.appends as f64)),
+                    ("snapshots".into(), Json::Num(durable.snapshots as f64)),
+                    ("syncs".into(), Json::Num(durable.sync.syncs as f64)),
+                    (
+                        "records_synced".into(),
+                        Json::Num(durable.sync.records_synced as f64),
+                    ),
+                    (
+                        "bytes_synced".into(),
+                        Json::Num(durable.sync.bytes_synced as f64),
+                    ),
+                    (
+                        "replayed_records".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.replayed_records.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "recovered_sessions".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.recovered_sessions.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "torn_bytes".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.torn_bytes.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Graceful shutdown: flush every journal, then drain every shard.
+    /// Dropping a `Router` *without* calling this is the crash
+    /// simulation the recovery tests use — buffered (un-synced)
+    /// journal records are lost, synced ones survive.
+    pub fn shutdown(self) {
+        {
+            let map = self.sessions.lock();
+            for entry in map.values() {
+                let mut j = entry.lock();
+                if let Some(store) = j.store.as_mut() {
+                    let _ = store.sync();
+                }
+                j.pending_sync = 0;
+            }
+        }
+        for s in self.shards {
+            s.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_lookup_is_consistent_and_total() {
+        let r = Router::new(RouterConfig::ephemeral(4));
+        for i in 0..200 {
+            let name = format!("tenant-{i}");
+            let a = r.shard_of(&name);
+            let b = r.shard_of(&name);
+            assert_eq!(a, b, "placement is a function of the name");
+            assert!(a < 4);
+        }
+        // With vnodes, 200 tenants should not all collapse onto one
+        // shard.
+        let mut counts = [0usize; 4];
+        for i in 0..200 {
+            counts[r.shard_of(&format!("tenant-{i}"))] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "all shards used: {counts:?}");
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_an_interval_fraction() {
+        let small = Router::new(RouterConfig::ephemeral(4));
+        let big = Router::new(RouterConfig::ephemeral(5));
+        let moved = (0..400)
+            .filter(|i| {
+                let name = format!("tenant-{i}");
+                small.shard_of(&name) != big.shard_of(&name)
+            })
+            .count();
+        // Consistent hashing: ~1/5 of keys move when a fifth shard
+        // joins; naive modulo would move ~4/5. Allow generous slack.
+        assert!(moved < 200, "only an interval moved, not the world: {moved}/400");
+        small.shutdown();
+        big.shutdown();
+    }
+
+    #[test]
+    fn effectful_classification_matches_the_protocol() {
+        assert!(response_is_effectful(r#"{"id":1,"ok":true,"result":{}}"#));
+        assert!(response_is_effectful(
+            r#"{"id":1,"ok":false,"error":{"kind":"bad_request","message":"x"}}"#
+        ));
+        assert!(response_is_effectful(
+            r#"{"id":1,"ok":false,"error":{"kind":"unavailable","message":"x"}}"#
+        ));
+        assert!(response_is_effectful(
+            r#"{"id":1,"ok":false,"error":{"kind":"timeout","message":"deadline exceeded during execution"}}"#
+        ));
+        for refused in [
+            r#"{"id":1,"ok":false,"error":{"kind":"overloaded","message":"x"}}"#,
+            r#"{"id":1,"ok":false,"error":{"kind":"shutting_down","message":"x"}}"#,
+            r#"{"id":1,"ok":false,"error":{"kind":"no_such_session","message":"x"}}"#,
+            r#"{"id":1,"ok":false,"error":{"kind":"session_exists","message":"x"}}"#,
+            r#"{"id":1,"ok":false,"error":{"kind":"timeout","message":"deadline exceeded while queued"}}"#,
+            r#"{"id":1,"ok":false,"error":{"kind":"timeout","message":"deadline exceeded awaiting session"}}"#,
+        ] {
+            assert!(!response_is_effectful(refused), "{refused}");
+        }
+    }
+
+    #[test]
+    fn deadline_is_stripped_from_the_journal() {
+        let req = Request::parse(
+            r#"{"id":9,"op":"paste","session":"s","doc":0,"values":["a"],"deadline_ms":250}"#,
+        )
+        .unwrap();
+        let logged = logged_line(&req);
+        assert!(!logged.contains("deadline_ms"), "{logged}");
+        assert!(logged.contains("\"values\""), "{logged}");
+        // And the journaled line is still a parseable request.
+        assert!(Request::parse(&logged).is_ok());
+    }
+
+    #[test]
+    fn session_dirs_are_unique_even_when_sanitization_collides() {
+        let root = Path::new("/tmp/x");
+        let a = session_dir(root, "a/b");
+        let b = session_dir(root, "a.b");
+        assert_ne!(a, b);
+        assert!(a.file_name().unwrap().to_str().unwrap().starts_with("a_b-"));
+    }
+
+    #[test]
+    fn checkpoint_payload_round_trips() {
+        let history = vec![
+            r#"{"op":"create_session","session":"s"}"#.to_string(),
+            r#"{"op":"paste","session":"s","values":["a","b"]}"#.to_string(),
+        ];
+        assert_eq!(parse_checkpoint(&checkpoint_payload(&history)), history);
+        assert_eq!(parse_checkpoint("not json"), Vec::<String>::new());
+    }
+}

@@ -404,6 +404,98 @@ pub fn run_chaos_default() -> Result<Vec<Exchange>, Box<Exchange>> {
     result
 }
 
+/// Summary of the kill-and-recover smoke.
+#[derive(Debug, Clone)]
+pub struct RecoverSummary {
+    /// Effectful requests journaled before the crash.
+    pub journaled: u64,
+    /// Records replayed during recovery.
+    pub replayed: u64,
+    /// Probe requests compared byte-for-byte against the control.
+    pub probes: usize,
+}
+
+/// The kill-and-recover smoke: start a durable router in a scratch
+/// directory, inject traffic, **crash it** (drop without shutdown),
+/// recover from disk, and diff the recovered session's answers against
+/// a never-crashed control — byte for byte. The verify-script hook for
+/// the durability layer (`copycat-serve recover`).
+pub fn run_recover_default() -> Result<RecoverSummary, String> {
+    use crate::router::{Router, RouterConfig};
+    let root = std::env::temp_dir().join(format!("copycat-recover-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = || RouterConfig {
+        shards: 2,
+        snapshot_every: 4, // force snapshot + WAL-tail recovery
+        sync_every: 1,
+        store_root: Some(root.clone()),
+        ..RouterConfig::default()
+    };
+    let s = "\"session\":\"smoke\"";
+    let mut lines = vec![
+        format!("{{\"id\":1,\"op\":\"create_session\",{s}}}"),
+        format!(
+            "{{\"id\":2,\"op\":\"open_doc\",{s},\"name\":\"Sheet\",\
+             \"headers\":[\"Venue\",\"Street\",\"City\"],\
+             \"rows\":[[\"V-0\",\"0 Oak St\",\"CityA\"],[\"V-1\",\"1 Oak St\",\"CityB\"],\
+             [\"V-2\",\"2 Oak St\",\"CityA\"]]}}"
+        ),
+        format!("{{\"id\":3,\"op\":\"paste\",{s},\"doc\":0,\"values\":[\"V-0\",\"0 Oak St\",\"CityA\"]}}"),
+        format!("{{\"id\":4,\"op\":\"accept_rows\",{s}}}"),
+        format!("{{\"id\":5,\"op\":\"name_column\",{s},\"col\":0,\"name\":\"Venue\"}}"),
+        format!("{{\"id\":6,\"op\":\"commit_source\",{s},\"name\":\"Shelters\"}}"),
+    ];
+    for i in 0..4 {
+        lines.push(format!(
+            "{{\"id\":{},\"op\":\"autocomplete\",{s},\"values\":[\"0 Oak St\"],\"k\":2}}",
+            7 + i
+        ));
+    }
+    let probes = [
+        format!("{{\"id\":90,\"op\":\"render\",{s}}}"),
+        format!("{{\"id\":91,\"op\":\"export\",{s},\"format\":\"csv\"}}"),
+        format!("{{\"id\":92,\"op\":\"session_stats\",{s}}}"),
+        format!("{{\"id\":93,\"op\":\"save_session\",{s}}}"),
+    ];
+
+    let durable = Router::new(config());
+    for line in &lines {
+        let resp = durable.handle_line(line);
+        if !resp.contains("\"ok\":true") {
+            let _ = std::fs::remove_dir_all(&root);
+            return Err(format!("traffic refused before crash: {line} -> {resp}"));
+        }
+    }
+    let journaled = durable.stats()["durability"]["appends"].as_f64().unwrap_or(0.0) as u64;
+    drop(durable); // crash: no shutdown, no flush
+
+    let recovered =
+        Router::recover(config()).map_err(|e| format!("recovery failed: {e}"))?;
+    let replayed =
+        recovered.stats()["durability"]["replayed_records"].as_f64().unwrap_or(0.0) as u64;
+    let control = Router::new(RouterConfig { shards: 2, ..RouterConfig::default() });
+    for line in &lines {
+        control.handle_line(line);
+    }
+    for probe in &probes {
+        let got = recovered.handle_line(probe);
+        let want = control.handle_line(probe);
+        if got != want {
+            let _ = std::fs::remove_dir_all(&root);
+            return Err(format!(
+                "recovered session diverged on {probe}:\n  recovered: {got}\n  control:   {want}"
+            ));
+        }
+    }
+    recovered.shutdown();
+    control.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    if replayed == 0 {
+        return Err("recovery replayed nothing; the WAL never made it to disk".to_string());
+    }
+    Ok(RecoverSummary { journaled, replayed, probes: probes.len() })
+}
+
 fn rows_of(j: &Json) -> Vec<Vec<String>> {
     j.as_array()
         .map(|rows| {

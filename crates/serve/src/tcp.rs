@@ -35,19 +35,44 @@ pub fn serve(listener: TcpListener, server: Server) -> std::io::Result<()> {
     accepted
 }
 
+/// Strip one trailing line terminator — `\n`, `\r\n`, or a bare `\r`
+/// left by a client that frames with CRLF but whose `\n` landed in the
+/// next read. Interior bytes are untouched: the payload is JSON, and a
+/// stray `\r` before the closing brace must stay a parse error.
+fn trim_line_terminator(line: &mut Vec<u8>) {
+    if line.last() == Some(&b'\n') {
+        line.pop();
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     server: &Server,
     addr: std::net::SocketAddr,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        // Explicit framing instead of `BufRead::lines()`: a final
+        // request whose connection closed before the terminating
+        // newline is still a complete frame (read_until returns it
+        // with n > 0), and a non-UTF-8 payload is answered with the
+        // server's parse error instead of killing the connection.
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(()); // clean EOF
+        }
+        trim_line_terminator(&mut line);
+        let text = String::from_utf8_lossy(&line);
+        if text.trim().is_empty() {
             continue;
         }
-        let response = server.handle_line(&line);
+        let response = server.handle_line(&text);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -55,8 +80,30 @@ fn handle_connection(
             // Wake the acceptor (it blocks in accept) so the listener
             // loop notices the drain and exits.
             let _ = TcpStream::connect(addr);
-            break;
+            return Ok(());
         }
     }
-    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::trim_line_terminator;
+
+    #[test]
+    fn terminator_trim_handles_all_framings() {
+        for (input, want) in [
+            (&b"{\"id\":1}\n"[..], &b"{\"id\":1}"[..]),
+            (b"{\"id\":1}\r\n", b"{\"id\":1}"),
+            (b"{\"id\":1}\r", b"{\"id\":1}"),
+            (b"{\"id\":1}", b"{\"id\":1}"),
+            (b"\r\n", b""),
+            (b"", b""),
+            // Interior CR is payload, not framing.
+            (b"{\"s\":\"a\rb\"}\n", b"{\"s\":\"a\rb\"}"),
+        ] {
+            let mut v = input.to_vec();
+            trim_line_terminator(&mut v);
+            assert_eq!(v, want, "input {input:?}");
+        }
+    }
 }

@@ -584,3 +584,76 @@ fn tcp_transport_round_trips_and_drains() {
 
     serve_thread.join().unwrap().expect("serve exits cleanly");
 }
+
+/// Regression: a client that frames with CRLF (`\r\n`) — telnet, Windows
+/// tooling, half the HTTP-adjacent world — must get the same answers as
+/// a `\n` client, and a final request whose connection closed before the
+/// terminating newline must still be served. Both used to depend on
+/// `BufRead::lines()` quirks; framing is now explicit in the transport.
+#[test]
+fn tcp_transport_accepts_crlf_and_unterminated_final_line() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{Shutdown, TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = Server::new(ServerConfig::default());
+    let serve_thread = std::thread::spawn(move || copycat_serve::tcp::serve(listener, server));
+
+    // Connection 1: CRLF framing throughout, including a blank CRLF
+    // keep-alive line that must be ignored rather than answered.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut write_crlf = |line: &str| {
+            let mut s = &stream;
+            s.write_all(line.as_bytes()).unwrap();
+            s.write_all(b"\r\n").unwrap();
+            s.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            Json::parse(resp.trim()).expect("json response")
+        };
+        {
+            let mut s = &stream;
+            s.write_all(b"\r\n").unwrap(); // blank keep-alive
+            s.flush().unwrap();
+        }
+        let pong = write_crlf("{\"id\":1,\"op\":\"ping\"}");
+        assert_eq!(pong["ok"].as_bool(), Some(true), "{pong}");
+        let made = write_crlf("{\"id\":2,\"op\":\"create_session\",\"session\":\"crlf\"}");
+        assert_eq!(made["ok"].as_bool(), Some(true), "{made}");
+    }
+
+    // Connection 2: the final request has NO terminating newline — the
+    // client closes its write half instead. It must still be answered.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        {
+            let mut s = &stream;
+            s.write_all(b"{\"id\":3,\"op\":\"list_sessions\"}").unwrap();
+            s.flush().unwrap();
+            stream.shutdown(Shutdown::Write).expect("half-close");
+        }
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let listed = Json::parse(resp.trim()).expect("json response");
+        assert_eq!(listed["result"]["sessions"][0].as_str(), Some("crlf"), "{listed}");
+    }
+
+    // Shut the server down (plain framing still fine).
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut s = &stream;
+        s.write_all(b"{\"id\":4,\"op\":\"shutdown\"}\r\n").unwrap();
+        s.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let drain = Json::parse(resp.trim()).expect("json response");
+        assert_eq!(drain["result"]["draining"].as_bool(), Some(true), "{drain}");
+    }
+
+    serve_thread.join().unwrap().expect("serve exits cleanly");
+}

@@ -10,9 +10,72 @@
 
 use copycat_query::{CallOutcome, Service, ServiceError, Signature, Value};
 use copycat_util::hash::FxHashMap;
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 use copycat_util::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The portable runtime state of one [`Flaky`] wrapper — everything a
+/// failure roll depends on beyond the construction-time config.
+/// Restoring it into a freshly-built wrapper makes the next call roll
+/// exactly what the pre-snapshot instance would have rolled, which is
+/// what keeps a recovered session's failure schedule byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SavedFlakyState {
+    /// Calls observed.
+    pub calls: u64,
+    /// Failures injected.
+    pub failures: u64,
+    /// Virtual latency accrued (ms).
+    pub virtual_latency_ms: u64,
+    /// Per-input attempt counters, keyed by input hash, sorted by key.
+    pub attempts: Vec<(u64, u64)>,
+}
+
+impl ToJson for SavedFlakyState {
+    fn to_json(&self) -> Json {
+        // Attempt keys are full-width u64 hashes: above 2^53 a JSON
+        // number would silently round, so they travel as hex strings.
+        let attempts: Vec<Json> = self
+            .attempts
+            .iter()
+            .map(|(k, n)| {
+                Json::Arr(vec![Json::str(format!("{k:016x}")), Json::Num(*n as f64)])
+            })
+            .collect();
+        Json::obj(vec![
+            ("calls".into(), self.calls.to_json()),
+            ("failures".into(), self.failures.to_json()),
+            ("virtual_latency_ms".into(), self.virtual_latency_ms.to_json()),
+            ("attempts".into(), Json::Arr(attempts)),
+        ])
+    }
+}
+
+impl FromJson for SavedFlakyState {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let attempts_field = j.field("attempts")?;
+        let attempts = attempts_field
+            .as_array()
+            .ok_or_else(|| JsonError::expected("array", attempts_field))?
+            .iter()
+            .map(|pair| {
+                let key = pair[0]
+                    .as_str()
+                    .ok_or_else(|| JsonError::new("attempt key must be a hex string"))?;
+                let k = u64::from_str_radix(key, 16)
+                    .map_err(|_| JsonError::new(format!("bad attempt key {key:?}")))?;
+                Ok((k, u64::from_json(&pair[1])?))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(SavedFlakyState {
+            calls: u64::from_json(j.field("calls")?)?,
+            failures: u64::from_json(j.field("failures")?)?,
+            virtual_latency_ms: u64::from_json(j.field("virtual_latency_ms")?)?,
+            attempts,
+        })
+    }
+}
 
 /// A wrapper service that fails some calls and accrues virtual latency.
 pub struct Flaky {
@@ -81,6 +144,36 @@ impl Flaky {
     /// The configured injection rate.
     pub fn configured_failure_rate(&self) -> f64 {
         self.failure_rate
+    }
+
+    /// Capture the roll-relevant runtime state (counters and per-input
+    /// attempt numbers) for session persistence.
+    pub fn saved_state(&self) -> SavedFlakyState {
+        let mut attempts: Vec<(u64, u64)> =
+            self.attempts.lock().iter().map(|(&k, &n)| (k, n)).collect();
+        attempts.sort_unstable();
+        SavedFlakyState {
+            // relaxed: read at snapshot time under the session lock
+            // that serializes operator execution.
+            calls: self.calls.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            virtual_latency_ms: self.virtual_latency.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            attempts,
+        }
+    }
+
+    /// Overwrite the runtime state with a previously
+    /// [`saved_state`](Flaky::saved_state) capture. The configuration
+    /// (rate, latency, seed) is construction-time and must already
+    /// match for the restored roll sequence to mean anything.
+    pub fn restore_state(&self, saved: &SavedFlakyState) {
+        // relaxed: restore happens before the session serves traffic.
+        self.calls.store(saved.calls, Ordering::Relaxed);
+        self.failures.store(saved.failures, Ordering::Relaxed);
+        self.virtual_latency.store(saved.virtual_latency_ms, Ordering::Relaxed); // relaxed: pre-traffic restore
+        let mut map = self.attempts.lock();
+        map.clear();
+        map.extend(saved.attempts.iter().copied());
     }
 
     fn input_hash(&self, inputs: &[Value]) -> u64 {
@@ -180,6 +273,10 @@ impl Service for Flaky {
         // evidence, falling back to the configured estimate cold.
         self.inner.cost() * (1.0 + self.observed_failure_rate())
             + self.latency_per_call as f64 / 100.0
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -287,6 +384,34 @@ mod tests {
         let healthy = Flaky::new(echo(), 0.9, 0, 1);
         // (rate 0.9 but never called: cost still uses the estimate)
         assert!(healthy.cost() > 1.5);
+    }
+
+    #[test]
+    fn saved_state_restores_the_roll_sequence() {
+        use copycat_util::json::Json;
+        let f1 = Flaky::new(echo(), 0.5, 10, 7);
+        // Burn in a history with repeated inputs so attempt counters
+        // diverge from zero.
+        for i in 0..30 {
+            let _ = f1.try_call(&[Value::Num((i % 7) as f64)]);
+        }
+        let saved = f1.saved_state();
+        assert!(saved.attempts.iter().any(|&(_, n)| n > 1), "no repeats recorded");
+        // JSON round trip is exact (hash keys are full-width u64s).
+        let back = SavedFlakyState::from_json(
+            &Json::parse(&saved.to_json().to_string()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, saved);
+        // A fresh instance with the state restored continues the exact
+        // roll sequence the original would have produced.
+        let f2 = Flaky::new(echo(), 0.5, 10, 7);
+        f2.restore_state(&back);
+        for i in 0..30 {
+            let v = [Value::Num((i % 7) as f64)];
+            assert_eq!(f1.try_call(&v), f2.try_call(&v), "call {i}");
+        }
+        assert_eq!(f1.saved_state(), f2.saved_state());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! of the call sequence (reproducible tests, and the `wallclock` lint
 //! stays clean with no new allowlist entries).
 
+use crate::faults::{Flaky, SavedFlakyState};
 use copycat_query::{CallOutcome, Service, ServiceError, Signature, Value};
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
 use copycat_util::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,6 +79,16 @@ impl BreakerState {
             BreakerState::HalfOpen => "half_open",
         }
     }
+
+    /// Inverse of [`as_str`](BreakerState::as_str).
+    pub fn parse(s: &str) -> Option<BreakerState> {
+        match s {
+            "closed" => Some(BreakerState::Closed),
+            "open" => Some(BreakerState::Open),
+            "half_open" => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -108,6 +120,81 @@ pub struct HealthSnapshot {
     pub observed_failure_rate: f64,
     /// Virtual milliseconds accrued by backoff.
     pub backoff_virtual_ms: u64,
+}
+
+/// The portable runtime state of one [`Resilient`] wrapper: breaker
+/// machine, virtual clock, and every counter — plus the wrapped
+/// [`Flaky`] probe's state when the inner service is one. This is what
+/// a session snapshot must carry so a restore does *not* silently
+/// forget a tripped breaker (and re-route to a dead service).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedServiceHealth {
+    /// Service name (the restore key).
+    pub service: String,
+    /// Raw breaker state (not cooldown-resolved; the clock comes too).
+    pub state: BreakerState,
+    /// Consecutive terminal failures toward the trip threshold.
+    pub consecutive_failures: u32,
+    /// Virtual clock reading when the breaker last opened.
+    pub opened_at_ms: u64,
+    /// The virtual clock itself.
+    pub clock_ms: u64,
+    /// Logical calls.
+    pub calls: u64,
+    /// Exhausted logical calls.
+    pub failures: u64,
+    /// Retry attempts beyond the first.
+    pub retries: u64,
+    /// Breaker trips.
+    pub trips: u64,
+    /// Fast-fails while open.
+    pub short_circuits: u64,
+    /// Virtual ms accrued by backoff.
+    pub backoff_ms: u64,
+    /// The wrapped fault-injection probe's state, when the inner
+    /// service is a [`Flaky`].
+    pub flaky: Option<SavedFlakyState>,
+}
+
+impl ToJson for SavedServiceHealth {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("service".into(), self.service.to_json()),
+            ("state".into(), Json::str(self.state.as_str())),
+            ("consecutive_failures".into(), self.consecutive_failures.to_json()),
+            ("opened_at_ms".into(), self.opened_at_ms.to_json()),
+            ("clock_ms".into(), self.clock_ms.to_json()),
+            ("calls".into(), self.calls.to_json()),
+            ("failures".into(), self.failures.to_json()),
+            ("retries".into(), self.retries.to_json()),
+            ("trips".into(), self.trips.to_json()),
+            ("short_circuits".into(), self.short_circuits.to_json()),
+            ("backoff_ms".into(), self.backoff_ms.to_json()),
+            ("flaky".into(), self.flaky.as_ref().map_or(Json::Null, ToJson::to_json)),
+        ])
+    }
+}
+
+impl FromJson for SavedServiceHealth {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let state_str = String::from_json(j.field("state")?)?;
+        let state = BreakerState::parse(&state_str)
+            .ok_or_else(|| JsonError::new(format!("unknown breaker state {state_str:?}")))?;
+        Ok(SavedServiceHealth {
+            service: String::from_json(j.field("service")?)?,
+            state,
+            consecutive_failures: u32::from_json(j.field("consecutive_failures")?)?,
+            opened_at_ms: u64::from_json(j.field("opened_at_ms")?)?,
+            clock_ms: u64::from_json(j.field("clock_ms")?)?,
+            calls: u64::from_json(j.field("calls")?)?,
+            failures: u64::from_json(j.field("failures")?)?,
+            retries: u64::from_json(j.field("retries")?)?,
+            trips: u64::from_json(j.field("trips")?)?,
+            short_circuits: u64::from_json(j.field("short_circuits")?)?,
+            backoff_ms: u64::from_json(j.field("backoff_ms")?)?,
+            flaky: Option::from_json(j.field("flaky")?)?,
+        })
+    }
 }
 
 /// Wraps any service with deterministic retry + circuit breaking.
@@ -201,6 +288,60 @@ impl Resilient {
             short_circuits: self.short_circuits.load(Ordering::Relaxed), // relaxed: reporting-only stat
             observed_failure_rate: if calls == 0 { 0.0 } else { failures as f64 / calls as f64 },
             backoff_virtual_ms: self.backoff_ms.load(Ordering::Relaxed), // relaxed: reporting-only stat
+        }
+    }
+
+    /// Capture the full runtime state for session persistence (unlike
+    /// [`snapshot`](Resilient::snapshot), which is a cooked report —
+    /// this is the raw machine, restorable bit-for-bit).
+    pub fn saved_health(&self) -> SavedServiceHealth {
+        let b = self.breaker.lock();
+        SavedServiceHealth {
+            service: self.inner.name().to_string(),
+            state: b.state,
+            consecutive_failures: b.consecutive_failures,
+            opened_at_ms: b.opened_at_ms,
+            // relaxed: captured at snapshot time under the session lock
+            // that serializes operator execution.
+            clock_ms: self.clock_ms.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            failures: self.failures.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            retries: self.retries.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            trips: self.trips.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            short_circuits: self.short_circuits.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            backoff_ms: self.backoff_ms.load(Ordering::Relaxed), // relaxed: snapshot under session lock
+            flaky: self
+                .inner
+                .as_any()
+                .and_then(|a| a.downcast_ref::<Flaky>())
+                .map(Flaky::saved_state),
+        }
+    }
+
+    /// Restore a [`saved_health`](Resilient::saved_health) capture into
+    /// this wrapper (and into the wrapped [`Flaky`], when both sides
+    /// have one). A tripped breaker stays tripped, mid-cooldown, at the
+    /// exact virtual-clock position it was saved at.
+    pub fn restore_health(&self, saved: &SavedServiceHealth) {
+        {
+            let mut b = self.breaker.lock();
+            b.state = saved.state;
+            b.consecutive_failures = saved.consecutive_failures;
+            b.opened_at_ms = saved.opened_at_ms;
+        }
+        // relaxed: restore happens before the session serves traffic.
+        self.clock_ms.store(saved.clock_ms, Ordering::Relaxed);
+        self.calls.store(saved.calls, Ordering::Relaxed);
+        self.failures.store(saved.failures, Ordering::Relaxed); // relaxed: pre-traffic restore
+        self.retries.store(saved.retries, Ordering::Relaxed); // relaxed: pre-traffic restore
+        self.trips.store(saved.trips, Ordering::Relaxed); // relaxed: pre-traffic restore
+        self.short_circuits.store(saved.short_circuits, Ordering::Relaxed); // relaxed: pre-traffic restore
+        self.backoff_ms.store(saved.backoff_ms, Ordering::Relaxed); // relaxed: pre-traffic restore
+        if let (Some(state), Some(flaky)) = (
+            saved.flaky.as_ref(),
+            self.inner.as_any().and_then(|a| a.downcast_ref::<Flaky>()),
+        ) {
+            flaky.restore_state(state);
         }
     }
 
@@ -377,6 +518,12 @@ impl HealthRegistry {
     pub fn total_trips(&self) -> u64 {
         self.snapshots().iter().map(|s| s.trips).sum()
     }
+
+    /// Capture every tracked service's raw state, registration order
+    /// (the piece of a session snapshot this registry owns).
+    pub fn saved(&self) -> Vec<SavedServiceHealth> {
+        self.services.lock().iter().map(|s| s.saved_health()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -532,6 +679,45 @@ mod tests {
         assert_eq!(r.breaker_state(), BreakerState::Closed);
         // And normal service resumes.
         assert!(r.try_call(&[Value::str("up")]).is_ok());
+    }
+
+    #[test]
+    fn saved_health_restores_a_tripped_breaker_exactly() {
+        use copycat_util::json::Json;
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            breaker_threshold: 2,
+            cooldown_ms: 500,
+            ..RetryPolicy::default()
+        };
+        let mk = || Resilient::new(flaky(1.0, 5), policy);
+        let r1 = mk();
+        // Trip it and burn a couple of short-circuits.
+        for i in 0..4 {
+            assert!(r1.try_call(&[Value::Num(i as f64)]).is_err());
+        }
+        assert_eq!(r1.breaker_state(), BreakerState::Open);
+        let saved = r1.saved_health();
+        assert!(saved.flaky.is_some(), "wrapped Flaky state captured");
+        // JSON round trip is exact.
+        let back = SavedServiceHealth::from_json(
+            &Json::parse(&saved.to_json().to_string()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, saved);
+        // A fresh wrapper with the state restored: still tripped, and
+        // every subsequent outcome (short-circuits, half-open probe
+        // timing, rolls) matches the uninterrupted original.
+        let r2 = mk();
+        assert_eq!(r2.breaker_state(), BreakerState::Closed);
+        r2.restore_health(&back);
+        assert_eq!(r2.breaker_state(), BreakerState::Open, "restore forgot the trip");
+        for i in 0..600 {
+            let v = [Value::Num((100 + i) as f64)];
+            assert_eq!(r1.try_call(&v), r2.try_call(&v), "call {i}");
+            assert_eq!(r1.breaker_state(), r2.breaker_state(), "state after call {i}");
+        }
+        assert_eq!(r1.saved_health(), r2.saved_health());
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod registry;
 pub mod services;
 pub mod world;
 
-pub use faults::Flaky;
-pub use health::{BreakerState, HealthRegistry, HealthSnapshot, Resilient, RetryPolicy};
+pub use faults::{Flaky, SavedFlakyState};
+pub use health::{
+    BreakerState, HealthRegistry, HealthSnapshot, Resilient, RetryPolicy, SavedServiceHealth,
+};
 pub use registry::register_all;
 pub use services::{
     AddressResolver, CurrencyConverter, Geocoder, ReversePhone, UnitConverter, ZipResolver,

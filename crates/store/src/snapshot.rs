@@ -1,0 +1,155 @@
+//! Atomic session snapshots.
+//!
+//! A snapshot is one JSON file inside the session directory:
+//!
+//! ```json
+//! {"version": 1, "seq": 42, "crc": 123456789, "payload": "…"}
+//! ```
+//!
+//! `seq` is the last WAL sequence number the payload covers — recovery
+//! replays only WAL records *after* it, which is what makes a crash
+//! between "snapshot renamed into place" and "WAL truncated" harmless.
+//! `crc` is the CRC-32 of the payload bytes, so a half-written or
+//! bit-rotted snapshot is detected rather than replayed.
+//!
+//! Replacement is atomic: write `snapshot.tmp`, fsync it, then
+//! `rename` over `snapshot.json` (POSIX rename atomicity), then fsync
+//! the directory so the rename itself survives a power cut. At every
+//! instant the directory holds either the old complete snapshot or the
+//! new complete snapshot, never a torn one.
+
+use copycat_util::checksum::crc32;
+use copycat_util::json::{FromJson, Json, JsonError};
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the current snapshot inside a session directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+const TMP_FILE: &str = "snapshot.tmp";
+const VERSION: u64 = 1;
+
+/// A checkpoint: an opaque payload plus the WAL position it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Last WAL sequence number folded into the payload (0 = none).
+    pub seq: u64,
+    /// The serialized session (opaque to this crate).
+    pub payload: String,
+}
+
+fn envelope(snap: &Snapshot) -> Json {
+    Json::obj(vec![
+        ("version".into(), Json::Num(VERSION as f64)),
+        ("seq".into(), Json::Num(snap.seq as f64)),
+        ("crc".into(), Json::Num(f64::from(crc32(snap.payload.as_bytes())))),
+        ("payload".into(), Json::str(snap.payload.clone())),
+    ])
+}
+
+fn open_envelope(j: &Json) -> Result<Snapshot, JsonError> {
+    let version = u64::from_json(j.field("version")?)?;
+    if version != VERSION {
+        return Err(JsonError::new(format!("unknown snapshot version {version}")));
+    }
+    let seq = u64::from_json(j.field("seq")?)?;
+    let stored_crc = u32::from_json(j.field("crc")?)?;
+    let payload = j
+        .field("payload")?
+        .as_str()
+        .ok_or_else(|| JsonError::new("snapshot payload is not a string"))?
+        .to_string();
+    if crc32(payload.as_bytes()) != stored_crc {
+        return Err(JsonError::new("snapshot payload checksum mismatch"));
+    }
+    Ok(Snapshot { seq, payload })
+}
+
+/// Atomically install `snap` as the directory's current snapshot.
+pub fn write(dir: &Path, snap: &Snapshot) -> std::io::Result<()> {
+    let tmp = dir.join(TMP_FILE);
+    let dst = dir.join(SNAPSHOT_FILE);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(envelope(snap).to_string().as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &dst)?;
+    // Persist the rename: fsync the containing directory.
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Load the current snapshot, if any. A missing file is `None`; a
+/// present-but-unreadable one (torn write that dodged the tmp+rename
+/// protocol, bit rot, future version) is an error — recovering from a
+/// *wrong* checkpoint would be worse than failing loudly.
+pub fn read(dir: &Path) -> std::io::Result<Option<Snapshot>> {
+    let bytes = match std::fs::read(dir.join(SNAPSHOT_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let text = String::from_utf8(bytes)
+        .map_err(|_| std::io::Error::other("snapshot is not utf-8"))?;
+    let j = Json::parse(&text).map_err(std::io::Error::other)?;
+    open_envelope(&j).map(Some).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "copycat-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_round_trips_and_replaces() {
+        let dir = temp_dir("roundtrip");
+        assert_eq!(read(&dir).unwrap(), None);
+        let first = Snapshot { seq: 7, payload: "[\"line one\"]".into() };
+        write(&dir, &first).unwrap();
+        assert_eq!(read(&dir).unwrap(), Some(first));
+        let second = Snapshot { seq: 19, payload: "[\"line one\",\"línea dos\"]".into() };
+        write(&dir, &second).unwrap();
+        assert_eq!(read(&dir).unwrap(), Some(second));
+        // No tmp residue after a clean install.
+        assert!(!dir.join(TMP_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let dir = temp_dir("corrupt");
+        write(&dir, &Snapshot { seq: 1, payload: "payload-bytes".into() }).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mangled = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("payload-bytes", "payload-byteZ");
+        std::fs::write(&path, mangled).unwrap();
+        assert!(read(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_versions_are_refused_not_misread() {
+        let dir = temp_dir("version");
+        write(&dir, &Snapshot { seq: 1, payload: "p".into() }).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let bumped = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":2");
+        std::fs::write(&path, bumped).unwrap();
+        assert!(read(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,109 @@
+//! CRC-32 (IEEE 802.3) checksums for the durability layer.
+//!
+//! Every WAL record and snapshot payload carries a checksum so recovery
+//! can tell a torn tail (the machine died mid-write) from good data.
+//! The polynomial is the reflected IEEE one (`0xEDB88320`) — the same
+//! CRC as gzip/zip — computed byte-at-a-time over a 256-entry table
+//! built at compile time. Throughput is far beyond what a line-rate
+//! request log needs, and the const table keeps the crate
+//! dependency-free.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 state, for checksumming data that arrives in
+/// pieces (a record header then its body).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state (equivalent to having hashed zero bytes).
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feed more bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"length-prefixed, checksummed, fsync-batched";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"wal record payload".to_vec();
+        let want = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+}

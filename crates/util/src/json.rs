@@ -210,19 +210,18 @@ impl Json {
     }
 }
 
-/// Numbers that are mathematically integral print without a fraction
-/// (`3`, not `3.0`); non-finite values (unrepresentable in JSON)
-/// serialize as `null` like serde_json's lossy float handling.
+/// Non-finite values (unrepresentable in JSON) serialize as `null`
+/// like serde_json's lossy float handling; everything else uses Rust's
+/// shortest-round-trip formatting, which prints integral values
+/// without a fraction (`3`, not `3.0`) and — unlike the old
+/// cast-to-`i64` fast path — keeps the sign of `-0.0` (`-0`), so
+/// serialize→parse→serialize is byte-identical for every finite
+/// number. WAL replay and snapshot diffing rely on that fixpoint.
 fn format_number(n: f64) -> String {
     if !n.is_finite() {
         return "null".to_string();
     }
-    if n.fract() == 0.0 && n.abs() < 1e15 {
-        format!("{}", n as i64)
-    } else {
-        let s = format!("{n}");
-        s
-    }
+    format!("{n}")
 }
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -437,9 +436,16 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(&format!("invalid number {text:?}")))
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("invalid number {text:?}")))?;
+        // `f64::parse` reports overflow as ±inf, not an error. A
+        // non-finite `Num` would serialize as `null` and change shape
+        // on the next round trip, so reject it here.
+        if !v.is_finite() {
+            return Err(self.err(&format!("number {text:?} out of f64 range")));
+        }
+        Ok(Json::Num(v))
     }
 }
 
@@ -571,13 +577,18 @@ macro_rules! impl_json_int {
                 if n.fract() != 0.0 {
                     return Err(JsonError::new(format!("expected integer, got {n}")));
                 }
-                let v = n as $t;
-                if v as f64 != n {
+                // Range-check in f64 before casting. `MIN as f64` is
+                // exact for every integer type, and `(MAX as f64) + 1.0`
+                // lands exactly one past the type (for the 64-bit types
+                // MAX itself rounds *up* to that power of two, so the
+                // old cast-then-compare check accepted 2^63/2^64 as a
+                // saturated MAX — the wrong value, silently).
+                if !(n >= <$t>::MIN as f64 && n < (<$t>::MAX as f64) + 1.0) {
                     return Err(JsonError::new(format!(
                         "integer {n} out of range for {}", stringify!($t)
                     )));
                 }
-                Ok(v)
+                Ok(n as $t)
             }
         }
     )+};
@@ -719,6 +730,112 @@ mod tests {
         assert_eq!(Json::Num(3.25).to_string(), "3.25");
         assert_eq!(Json::Num(-0.5).to_string(), "-0.5");
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let s = Json::Num(-0.0).to_string();
+        assert_eq!(s, "-0");
+        let back = Json::parse(&s).unwrap().as_f64().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative(), "sign lost: {back}");
+        // The serialization fixpoint the WAL relies on.
+        assert_eq!(Json::Num(back).to_string(), s);
+    }
+
+    #[test]
+    fn sixty_four_bit_saturation_edges_are_rejected() {
+        // 2^63 *is* `i64::MAX as f64`: the cast saturates to MAX, which
+        // round-trips back to 2^63 — so the old cast-then-compare check
+        // accepted the wrong value. Same story for u64 at 2^64.
+        assert!(i64::from_json(&Json::Num(9_223_372_036_854_775_808.0)).is_err());
+        assert!(u64::from_json(&Json::Num(18_446_744_073_709_551_616.0)).is_err());
+        assert!(u64::from_json(&Json::Num(1e300)).is_err());
+        // The exact boundaries that ARE representable still convert.
+        assert_eq!(
+            i64::from_json(&Json::Num(-9_223_372_036_854_775_808.0)).unwrap(),
+            i64::MIN
+        );
+        // Largest f64 below 2^63 / 2^64 (2^63 - 1024, 2^64 - 2048).
+        assert_eq!(
+            i64::from_json(&Json::Num(9_223_372_036_854_774_784.0)).unwrap(),
+            9_223_372_036_854_774_784
+        );
+        assert_eq!(
+            u64::from_json(&Json::Num(18_446_744_073_709_549_568.0)).unwrap(),
+            18_446_744_073_709_549_568
+        );
+        // -0.0 is integral zero, not out of range, for every width.
+        assert_eq!(u64::from_json(&Json::Num(-0.0)).unwrap(), 0);
+        assert_eq!(u8::from_json(&Json::Num(255.0)).unwrap(), 255);
+        assert!(u8::from_json(&Json::Num(256.0)).is_err());
+    }
+
+    #[test]
+    fn huge_exponents_are_rejected_at_parse() {
+        // `f64::parse` turns these into ±inf; accepting them would
+        // produce a Num that serializes as `null` and changes shape.
+        for bad in ["1e999", "-1e999", "1e309", "[1e400]"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Underflow collapses to zero, which is finite and fine.
+        assert_eq!(Json::parse("1e-999").unwrap(), Json::Num(0.0));
+    }
+
+    #[test]
+    fn prop_number_serialization_is_a_fixpoint() {
+        use crate::check::{check, Gen};
+        use crate::{prop_ensure, prop_ensure_eq};
+        check("json_number_fixpoint", 400, &[], |g: &mut Gen| {
+            // Span the grammar: small ints, 2^53-adjacent ints, large
+            // exactly-representable ints, fractions, extreme magnitudes.
+            let n: f64 = match g.usize_in(0..6) {
+                0 => g.i64_in(-1_000_000..1_000_000) as f64,
+                1 => {
+                    let sign = if g.bool_p(0.5) { -1.0 } else { 1.0 };
+                    g.u64_in(0..(1u64 << 53)) as f64 * sign
+                }
+                2 => {
+                    // Beyond 2^53 but exact: a 53-bit mantissa shifted.
+                    let shift = g.usize_in(1..11) as u32;
+                    (g.u64_in(0..(1u64 << 53)) << shift) as f64
+                }
+                3 => g.f64_in(-1.0e9..1.0e9),
+                4 => g.f64_in(-1.0..1.0) * 1.0e-12,
+                _ => g.f64_in(-1.0..1.0) * 1.0e18,
+            };
+            let s = Json::Num(n).to_string();
+            let back = Json::parse(&s)
+                .map_err(|e| e.to_string())?
+                .as_f64()
+                .ok_or("reparse was not a number")?;
+            prop_ensure!(
+                back == n && back.is_sign_negative() == n.is_sign_negative(),
+                "{n} -> {s} -> {back}"
+            );
+            // Fixpoint: the second serialization is byte-identical.
+            prop_ensure_eq!(Json::Num(back).to_string(), s);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn prop_exact_integers_roundtrip_through_int_conversions() {
+        use crate::check::{check, Gen};
+        use crate::prop_ensure_eq;
+        check("json_int_roundtrip", 300, &[], |g: &mut Gen| {
+            // Every |v| <= 2^53 is exactly representable as f64.
+            let v = g.i64_in(-(1i64 << 53)..(1i64 << 53) + 1);
+            let s = v.to_json().to_string();
+            let parsed = Json::parse(&s).map_err(|e| e.to_string())?;
+            prop_ensure_eq!(i64::from_json(&parsed).map_err(|e| e.to_string())?, v);
+            if v >= 0 {
+                prop_ensure_eq!(
+                    u64::from_json(&parsed).map_err(|e| e.to_string())?,
+                    v as u64
+                );
+            }
+            Ok(())
+        });
     }
 
     #[test]

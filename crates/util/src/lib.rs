@@ -25,6 +25,10 @@
 //!   (replaces `crossbeam-channel` for the serving layer's pools).
 //! - [`hist`] — lock-free fixed-bucket latency histograms with
 //!   p50/p99 estimates (the metrics registry's primitive).
+//! - [`checksum`] — CRC-32 (IEEE) for WAL records and snapshots
+//!   (replaces `crc32fast`).
+//! - [`varint`] — LEB128 length prefixes for the WAL's record framing
+//!   (replaces `integer-encoding`).
 //!
 //! Every generator in this crate is deterministic per seed, so bench
 //! tables and property tests are bit-reproducible across runs on the
@@ -33,11 +37,13 @@
 pub mod bench;
 pub mod channel;
 pub mod check;
+pub mod checksum;
 pub mod hash;
 pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod sync;
+pub mod varint;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{FromJson, Json, JsonError, ToJson};

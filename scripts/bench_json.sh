@@ -5,9 +5,14 @@
 #   BENCH_steiner.json — the E3 Steiner scale-up sweep. Rows are
 #     {nodes, terminals, exact_us, spcsh_us, ratio}; exact_us/ratio are
 #     null where the exact solve is out of the sweep's range.
-#   BENCH_serve.json — copycat-serve throughput/latency under
-#     closed-loop load at several concurrency levels. Rows are
-#     {clients, requests, ok, elapsed_us, throughput_rps, p50_us, p99_us}.
+#   BENCH_serve.json — the serve-layer sweeps as
+#     {"load": …, "recovery": …, "cross_shard": …}. "load" rows are
+#     {clients, requests, ok, elapsed_us, throughput_rps, p50_us,
+#     p99_us}; "recovery" rows are kill-and-recover timings {records,
+#     snapshot_every, journal_elapsed_us, recover_us, replayed,
+#     snapshots, intact}; "cross_shard" rows are router throughput +
+#     live-migration cost {shards, clients, requests, ok, elapsed_us,
+#     throughput_rps, migrate_mean_us, migrations}.
 #   BENCH_faults.json — the F1 fault-tolerance sweep (failure rate x
 #     {no-retry, retry, retry+failover}). Rows are {rate, mode,
 #     completeness, degraded, virtual_ms, retries, trips}; virtual_ms is

@@ -21,6 +21,10 @@ cargo run --release --offline -p copycat-serve -- smoke
 # over to a healthy replacement alias; health reports the trip with
 # virtual (never wallclock) backoff. Exits non-zero on any regression.
 cargo run --release --offline -p copycat-serve -- chaos
+# Recover smoke: durable router journals traffic, crashes (dropped
+# without shutdown), recovers from snapshot + WAL, and must answer
+# byte-identically to a never-crashed control.
+cargo run --release --offline -p copycat-serve -- recover
 # Smoke: the perf-trajectory emitter runs and produces non-empty JSON
 # (no timing assertions — numbers vary by machine).
 scripts/bench_json.sh
