@@ -11,7 +11,14 @@ use copycat_bench::{
     ablations, chaos_sweep, e1_keystrokes, e2_feedback, e3_steiner, e4_structure, e5_column,
     e6_semantic, e7_linkage, e8_figure4, serve_load,
 };
+use copycat_util::bench::CountingAlloc;
 use std::fmt::Write;
+
+/// Counting allocator for the S4 memory experiment (marginal bytes per
+/// session, allocations per request). Delegates to `System`; the cost
+/// is two relaxed increments per allocation.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn section_e1() -> String {
     let mut out = String::new();
@@ -194,12 +201,24 @@ fn section_e8() -> String {
 
 /// The sweeps behind both the serve section and `BENCH_serve.json`.
 const SERVE_CONCURRENCY: &[usize] = &[1, 2, 4];
-const SERVE_REQUESTS_PER_CLIENT: usize = 150;
+/// Per-point timed requests. 600 (up from 150) so each level's p99
+/// rests on ≥600 samples per client — at 150, the 99th percentile was
+/// one-or-two observations and jittered run to run.
+const SERVE_REQUESTS_PER_CLIENT: usize = 600;
 /// Kill-and-recover levels: (journaled records, snapshot cadence).
 const SERVE_RECOVERY_LEVELS: &[(u64, u64)] = &[(100, 16), (400, 64), (400, 8)];
 /// Cross-shard sweep: shard counts at a fixed client count.
 const SERVE_SHARD_COUNTS: &[usize] = &[1, 2, 4];
 const SERVE_SHARD_CLIENTS: usize = 4;
+/// S4 memory experiment: sessions created inside the measured window.
+const MEM_FLAT_SESSIONS: usize = 64;
+const MEM_SHARED_SESSIONS: usize = 512;
+/// S5 herd: resident copy-on-write sessions, sampled tenants, hot-path
+/// rounds per sampled tenant, and closed-loop clients.
+const HERD_SESSIONS: usize = 10_000;
+const HERD_PROBE_SESSIONS: usize = 256;
+const HERD_ROUNDS: usize = 4;
+const HERD_CLIENTS: usize = 4;
 
 fn section_serve() -> String {
     let mut out = String::new();
@@ -276,12 +295,76 @@ fn section_serve() -> String {
         ]);
     }
     writeln!(out, "{}", t.render()).unwrap();
+
+    writeln!(
+        out,
+        "== S4: copy-on-write memory (flat private worlds vs shared WorldBase) ==\n"
+    )
+    .unwrap();
+    let rows = serve_load::run_mem(MEM_FLAT_SESSIONS, MEM_SHARED_SESSIONS, &|| ALLOC.snapshot());
+    let mut t = TextTable::new(&[
+        "mode",
+        "sessions",
+        "marginal B/session",
+        "sessions/GiB",
+        "allocs/request",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.mode.to_string(),
+            r.sessions.to_string(),
+            format!("{:.0}", r.marginal_bytes_per_session),
+            format!("{:.0}", r.sessions_per_gb),
+            format!("{:.1}", r.allocs_per_request),
+        ]);
+    }
+    writeln!(out, "{}", t.render()).unwrap();
+    writeln!(
+        out,
+        "   (live-byte diffs; run `harness serve` alone for quiescent numbers)\n"
+    )
+    .unwrap();
+
+    writeln!(
+        out,
+        "== S5: {HERD_SESSIONS}-session herd (copy-on-write, {HERD_CLIENTS} clients over a \
+         {HERD_PROBE_SESSIONS}-tenant sample) ==\n"
+    )
+    .unwrap();
+    let h = serve_load::run_herd(
+        HERD_SESSIONS,
+        HERD_PROBE_SESSIONS,
+        HERD_ROUNDS,
+        HERD_CLIENTS,
+        Some(&|| ALLOC.snapshot()),
+    );
+    let mut t = TextTable::new(&[
+        "sessions",
+        "create time",
+        "requests",
+        "throughput rps",
+        "p50",
+        "p99",
+        "B/session",
+    ]);
+    t.row(vec![
+        h.sessions.to_string(),
+        dur(h.create_elapsed),
+        h.requests.to_string(),
+        format!("{:.0}", h.throughput_rps),
+        dur(std::time::Duration::from_micros(h.p50_us)),
+        dur(std::time::Duration::from_micros(h.p99_us)),
+        format!("{:.0}", h.marginal_bytes_per_session),
+    ]);
+    writeln!(out, "{}", t.render()).unwrap();
     out
 }
 
 /// `harness -- serve-json`: the serve sweeps as machine-readable JSON on
 /// stdout (consumed by `scripts/bench_json.sh` into `BENCH_serve.json`):
-/// `{"load": […], "recovery": […], "cross_shard": […]}`.
+/// `{"load": […], "recovery": […], "cross_shard": […], "mem": {…},
+/// "herd": {…}}`. Runs serially, so the S4/S5 live-byte measurements
+/// are quiescent.
 fn serve_json() -> String {
     let load = serve_load::run(SERVE_CONCURRENCY, SERVE_REQUESTS_PER_CLIENT);
     let recovery = serve_load::run_recovery(SERVE_RECOVERY_LEVELS);
@@ -290,6 +373,14 @@ fn serve_json() -> String {
         SERVE_SHARD_CLIENTS,
         SERVE_REQUESTS_PER_CLIENT,
     );
+    let mem = serve_load::run_mem(MEM_FLAT_SESSIONS, MEM_SHARED_SESSIONS, &|| ALLOC.snapshot());
+    let herd = serve_load::run_herd(
+        HERD_SESSIONS,
+        HERD_PROBE_SESSIONS,
+        HERD_ROUNDS,
+        HERD_CLIENTS,
+        Some(&|| ALLOC.snapshot()),
+    );
     copycat_util::json::Json::obj(vec![
         ("load".into(), serve_load::rows_to_json(&load)),
         ("recovery".into(), serve_load::recovery_to_json(&recovery)),
@@ -297,6 +388,8 @@ fn serve_json() -> String {
             "cross_shard".into(),
             serve_load::cross_shard_to_json(&cross),
         ),
+        ("mem".into(), serve_load::mem_to_json(&mem)),
+        ("herd".into(), serve_load::herd_to_json(&herd)),
     ])
     .to_string()
 }

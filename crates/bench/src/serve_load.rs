@@ -153,6 +153,14 @@ fn client_loop(
     hist: &Histogram,
 ) -> (u64, u64) {
     let script = hot_path_lines(session, probes);
+    // Untimed warm-up rounds: populate the query cache, response
+    // scratch, and scratch pools so the timed loop measures the steady
+    // state, not first-touch costs.
+    for _ in 0..2 {
+        for line in &script {
+            server.handle_line(line);
+        }
+    }
     let mut sent = 0u64;
     let mut ok = 0u64;
     for i in 0..requests {
@@ -441,6 +449,280 @@ pub fn run_cross_shard(shard_counts: &[usize], clients: usize, requests_per_clie
         .collect()
 }
 
+/// Marginal per-session memory and per-request allocation cost for one
+/// session mode (flat private worlds vs copy-on-write shared worlds).
+#[derive(Debug, Clone)]
+pub struct MemRow {
+    /// `"flat"` (every session owns a private world) or
+    /// `"shared_world"` (sessions overlay one frozen `WorldBase`).
+    pub mode: &'static str,
+    /// Sessions created inside the measured window.
+    pub sessions: usize,
+    /// Net live-byte growth per session.
+    pub marginal_bytes_per_session: f64,
+    /// Sessions fitting in one GiB at that marginal cost.
+    pub sessions_per_gb: f64,
+    /// Heap allocations per warm hot-path request.
+    pub allocs_per_request: f64,
+}
+
+/// World parameters shared by both memory modes, so flat and shared
+/// sessions host byte-identical corpora. Flat cost = ~27 KiB of
+/// engine + types + services fixed floor plus ~165 B/venue of corpus;
+/// shared-overlay cost (~1.6 KiB) is venue-independent, so the sharing
+/// win grows with world size. 48 venues is the production-shaped world
+/// the experiment standardizes on.
+const MEM_SEED: u64 = 2009;
+const MEM_VENUES: usize = 48;
+
+/// The herd is a latency/residency experiment, not a memory-scaling
+/// one: it keeps a small world so its hot path stays comparable to the
+/// load sweep's (whose private sources are 4 rows each).
+const HERD_VENUES: usize = 6;
+
+fn mem_server() -> Server {
+    Server::new(ServerConfig { workers: 2, queue_depth: 64, shards: 64 })
+}
+
+/// Create a flat session and build its private world; returns the
+/// `register_world` response (it carries the corpus rows).
+fn create_flat_world(server: &Server, name: &str, venues: usize) -> String {
+    server.handle_line(&format!(
+        "{{\"id\":0,\"op\":\"create_session\",\"session\":{}}}",
+        esc(name)
+    ));
+    server.handle_line(&format!(
+        "{{\"id\":0,\"op\":\"register_world\",\"session\":{},\
+         \"seed\":{MEM_SEED},\"venues\":{venues}}}",
+        esc(name)
+    ))
+}
+
+/// Create a copy-on-write session over the shared `WorldBase`.
+fn create_shared_world(server: &Server, name: &str, venues: usize) -> String {
+    server.handle_line(&format!(
+        "{{\"id\":0,\"op\":\"create_session\",\"session\":{},\
+         \"world\":{{\"seed\":{MEM_SEED},\"venues\":{venues}}}}}",
+        esc(name)
+    ))
+}
+
+/// Warm hot-path allocations per request on one session.
+fn allocs_per_request(
+    server: &Server,
+    session: &str,
+    probes: (&str, &str),
+    snap: &dyn Fn() -> copycat_util::bench::AllocSnapshot,
+) -> f64 {
+    let script = hot_path_lines(session, probes);
+    for _ in 0..8 {
+        for line in &script {
+            server.handle_line(line);
+        }
+    }
+    let before = snap();
+    let rounds = 100usize;
+    for _ in 0..rounds {
+        for line in &script {
+            server.handle_line(line);
+        }
+    }
+    let after = snap();
+    after.allocs_since(&before) as f64 / (rounds * script.len()) as f64
+}
+
+/// The copy-on-write memory experiment: marginal bytes per session and
+/// allocations per warm request, flat private worlds vs shared-world
+/// overlays over the *same* world. `snap` must read a process-global
+/// [`CountingAlloc`](copycat_util::bench::CountingAlloc) installed by
+/// the calling binary; measurements difference live bytes around the
+/// bulk session creation, so the process should be otherwise quiescent.
+pub fn run_mem(
+    flat_sessions: usize,
+    shared_sessions: usize,
+    snap: &dyn Fn() -> copycat_util::bench::AllocSnapshot,
+) -> Vec<MemRow> {
+    let gib = (1u64 << 30) as f64;
+
+    // Flat: every session builds and owns a private world.
+    let server = mem_server();
+    let first = create_flat_world(&server, "flat-warm-0", MEM_VENUES);
+    let world = Json::parse(&first).expect("register_world response");
+    let street = world["result"]["shelters"][0][1].as_str().expect("street").to_string();
+    let phone = world["result"]["contacts"][0][1].as_str().expect("phone").to_string();
+    for i in 1..4 {
+        create_flat_world(&server, &format!("flat-warm-{i}"), MEM_VENUES);
+    }
+    let before = snap();
+    for i in 0..flat_sessions {
+        create_flat_world(&server, &format!("flat-{i}"), MEM_VENUES);
+    }
+    let after = snap();
+    let marginal_flat = after.live_growth_since(&before).max(1) as f64 / flat_sessions as f64;
+    let allocs_flat = allocs_per_request(&server, "flat-0", (&street, &phone), snap);
+    server.shutdown();
+
+    // Shared: sessions overlay one frozen, memoized world base.
+    let server = mem_server();
+    for i in 0..32 {
+        create_shared_world(&server, &format!("shared-warm-{i}"), MEM_VENUES);
+    }
+    let before = snap();
+    for i in 0..shared_sessions {
+        create_shared_world(&server, &format!("shared-{i}"), MEM_VENUES);
+    }
+    let after = snap();
+    let marginal_shared =
+        after.live_growth_since(&before).max(1) as f64 / shared_sessions as f64;
+    let allocs_shared = allocs_per_request(&server, "shared-0", (&street, &phone), snap);
+    server.shutdown();
+
+    vec![
+        MemRow {
+            mode: "flat",
+            sessions: flat_sessions,
+            marginal_bytes_per_session: marginal_flat,
+            sessions_per_gb: gib / marginal_flat,
+            allocs_per_request: allocs_flat,
+        },
+        MemRow {
+            mode: "shared_world",
+            sessions: shared_sessions,
+            marginal_bytes_per_session: marginal_shared,
+            sessions_per_gb: gib / marginal_shared,
+            allocs_per_request: allocs_shared,
+        },
+    ]
+}
+
+/// The 10⁴-session herd sweep: one server hosting `sessions`
+/// copy-on-write sessions, with the interactive hot path timed over a
+/// rotating sample of the herd.
+#[derive(Debug, Clone)]
+pub struct HerdRow {
+    /// Shared-world sessions resident on the server.
+    pub sessions: usize,
+    /// Wall time to create the whole herd.
+    pub create_elapsed: Duration,
+    /// Timed hot-path requests over the sample.
+    pub requests: u64,
+    /// Responses with `ok:true`.
+    pub ok: u64,
+    /// Wall time for the timed portion.
+    pub elapsed: Duration,
+    /// Timed requests per second.
+    pub throughput_rps: f64,
+    /// Client-observed median latency (µs).
+    pub p50_us: u64,
+    /// Client-observed tail latency (µs).
+    pub p99_us: u64,
+    /// Net live-byte growth per session during herd creation (0 when
+    /// no allocator hook was provided).
+    pub marginal_bytes_per_session: f64,
+    /// Sessions fitting in one GiB (0 without an allocator hook).
+    pub sessions_per_gb: f64,
+}
+
+/// Run the herd sweep: create the herd, then drive `clients` closed-loop
+/// threads over `probe_sessions` sampled tenants for `rounds` passes of
+/// the hot path each.
+pub fn run_herd(
+    sessions: usize,
+    probe_sessions: usize,
+    rounds: usize,
+    clients: usize,
+    snap: Option<&dyn Fn() -> copycat_util::bench::AllocSnapshot>,
+) -> HerdRow {
+    let server = Arc::new(Server::new(ServerConfig {
+        workers: clients.clamp(2, 8),
+        queue_depth: (clients * 2).max(16),
+        shards: 256,
+    }));
+    // World probe values, via one flat scratch session over the same
+    // seed the herd shares.
+    let first = create_flat_world(&server, "scratch", HERD_VENUES);
+    let world = Json::parse(&first).expect("register_world response");
+    let street = world["result"]["shelters"][0][1].as_str().expect("street").to_string();
+    let phone = world["result"]["contacts"][0][1].as_str().expect("phone").to_string();
+
+    let before = snap.map(|s| s());
+    let create_started = Instant::now();
+    for i in 0..sessions {
+        create_shared_world(&server, &format!("herd-{i}"), HERD_VENUES);
+    }
+    let create_elapsed = create_started.elapsed();
+    let marginal = match (before, snap) {
+        (Some(b), Some(s)) => s().live_growth_since(&b).max(1) as f64 / sessions as f64,
+        _ => 0.0,
+    };
+
+    let probe_sessions = probe_sessions.clamp(1, sessions);
+    let stride = (sessions / probe_sessions).max(1);
+    let hist = Arc::new(Histogram::default());
+    let started = Instant::now();
+    let (mut sent, mut ok) = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let hist = Arc::clone(&hist);
+                let (street, phone) = (street.clone(), phone.clone());
+                scope.spawn(move || {
+                    let (mut sent, mut ok) = (0u64, 0u64);
+                    // Each client owns an interleaved slice of the
+                    // sampled tenants.
+                    for p in (c..probe_sessions).step_by(clients.max(1)) {
+                        let session = format!("herd-{}", p * stride);
+                        let script = hot_path_lines(&session, (&street, &phone));
+                        // One untimed pass per tenant (same warm-up the
+                        // load sweep's clients get): the timed loop
+                        // measures the steady state, not the first
+                        // query-cache fill.
+                        for line in &script {
+                            server.handle_line(line);
+                        }
+                        for i in 0..rounds * script.len() {
+                            let line = &script[i % script.len()];
+                            let start = Instant::now();
+                            let resp = server.handle_line(line);
+                            hist.record(start.elapsed());
+                            sent += 1;
+                            if resp.contains("\"ok\":true") {
+                                ok += 1;
+                            }
+                        }
+                    }
+                    (sent, ok)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (s, o) = h.join().expect("herd client thread");
+            sent += s;
+            ok += o;
+        }
+    });
+    let elapsed = started.elapsed();
+    let snap_hist = hist.snapshot();
+    let row = HerdRow {
+        sessions,
+        create_elapsed,
+        requests: sent,
+        ok,
+        elapsed,
+        throughput_rps: sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: snap_hist.p50_us,
+        p99_us: snap_hist.p99_us,
+        marginal_bytes_per_session: marginal,
+        sessions_per_gb: if marginal > 0.0 { (1u64 << 30) as f64 / marginal } else { 0.0 },
+    };
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(),
+        Err(_) => unreachable!("herd clients joined"),
+    }
+    row
+}
+
 /// Render the load rows (the original `BENCH_serve.json` array).
 pub fn rows_to_json(rows: &[ServeLoadRow]) -> Json {
     Json::Arr(
@@ -517,6 +799,66 @@ pub fn cross_shard_to_json(rows: &[CrossShardRow]) -> Json {
     )
 }
 
+/// Render the memory rows as a `BENCH_serve.json` section:
+/// `{"rows": […], "reduction_x": flat/shared marginal ratio}`.
+pub fn mem_to_json(rows: &[MemRow]) -> Json {
+    let marginal = |mode: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode)
+            .map(|r| r.marginal_bytes_per_session)
+            .unwrap_or(0.0)
+    };
+    let (flat, shared) = (marginal("flat"), marginal("shared_world"));
+    let reduction = if shared > 0.0 { flat / shared } else { 0.0 };
+    Json::obj(vec![
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("mode".into(), Json::str(r.mode)),
+                            ("sessions".into(), Json::Num(r.sessions as f64)),
+                            (
+                                "marginal_bytes_per_session".into(),
+                                Json::Num(r.marginal_bytes_per_session),
+                            ),
+                            ("sessions_per_gb".into(), Json::Num(r.sessions_per_gb)),
+                            (
+                                "allocs_per_request".into(),
+                                Json::Num(r.allocs_per_request),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("reduction_x".into(), Json::Num(reduction)),
+    ])
+}
+
+/// Render the herd row as a `BENCH_serve.json` section.
+pub fn herd_to_json(r: &HerdRow) -> Json {
+    Json::obj(vec![
+        ("sessions".into(), Json::Num(r.sessions as f64)),
+        (
+            "create_elapsed_us".into(),
+            Json::Num(r.create_elapsed.as_micros() as f64),
+        ),
+        ("requests".into(), Json::Num(r.requests as f64)),
+        ("ok".into(), Json::Num(r.ok as f64)),
+        ("elapsed_us".into(), Json::Num(r.elapsed.as_micros() as f64)),
+        ("throughput_rps".into(), Json::Num(r.throughput_rps)),
+        ("p50_us".into(), Json::Num(r.p50_us as f64)),
+        ("p99_us".into(), Json::Num(r.p99_us as f64)),
+        (
+            "marginal_bytes_per_session".into(),
+            Json::Num(r.marginal_bytes_per_session),
+        ),
+        ("sessions_per_gb".into(), Json::Num(r.sessions_per_gb)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +886,35 @@ mod tests {
         assert!(rows[0].snapshots > 0, "snapshot cadence 5 over 12 records");
         let json = recovery_to_json(&rows).to_string();
         assert!(json.contains("recover_us"));
+    }
+
+    #[test]
+    fn mem_experiment_produces_both_modes() {
+        // No global counting allocator in the test binary: live-growth
+        // reads are zero and clamp to the 1-byte guard. The test pins
+        // the experiment's *shape* and that both modes run end to end.
+        let snap = || copycat_util::bench::AllocSnapshot::default();
+        let rows = run_mem(2, 4, &snap);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "flat");
+        assert_eq!(rows[1].mode, "shared_world");
+        for r in &rows {
+            assert!(r.marginal_bytes_per_session >= 0.0);
+            assert!(r.sessions_per_gb > 0.0);
+        }
+        let json = mem_to_json(&rows).to_string();
+        assert!(json.contains("reduction_x"));
+    }
+
+    #[test]
+    fn herd_sweep_produces_clean_runs() {
+        let row = run_herd(48, 8, 2, 2, None);
+        assert_eq!(row.sessions, 48);
+        assert_eq!(row.ok, row.requests, "all herd probes must succeed");
+        assert_eq!(row.requests, 8 * 2 * 3, "sample x rounds x script");
+        assert!(row.throughput_rps > 0.0);
+        let json = herd_to_json(&row).to_string();
+        assert!(json.contains("sessions_per_gb"));
     }
 
     #[test]

@@ -158,14 +158,42 @@ impl Default for CopyCat {
 }
 
 impl CopyCat {
+    /// A session engine layered over a shared [`WorldBase`]: the base's
+    /// catalog, source graph and type registry are read through by `Arc`
+    /// (copy-on-write overlays), so the session's marginal footprint is
+    /// only its own deltas — MIRA weights, feedback edges, wrappers,
+    /// workspace and health. Everything else starts exactly as in
+    /// [`CopyCat::new`].
+    pub fn with_base(base: &Arc<crate::world_base::WorldBase>) -> Self {
+        Self::with_parts(
+            Catalog::with_base(base.catalog()),
+            TypeRegistry::with_base(base.types()),
+            SourceGraph::with_base(base.graph()),
+        )
+    }
+
+    /// Decompose a flat engine into the parts a
+    /// [`WorldBase`](crate::world_base::WorldBase) freezes and shares.
+    pub(crate) fn into_shared_parts(self) -> (Catalog, SourceGraph, TypeRegistry) {
+        (self.catalog, self.graph, self.registry)
+    }
+
     /// A fresh engine with the built-in semantic types and no sources.
     pub fn new() -> Self {
+        Self::with_parts(Catalog::new(), TypeRegistry::with_builtins(), SourceGraph::new())
+    }
+
+    /// The shared constructor body: everything except the three
+    /// shareable parts. Kept separate so [`CopyCat::with_base`] never
+    /// builds (then drops) the flat built-in registry — overlay session
+    /// creation must stay allocation-light.
+    fn with_parts(catalog: Catalog, registry: TypeRegistry, graph: SourceGraph) -> Self {
         Self {
             clipboard: Clipboard::new(),
-            catalog: Catalog::new(),
-            registry: TypeRegistry::with_builtins(),
+            catalog,
+            registry,
             learner: StructureLearner::new(),
-            graph: SourceGraph::new(),
+            graph,
             workspace: Workspace::new(),
             import: None,
             mode: Mode::Import,

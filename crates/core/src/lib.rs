@@ -35,6 +35,7 @@ pub mod scenario;
 pub mod session;
 pub mod simulator;
 pub mod workspace;
+pub mod world_base;
 
 pub use autocomplete::{ColumnSuggestion, ScoredQuery};
 pub use cache::{CacheStats, QueryCache};
@@ -45,3 +46,4 @@ pub use scenario::{Scenario, ScenarioConfig};
 pub use session::{SavedRelation, SavedSession};
 pub use simulator::{ActionLog, ColumnOrigin, CostModel, TaskShape};
 pub use workspace::{Row, RowState, Tab, Workspace};
+pub use world_base::WorldBase;

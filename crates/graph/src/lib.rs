@@ -29,8 +29,8 @@ pub mod steiner;
 pub use assoc::{discover_associations, AssocOptions};
 pub use mira::Mira;
 pub use source_graph::{
-    Edge, EdgeId, EdgeKind, Node, NodeId, NodeKind, SourceGraph, DEFAULT_EDGE_COST,
-    MIN_EDGE_COST, SUGGESTION_COST_THRESHOLD,
+    Edge, EdgeId, EdgeKind, GraphBase, Node, NodeId, NodeKind, SourceGraph,
+    DEFAULT_EDGE_COST, MIN_EDGE_COST, SUGGESTION_COST_THRESHOLD,
 };
 pub use steiner::{
     spcsh, steiner_exact, steiner_exact_in, top_k_steiner, top_k_steiner_banned,

@@ -211,13 +211,74 @@ pub const SUGGESTION_COST_THRESHOLD: f64 = 2.0;
 /// Minimum edge cost (MIRA updates never drive costs to zero or below).
 pub const MIN_EDGE_COST: f64 = 0.01;
 
-/// The source graph.
-#[derive(Debug, Clone, Default)]
-pub struct SourceGraph {
+/// The frozen, immutable prefix of a [`SourceGraph`]: the world every
+/// tenant session shares. Built once with [`SourceGraph::freeze`],
+/// wrapped in an `Arc`, and layered under per-session overlay graphs
+/// via [`SourceGraph::with_base`]. Node/edge ids in the base are the
+/// low ids `0..nodes.len()` / `0..edges.len()`; overlay graphs append
+/// their own nodes and edges after them.
+#[derive(Debug)]
+pub struct GraphBase {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
     by_name: FxHashMap<String, NodeId>,
     adjacency: Vec<Vec<EdgeId>>,
+    /// The version watermark overlay graphs start from.
+    version: u64,
+}
+
+impl GraphBase {
+    /// Number of base nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of base edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The version watermark overlay graphs start from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// The source graph.
+///
+/// Two representations share one API: a *flat* graph owns every node
+/// and edge (the default; also what [`from_parts`](Self::from_parts)
+/// restores), while an *overlay* graph ([`with_base`](Self::with_base))
+/// layers session-private deltas over a shared immutable
+/// [`GraphBase`]. An overlay stores only what the session changed:
+/// locally added nodes/edges (ids continue after the base), CoW
+/// copies of base nodes/edges it mutated (MIRA cost updates, health
+/// cost hints), and merged incident lists for base nodes that gained
+/// local edges. Reads go through the same accessors either way, so
+/// search, discovery, and session save/restore never distinguish the
+/// two.
+#[derive(Debug, Clone, Default)]
+pub struct SourceGraph {
+    /// The shared immutable prefix, if this is an overlay graph.
+    base: Option<std::sync::Arc<GraphBase>>,
+    /// Locally added nodes; global id = base node count + index.
+    nodes: Vec<Node>,
+    /// Locally added edges; global id = base edge count + index.
+    edges: Vec<Edge>,
+    /// Names of locally added nodes only (base names resolve via the
+    /// base's own map).
+    by_name: FxHashMap<String, NodeId>,
+    /// Incident lists of locally added nodes (edge ids are global).
+    adjacency: Vec<Vec<EdgeId>>,
+    /// Copy-on-write clones of base nodes this session mutated
+    /// (cost-hint updates), keyed by base node id.
+    node_overrides: FxHashMap<u32, Node>,
+    /// Copy-on-write clones of base edges this session mutated (MIRA
+    /// cost updates), keyed by base edge id.
+    edge_overrides: FxHashMap<u32, Edge>,
+    /// Full merged incident lists for base nodes that gained local
+    /// edges, keyed by base node id.
+    adj_overrides: FxHashMap<u32, Vec<EdgeId>>,
     /// Monotonic structure/cost version; see [`SourceGraph::version`].
     version: u64,
 }
@@ -249,12 +310,60 @@ impl SourceGraph {
             adjacency[e.b.0 as usize].push(EdgeId(i as u32));
         }
         let version = (nodes.len() + edges.len()) as u64;
-        Self { nodes, edges, by_name, adjacency, version }
+        Self { nodes, edges, by_name, adjacency, version, ..Self::default() }
+    }
+
+    /// Freeze the current (merged) contents into an immutable
+    /// [`GraphBase`] that overlay graphs can share. The base's version
+    /// watermark is `nodes + edges` — the same stamp
+    /// [`from_parts`](Self::from_parts) would assign — so an overlay
+    /// over the base and a flat restore of the same graph agree on
+    /// where version counting stands.
+    pub fn freeze(&self) -> GraphBase {
+        let nodes: Vec<Node> = self.node_ids().map(|n| self.node(n).clone()).collect();
+        let edges: Vec<Edge> = self.edge_ids().map(|e| self.edge(e).clone()).collect();
+        let mut by_name = FxHashMap::default();
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.insert(n.name.clone(), NodeId(i as u32));
+        }
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.a.0 as usize].push(EdgeId(i as u32));
+            adjacency[e.b.0 as usize].push(EdgeId(i as u32));
+        }
+        let version = (nodes.len() + edges.len()) as u64;
+        GraphBase { nodes, edges, by_name, adjacency, version }
+    }
+
+    /// An overlay graph over a shared base: reads see the base until
+    /// this session mutates, writes copy the touched base entry into
+    /// session-private override maps. Costs kilobytes per session
+    /// instead of a full graph copy.
+    pub fn with_base(base: std::sync::Arc<GraphBase>) -> Self {
+        let version = base.version;
+        Self { base: Some(base), version, ..Self::default() }
+    }
+
+    /// Whether this graph is an overlay over a shared [`GraphBase`].
+    pub fn has_base(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Base node count (0 for flat graphs).
+    fn base_nodes(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.nodes.len())
+    }
+
+    /// Base edge count (0 for flat graphs).
+    fn base_edges(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.edges.len())
     }
 
     /// Monotonic version stamp. Bumped whenever the search-relevant shape
     /// of the graph changes: node/edge insertion or an effective cost
     /// update (MIRA feedback). Query caches key on this to invalidate.
+    /// Overlay graphs start at the base's watermark and count on from
+    /// there.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -294,10 +403,10 @@ impl SourceGraph {
         cost_hint: f64,
     ) -> NodeId {
         debug_assert!(
-            !self.by_name.contains_key(&name),
+            self.node_by_name(&name).is_none(),
             "duplicate node name {name}"
         );
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId((self.base_nodes() + self.nodes.len()) as u32);
         self.by_name.insert(name.clone(), id);
         self.nodes.push(Node { name, kind, schema, input_arity, cost_hint });
         self.adjacency.push(Vec::new());
@@ -318,79 +427,153 @@ impl SourceGraph {
         kind: EdgeKind,
         weight: f64,
     ) -> EdgeId {
-        let id = EdgeId(self.edges.len() as u32);
+        let id = EdgeId((self.base_edges() + self.edges.len()) as u32);
         self.edges.push(Edge { a, b, kind, weight });
-        self.adjacency[a.0 as usize].push(id);
-        self.adjacency[b.0 as usize].push(id);
+        for end in [a, b] {
+            let base_nodes = self.base_nodes();
+            if (end.0 as usize) < base_nodes {
+                // A base node gains a session-local edge: materialize
+                // its merged incident list once, then append.
+                let base = self.base.as_ref().map(std::sync::Arc::clone);
+                self.adj_overrides
+                    .entry(end.0)
+                    .or_insert_with(|| {
+                        base.map_or_else(Vec::new, |b| b.adjacency[end.0 as usize].clone())
+                    })
+                    .push(id);
+            } else {
+                self.adjacency[end.0 as usize - base_nodes].push(id);
+            }
+        }
         self.version += 1;
         id
     }
 
     /// Node lookup by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        if let Some(base) = &self.base {
+            if let Some(&id) = base.by_name.get(name) {
+                return Some(id);
+            }
+        }
         self.by_name.get(name).copied()
     }
 
     /// Borrow a node.
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.0 as usize]
+        let base_nodes = self.base_nodes();
+        if (id.0 as usize) < base_nodes {
+            if !self.node_overrides.is_empty() {
+                if let Some(n) = self.node_overrides.get(&id.0) {
+                    return n;
+                }
+            }
+            // Overlay graphs always have a base when base_nodes > 0.
+            &self.base.as_ref().map(|b| &b.nodes).unwrap_or(&self.nodes)[id.0 as usize]
+        } else {
+            &self.nodes[id.0 as usize - base_nodes]
+        }
     }
 
     /// Borrow an edge.
     pub fn edge(&self, id: EdgeId) -> &Edge {
-        &self.edges[id.0 as usize]
+        let base_edges = self.base_edges();
+        if (id.0 as usize) < base_edges {
+            if !self.edge_overrides.is_empty() {
+                if let Some(e) = self.edge_overrides.get(&id.0) {
+                    return e;
+                }
+            }
+            &self.base.as_ref().map(|b| &b.edges).unwrap_or(&self.edges)[id.0 as usize]
+        } else {
+            &self.edges[id.0 as usize - base_edges]
+        }
     }
 
     /// Set an edge's cost (used by MIRA), clamped to [`MIN_EDGE_COST`].
     /// Bumps the graph version only when the effective cost changes.
+    /// For overlay graphs, a base edge's first effective update copies
+    /// it into the session-private override map; the shared base is
+    /// never written.
     pub fn set_cost(&mut self, id: EdgeId, cost: f64) {
         let clamped = cost.max(MIN_EDGE_COST);
-        if self.edges[id.0 as usize].weight != clamped {
-            self.edges[id.0 as usize].weight = clamped;
+        let base_edges = self.base_edges();
+        if (id.0 as usize) < base_edges {
+            if self.edge(id).weight != clamped {
+                let mut copy = self.edge(id).clone();
+                copy.weight = clamped;
+                self.edge_overrides.insert(id.0, copy);
+                self.version += 1;
+            }
+        } else if self.edges[id.0 as usize - base_edges].weight != clamped {
+            self.edges[id.0 as usize - base_edges].weight = clamped;
             self.version += 1;
         }
     }
 
     /// Edge cost.
     pub fn cost(&self, id: EdgeId) -> f64 {
-        self.edges[id.0 as usize].weight
+        self.edge(id).weight
     }
 
     /// Update a node's access-cost hint (clamped like
     /// [`SourceGraph::add_service_with_cost`]) and return the previous
     /// value. Observed service health feeds in here; callers re-price
     /// the incident edges themselves via [`SourceGraph::set_cost`]
-    /// (which bumps the version only on an effective change).
+    /// (which bumps the version only on an effective change). Base
+    /// nodes copy-on-write like [`SourceGraph::set_cost`].
     pub fn set_cost_hint(&mut self, n: NodeId, hint: f64) -> f64 {
         let clamped = hint.max(0.1);
-        let old = self.nodes[n.0 as usize].cost_hint;
-        self.nodes[n.0 as usize].cost_hint = clamped;
-        old
+        let base_nodes = self.base_nodes();
+        if (n.0 as usize) < base_nodes {
+            let old = self.node(n).cost_hint;
+            if old != clamped {
+                let mut copy = self.node(n).clone();
+                copy.cost_hint = clamped;
+                self.node_overrides.insert(n.0, copy);
+            }
+            old
+        } else {
+            let local = &mut self.nodes[n.0 as usize - base_nodes];
+            let old = local.cost_hint;
+            local.cost_hint = clamped;
+            old
+        }
     }
 
-    /// Number of nodes.
+    /// Number of nodes (base + local).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.base_nodes() + self.nodes.len()
     }
 
-    /// Number of edges.
+    /// Number of edges (base + local).
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.base_edges() + self.edges.len()
     }
 
     /// All node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.node_count() as u32).map(NodeId)
     }
 
     /// All edge ids.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
-        (0..self.edges.len() as u32).map(EdgeId)
+        (0..self.edge_count() as u32).map(EdgeId)
     }
 
     /// Edges incident to a node.
     pub fn incident(&self, n: NodeId) -> &[EdgeId] {
-        &self.adjacency[n.0 as usize]
+        let base_nodes = self.base_nodes();
+        if (n.0 as usize) < base_nodes {
+            if !self.adj_overrides.is_empty() {
+                if let Some(merged) = self.adj_overrides.get(&n.0) {
+                    return merged;
+                }
+            }
+            &self.base.as_ref().map(|b| &b.adjacency).unwrap_or(&self.adjacency)[n.0 as usize]
+        } else {
+            &self.adjacency[n.0 as usize - base_nodes]
+        }
     }
 
     /// The endpoint of `e` that is not `n`.
@@ -433,7 +616,7 @@ impl SourceGraph {
 
 impl fmt::Display for SourceGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "SourceGraph ({} nodes, {} edges)", self.nodes.len(), self.edges.len())?;
+        writeln!(f, "SourceGraph ({} nodes, {} edges)", self.node_count(), self.edge_count())?;
         for e in self.edge_ids() {
             let edge = self.edge(e);
             writeln!(
@@ -541,6 +724,98 @@ mod tests {
             assert_eq!(a.weight, b.weight);
         }
         assert_eq!(back.node_by_name("zip_resolver"), g.node_by_name("zip_resolver"));
+    }
+
+    #[test]
+    fn overlay_reads_through_to_base() {
+        let (flat, a, b, c) = tiny();
+        let base = std::sync::Arc::new(flat.freeze());
+        let g = SourceGraph::with_base(std::sync::Arc::clone(&base));
+        assert!(g.has_base());
+        assert_eq!(g.node_count(), flat.node_count());
+        assert_eq!(g.edge_count(), flat.edge_count());
+        assert_eq!(g.version(), flat.version());
+        assert_eq!(g.node_by_name("shelters"), Some(a));
+        assert_eq!(g.node(b).name, "zip_resolver");
+        assert_eq!(g.incident(a).len(), 2);
+        assert_eq!(g.other_end(g.incident(a)[0], a), b);
+        assert_eq!(g.cost(EdgeId(1)), 1.5);
+        let _ = c;
+    }
+
+    #[test]
+    fn overlay_mutations_never_touch_the_base_or_siblings() {
+        let (flat, a, _, _) = tiny();
+        let base = std::sync::Arc::new(flat.freeze());
+        let mut g1 = SourceGraph::with_base(std::sync::Arc::clone(&base));
+        let g2 = SourceGraph::with_base(std::sync::Arc::clone(&base));
+
+        // Session 1 re-prices a base edge and a base cost hint …
+        g1.set_cost(EdgeId(0), 0.25);
+        g1.set_cost_hint(a, 3.0);
+        // … and adds a local relation with an edge to a base node.
+        let extra = g1.add_relation("extra", Schema::of(&["Name"]));
+        assert_eq!(extra.0 as usize, base.node_count());
+        let e = g1.add_edge(a, extra, EdgeKind::Join { pairs: vec![("Name".into(), "Name".into())] });
+        assert_eq!(e.0 as usize, base.edge_count());
+
+        // Session 1 sees its own writes through the normal accessors.
+        assert_eq!(g1.cost(EdgeId(0)), 0.25);
+        assert_eq!(g1.node(a).cost_hint, 3.0);
+        assert_eq!(g1.incident(a).len(), 3);
+        assert!(g1.incident(a).contains(&e));
+        assert_eq!(g1.node_by_name("extra"), Some(extra));
+        assert_eq!(g1.incident(extra), &[e]);
+
+        // The sibling session and the base itself are untouched.
+        assert_eq!(g2.cost(EdgeId(0)), 1.0);
+        assert_eq!(g2.node(a).cost_hint, 1.0);
+        assert_eq!(g2.incident(a).len(), 2);
+        assert_eq!(g2.node_by_name("extra"), None);
+        assert_eq!(base.node_count() + 1, g1.node_count());
+        assert_eq!(g2.node_count(), base.node_count());
+    }
+
+    #[test]
+    fn overlay_version_counts_on_from_base_watermark() {
+        let (flat, _, _, _) = tiny();
+        let base = std::sync::Arc::new(flat.freeze());
+        let mut g = SourceGraph::with_base(std::sync::Arc::clone(&base));
+        let v0 = g.version();
+        assert_eq!(v0, base.version());
+        // No-op cost update on a base edge: no CoW copy, no bump.
+        g.set_cost(EdgeId(0), g.cost(EdgeId(0)));
+        assert_eq!(g.version(), v0);
+        // Effective update bumps once.
+        g.set_cost(EdgeId(0), 0.5);
+        assert_eq!(g.version(), v0 + 1);
+        g.add_relation("extra", Schema::of(&["X"]));
+        assert_eq!(g.version(), v0 + 2);
+    }
+
+    #[test]
+    fn overlay_save_view_matches_flat_graph() {
+        // What session save serializes — nodes and edges in id order —
+        // must be identical whether the session's graph is flat or an
+        // overlay that made the same mutations.
+        let make_mutations = |g: &mut SourceGraph| {
+            g.set_cost(EdgeId(1), 0.7);
+            let n = g.add_relation("pasted", Schema::of(&["Venue", "Zip"]));
+            let a = g.node_by_name("shelters").unwrap();
+            g.add_edge(a, n, EdgeKind::Join { pairs: vec![("Name".into(), "Venue".into())] });
+        };
+        let (mut flat, _, _, _) = tiny();
+        let base = std::sync::Arc::new(flat.freeze());
+        let mut overlay = SourceGraph::with_base(base);
+        make_mutations(&mut flat);
+        make_mutations(&mut overlay);
+        let ser = |g: &SourceGraph| {
+            let nodes: Vec<Node> = g.node_ids().map(|n| g.node(n).clone()).collect();
+            let edges: Vec<Edge> = g.edge_ids().map(|e| g.edge(e).clone()).collect();
+            format!("{}{}", nodes.to_json(), edges.to_json())
+        };
+        assert_eq!(ser(&flat), ser(&overlay));
+        assert_eq!(flat.version(), overlay.version());
     }
 
     #[test]

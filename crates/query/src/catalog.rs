@@ -5,18 +5,32 @@
 //! executed wrappers) and registered services. It is shared between the
 //! SCP engine, the integration learner and the executor, so access is
 //! synchronized.
+//!
+//! A catalog can be layered over a shared immutable *base* catalog
+//! ([`Catalog::with_base`]): reads fall through to the base, writes land
+//! only in the session-local layer, and removals of base entries are
+//! recorded as tombstones. Many tenant sessions over one synthetic world
+//! share the base's relations and service implementations by `Arc`
+//! instead of rebuilding them per session.
 
 use crate::relation::Relation;
 use crate::service::Service;
 use copycat_util::sync::RwLock;
-use copycat_util::hash::FxHashMap;
+use copycat_util::hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 /// Shared catalog of relations and services.
 #[derive(Default)]
 pub struct Catalog {
+    /// The shared immutable layer below this one, if any. The base is
+    /// never written through — mutating methods only touch the local
+    /// maps and tombstones.
+    base: Option<Arc<Catalog>>,
     relations: RwLock<FxHashMap<String, Arc<Relation>>>,
     services: RwLock<FxHashMap<String, Arc<dyn Service>>>,
+    /// Base relation names this layer has removed (source retraction of
+    /// a shared relation hides it for this session only).
+    removed: RwLock<FxHashSet<String>>,
 }
 
 impl Catalog {
@@ -25,9 +39,22 @@ impl Catalog {
         Self::default()
     }
 
+    /// A session-local catalog layered over a shared base. The base is
+    /// read-only from this layer's perspective; same-name local entries
+    /// shadow base entries.
+    pub fn with_base(base: Arc<Catalog>) -> Self {
+        Self { base: Some(base), ..Self::default() }
+    }
+
+    /// Whether this catalog layers over a shared base.
+    pub fn has_base(&self) -> bool {
+        self.base.is_some()
+    }
+
     /// Register (or replace) a relation under its own name.
     pub fn add_relation(&self, rel: Relation) -> Arc<Relation> {
         let arc = Arc::new(rel);
+        self.removed.write().remove(arc.name());
         self.relations
             .write()
             .insert(arc.name().to_string(), Arc::clone(&arc));
@@ -41,17 +68,35 @@ impl Catalog {
 
     /// Look up a relation.
     pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
-        self.relations.read().get(name).cloned()
+        if let Some(rel) = self.relations.read().get(name).cloned() {
+            return Some(rel);
+        }
+        let base = self.base.as_ref()?;
+        if self.removed.read().contains(name) {
+            return None;
+        }
+        base.relation(name)
     }
 
     /// Look up a service.
     pub fn service(&self, name: &str) -> Option<Arc<dyn Service>> {
-        self.services.read().get(name).cloned()
+        if let Some(svc) = self.services.read().get(name).cloned() {
+            return Some(svc);
+        }
+        self.base.as_ref()?.service(name)
     }
 
     /// Sorted relation names.
     pub fn relation_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.relations.read().keys().cloned().collect();
+        if let Some(base) = &self.base {
+            let removed = self.removed.read();
+            for name in base.relation_names() {
+                if !removed.contains(&name) && !self.relations.read().contains_key(&name) {
+                    v.push(name);
+                }
+            }
+        }
         v.sort();
         v
     }
@@ -59,13 +104,31 @@ impl Catalog {
     /// Sorted service names.
     pub fn service_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.services.read().keys().cloned().collect();
+        if let Some(base) = &self.base {
+            for name in base.service_names() {
+                if !self.services.read().contains_key(&name) {
+                    v.push(name);
+                }
+            }
+        }
         v.sort();
         v
     }
 
-    /// Remove a relation (source retraction).
+    /// Remove a relation (source retraction). Removing a base relation
+    /// tombstones it in this layer; the shared base is untouched.
     pub fn remove_relation(&self, name: &str) -> bool {
-        self.relations.write().remove(name).is_some()
+        let had_local = self.relations.write().remove(name).is_some();
+        let Some(base) = &self.base else {
+            return had_local;
+        };
+        if base.relation(name).is_some() {
+            // Tombstone whether or not a local shadow also existed, so
+            // the base entry doesn't resurface after the removal.
+            let newly = self.removed.write().insert(name.to_string());
+            return had_local || newly;
+        }
+        had_local
     }
 }
 
@@ -86,6 +149,14 @@ mod tests {
     use crate::schema::Schema;
     use crate::service::{FnService, Signature};
 
+    fn echo_service(name: &str) -> Arc<dyn Service> {
+        let sig = Signature {
+            inputs: Schema::of(&["x"]),
+            outputs: Schema::of(&["y"]),
+        };
+        Arc::new(FnService::new(name, sig, |i: &[crate::Value]| vec![i.to_vec()]))
+    }
+
     #[test]
     fn add_and_lookup() {
         let cat = Catalog::new();
@@ -100,14 +171,55 @@ mod tests {
     #[test]
     fn services_registry() {
         let cat = Catalog::new();
-        let sig = Signature {
-            inputs: Schema::of(&["x"]),
-            outputs: Schema::of(&["y"]),
-        };
-        cat.add_service(Arc::new(FnService::new("echo", sig, |i: &[crate::Value]| {
-            vec![i.to_vec()]
-        })));
+        cat.add_service(echo_service("echo"));
         assert!(cat.service("echo").is_some());
         assert_eq!(cat.service_names(), vec!["echo"]);
+    }
+
+    #[test]
+    fn layered_catalog_reads_through_and_shadows() {
+        let base = Arc::new(Catalog::new());
+        base.add_relation(Relation::empty("shelters", Schema::of(&["Name"])));
+        base.add_service(echo_service("zip"));
+        let layered = Catalog::with_base(Arc::clone(&base));
+        assert!(layered.has_base());
+        // Reads fall through.
+        assert!(layered.relation("shelters").is_some());
+        assert!(layered.service("zip").is_some());
+        assert_eq!(layered.relation_names(), vec!["shelters"]);
+        assert_eq!(layered.service_names(), vec!["zip"]);
+        // The shared Arc is the same allocation, not a copy.
+        assert!(Arc::ptr_eq(
+            &base.relation("shelters").unwrap(),
+            &layered.relation("shelters").unwrap()
+        ));
+        // A local shadow replaces the base entry without touching it.
+        layered.add_relation(Relation::empty("shelters", Schema::of(&["Name", "Zip"])));
+        assert_eq!(layered.relation("shelters").unwrap().schema().arity(), 2);
+        assert_eq!(base.relation("shelters").unwrap().schema().arity(), 1);
+        assert_eq!(layered.relation_names(), vec!["shelters"]);
+    }
+
+    #[test]
+    fn removing_a_base_relation_tombstones_locally() {
+        let base = Arc::new(Catalog::new());
+        base.add_relation(Relation::empty("shelters", Schema::of(&["Name"])));
+        let a = Catalog::with_base(Arc::clone(&base));
+        let b = Catalog::with_base(Arc::clone(&base));
+        assert!(a.remove_relation("shelters"));
+        assert!(a.relation("shelters").is_none());
+        assert!(a.relation_names().is_empty());
+        assert!(!a.remove_relation("shelters"), "second removal is a no-op");
+        // Sibling layer and base are unaffected.
+        assert!(b.relation("shelters").is_some());
+        assert!(base.relation("shelters").is_some());
+        // Re-adding clears the tombstone.
+        a.add_relation(Relation::empty("shelters", Schema::of(&["Name"])));
+        assert!(a.relation("shelters").is_some());
+        // Removing a shadowed base relation hides both copies.
+        let c = Catalog::with_base(Arc::clone(&base));
+        c.add_relation(Relation::empty("shelters", Schema::of(&["Name", "Zip"])));
+        assert!(c.remove_relation("shelters"));
+        assert!(c.relation("shelters").is_none());
     }
 }

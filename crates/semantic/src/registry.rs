@@ -24,8 +24,25 @@ pub struct SemanticType {
 }
 
 /// Registry of all semantic types known in this session.
+///
+/// A registry is either *flat* (it owns every type — the default) or
+/// *layered* over a shared immutable base ([`TypeRegistry::with_base`]):
+/// the trained built-in models live once in an `Arc` shared by every
+/// tenant session, and a session stores only the types it defined plus
+/// copy-on-write clones of any base type it refined. Iteration order is
+/// identical either way — base types in base order (refined copies
+/// substituted in place), then session-local types — so recognition
+/// ranking and session persistence cannot tell the representations
+/// apart.
 #[derive(Debug, Clone, Default)]
 pub struct TypeRegistry {
+    /// The shared immutable prefix, if layered.
+    base: Option<std::sync::Arc<Vec<SemanticType>>>,
+    /// Copy-on-write clones of refined base types, keyed by base index.
+    /// Sparse — a session rarely touches a built-in — so a Vec beats a
+    /// map.
+    overrides: Vec<(usize, SemanticType)>,
+    /// Session-local types (and, for flat registries, every type).
     types: Vec<SemanticType>,
 }
 
@@ -36,6 +53,55 @@ impl TypeRegistry {
     /// An empty registry (no built-ins).
     pub fn empty() -> Self {
         Self::default()
+    }
+
+    /// A registry layered over a shared frozen type list (see
+    /// [`TypeRegistry::freeze`]). Reads see the base until this session
+    /// refines a type; writes copy the touched entry locally.
+    pub fn with_base(base: std::sync::Arc<Vec<SemanticType>>) -> Self {
+        Self { base: Some(base), ..Self::default() }
+    }
+
+    /// Freeze the current (merged) type list into a shareable base for
+    /// [`TypeRegistry::with_base`].
+    pub fn freeze(&self) -> std::sync::Arc<Vec<SemanticType>> {
+        std::sync::Arc::new(self.iter().cloned().collect())
+    }
+
+    /// Whether this registry layers over a shared base.
+    pub fn has_base(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// The base entry at `i`, with this session's refinement substituted
+    /// if one exists.
+    fn base_at(&self, i: usize) -> &SemanticType {
+        if let Some(t) = self.overrides.iter().find(|(j, _)| *j == i).map(|(_, t)| t) {
+            return t;
+        }
+        // Callers only pass indices below the base length.
+        &self.base.as_ref().expect("base_at on flat registry")[i]
+    }
+
+    /// All types in canonical order: base (with refinements substituted)
+    /// then session-local.
+    pub fn iter(&self) -> impl Iterator<Item = &SemanticType> {
+        let n = self.base.as_ref().map_or(0, |b| b.len());
+        (0..n).map(move |i| self.base_at(i)).chain(self.types.iter())
+    }
+
+    /// Find the merged entry for `name`, materializing a copy-on-write
+    /// override when it lives in the base.
+    fn entry_mut(&mut self, name: &str) -> Option<&mut SemanticType> {
+        if let Some(base) = &self.base {
+            if let Some(i) = base.iter().position(|t| t.name == name) {
+                if !self.overrides.iter().any(|(j, _)| *j == i) {
+                    self.overrides.push((i, base[i].clone()));
+                }
+                return self.overrides.iter_mut().find(|(j, _)| *j == i).map(|(_, t)| t);
+            }
+        }
+        self.types.iter_mut().find(|t| t.name == name)
     }
 
     /// A registry pre-trained with the built-in `PR-*` types.
@@ -69,7 +135,7 @@ impl TypeRegistry {
     /// Install a curated pattern model under a type name (replacing any
     /// existing model).
     pub fn set_curated(&mut self, name: &str, patterns: PatternSet) {
-        match self.types.iter_mut().find(|t| t.name == name) {
+        match self.entry_mut(name) {
             Some(t) => t.patterns = patterns,
             None => self.types.push(SemanticType {
                 name: name.to_string(),
@@ -81,19 +147,20 @@ impl TypeRegistry {
 
     /// All type names, registry order (built-ins first).
     pub fn names(&self) -> Vec<&str> {
-        self.types.iter().map(|t| t.name.as_str()).collect()
+        self.iter().map(|t| t.name.as_str()).collect()
     }
 
     /// Look up a type by name.
     pub fn get(&self, name: &str) -> Option<&SemanticType> {
-        self.types.iter().find(|t| t.name == name)
+        self.iter().find(|t| t.name == name)
     }
 
     /// Define (or refine) a type from example values. Defining an existing
     /// name refines that type's pattern set — this is the on-the-fly user
-    /// type definition path.
+    /// type definition path. Refining a shared built-in copies it into
+    /// this session first; siblings never see the refinement.
     pub fn learn_type<S: AsRef<str>>(&mut self, name: &str, values: &[S]) {
-        match self.types.iter_mut().find(|t| t.name == name) {
+        match self.entry_mut(name) {
             Some(t) => {
                 for v in values {
                     t.patterns.add(v.as_ref());
@@ -111,7 +178,6 @@ impl TypeRegistry {
     /// break on type name for determinism. Types scoring `0` are omitted.
     pub fn recognize_column<S: AsRef<str>>(&self, values: &[S]) -> Vec<(String, RecognitionScore)> {
         let mut scored: Vec<(String, RecognitionScore)> = self
-            .types
             .iter()
             .map(|t| (t.name.clone(), recognize(&t.patterns, values)))
             .filter(|(_, s)| s.score > 0.0)
@@ -135,13 +201,13 @@ impl TypeRegistry {
 
     /// The user-defined (non-builtin) types, for session persistence.
     pub fn user_types(&self) -> Vec<&SemanticType> {
-        self.types.iter().filter(|t| !t.builtin).collect()
+        self.iter().filter(|t| !t.builtin).collect()
     }
 
     /// Install a user-defined type with an explicit pattern model
     /// (session restore). Replaces any same-named type.
     pub fn install_user_type(&mut self, name: &str, patterns: PatternSet) {
-        match self.types.iter_mut().find(|t| t.name == name) {
+        match self.entry_mut(name) {
             Some(t) => {
                 t.patterns = patterns;
                 t.builtin = false;
@@ -156,12 +222,12 @@ impl TypeRegistry {
 
     /// Number of registered types.
     pub fn len(&self) -> usize {
-        self.types.len()
+        self.base.as_ref().map_or(0, |b| b.len()) + self.types.len()
     }
 
     /// True when no types are registered.
     pub fn is_empty(&self) -> bool {
-        self.types.is_empty()
+        self.len() == 0
     }
 }
 
@@ -348,5 +414,44 @@ mod tests {
         let r = reg();
         let col = ["Coconut Creek", "Margate"];
         assert_eq!(r.recognize_column(&col), r.recognize_column(&col));
+    }
+
+    #[test]
+    fn layered_registry_is_indistinguishable_from_flat() {
+        let flat = reg();
+        let layered = TypeRegistry::with_base(flat.freeze());
+        assert!(layered.has_base());
+        assert_eq!(layered.len(), flat.len());
+        assert_eq!(layered.names(), flat.names());
+        let col = ["33063", "33441", "33302"];
+        assert_eq!(layered.recognize_column(&col), flat.recognize_column(&col));
+        assert!(layered.get("PR-Zip").is_some_and(|t| t.builtin));
+        assert!(layered.user_types().is_empty());
+    }
+
+    #[test]
+    fn layered_refinements_stay_session_local() {
+        let base = reg().freeze();
+        let mut a = TypeRegistry::with_base(std::sync::Arc::clone(&base));
+        let b = TypeRegistry::with_base(std::sync::Arc::clone(&base));
+        // Session A refines a built-in and defines its own type.
+        let before = a.get("PR-Zip").unwrap().patterns.total();
+        a.learn_type("PR-Zip", &["99999-1234"]);
+        assert_eq!(a.get("PR-Zip").unwrap().patterns.total(), before + 1);
+        let train: Vec<String> = (0..20).map(|i| format!("SHL-{:04}", 1000 + i)).collect();
+        a.learn_type("ShelterCode", &train);
+        assert_eq!(a.len(), base.len() + 1);
+        // A's order: base order with the refinement in place, then local.
+        assert_eq!(a.names().last().copied(), Some("ShelterCode"));
+        // Sibling B and the base are untouched.
+        assert_eq!(b.get("PR-Zip").unwrap().patterns.total(), before);
+        assert_eq!(b.len(), base.len());
+        assert!(b.get("ShelterCode").is_none());
+        // Refined built-ins stay builtin (not persisted); replaced ones
+        // become user types (persisted).
+        assert!(a.get("PR-Zip").unwrap().builtin);
+        assert!(a.user_types().iter().all(|t| t.name != "PR-Zip"));
+        a.install_user_type("PR-Zip", crate::pattern::PatternSet::learn(&["00000"]));
+        assert!(a.user_types().iter().any(|t| t.name == "PR-Zip"));
     }
 }

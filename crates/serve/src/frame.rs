@@ -1,0 +1,343 @@
+//! Optional length-prefixed binary framing, next to the JSON line
+//! protocol.
+//!
+//! A frame is a [`varint`] byte-length prefix followed by a tagged
+//! encoding of exactly the value the JSON line would carry:
+//!
+//! | tag | value | payload |
+//! |-----|-------|---------|
+//! | 0 | `null` | — |
+//! | 1 | `false` | — |
+//! | 2 | `true` | — |
+//! | 3 | number | 8 bytes, `f64` little-endian |
+//! | 4 | string | varint byte length + UTF-8 bytes |
+//! | 5 | array | varint item count + items |
+//! | 6 | object | varint member count + (string key, value) pairs |
+//!
+//! The two framings are *byte-equivalent*: decoding a frame and
+//! serializing the value canonically yields the exact JSON line, and
+//! encoding the parsed JSON line yields the exact frame (object member
+//! order is preserved in both directions). [`crate::Server::handle_frame`]
+//! rides entirely on that equivalence — it decodes to the canonical
+//! line, runs the ordinary [`handle_line`](crate::Server::handle_line)
+//! path, and re-encodes the response — so the binary framing can never
+//! drift from the JSON protocol's semantics.
+
+use copycat_util::json::Json;
+use copycat_util::varint::{self, VarintError};
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_NUM: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_ARR: u8 = 5;
+const TAG_OBJ: u8 = 6;
+
+/// Nesting depth limit, matching the JSON parsers.
+const MAX_DEPTH: usize = 128;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// Structurally invalid contents.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+fn from_varint(e: VarintError) -> FrameError {
+    match e {
+        VarintError::Truncated => FrameError::Truncated,
+        VarintError::Overflow => FrameError::Malformed("varint overflow".to_string()),
+    }
+}
+
+/// Append the tagged encoding of `value` (no length prefix).
+pub fn encode_value(value: &Json, out: &mut Vec<u8>) {
+    match value {
+        Json::Null => out.push(TAG_NULL),
+        Json::Bool(false) => out.push(TAG_FALSE),
+        Json::Bool(true) => out.push(TAG_TRUE),
+        Json::Num(n) => {
+            out.push(TAG_NUM);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Json::Str(s) => {
+            out.push(TAG_STR);
+            varint::encode_u64(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            out.push(TAG_ARR);
+            varint::encode_u64(items.len() as u64, out);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Json::Obj(fields) => {
+            out.push(TAG_OBJ);
+            varint::encode_u64(fields.len() as u64, out);
+            for (key, v) in fields {
+                varint::encode_u64(key.len() as u64, out);
+                out.extend_from_slice(key.as_bytes());
+                encode_value(v, out);
+            }
+        }
+    }
+}
+
+/// A frame encoder with a reusable body scratch buffer: warm, encoding
+/// allocates only when a frame outgrows every previous one.
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    scratch: Vec<u8>,
+}
+
+impl FrameCodec {
+    /// A codec with an empty scratch buffer.
+    pub fn new() -> FrameCodec {
+        FrameCodec::default()
+    }
+
+    /// Append the length-prefixed frame for `value` to `out`.
+    pub fn encode_frame(&mut self, value: &Json, out: &mut Vec<u8>) {
+        self.scratch.clear();
+        encode_value(value, &mut self.scratch);
+        varint::encode_u64(self.scratch.len() as u64, out);
+        out.extend_from_slice(&self.scratch);
+    }
+}
+
+/// Encode one length-prefixed frame (convenience over [`FrameCodec`]).
+pub fn encode_frame(value: &Json) -> Vec<u8> {
+    let mut out = Vec::new();
+    FrameCodec::new().encode_frame(value, &mut out);
+    out
+}
+
+fn read_str(buf: &[u8], at: usize) -> Result<(String, usize), FrameError> {
+    let (len, n) = varint::decode_u64(buf.get(at..).unwrap_or(&[])).map_err(from_varint)?;
+    let start = at + n;
+    let end = start
+        .checked_add(len as usize)
+        .filter(|&e| e <= buf.len())
+        .ok_or(FrameError::Truncated)?;
+    let s = std::str::from_utf8(&buf[start..end])
+        .map_err(|_| FrameError::Malformed("invalid utf-8 in string".to_string()))?;
+    Ok((s.to_string(), end))
+}
+
+fn decode_value(buf: &[u8], at: usize, depth: usize) -> Result<(Json, usize), FrameError> {
+    if depth > MAX_DEPTH {
+        return Err(FrameError::Malformed("nesting too deep".to_string()));
+    }
+    let tag = *buf.get(at).ok_or(FrameError::Truncated)?;
+    let at = at + 1;
+    match tag {
+        TAG_NULL => Ok((Json::Null, at)),
+        TAG_FALSE => Ok((Json::Bool(false), at)),
+        TAG_TRUE => Ok((Json::Bool(true), at)),
+        TAG_NUM => {
+            let bytes: [u8; 8] = buf
+                .get(at..at + 8)
+                .and_then(|b| b.try_into().ok())
+                .ok_or(FrameError::Truncated)?;
+            let n = f64::from_le_bytes(bytes);
+            if !n.is_finite() {
+                return Err(FrameError::Malformed("non-finite number".to_string()));
+            }
+            Ok((Json::Num(n), at + 8))
+        }
+        TAG_STR => {
+            let (s, at) = read_str(buf, at)?;
+            Ok((Json::Str(s), at))
+        }
+        TAG_ARR => {
+            let (count, n) = varint::decode_u64(buf.get(at..).unwrap_or(&[])).map_err(from_varint)?;
+            let mut at = at + n;
+            let mut items = Vec::new();
+            for _ in 0..count {
+                let (item, next) = decode_value(buf, at, depth + 1)?;
+                items.push(item);
+                at = next;
+            }
+            Ok((Json::Arr(items), at))
+        }
+        TAG_OBJ => {
+            let (count, n) = varint::decode_u64(buf.get(at..).unwrap_or(&[])).map_err(from_varint)?;
+            let mut at = at + n;
+            let mut fields = Vec::new();
+            for _ in 0..count {
+                let (key, next) = read_str(buf, at)?;
+                let (v, after) = decode_value(buf, next, depth + 1)?;
+                fields.push((key, v));
+                at = after;
+            }
+            Ok((Json::Obj(fields), at))
+        }
+        other => Err(FrameError::Malformed(format!("unknown tag {other}"))),
+    }
+}
+
+/// Decode one length-prefixed frame from the front of `buf`, returning
+/// the value and the total bytes consumed (prefix included). Trailing
+/// bytes beyond the frame are left for the caller (stream framing).
+pub fn decode_frame(buf: &[u8]) -> Result<(Json, usize), FrameError> {
+    let (len, n) = varint::decode_u64(buf).map_err(from_varint)?;
+    let end = n
+        .checked_add(len as usize)
+        .filter(|&e| e <= buf.len())
+        .ok_or(FrameError::Truncated)?;
+    let (value, used) = decode_value(&buf[..end], n, 0)?;
+    if used != end {
+        return Err(FrameError::Malformed("trailing bytes inside frame".to_string()));
+    }
+    Ok((value, end))
+}
+
+/// The bad-frame response value, mirroring the JSON protocol's
+/// `bad_request` envelope (`id` is `null` — an undecodable frame has
+/// no id to echo).
+fn bad_frame(e: &FrameError) -> Json {
+    Json::obj(vec![
+        ("id".to_string(), Json::Null),
+        ("ok".to_string(), Json::Bool(false)),
+        (
+            "error".to_string(),
+            Json::obj(vec![
+                ("kind".to_string(), Json::str("bad_request")),
+                ("message".to_string(), Json::str(&format!("{e}"))),
+            ]),
+        ),
+    ])
+}
+
+/// Run one framed request through a line handler: decode, serialize
+/// canonically, handle, re-encode the response. The bridge both
+/// [`crate::Server::handle_frame`] and [`crate::Router::handle_frame`]
+/// ride on.
+pub fn handle_with(frame: &[u8], handle: impl FnOnce(&str) -> String) -> Vec<u8> {
+    let resp = match decode_frame(frame) {
+        Ok((req, _)) => {
+            let line = req.to_string();
+            match Json::parse(&handle(&line)) {
+                Ok(resp) => resp,
+                // Unreachable: handlers emit valid JSON by construction.
+                Err(_) => bad_frame(&FrameError::Malformed("unencodable response".to_string())),
+            }
+        }
+        Err(e) => bad_frame(&e),
+    };
+    encode_frame(&resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &str) {
+        let value = Json::parse(line).unwrap();
+        let frame = encode_frame(&value);
+        let (back, used) = decode_frame(&frame).unwrap();
+        assert_eq!(used, frame.len(), "whole frame consumed for {line:?}");
+        // Byte equivalence both ways: frame → canonical JSON line, and
+        // the line's value → the same frame bytes.
+        assert_eq!(back.to_string(), value.to_string(), "for {line:?}");
+        assert_eq!(encode_frame(&back), frame, "for {line:?}");
+    }
+
+    #[test]
+    fn framing_round_trips_protocol_shapes() {
+        for line in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-2.5",
+            "1e3",
+            "\"\"",
+            "\"plain\"",
+            "\"esc \\n \\\" tab\\t\"",
+            "[]",
+            "[1,[2,[3]],\"x\"]",
+            "{}",
+            r#"{"id":1,"op":"ping"}"#,
+            r#"{"id":2,"op":"paste","session":"alice","doc":0,"values":["Venue","Street","City"]}"#,
+            r#"{"id":null,"ok":false,"error":{"kind":"bad_request","message":"missing \"op\""}}"#,
+        ] {
+            round_trip(line);
+        }
+    }
+
+    #[test]
+    fn frame_bytes_are_pinned() {
+        // Freeze the format: tag values, varint prefixes, f64 LE.
+        assert_eq!(encode_frame(&Json::Null), vec![1, TAG_NULL]);
+        assert_eq!(encode_frame(&Json::Bool(true)), vec![1, TAG_TRUE]);
+        assert_eq!(
+            encode_frame(&Json::Num(1.0)),
+            vec![9, TAG_NUM, 0, 0, 0, 0, 0, 0, 0xF0, 0x3F]
+        );
+        assert_eq!(
+            encode_frame(&Json::str("ok")),
+            vec![4, TAG_STR, 2, b'o', b'k']
+        );
+        let obj = Json::obj(vec![("a".to_string(), Json::Arr(vec![Json::Num(0.0)]))]);
+        assert_eq!(
+            encode_frame(&obj),
+            vec![15, TAG_OBJ, 1, 1, b'a', TAG_ARR, 1, TAG_NUM, 0, 0, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn truncations_and_bad_tags_are_rejected() {
+        let frame = encode_frame(&Json::parse(r#"{"id":1,"op":"ping"}"#).unwrap());
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        assert_eq!(
+            decode_frame(&[1, 9]),
+            Err(FrameError::Malformed("unknown tag 9".to_string()))
+        );
+        // Non-finite numbers cannot appear in JSON; reject them.
+        let mut nan = vec![9, TAG_NUM];
+        nan.extend_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode_frame(&nan), Err(FrameError::Malformed(_))));
+        // A frame whose declared length exceeds its body is truncated.
+        assert_eq!(decode_frame(&[5, TAG_NULL]), Err(FrameError::Truncated));
+        // Extra bytes inside the declared length are malformed.
+        assert_eq!(
+            decode_frame(&[2, TAG_NULL, TAG_NULL]),
+            Err(FrameError::Malformed("trailing bytes inside frame".to_string()))
+        );
+        // Trailing bytes *after* the frame belong to the next frame.
+        assert_eq!(decode_frame(&[1, TAG_NULL, 0xAB]).unwrap().1, 2);
+    }
+
+    #[test]
+    fn warm_codec_reuses_its_scratch() {
+        let mut codec = FrameCodec::new();
+        let value = Json::parse(r#"{"id":1,"op":"ping","session":"alice"}"#).unwrap();
+        let mut out = Vec::new();
+        codec.encode_frame(&value, &mut out);
+        let cap = codec.scratch.capacity();
+        for _ in 0..50 {
+            out.clear();
+            codec.encode_frame(&value, &mut out);
+        }
+        assert_eq!(codec.scratch.capacity(), cap);
+    }
+}

@@ -12,22 +12,43 @@
 //! shutdown invariant).
 
 use crate::deadline::Deadline;
-use crate::protocol::{err_response, ErrorKind, Request};
+use crate::protocol::{err_response, ErrorKind, Op};
 use copycat_util::channel::{self, Receiver, Sender, TrySendError};
+use copycat_util::zjson::ZDoc;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One admitted request: the parsed envelope, its running deadline, and
-/// the rendezvous the submitting caller blocks on.
+/// One admitted request: the raw line plus its parsed flat-DOM index
+/// (the worker re-joins them into a borrowed
+/// [`Request`](crate::protocol::Request) without re-parsing), the small
+/// `Copy` envelope extracted at admission, the running deadline, and the
+/// rendezvous the submitting caller blocks on.
 pub struct Job {
-    /// The parsed request.
-    pub request: Request,
+    /// The raw request line, owned across the queue hop.
+    pub line: String,
+    /// The parse of `line` (spans index into it), moved alongside it.
+    pub doc: ZDoc,
+    /// The operation, resolved at admission.
+    pub op: Op,
+    /// Byte span of the verbatim `"id"` value in `line`, if present.
+    pub id_span: Option<(u32, u32)>,
     /// The budget, started at admission (queue wait counts).
     pub deadline: Deadline,
     /// Exactly one response line is sent here per job.
     pub reply: SyncSender<String>,
+}
+
+impl Job {
+    /// The verbatim id slice to echo in responses (`"null"` when the
+    /// request carried no id).
+    pub fn id_raw(&self) -> &str {
+        match self.id_span {
+            Some((start, end)) => &self.line[start as usize..end as usize],
+            None => "null",
+        }
+    }
 }
 
 /// Why a submission did not enter the queue.
@@ -51,7 +72,7 @@ pub struct Pool {
 /// survives to serve the next job.
 fn run_one(handler: &(dyn Fn(Job) + Send + Sync), job: Job) {
     let reply = job.reply.clone();
-    let id = job.request.id.clone();
+    let id = job.id_raw().to_owned();
     if std::panic::catch_unwind(AssertUnwindSafe(|| handler(job))).is_err() {
         let _ = reply.send(err_response(
             &id,
@@ -126,20 +147,16 @@ impl Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Op;
     use copycat_util::json::Json;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::mpsc::sync_channel;
 
     fn job(reply: SyncSender<String>) -> Job {
         Job {
-            request: Request {
-                id: Json::Null,
-                op: Op::Ping,
-                session: None,
-                deadline_ms: None,
-                body: Json::Null,
-            },
+            line: String::new(),
+            doc: ZDoc::new(),
+            op: Op::Ping,
+            id_span: None,
             deadline: Deadline::starting_now(None),
             reply,
         }

@@ -20,8 +20,20 @@
 //! Error kinds are closed (see [`ErrorKind`]) so clients can switch on
 //! them; `overloaded` and `timeout` are the backpressure/deadline
 //! signals, never conflated with `internal`.
+//!
+//! Parsing is **zero-copy**: [`Request`] is a borrowed view over the
+//! request line, built on [`copycat_util::zjson`]'s flat DOM. String
+//! parameters are slices of the line (or of the parse arena, when they
+//! contained escapes); the id is echoed as the verbatim input slice; a
+//! warm parse of a hot-path request performs no heap allocation. The
+//! backing `(ZDoc, line)` pair is owned by whoever carries the request
+//! across threads (see [`crate::pool::Job`]) and pooled for reuse by
+//! the server's front door. Responses are assembled in a thread-local
+//! scratch buffer and copied out once at exact size.
 
-use copycat_util::json::{Json, JsonError};
+use copycat_util::json::{self, Json, JsonError};
+use copycat_util::zjson::{ZDoc, ZRef};
+use std::cell::RefCell;
 
 /// Every request class the server speaks. One histogram + counter set
 /// per class lives in the metrics registry.
@@ -246,42 +258,71 @@ impl ErrorKind {
     }
 }
 
-/// A parsed request: the class, the raw body for parameter extraction,
-/// and the routing/deadline envelope.
-#[derive(Debug, Clone)]
-pub struct Request {
-    /// Echoed in the response.
-    pub id: Json,
+/// A parsed request: a borrowed view over one request line. `id` is
+/// the verbatim input slice of the id value (`"null"` when absent), so
+/// echoing it costs nothing and preserves the client's exact spelling;
+/// `session` and every parameter borrow the line or the parse arena.
+/// The caller owns the backing [`ZDoc`] + line pair and keeps both
+/// alive for as long as the view is used.
+#[derive(Debug, Clone, Copy)]
+pub struct Request<'d> {
+    /// The verbatim id slice, echoed in the response.
+    pub id: &'d str,
     /// The request class.
     pub op: Op,
     /// Target session, when the op is session-scoped.
-    pub session: Option<String>,
+    pub session: Option<&'d str>,
     /// Per-request budget in milliseconds.
     pub deadline_ms: Option<u64>,
     /// The whole request object (parameter lookup).
-    pub body: Json,
+    pub body: ZRef<'d>,
 }
 
-impl Request {
-    /// Parse one request line.
-    pub fn parse(line: &str) -> Result<Request, (Json, String)> {
-        let body = Json::parse(line).map_err(|e| (Json::Null, format!("{e}")))?;
-        let id = body.get("id").cloned().unwrap_or(Json::Null);
-        let op_name = body
-            .get("op")
-            .and_then(Json::as_str)
-            .ok_or_else(|| (id.clone(), "missing \"op\"".to_string()))?;
-        let op = Op::parse(op_name)
-            .ok_or_else(|| (id.clone(), format!("unknown op {op_name:?}")))?;
-        let session = body.get("session").and_then(Json::as_str).map(str::to_string);
-        let deadline_ms = body.get("deadline_ms").and_then(Json::as_f64).map(|v| v as u64);
+fn envelope<'d>(body: ZRef<'d>) -> (&'d str, Option<&'d str>, Option<u64>) {
+    let id = body.get("id").map(|v| v.raw()).unwrap_or("null");
+    let session = body.get("session").and_then(|v| v.as_str());
+    let deadline_ms = body.get("deadline_ms").and_then(|v| v.as_f64()).map(|v| v as u64);
+    (id, session, deadline_ms)
+}
+
+impl<'d> Request<'d> {
+    /// Parse one request line into `doc`. The error carries the raw id
+    /// slice (for the response envelope) and the message.
+    pub fn parse(doc: &'d mut ZDoc, line: &'d str) -> Result<Request<'d>, (&'d str, String)> {
+        let body = match doc.parse(line) {
+            Ok(b) => b,
+            Err(e) => return Err(("null", format!("{e}"))),
+        };
+        let (id, session, deadline_ms) = envelope(body);
+        let Some(op_name) = body.get("op").and_then(|v| v.as_str()) else {
+            return Err((id, "missing \"op\"".to_string()));
+        };
+        let Some(op) = Op::parse(op_name) else {
+            return Err((id, format!("unknown op {op_name:?}")));
+        };
         Ok(Request { id, op, session, deadline_ms, body })
     }
 
-    /// A required string parameter.
-    pub fn str_param(&self, key: &str) -> Result<&str, JsonError> {
+    /// Rebuild the borrowed view over a doc + line pair that already
+    /// parsed successfully — e.g. after both were moved (owned) across
+    /// a worker queue. Re-slices the flat DOM; no re-parse. Returns
+    /// `None` if the pair never held a parsed request.
+    pub fn rejoin(doc: &'d ZDoc, line: &'d str) -> Option<Request<'d>> {
+        let body = doc.root(line)?;
+        let (id, session, deadline_ms) = envelope(body);
+        let op = Op::parse(body.get("op").and_then(|v| v.as_str())?)?;
+        Some(Request { id, op, session, deadline_ms, body })
+    }
+
+    fn required(&self, key: &str) -> Result<ZRef<'d>, JsonError> {
         self.body
-            .field(key)?
+            .get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field {key:?}")))
+    }
+
+    /// A required string parameter (borrowed from the line or arena).
+    pub fn str_param(&self, key: &str) -> Result<&'d str, JsonError> {
+        self.required(key)?
             .as_str()
             .ok_or_else(|| JsonError::new(format!("{key:?} must be a string")))
     }
@@ -289,8 +330,7 @@ impl Request {
     /// A required non-negative integer parameter.
     pub fn usize_param(&self, key: &str) -> Result<usize, JsonError> {
         let n = self
-            .body
-            .field(key)?
+            .required(key)?
             .as_f64()
             .ok_or_else(|| JsonError::new(format!("{key:?} must be a number")))?;
         if n < 0.0 || n.fract() != 0.0 {
@@ -301,52 +341,76 @@ impl Request {
 
     /// A required number parameter.
     pub fn f64_param(&self, key: &str) -> Result<f64, JsonError> {
-        self.body
-            .field(key)?
+        self.required(key)?
             .as_f64()
             .ok_or_else(|| JsonError::new(format!("{key:?} must be a number")))
     }
 
-    /// A required array-of-strings parameter.
-    pub fn strings_param(&self, key: &str) -> Result<Vec<String>, JsonError> {
-        self.body
-            .field(key)?
-            .as_array()
-            .ok_or_else(|| JsonError::new(format!("{key:?} must be an array")))?
-            .iter()
+    /// A required array-of-strings parameter. The strings borrow the
+    /// request line; only the spine vector is allocated.
+    pub fn strings_param(&self, key: &str) -> Result<Vec<&'d str>, JsonError> {
+        let arr = self.required(key)?;
+        if !arr.is_arr() {
+            return Err(JsonError::new(format!("{key:?} must be an array")));
+        }
+        arr.items()
             .map(|v| {
                 v.as_str()
-                    .map(str::to_string)
                     .ok_or_else(|| JsonError::new(format!("{key:?} must hold strings")))
             })
             .collect()
     }
 }
 
-/// Serialize a success response.
-pub fn ok_response(id: &Json, result: Json) -> String {
-    Json::obj(vec![
-        ("id".into(), id.clone()),
-        ("ok".into(), Json::Bool(true)),
-        ("result".into(), result),
-    ])
-    .to_string()
+thread_local! {
+    /// Per-worker response assembly buffer: responses are serialized
+    /// here, then copied out once at exact size, so steady-state
+    /// serialization never grows a fresh buffer.
+    static RESPONSE_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn with_response_scratch(f: impl FnOnce(&mut String)) -> String {
+    RESPONSE_SCRATCH.with(|cell| {
+        match cell.try_borrow_mut() {
+            Ok(mut out) => {
+                out.clear();
+                f(&mut out);
+                out.as_str().to_owned()
+            }
+            // Re-entrant serialization (impossible today): fall back to
+            // a fresh buffer rather than failing the response.
+            Err(_) => {
+                let mut out = String::new();
+                f(&mut out);
+                out
+            }
+        }
+    })
+}
+
+/// Serialize a success response. `id` is the raw id slice (already
+/// valid JSON — it came from a parsed request line).
+pub fn ok_response(id: &str, result: &Json) -> String {
+    with_response_scratch(|out| {
+        out.push_str("{\"id\":");
+        out.push_str(id);
+        out.push_str(",\"ok\":true,\"result\":");
+        result.write_compact(out);
+        out.push('}');
+    })
 }
 
 /// Serialize an error response.
-pub fn err_response(id: &Json, kind: ErrorKind, message: &str) -> String {
-    Json::obj(vec![
-        ("id".into(), id.clone()),
-        ("ok".into(), Json::Bool(false)),
-        (
-            "error".into(),
-            Json::obj(vec![
-                ("kind".into(), Json::str(kind.as_str())),
-                ("message".into(), Json::str(message)),
-            ]),
-        ),
-    ])
-    .to_string()
+pub fn err_response(id: &str, kind: ErrorKind, message: &str) -> String {
+    with_response_scratch(|out| {
+        out.push_str("{\"id\":");
+        out.push_str(id);
+        out.push_str(",\"ok\":false,\"error\":{\"kind\":\"");
+        out.push_str(kind.as_str());
+        out.push_str("\",\"message\":");
+        json::write_escaped(out, message);
+        out.push_str("}}");
+    })
 }
 
 #[cfg(test)]
@@ -372,5 +436,93 @@ mod tests {
                 assert_eq!(Op::parse(op.as_str()), Some(op));
             }
         }
+    }
+
+    fn within(outer: &str, inner: &str) -> bool {
+        let (o, i) = (outer.as_ptr() as usize, inner.as_ptr() as usize);
+        i >= o && i + inner.len() <= o + outer.len()
+    }
+
+    #[test]
+    fn parse_borrows_the_line_and_echoes_the_id_verbatim() {
+        let mut doc = ZDoc::new();
+        let line = r#"{"id":1.50,"op":"paste","session":"alice","values":["x"],"deadline_ms":250}"#;
+        let req = Request::parse(&mut doc, line).unwrap();
+        // Verbatim echo: the client's exact spelling, not a canonical
+        // re-serialization ("1.50", not "1.5").
+        assert_eq!(req.id, "1.50");
+        assert_eq!(req.op, Op::Paste);
+        assert_eq!(req.deadline_ms, Some(250));
+        // The session and string params are slices INTO the line — no
+        // copies were made.
+        let session = req.session.unwrap();
+        assert_eq!(session, "alice");
+        assert!(within(line, session), "session must borrow the line");
+        let values = req.strings_param("values").unwrap();
+        assert_eq!(values, vec!["x"]);
+        assert!(within(line, values[0]), "payload strings must borrow the line");
+    }
+
+    #[test]
+    fn rejoin_rebuilds_the_view_after_an_owned_move() {
+        let mut doc = ZDoc::new();
+        let line = r#"{"id":7,"op":"render","session":"s"}"#.to_string();
+        assert!(Request::parse(&mut doc, &line).is_ok());
+        // Simulate a move across a queue: the doc and line travel as
+        // owned values, then the view is re-joined without re-parsing.
+        let (doc, line) = (doc, line);
+        let req = Request::rejoin(&doc, &line).unwrap();
+        assert_eq!(req.id, "7");
+        assert_eq!(req.op, Op::Render);
+        assert_eq!(req.session, Some("s"));
+        // A never-parsed doc has no root.
+        assert!(Request::rejoin(&ZDoc::new(), "").is_none());
+    }
+
+    #[test]
+    fn parse_errors_keep_the_owned_protocol_wording() {
+        let mut doc = ZDoc::new();
+        let (id, msg) = Request::parse(&mut doc, "this is not json").unwrap_err();
+        assert_eq!(id, "null");
+        assert_eq!(msg, "json error: invalid literal (expected true) at byte 0");
+        let mut doc = ZDoc::new();
+        let (id, msg) = Request::parse(&mut doc, r#"{"id":3}"#).unwrap_err();
+        assert_eq!(id, "3");
+        assert_eq!(msg, "missing \"op\"");
+        let mut doc = ZDoc::new();
+        let (_, msg) = Request::parse(&mut doc, r#"{"op":"warp"}"#).unwrap_err();
+        assert_eq!(msg, "unknown op \"warp\"");
+    }
+
+    #[test]
+    fn param_errors_keep_the_owned_protocol_wording() {
+        let mut doc = ZDoc::new();
+        let line = r#"{"op":"ping","n":1.5,"s":"x","a":[1],"b":"y"}"#;
+        let req = Request::parse(&mut doc, line).unwrap();
+        assert_eq!(req.str_param("missing").unwrap_err().to_string(), "json error: missing field \"missing\"");
+        assert_eq!(req.str_param("n").unwrap_err().to_string(), "json error: \"n\" must be a string");
+        assert_eq!(req.usize_param("s").unwrap_err().to_string(), "json error: \"s\" must be a number");
+        assert_eq!(req.usize_param("n").unwrap_err().to_string(), "json error: \"n\" must be a non-negative integer");
+        assert_eq!(req.f64_param("s").unwrap_err().to_string(), "json error: \"s\" must be a number");
+        assert_eq!(req.strings_param("b").unwrap_err().to_string(), "json error: \"b\" must be an array");
+        assert_eq!(req.strings_param("a").unwrap_err().to_string(), "json error: \"a\" must hold strings");
+        assert_eq!(req.f64_param("n").unwrap(), 1.5);
+        assert_eq!(req.usize_param("a").unwrap_err().to_string(), "json error: \"a\" must be a number");
+    }
+
+    #[test]
+    fn responses_serialize_to_the_pinned_wire_shape() {
+        assert_eq!(
+            ok_response("7", &Json::obj(vec![("pong".into(), Json::Bool(true))])),
+            r#"{"id":7,"ok":true,"result":{"pong":true}}"#
+        );
+        assert_eq!(
+            ok_response("\"abc\"", &Json::obj(vec![])),
+            r#"{"id":"abc","ok":true,"result":{}}"#
+        );
+        assert_eq!(
+            err_response("null", ErrorKind::BadRequest, "a \"quoted\" reason"),
+            r#"{"id":null,"ok":false,"error":{"kind":"bad_request","message":"a \"quoted\" reason"}}"#
+        );
     }
 }

@@ -41,12 +41,21 @@ use crate::protocol::{ok_response, Op, Request};
 use crate::server::{Server, ServerConfig};
 use copycat_store::{SessionStore, StoreStats};
 use copycat_util::hash::{FxHashMap, FxHasher};
-use copycat_util::json::Json;
+use copycat_util::json::{self, Json};
 use copycat_util::sync::Mutex;
+use copycat_util::zjson::ZDoc;
+use std::cell::RefCell;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread parse scratch for the router's own envelope peek —
+    /// warm, routing a request allocates nothing on the parse side.
+    /// Shard servers pool their own scratch, so no re-entrancy.
+    static ROUTER_DOC: RefCell<ZDoc> = RefCell::new(ZDoc::new());
+}
 
 /// Sizing and durability knobs for a [`Router`].
 #[derive(Debug, Clone)]
@@ -172,15 +181,30 @@ fn response_is_effectful(resp: &str) -> bool {
 }
 
 /// The journaled form of a request: its body with the `deadline_ms`
-/// envelope stripped, so replay cannot re-race the wall clock.
+/// envelope stripped, so replay cannot re-race the wall clock. The
+/// line is re-serialized canonically (same bytes `Json` would emit).
 fn logged_line(req: &Request) -> String {
-    match &req.body {
-        Json::Obj(fields) => Json::Obj(
-            fields.iter().filter(|(k, _)| k.as_str() != "deadline_ms").cloned().collect(),
-        )
-        .to_string(),
-        other => other.to_string(),
+    let mut out = String::with_capacity(req.body.raw().len());
+    if req.body.is_obj() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in req.body.entries() {
+            if k == "deadline_ms" {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            v.write(&mut out);
+        }
+        out.push('}');
+    } else {
+        req.body.write(&mut out);
     }
+    out
 }
 
 /// The snapshot payload: the journaled history as a JSON string array.
@@ -331,7 +355,15 @@ impl Router {
     /// the same contract as [`Server::handle_line`], with placement
     /// and durability layered on.
     pub fn handle_line(&self, line: &str) -> String {
-        let req = match Request::parse(line) {
+        ROUTER_DOC.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut doc) => self.route_line(&mut doc, line),
+            // Unreachable re-entrancy guard: never poison the scratch.
+            Err(_) => self.route_line(&mut ZDoc::new(), line),
+        })
+    }
+
+    fn route_line(&self, doc: &mut ZDoc, line: &str) -> String {
+        let req = match Request::parse(doc, line) {
             // Unparseable requests go to shard 0 for the identical
             // bad_request answer (and its `invalid` metrics class).
             Err(_) => return self.shards[0].handle_line(line),
@@ -343,8 +375,8 @@ impl Router {
                     let _ = s.handle_line(line);
                 }
                 return ok_response(
-                    &req.id,
-                    Json::obj(vec![("draining".into(), Json::Bool(true))]),
+                    req.id,
+                    &Json::obj(vec![("draining".into(), Json::Bool(true))]),
                 );
             }
             Op::ListSessions => {
@@ -352,12 +384,12 @@ impl Router {
                     self.shards.iter().flat_map(|s| s.registry().names()).collect();
                 names.sort();
                 let listed = Json::Arr(names.iter().map(|n| Json::str(n.as_str())).collect());
-                return ok_response(&req.id, Json::obj(vec![("sessions".into(), listed)]));
+                return ok_response(req.id, &Json::obj(vec![("sessions".into(), listed)]));
             }
-            Op::Stats => return ok_response(&req.id, self.stats()),
+            Op::Stats => return ok_response(req.id, &self.stats()),
             _ => {}
         }
-        let Some(name) = req.session.clone() else {
+        let Some(name) = req.session else {
             // Session-less ops (ping) are stateless; any shard answers.
             return self.shards[0].handle_line(line);
         };
@@ -365,21 +397,21 @@ impl Router {
         // orders the WAL like execution, and it is what `migrate_session`
         // drains against (reads included — a read racing a migration
         // must not land on the vacated shard).
-        let journal = self.journal_entry(&name);
+        let journal = self.journal_entry(name);
         let mut j = journal.lock();
-        let shard_idx = self.shard_of(&name);
+        let shard_idx = self.shard_of(name);
         let resp = self.shards[shard_idx].handle_line(line);
         if req.op == Op::CloseSession {
             if Json::parse(&resp).map(|r| r["ok"].as_bool() == Some(true)).unwrap_or(false) {
                 // A durably *closed* session: remove its journal and
                 // its on-disk state (idempotent), and forget overrides.
                 if let Some(root) = &self.config.store_root {
-                    let _ = SessionStore::destroy(&session_dir(root, &name));
+                    let _ = SessionStore::destroy(&session_dir(root, name));
                 }
                 j.history.clear();
                 j.store = None;
-                self.sessions.lock().remove(&name);
-                self.placed.lock().remove(&name);
+                self.sessions.lock().remove(name);
+                self.placed.lock().remove(name);
             }
             return resp;
         }
@@ -387,7 +419,7 @@ impl Router {
             let logged = logged_line(&req);
             j.history.push(logged.clone());
             if let Some(root) = self.config.store_root.clone() {
-                self.journal_durably(&name, &root, &mut j, &logged);
+                self.journal_durably(name, &root, &mut j, &logged);
             }
         }
         resp
@@ -426,6 +458,13 @@ impl Router {
             let _ = store.snapshot(&checkpoint_payload(&j.history));
             j.pending_sync = 0;
         }
+    }
+
+    /// Handle one binary-framed request (see [`crate::frame`]) with
+    /// placement and durability layered on, returning the framed
+    /// response.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        crate::frame::handle_with(frame, |line| self.handle_line(line))
     }
 
     /// [`handle_line`](Router::handle_line) plus response parsing.
@@ -649,7 +688,9 @@ mod tests {
 
     #[test]
     fn deadline_is_stripped_from_the_journal() {
+        let mut doc = ZDoc::new();
         let req = Request::parse(
+            &mut doc,
             r#"{"id":9,"op":"paste","session":"s","doc":0,"values":["a"],"deadline_ms":250}"#,
         )
         .unwrap();
@@ -657,7 +698,8 @@ mod tests {
         assert!(!logged.contains("deadline_ms"), "{logged}");
         assert!(logged.contains("\"values\""), "{logged}");
         // And the journaled line is still a parseable request.
-        assert!(Request::parse(&logged).is_ok());
+        let mut redoc = ZDoc::new();
+        assert!(Request::parse(&mut redoc, &logged).is_ok());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::metrics::Metrics;
 use crate::pool::{Job, Pool, SubmitError};
 use crate::protocol::{err_response, ok_response, ErrorKind, Op, Request};
 use crate::registry::{SessionRegistry, SessionState};
-use copycat_core::{explain, export, CopyCat};
+use copycat_core::{explain, export, CopyCat, WorldBase};
 use copycat_document::corpus::contact_sheet;
 use copycat_document::{Document, DocumentId};
 use copycat_query::{Renamed, Service};
@@ -39,7 +39,10 @@ use copycat_services::{
     AddressResolver, CurrencyConverter, Flaky, Geocoder, HealthSnapshot, ReversePhone,
     RetryPolicy, UnitConverter, World, WorldConfig, ZipResolver,
 };
+use copycat_util::hash::FxHashMap;
 use copycat_util::json::{Json, JsonError};
+use copycat_util::sync::Mutex;
+use copycat_util::zjson::ZDoc;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
@@ -62,11 +65,26 @@ impl Default for ServerConfig {
     }
 }
 
+/// A pooled line buffer larger than this is dropped instead of
+/// returned, so one pathological request cannot pin megabytes.
+const MAX_POOLED_LINE_CAPACITY: usize = 64 * 1024;
+
 /// State shared between the front door and the workers.
 pub(crate) struct Inner {
     registry: SessionRegistry,
     metrics: Metrics,
     accepting: AtomicBool,
+    /// Reusable `(parse index, line buffer)` pairs: taken at admission,
+    /// returned by the worker after the response is rendered. Warm,
+    /// request handling performs no parse-side allocations.
+    scratch: Mutex<Vec<(ZDoc, String)>>,
+    /// Upper bound on pooled pairs — enough for every queue slot plus
+    /// every in-flight worker.
+    scratch_cap: usize,
+    /// Shared world bases, memoized by `(seed, venues)`: every
+    /// `create_session {"world": …}` naming the same config overlays the
+    /// same frozen base (see [`WorldBase`]).
+    worlds: Mutex<FxHashMap<(u64, usize), Arc<WorldBase>>>,
 }
 
 /// The multi-tenant session server.
@@ -122,6 +140,9 @@ impl Server {
             registry: SessionRegistry::new(config.shards),
             metrics: Metrics::new(),
             accepting: AtomicBool::new(true),
+            scratch: Mutex::new(Vec::new()),
+            scratch_cap: config.workers + config.queue_depth + 1,
+            worlds: Mutex::new(FxHashMap::default()),
         });
         let worker_inner = Arc::clone(&inner);
         let pool = Pool::new(
@@ -162,31 +183,53 @@ impl Server {
     /// This is the in-process transport: every transport funnels here.
     pub fn handle_line(&self, line: &str) -> String {
         let metrics = &self.inner.metrics;
-        let req = match Request::parse(line) {
-            Ok(r) => r,
+        let (mut doc, mut buf) = self.inner.take_scratch();
+        buf.push_str(line);
+        // Parsed fields borrow `doc`/`buf`; extract the `Copy` envelope
+        // (or render an inline response) so the borrows end before both
+        // move into the job.
+        enum Parsed {
+            Admit { op: Op, id_span: Option<(u32, u32)>, deadline_ms: Option<u64> },
+            Inline(String),
+        }
+        let parsed = match Request::parse(&mut doc, &buf) {
+            Ok(req) => {
+                let op = req.op;
+                metrics.admitted(op);
+                // `shutdown` is handled inline: it must work even when
+                // the queue is full, and it is what closes the front
+                // door.
+                if op == Op::Shutdown {
+                    self.inner.accepting.store(false, Ordering::SeqCst);
+                    metrics.ok(op, 0);
+                    Parsed::Inline(ok_response(req.id, &obj(vec![("draining", Json::Bool(true))])))
+                } else if self.draining() {
+                    metrics.shed(op);
+                    Parsed::Inline(err_response(req.id, ErrorKind::ShuttingDown, "server is draining"))
+                } else {
+                    Parsed::Admit {
+                        op,
+                        id_span: req.body.get("id").map(|v| v.raw_span()),
+                        deadline_ms: req.deadline_ms,
+                    }
+                }
+            }
             Err((id, msg)) => {
                 metrics.admitted(Op::Invalid);
                 metrics.error(Op::Invalid, 0);
-                return err_response(&id, ErrorKind::BadRequest, &msg);
+                Parsed::Inline(err_response(id, ErrorKind::BadRequest, &msg))
             }
         };
-        let op = req.op;
-        metrics.admitted(op);
-        // `shutdown` is handled inline: it must work even when the
-        // queue is full, and it is what closes the front door.
-        if op == Op::Shutdown {
-            self.inner.accepting.store(false, Ordering::SeqCst);
-            metrics.ok(op, 0);
-            return ok_response(&req.id, obj(vec![("draining", Json::Bool(true))]));
-        }
-        if self.draining() {
-            metrics.shed(op);
-            return err_response(&req.id, ErrorKind::ShuttingDown, "server is draining");
-        }
-        let deadline = Deadline::starting_now(req.deadline_ms);
+        let (op, id_span, deadline_ms) = match parsed {
+            Parsed::Inline(resp) => {
+                self.inner.put_scratch(doc, buf);
+                return resp;
+            }
+            Parsed::Admit { op, id_span, deadline_ms } => (op, id_span, deadline_ms),
+        };
+        let deadline = Deadline::starting_now(deadline_ms);
         let (reply, reply_rx) = sync_channel(1);
-        let id = req.id.clone();
-        let job = Job { request: req, deadline, reply };
+        let job = Job { line: buf, doc, op, id_span, deadline, reply };
         match self.pool.submit(job) {
             Ok(()) => match reply_rx.recv() {
                 Ok(resp) => resp,
@@ -194,18 +237,33 @@ impl Server {
                     // Unreachable by construction (workers always reply,
                     // even for drained jobs) — but never hang a client.
                     metrics.error(op, 0);
-                    err_response(&id, ErrorKind::Internal, "worker dropped the reply")
+                    err_response("null", ErrorKind::Internal, "worker dropped the reply")
                 }
             },
             Err((job, SubmitError::Full)) => {
                 metrics.overloaded(op);
-                err_response(&job.request.id, ErrorKind::Overloaded, "admission queue full; retry")
+                let resp =
+                    err_response(job.id_raw(), ErrorKind::Overloaded, "admission queue full; retry");
+                let Job { line, doc, .. } = job;
+                self.inner.put_scratch(doc, line);
+                resp
             }
             Err((job, SubmitError::Closed)) => {
                 metrics.shed(op);
-                err_response(&job.request.id, ErrorKind::ShuttingDown, "server is draining")
+                let resp = err_response(job.id_raw(), ErrorKind::ShuttingDown, "server is draining");
+                let Job { line, doc, .. } = job;
+                self.inner.put_scratch(doc, line);
+                resp
             }
         }
+    }
+
+    /// Handle one binary-framed request (see [`crate::frame`]),
+    /// returning the binary-framed response. Semantics are identical to
+    /// [`handle_line`](Server::handle_line) — the frame decodes to the
+    /// same canonical line and rides the same path.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        crate::frame::handle_with(frame, |line| self.handle_line(line))
     }
 
     /// [`handle_line`](Server::handle_line) plus response parsing, for
@@ -224,48 +282,92 @@ impl Server {
 }
 
 impl Inner {
-    fn handle_job(&self, job: Job) {
-        let Job { request, mut deadline, reply } = job;
-        let op = request.op;
-        if deadline.expired() {
-            self.metrics.timeout(op, deadline.spent_us());
-            let _ = reply.send(err_response(
-                &request.id,
-                ErrorKind::Timeout,
-                "deadline exceeded while queued",
-            ));
+    /// A `(doc, line)` scratch pair, pooled or fresh.
+    fn take_scratch(&self) -> (ZDoc, String) {
+        self.scratch
+            .lock()
+            .pop()
+            .unwrap_or_else(|| (ZDoc::new(), String::new()))
+    }
+
+    /// Return a scratch pair for reuse. The doc's node/arena capacity is
+    /// the whole point — a warm pair parses the next request without
+    /// allocating.
+    fn put_scratch(&self, doc: ZDoc, mut line: String) {
+        if line.capacity() > MAX_POOLED_LINE_CAPACITY {
             return;
         }
-        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(&request, &mut deadline)));
-        let spent = deadline.spent_us();
-        let resp = match result {
-            Ok(Ok(json)) => {
-                if deadline.expired() {
-                    self.metrics.timeout(op, spent);
-                    err_response(
-                        &request.id,
-                        ErrorKind::Timeout,
-                        "deadline exceeded during execution",
-                    )
-                } else {
-                    self.metrics.ok(op, spent);
-                    ok_response(&request.id, json)
-                }
+        line.clear();
+        let mut pool = self.scratch.lock();
+        if pool.len() < self.scratch_cap {
+            pool.push((doc, line));
+        }
+    }
+
+    /// The memoized shared base for one world config. Built under the
+    /// lock so racing creates observe one `Arc` identity.
+    fn shared_world(&self, config: &WorldConfig) -> Arc<WorldBase> {
+        let mut worlds = self.worlds.lock();
+        Arc::clone(
+            worlds
+                .entry((config.seed, config.venues))
+                .or_insert_with(|| Arc::new(WorldBase::synthetic(config))),
+        )
+    }
+
+    fn handle_job(&self, job: Job) {
+        let Job { line, doc, op, id_span, mut deadline, reply } = job;
+        if deadline.expired() {
+            self.metrics.timeout(op, deadline.spent_us());
+            let id = match id_span {
+                Some((start, end)) => &line[start as usize..end as usize],
+                None => "null",
+            };
+            let _ = reply.send(err_response(id, ErrorKind::Timeout, "deadline exceeded while queued"));
+            self.put_scratch(doc, line);
+            return;
+        }
+        let resp = match Request::rejoin(&doc, &line) {
+            // Unreachable by construction: every admitted job carries
+            // the doc its line parsed into.
+            None => {
+                self.metrics.error(op, deadline.spent_us());
+                err_response("null", ErrorKind::Internal, "request line lost in transit")
             }
-            Ok(Err((kind, msg))) => {
-                if kind == ErrorKind::Timeout {
-                    self.metrics.timeout(op, spent);
-                } else {
-                    self.metrics.error(op, spent);
+            Some(req) => {
+                let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, &mut deadline)));
+                let spent = deadline.spent_us();
+                match result {
+                    Ok(Ok(json)) => {
+                        if deadline.expired() {
+                            self.metrics.timeout(op, spent);
+                            err_response(
+                                req.id,
+                                ErrorKind::Timeout,
+                                "deadline exceeded during execution",
+                            )
+                        } else {
+                            self.metrics.ok(op, spent);
+                            ok_response(req.id, &json)
+                        }
+                    }
+                    Ok(Err((kind, msg))) => {
+                        if kind == ErrorKind::Timeout {
+                            self.metrics.timeout(op, spent);
+                        } else {
+                            self.metrics.error(op, spent);
+                        }
+                        err_response(req.id, kind, &msg)
+                    }
+                    Err(_) => {
+                        self.metrics.error(op, spent);
+                        err_response(req.id, ErrorKind::Internal, "handler panicked")
+                    }
                 }
-                err_response(&request.id, kind, &msg)
-            }
-            Err(_) => {
-                self.metrics.error(op, spent);
-                err_response(&request.id, ErrorKind::Internal, "handler panicked")
             }
         };
         let _ = reply.send(resp);
+        self.put_scratch(doc, line);
     }
 
     /// Run a session-scoped op under the session lock, charging any
@@ -276,7 +378,6 @@ impl Inner {
     {
         let name = req
             .session
-            .as_deref()
             .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
         let session = self.registry.get(name).map_err(|_| {
             (ErrorKind::NoSuchSession, format!("no session named {name:?}"))
@@ -384,9 +485,8 @@ impl Inner {
             }),
             Op::Autocomplete => self.with_session(req, deadline, |s| {
                 let values = req.strings_param("values").map_err(bad)?;
-                let k = req.body.get("k").and_then(Json::as_f64).map_or(3, |v| v as usize);
-                let refs: Vec<&str> = values.iter().map(String::as_str).collect();
-                s.last_queries = s.engine.discover_queries_for_tuple(&refs, k);
+                let k = req.body.field("k").as_f64().map_or(3, |v| v as usize);
+                s.last_queries = s.engine.discover_queries_for_tuple(&values, k);
                 let listed: Vec<Json> = s
                     .last_queries
                     .iter()
@@ -427,8 +527,8 @@ impl Inner {
             Op::Feedback => self.with_session(req, deadline, |s| {
                 let accept = req.usize_param("accept").map_err(bad)?;
                 let reject: Vec<usize> = match req.body.get("reject") {
-                    Some(Json::Arr(items)) => items
-                        .iter()
+                    Some(v) if v.is_arr() => v
+                        .items()
                         .map(|v| {
                             v.as_f64().map(|n| n as usize).ok_or_else(|| {
                                 (ErrorKind::BadRequest, "\"reject\" must hold numbers".to_string())
@@ -541,18 +641,51 @@ impl Inner {
     fn create_session(&self, req: &Request) -> OpResult {
         let name = req
             .session
-            .as_deref()
             .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
-        self.registry.create(name, CopyCat::new()).map_err(|_| {
-            (ErrorKind::SessionExists, format!("session {name:?} already exists"))
-        })?;
-        Ok(obj(vec![("session", Json::str(name))]))
+        // With a `"world"` object the session is a copy-on-write overlay
+        // over the memoized shared base for that config — kilobytes of
+        // marginal state instead of a rebuilt corpus. Without one it is
+        // a flat, private engine (the pre-CoW behavior, byte-for-byte).
+        match req.body.get("world") {
+            None => {
+                self.registry.create(name, CopyCat::new()).map_err(|_| {
+                    (ErrorKind::SessionExists, format!("session {name:?} already exists"))
+                })?;
+                Ok(obj(vec![("session", Json::str(name))]))
+            }
+            Some(w) if w.is_obj() => {
+                let mut config = WorldConfig::default();
+                if let Some(seed) = w.field("seed").as_f64() {
+                    config.seed = seed as u64;
+                }
+                if let Some(venues) = w.field("venues").as_f64() {
+                    config.venues = (venues as usize).max(1);
+                }
+                let base = self.shared_world(&config);
+                let session =
+                    self.registry.create(name, CopyCat::with_base(&base)).map_err(|_| {
+                        (ErrorKind::SessionExists, format!("session {name:?} already exists"))
+                    })?;
+                session.state.lock().world = Some(base.world());
+                Ok(obj(vec![
+                    ("session", Json::str(name)),
+                    (
+                        "world",
+                        obj(vec![
+                            ("seed", Json::Num(config.seed as f64)),
+                            ("venues", jnum(config.venues)),
+                            ("shared", Json::Bool(true)),
+                        ]),
+                    ),
+                ]))
+            }
+            Some(_) => Err((ErrorKind::BadRequest, "\"world\" must be an object".to_string())),
+        }
     }
 
     fn load_session(&self, req: &Request) -> OpResult {
         let name = req
             .session
-            .as_deref()
             .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
         let snapshot = req.str_param("snapshot").map_err(bad)?;
         let engine = CopyCat::load_session_json(snapshot)
@@ -568,7 +701,6 @@ impl Inner {
     fn close_session(&self, req: &Request) -> OpResult {
         let name = req
             .session
-            .as_deref()
             .ok_or_else(|| (ErrorKind::BadRequest, "missing \"session\"".to_string()))?;
         self.registry
             .remove(name)
@@ -627,8 +759,7 @@ fn open_doc(req: &Request, s: &mut SessionState) -> OpResult {
     let name = req.str_param("name").map_err(bad)?;
     let headers = req.strings_param("headers").map_err(bad)?;
     let rows = rows_param(req, "rows")?;
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let sheet = contact_sheet(name, &header_refs, rows);
+    let sheet = contact_sheet(name, &headers, rows);
     let DocumentId(id) = s.engine.open(Document::Sheet(sheet));
     Ok(obj(vec![("doc", jnum(id as usize))]))
 }
@@ -636,17 +767,16 @@ fn open_doc(req: &Request, s: &mut SessionState) -> OpResult {
 fn paste(req: &Request, s: &mut SessionState) -> OpResult {
     let doc = req.usize_param("doc").map_err(bad)?;
     let values = req.strings_param("values").map_err(bad)?;
-    let refs: Vec<&str> = values.iter().map(String::as_str).collect();
-    let suggested = s.engine.paste_example(DocumentId(doc as u32), &refs);
+    let suggested = s.engine.paste_example(DocumentId(doc as u32), &values);
     Ok(obj(vec![("suggested", jnum(suggested))]))
 }
 
 fn register_world(req: &Request, s: &mut SessionState) -> OpResult {
     let mut config = WorldConfig::default();
-    if let Some(seed) = req.body.get("seed").and_then(Json::as_f64) {
+    if let Some(seed) = req.body.field("seed").as_f64() {
         config.seed = seed as u64;
     }
-    if let Some(venues) = req.body.get("venues").and_then(Json::as_f64) {
+    if let Some(venues) = req.body.field("venues").as_f64() {
         config.venues = (venues as usize).max(1);
     }
     let world = Arc::new(World::generate(&config));
@@ -671,14 +801,9 @@ fn register_world(req: &Request, s: &mut SessionState) -> OpResult {
 
 fn register_flaky(req: &Request, s: &mut SessionState) -> OpResult {
     let name = req.str_param("service").map_err(bad)?;
-    let failure_rate = req.body.get("failure_rate").and_then(Json::as_f64).unwrap_or(0.0);
-    let latency_ms = req
-        .body
-        .get("latency_ms")
-        .and_then(Json::as_f64)
-        .unwrap_or(0.0)
-        .max(0.0) as u64;
-    let seed = req.body.get("seed").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+    let failure_rate = req.body.field("failure_rate").as_f64().unwrap_or(0.0);
+    let latency_ms = req.body.field("latency_ms").as_f64().unwrap_or(0.0).max(0.0) as u64;
+    let seed = req.body.field("seed").as_f64().unwrap_or(1.0) as u64;
     let inner: Arc<dyn Service> = s
         .engine
         .catalog()
@@ -686,11 +811,7 @@ fn register_flaky(req: &Request, s: &mut SessionState) -> OpResult {
         .ok_or_else(|| (ErrorKind::BadRequest, format!("no service named {name:?}")))?;
     // An equivalent replacement source can be registered alongside: the
     // *un-faulted* service under an alias, available for failover.
-    let replacement = req
-        .body
-        .get("replacement")
-        .and_then(Json::as_str)
-        .map(str::to_string);
+    let replacement = req.body.field("replacement").as_str().map(str::to_string);
     if let Some(alias) = &replacement {
         s.engine
             .register_service(Arc::new(Renamed::new(alias.clone(), Arc::clone(&inner))));
@@ -699,13 +820,9 @@ fn register_flaky(req: &Request, s: &mut SessionState) -> OpResult {
     // With `retries` (or breaker tuning) the fault-injected service is
     // additionally wrapped in the retry + circuit-breaker layer; its
     // backoff is charged as virtual latency via the health registry.
-    let retries = req.body.get("retries").and_then(Json::as_f64).map(|v| v as u32);
-    let threshold = req
-        .body
-        .get("breaker_threshold")
-        .and_then(Json::as_f64)
-        .map(|v| v as u32);
-    let cooldown = req.body.get("cooldown_ms").and_then(Json::as_f64).map(|v| v as u64);
+    let retries = req.body.field("retries").as_f64().map(|v| v as u32);
+    let threshold = req.body.field("breaker_threshold").as_f64().map(|v| v as u32);
+    let cooldown = req.body.field("cooldown_ms").as_f64().map(|v| v as u64);
     let resilient = retries.is_some() || threshold.is_some() || cooldown.is_some();
     if resilient {
         let mut policy = RetryPolicy::default();
@@ -739,17 +856,20 @@ fn register_flaky(req: &Request, s: &mut SessionState) -> OpResult {
 fn rows_param(req: &Request, key: &str) -> Result<Vec<Vec<String>>, (ErrorKind, String)> {
     let arr = req
         .body
-        .field(key)
-        .map_err(bad)?
-        .as_array()
-        .ok_or_else(|| (ErrorKind::BadRequest, format!("{key:?} must be an array")))?;
-    arr.iter()
+        .get(key)
+        .ok_or_else(|| bad(JsonError::new(format!("missing field {key:?}"))))?;
+    if !arr.is_arr() {
+        return Err((ErrorKind::BadRequest, format!("{key:?} must be an array")));
+    }
+    arr.items()
         .map(|row| {
-            row.as_array()
-                .ok_or_else(|| {
-                    (ErrorKind::BadRequest, format!("{key:?} must hold arrays of strings"))
-                })?
-                .iter()
+            if !row.is_arr() {
+                return Err((
+                    ErrorKind::BadRequest,
+                    format!("{key:?} must hold arrays of strings"),
+                ));
+            }
+            row.items()
                 .map(|c| {
                     c.as_str().map(str::to_string).ok_or_else(|| {
                         (ErrorKind::BadRequest, format!("{key:?} cells must be strings"))

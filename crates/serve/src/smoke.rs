@@ -496,6 +496,81 @@ pub fn run_recover_default() -> Result<RecoverSummary, String> {
     Ok(RecoverSummary { journaled, replayed, probes: probes.len() })
 }
 
+/// Summary of a [`run_herd`] sweep: many shared-world sessions on one
+/// server, with the marginal per-session memory cost measured by
+/// differencing allocator snapshots around the bulk creation.
+#[derive(Debug, Clone)]
+pub struct HerdReport {
+    /// Shared-world sessions created.
+    pub sessions: usize,
+    /// Net live-byte growth per session during the bulk creation.
+    pub marginal_bytes_per_session: f64,
+    /// Sessions that fit in one GiB at that marginal cost.
+    pub sessions_per_gb: f64,
+    /// Probe requests answered `ok:true` (render + stats + autocomplete
+    /// on a sample of the herd).
+    pub probes_ok: u64,
+}
+
+/// The 10k-session herd smoke: create `sessions` copy-on-write sessions
+/// over one shared world, measure the marginal per-session memory via
+/// `snap` (a [`CountingAlloc`](copycat_util::bench::CountingAlloc)
+/// snapshot hook installed by the caller's binary), and probe a sample
+/// of the herd end to end. Fails if any probe errs or if the marginal
+/// cost implies fewer than `floor_sessions_per_gb` sessions per GiB.
+pub fn run_herd(
+    server: &Server,
+    sessions: usize,
+    floor_sessions_per_gb: f64,
+    snap: &dyn Fn() -> copycat_util::bench::AllocSnapshot,
+) -> Result<HerdReport, String> {
+    let world = "\"world\":{\"seed\":2009,\"venues\":6}";
+    let create = |name: &str| {
+        let resp = server
+            .handle_line(&format!("{{\"id\":0,\"op\":\"create_session\",\"session\":{},{world}}}", esc(name)));
+        if resp.contains("\"ok\":true") { Ok(()) } else { Err(format!("create {name}: {resp}")) }
+    };
+    // Warm rounds pay the one-time costs (shared world build, scratch
+    // pools, registry shards) outside the measured window.
+    let warm = 64.min(sessions / 4).max(1);
+    for i in 0..warm {
+        create(&format!("herd-warm-{i}"))?;
+    }
+    let before = snap();
+    for i in 0..sessions {
+        create(&format!("herd-{i}"))?;
+    }
+    let after = snap();
+    let marginal = after.live_growth_since(&before).max(1) as f64 / sessions as f64;
+    let sessions_per_gb = (1u64 << 30) as f64 / marginal;
+
+    // Probe a spread of the herd: every session sampled must answer
+    // the interactive hot path.
+    let mut probes_ok = 0u64;
+    let stride = (sessions / 16).max(1);
+    for i in (0..sessions).step_by(stride) {
+        let s = esc(&format!("herd-{i}"));
+        for line in [
+            format!("{{\"id\":1,\"op\":\"render\",\"session\":{s}}}"),
+            format!("{{\"id\":2,\"op\":\"session_stats\",\"session\":{s}}}"),
+            format!("{{\"id\":3,\"op\":\"autocomplete\",\"session\":{s},\"values\":[\"a\"],\"k\":1}}"),
+        ] {
+            let resp = server.handle_line(&line);
+            if !resp.contains("\"ok\":true") {
+                return Err(format!("herd probe failed: {line} -> {resp}"));
+            }
+            probes_ok += 1;
+        }
+    }
+    if sessions_per_gb < floor_sessions_per_gb {
+        return Err(format!(
+            "marginal session cost too high: {marginal:.0} B/session \
+             ({sessions_per_gb:.0} sessions/GiB < floor {floor_sessions_per_gb:.0})"
+        ));
+    }
+    Ok(HerdReport { sessions, marginal_bytes_per_session: marginal, sessions_per_gb, probes_ok })
+}
+
 fn rows_of(j: &Json) -> Vec<Vec<String>> {
     j.as_array()
         .map(|rows| {

@@ -453,6 +453,83 @@ fn recovery_restores_all_tenants_and_survives_torn_tails() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Copy-on-write worlds recover like flat sessions: a `create_session`
+/// carrying a `"world"` config is journaled, so replay rebuilds the
+/// session over a deterministically reconstructed shared base —
+/// [`WorldBase::synthetic`] is a pure function of the config — and
+/// every follow-up request lands on byte-identical state.
+#[test]
+fn shared_world_sessions_kill_and_recover_byte_identically() {
+    // Fetch world-consistent probe values once: the same seed produces
+    // the same world inside the shared base.
+    let throwaway = copycat_serve::Server::with_defaults();
+    let _ = throwaway.handle("{\"id\":0,\"op\":\"create_session\",\"session\":\"x\"}");
+    let world = throwaway.handle(
+        "{\"id\":1,\"op\":\"register_world\",\"session\":\"x\",\"seed\":7,\"venues\":6}",
+    );
+    assert_eq!(world["ok"].as_bool(), Some(true), "{world}");
+    let street = world["result"]["shelters"][0][1].to_string();
+    let phone = world["result"]["contacts"][0][1].to_string();
+    throwaway.shutdown();
+
+    let lines = vec![
+        "{\"id\":1,\"op\":\"create_session\",\"session\":\"cow\",\
+         \"world\":{\"seed\":7,\"venues\":6}}"
+            .to_string(),
+        // The shared base answers autocomplete with no per-session
+        // import: Shelters and Contacts live in the frozen prefix.
+        format!(
+            "{{\"id\":2,\"op\":\"autocomplete\",\"session\":\"cow\",\
+             \"values\":[{street},{phone}],\"k\":3}}"
+        ),
+        "{\"id\":3,\"op\":\"feedback\",\"session\":\"cow\",\"accept\":0}".to_string(),
+        // Session-local growth layered over the shared base.
+        "{\"id\":4,\"op\":\"open_doc\",\"session\":\"cow\",\"name\":\"Notes\",\
+         \"headers\":[\"K\",\"V\"],\"rows\":[[\"a\",\"1\"],[\"b\",\"2\"]]}"
+            .to_string(),
+        "{\"id\":5,\"op\":\"paste\",\"session\":\"cow\",\"doc\":0,\"values\":[\"a\",\"1\"]}"
+            .to_string(),
+        "{\"id\":6,\"op\":\"accept_rows\",\"session\":\"cow\"}".to_string(),
+        "{\"id\":7,\"op\":\"commit_source\",\"session\":\"cow\",\"name\":\"Notes\"}".to_string(),
+    ];
+
+    let root = temp_root("cow");
+    let config = || RouterConfig {
+        shards: 2,
+        server: small_server(),
+        store_root: Some(root.clone()),
+        snapshot_every: 3,
+        sync_every: 1,
+        ..RouterConfig::default()
+    };
+    let durable = Router::new(config());
+    for resp in drive(&durable, &lines) {
+        let j = Json::parse(&resp).expect("json");
+        assert_eq!(j["ok"].as_bool(), Some(true), "{resp}");
+    }
+    drop(durable); // crash
+
+    let recovered = Router::recover(config()).expect("recovery");
+    let control = Router::new(RouterConfig {
+        shards: 2,
+        server: small_server(),
+        ..RouterConfig::default()
+    });
+    drive(&control, &lines);
+    assert_eq!(drive(&recovered, &probes("cow")), drive(&control, &probes("cow")));
+    // And the recovered overlay session keeps answering from the
+    // shared world identically.
+    let more = format!(
+        "{{\"id\":950,\"op\":\"autocomplete\",\"session\":\"cow\",\
+         \"values\":[{street},{phone}],\"k\":2}}"
+    );
+    assert_eq!(recovered.handle_line(&more), control.handle_line(&more));
+
+    recovered.shutdown();
+    control.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// `close_session` is a durable close: the on-disk state is removed
 /// and a recovery does not resurrect the tenant.
 #[test]

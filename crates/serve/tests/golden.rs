@@ -144,6 +144,46 @@ fn golden_wire_transcript() {
     assert_golden("wire_transcript.txt", &transcript);
 }
 
+/// The binary framing against the committed transcript: every request
+/// in the golden fixture, driven through [`Server::handle_frame`], must
+/// produce exactly `encode_frame(parse(fixture_response))` — the two
+/// framings are byte-equivalent views of one protocol.
+#[test]
+fn golden_frame_equivalence() {
+    use copycat_serve::frame::{decode_frame, encode_frame};
+    let fixture = std::fs::read_to_string(fixture_path("wire_transcript.txt"))
+        .expect("committed wire transcript");
+    let lines: Vec<&str> = fixture.lines().collect();
+    let server = Server::with_defaults();
+    let mut checked = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let Some(request) = line.strip_prefix(">> ") else { continue };
+        // Unparseable request lines exercise the JSON lexer; they have
+        // no frame representation. Drive them down the line path so the
+        // framed server visits every state the fixture's server did.
+        let Ok(req_value) = Json::parse(request) else {
+            let _ = server.handle_line(request);
+            continue;
+        };
+        let frame_resp = server.handle_frame(&encode_frame(&req_value));
+        let (decoded, used) = decode_frame(&frame_resp).expect("response frame decodes");
+        assert_eq!(used, frame_resp.len(), "one frame per response");
+        let Some(expected) = lines.get(i + 1).and_then(|l| l.strip_prefix("<< ")) else {
+            continue;
+        };
+        if expected.starts_with("stats (") {
+            // Shape-only in the fixture (values carry timing).
+            assert_eq!(decoded["ok"].as_bool(), Some(true), "stats over frames");
+            continue;
+        }
+        assert_eq!(decoded.to_string(), expected, "frame response diverged for {request}");
+        let expected_frame = encode_frame(&Json::parse(expected).expect("fixture response parses"));
+        assert_eq!(frame_resp, expected_frame, "frame bytes diverged for {request}");
+        checked += 1;
+    }
+    assert!(checked >= 25, "transcript exercised over frames ({checked} exchanges)");
+}
+
 /// The `SavedSession` document — now carrying `health` (breaker and
 /// retry state) and `probes` (fault-injection counters) — pinned
 /// byte-for-byte. This is the durability format: WAL checkpoints and
@@ -172,6 +212,38 @@ fn golden_saved_session_document() {
     let mut doc = snapshot;
     doc.push('\n');
     assert_golden("saved_session.json", &doc);
+}
+
+/// Backward compatibility: the committed `SavedSession` fixture —
+/// written before copy-on-write worlds existed — still loads into a
+/// live (flat) session. Snapshots taken by earlier releases must stay
+/// loadable after the CoW refactor.
+#[test]
+fn pre_cow_saved_session_fixture_loads() {
+    let snapshot =
+        std::fs::read_to_string(fixture_path("saved_session.json")).expect("committed fixture");
+    let server = Server::with_defaults();
+    let request = Json::obj(vec![
+        ("id".to_string(), Json::Num(1.0)),
+        ("op".to_string(), Json::str("load_session")),
+        ("session".to_string(), Json::str("legacy")),
+        ("snapshot".to_string(), Json::str(snapshot.trim_end())),
+    ])
+    .to_string();
+    let resp = server.handle_line(&request);
+    let j = Json::parse(&resp).expect("json");
+    assert_eq!(j["ok"].as_bool(), Some(true), "pre-CoW snapshot rejected: {resp}");
+    // The loaded session answers queries: render and stats both work.
+    let render = server.handle_line("{\"id\":2,\"op\":\"render\",\"session\":\"legacy\"}");
+    assert!(render.contains("\"ok\":true"), "{render}");
+    let stats = server.handle_line("{\"id\":3,\"op\":\"session_stats\",\"session\":\"legacy\"}");
+    let sj = Json::parse(&stats).expect("json");
+    assert_eq!(sj["ok"].as_bool(), Some(true), "{stats}");
+    assert!(
+        sj["result"]["relations"].as_f64().is_some_and(|n| n >= 1.0),
+        "loaded session carries its relations: {stats}"
+    );
+    server.shutdown();
 }
 
 /// The server `stats` document's key shape (values are timing).

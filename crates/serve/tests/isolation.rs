@@ -1,0 +1,183 @@
+//! Cross-session isolation under copy-on-write worlds.
+//!
+//! Sessions created with a `"world"` config share one frozen
+//! [`WorldBase`] — corpus, type registry, graph prefix, and services
+//! live behind a single `Arc`. The contract: sharing is **read-only**.
+//! No sequence of mutating requests on one session (imports, commits,
+//! feedback, probes) may change anything a sibling session observes.
+//! The property test below hammers one session with a seeded random
+//! workload and asserts the sibling's full observable surface — render,
+//! export, stats, autocomplete answers, saved snapshot — is
+//! byte-identical before and after.
+
+use copycat_serve::server::{Server, ServerConfig};
+use copycat_util::check::check;
+use copycat_util::json::Json;
+
+fn small() -> Server {
+    Server::new(ServerConfig { workers: 2, queue_depth: 64, shards: 4 })
+}
+
+const WORLD: &str = "\"world\":{\"seed\":2009,\"venues\":6}";
+
+/// World-derived probe values (a shelter street and a contact phone)
+/// for the fixed seed above: `register_world` with the same seed
+/// builds the same rows the shared base was frozen from.
+fn world_values() -> (String, String) {
+    let server = small();
+    let _ = server.handle("{\"id\":0,\"op\":\"create_session\",\"session\":\"w\"}");
+    let world = server
+        .handle("{\"id\":1,\"op\":\"register_world\",\"session\":\"w\",\"seed\":2009,\"venues\":6}");
+    assert_eq!(world["ok"].as_bool(), Some(true), "{world}");
+    let street = world["result"]["shelters"][0][1].to_string();
+    let phone = world["result"]["contacts"][0][1].to_string();
+    server.shutdown();
+    (street, phone)
+}
+
+/// The sibling's observable surface, as raw response bytes. Includes
+/// an autocomplete over world values — the query that reads the
+/// *shared* graph — and the session snapshot document. (`session_stats`
+/// is checked separately: its query-cache counters are cumulative, so
+/// the act of observing changes them.)
+fn observe(server: &Server, session: &str, street: &str, phone: &str) -> Vec<String> {
+    let s = Json::str(session).to_string();
+    [
+        format!("{{\"id\":800,\"op\":\"render\",\"session\":{s}}}"),
+        format!("{{\"id\":801,\"op\":\"export\",\"session\":{s},\"format\":\"csv\"}}"),
+        format!(
+            "{{\"id\":803,\"op\":\"autocomplete\",\"session\":{s},\
+             \"values\":[{street},{phone}],\"k\":3}}"
+        ),
+        format!("{{\"id\":804,\"op\":\"save_session\",\"session\":{s}}}"),
+    ]
+    .iter()
+    .map(|l| server.handle_line(l))
+    .collect()
+}
+
+/// `session_stats` with the cumulative query-cache counters split out:
+/// `(structural-stats-json, invalidations)`.
+fn stats_of(server: &Server, session: &str) -> (String, f64) {
+    let j = server.handle(&format!(
+        "{{\"id\":802,\"op\":\"session_stats\",\"session\":{}}}",
+        Json::str(session)
+    ));
+    let invalidations = j["result"]["query_cache"]["invalidations"].as_f64().unwrap_or(-1.0);
+    let structural = match &j["result"] {
+        Json::Obj(fields) => Json::Obj(
+            fields.iter().filter(|(k, _)| k.as_str() != "query_cache").cloned().collect(),
+        ),
+        other => other.clone(),
+    };
+    (structural.to_string(), invalidations)
+}
+
+#[test]
+fn prop_shared_world_sessions_are_isolated() {
+    let (street, phone) = world_values();
+    check("shared_world_isolation", 6, &[], |g| {
+        let server = small();
+        for name in ["a", "b"] {
+            let resp = server.handle(&format!(
+                "{{\"id\":1,\"op\":\"create_session\",\"session\":\"{name}\",{WORLD}}}"
+            ));
+            copycat_util::prop_ensure!(
+                resp["result"]["world"]["shared"].as_bool() == Some(true),
+                "shared-world session: {resp}"
+            );
+        }
+        let baseline = observe(&server, "b", &street, &phone);
+        let (stats_before, _) = stats_of(&server, "b");
+        let relations_before = Json::parse(&stats_before)
+            .ok()
+            .and_then(|j| j["result"]["relations"].as_f64());
+
+        // A seeded random storm of mutations on "a": a full two-phase
+        // import (randomized rows) plus interleaved probes/feedback.
+        let esc = |s: &str| Json::str(s).to_string();
+        let rows = g.usize_in(2..6);
+        let mut lines = Vec::new();
+        let mut cells: Vec<Vec<String>> = Vec::new();
+        for i in 0..rows {
+            cells.push(vec![
+                format!("Aux-{i}-{}", g.usize_in(0..1000)),
+                format!("{} Elm St", g.usize_in(1..500)),
+            ]);
+        }
+        let rendered: Vec<String> = cells
+            .iter()
+            .map(|r| format!("[{}]", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")))
+            .collect();
+        lines.push(format!(
+            "{{\"id\":10,\"op\":\"open_doc\",\"session\":\"a\",\"name\":\"Aux\",\
+             \"headers\":[\"Venue\",\"Street\"],\"rows\":[{}]}}",
+            rendered.join(",")
+        ));
+        for row in &cells {
+            lines.push(format!(
+                "{{\"id\":11,\"op\":\"paste\",\"session\":\"a\",\"doc\":0,\"values\":[{}]}}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            ));
+            if g.bool_p(0.5) {
+                lines.push(format!(
+                    "{{\"id\":12,\"op\":\"autocomplete\",\"session\":\"a\",\
+                     \"values\":[{street}],\"k\":{}}}",
+                    g.usize_in(1..5)
+                ));
+            }
+            if g.bool_p(0.3) {
+                lines.push(format!(
+                    "{{\"id\":13,\"op\":\"feedback\",\"session\":\"a\",\"accept\":{}}}",
+                    g.usize_in(0..3)
+                ));
+            }
+        }
+        lines.push("{\"id\":14,\"op\":\"accept_rows\",\"session\":\"a\"}".to_string());
+        lines.push(
+            "{\"id\":15,\"op\":\"name_column\",\"session\":\"a\",\"col\":0,\"name\":\"Venue\"}"
+                .to_string(),
+        );
+        lines.push(
+            "{\"id\":16,\"op\":\"commit_source\",\"session\":\"a\",\"name\":\"Aux\"}".to_string(),
+        );
+        lines.push("{\"id\":17,\"op\":\"render\",\"session\":\"a\"}".to_string());
+        for line in &lines {
+            // Feedback may hit an empty query list; everything else
+            // must succeed so the storm is a real mutation workload.
+            let resp = server.handle_line(line);
+            if !line.contains("\"feedback\"") {
+                copycat_util::prop_ensure!(
+                    resp.contains("\"ok\":true"),
+                    "mutation failed: {line} -> {resp}"
+                );
+            }
+        }
+
+        // Sanity: "a" really did grow past the shared base…
+        let a_stats = server.handle("{\"id\":18,\"op\":\"session_stats\",\"session\":\"a\"}");
+        let a_relations = a_stats["result"]["relations"].as_f64();
+        copycat_util::prop_ensure!(
+            a_relations > relations_before,
+            "storm committed a relation on \"a\": {a_relations:?} vs {relations_before:?}"
+        );
+        // …and "b" observed none of it, byte for byte.
+        let after = observe(&server, "b", &street, &phone);
+        copycat_util::prop_ensure_eq!(
+            after,
+            baseline,
+            "sibling session observed another tenant's edits through the shared world"
+        );
+        // Structural stats are unchanged and the storm never
+        // invalidated "b"'s query cache — a leaked graph mutation
+        // would bump its graph version and show up here.
+        let (stats_after, invalidations) = stats_of(&server, "b");
+        copycat_util::prop_ensure_eq!(stats_after, stats_before, "sibling stats drifted");
+        copycat_util::prop_ensure!(
+            invalidations == 0.0,
+            "sibling query cache invalidated by another tenant: {invalidations}"
+        );
+        server.shutdown();
+        Ok(())
+    });
+}

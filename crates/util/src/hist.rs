@@ -2,30 +2,48 @@
 //!
 //! The serving layer's metrics registry wants per-request-class latency
 //! quantiles that many worker threads can record into without
-//! coordination. [`Histogram`] uses a fixed 1–2–5 bucket ladder over
+//! coordination. [`Histogram`] uses a fixed bucket ladder over
 //! microseconds (1µs … 10s, plus an overflow bucket) and atomic
 //! counters, so `record` is a single `fetch_add` and quantiles are a
-//! cumulative walk at read time. Quantiles report a bucket's upper
-//! bound — an over-estimate never off by more than the ladder's step
-//! (≤2.5×), which is plenty for p50/p99 dashboards and regression
-//! tracking.
+//! cumulative walk at read time. Below 1ms — where the serve hot path
+//! lives — the ladder is a dense 1–1.5–2–3–5–7 progression (≤1.5×
+//! step), so sub-millisecond p50 shifts of a few tens of percent are
+//! visible instead of quantized away; above 1ms it stays the coarser
+//! 1–2–5 ladder. Quantiles report a bucket's upper bound — an
+//! over-estimate never off by more than the ladder's step, which is
+//! plenty for p50/p99 dashboards and regression tracking.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Bucket upper bounds in microseconds: a 1–2–5 ladder from 1µs to 10s.
-pub const BUCKET_BOUNDS_US: [u64; 22] = [
-    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
-    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+/// Bucket upper bounds in microseconds: a dense 1–1.5–2–3–5–7 ladder up
+/// to 1ms (sub-ms latencies resolve to ≤1.5×), then 1–2–5 to 10s.
+pub const BUCKET_BOUNDS_US: [u64; 34] = [
+    1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100, 150, 200, 300, 500, 700, 1_000, 2_000, 5_000,
+    10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+    // A short coarse tail so multi-second outliers still rank above
+    // 10s instead of all collapsing into one overflow bucket.
+    20_000_000, 50_000_000, 100_000_000, 200_000_000,
 ];
 
 /// A concurrent fixed-bucket histogram of microsecond values.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Histogram {
     /// One counter per bound, plus a final overflow bucket.
     buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
     count: AtomicU64,
     sum_us: AtomicU64,
     max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A point-in-time read of a histogram.
@@ -151,10 +169,30 @@ mod tests {
     }
 
     #[test]
+    fn sub_millisecond_buckets_resolve_fine_shifts() {
+        // A 30µs-centered workload and a 45µs-centered workload land in
+        // different buckets (30 vs 50) — the old 1-2-5 ladder reported
+        // 50 for both, hiding sub-ms improvements.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..100 {
+            a.record_us(28);
+            b.record_us(44);
+        }
+        assert_eq!(a.snapshot().p50_us, 30);
+        assert_eq!(b.snapshot().p50_us, 50);
+        // The ladder keeps its original coarse bounds too, so pinned
+        // quantiles from the 1-2-5 era (500, 1000, …) stay bounds.
+        for bound in [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000] {
+            assert!(BUCKET_BOUNDS_US.contains(&bound), "missing bound {bound}");
+        }
+    }
+
+    #[test]
     fn overflow_reports_observed_max() {
         let h = Histogram::new();
-        h.record_us(99_000_000);
-        assert_eq!(h.quantile_us(0.5), 99_000_000);
+        h.record_us(999_000_000);
+        assert_eq!(h.quantile_us(0.5), 999_000_000);
     }
 
     #[test]

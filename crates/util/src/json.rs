@@ -138,6 +138,13 @@ impl Json {
         out
     }
 
+    /// Append the compact serialization to an existing buffer — the
+    /// allocation-free form of [`Json::to_string`] for callers that
+    /// assemble responses in a reused scratch buffer.
+    pub fn write_compact(&self, out: &mut String) {
+        self.write(out, None, 0);
+    }
+
     /// Human-readable serialization (2-space indent).
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -217,14 +224,17 @@ impl Json {
 /// cast-to-`i64` fast path — keeps the sign of `-0.0` (`-0`), so
 /// serialize→parse→serialize is byte-identical for every finite
 /// number. WAL replay and snapshot diffing rely on that fixpoint.
-fn format_number(n: f64) -> String {
+pub(crate) fn format_number(n: f64) -> String {
     if !n.is_finite() {
         return "null".to_string();
     }
     format!("{n}")
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+/// Append the canonical JSON string literal for `s` (quotes included)
+/// — the escaping [`Json::to_string`] uses, exposed for protocol code
+/// that serializes into reused buffers.
+pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -29,6 +29,10 @@
 //!   (replaces `crc32fast`).
 //! - [`varint`] — LEB128 length prefixes for the WAL's record framing
 //!   (replaces `integer-encoding`).
+//! - [`zjson`] — a zero-copy flat-DOM JSON parser sharing [`json`]'s
+//!   grammar: escape-free strings become spans into the input line,
+//!   and a warm doc parses with zero heap allocations (the serve hot
+//!   path's parser).
 //!
 //! Every generator in this crate is deterministic per seed, so bench
 //! tables and property tests are bit-reproducible across runs on the
@@ -44,6 +48,7 @@ pub mod json;
 pub mod rng;
 pub mod sync;
 pub mod varint;
+pub mod zjson;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{FromJson, Json, JsonError, ToJson};

@@ -6,13 +6,20 @@
 #     {nodes, terminals, exact_us, spcsh_us, ratio}; exact_us/ratio are
 #     null where the exact solve is out of the sweep's range.
 #   BENCH_serve.json — the serve-layer sweeps as
-#     {"load": …, "recovery": …, "cross_shard": …}. "load" rows are
-#     {clients, requests, ok, elapsed_us, throughput_rps, p50_us,
-#     p99_us}; "recovery" rows are kill-and-recover timings {records,
-#     snapshot_every, journal_elapsed_us, recover_us, replayed,
-#     snapshots, intact}; "cross_shard" rows are router throughput +
-#     live-migration cost {shards, clients, requests, ok, elapsed_us,
-#     throughput_rps, migrate_mean_us, migrations}.
+#     {"load": …, "recovery": …, "cross_shard": …, "mem": …, "herd": …}.
+#     "load" rows are {clients, requests, ok, elapsed_us,
+#     throughput_rps, p50_us, p99_us}; "recovery" rows are
+#     kill-and-recover timings {records, snapshot_every,
+#     journal_elapsed_us, recover_us, replayed, snapshots, intact};
+#     "cross_shard" rows are router throughput + live-migration cost
+#     {shards, clients, requests, ok, elapsed_us, throughput_rps,
+#     migrate_mean_us, migrations}; "mem" is the copy-on-write memory
+#     experiment {rows: [{mode, sessions, marginal_bytes_per_session,
+#     sessions_per_gb, allocs_per_request}], reduction_x} comparing flat
+#     private worlds to shared-WorldBase overlays; "herd" is the
+#     10k-session sweep {sessions, create_elapsed_us, requests, ok,
+#     elapsed_us, throughput_rps, p50_us, p99_us,
+#     marginal_bytes_per_session, sessions_per_gb}.
 #   BENCH_faults.json — the F1 fault-tolerance sweep (failure rate x
 #     {no-retry, retry, retry+failover}). Rows are {rate, mode,
 #     completeness, degraded, virtual_ms, retries, trips}; virtual_ms is

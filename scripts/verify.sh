@@ -25,6 +25,10 @@ cargo run --release --offline -p copycat-serve -- chaos
 # without shutdown), recovers from snapshot + WAL, and must answer
 # byte-identically to a never-crashed control.
 cargo run --release --offline -p copycat-serve -- recover
+# Herd smoke: 10k copy-on-write sessions over one shared world on one
+# server; probes a sample end to end and asserts the marginal memory
+# cost keeps >=100k sessions per GiB.
+cargo run --release --offline -p copycat-serve -- herd
 # Smoke: the perf-trajectory emitter runs and produces non-empty JSON
 # (no timing assertions — numbers vary by machine).
 scripts/bench_json.sh
