@@ -9,7 +9,7 @@
 use copycat_bench::table::{dur, f1, f3, TextTable};
 use copycat_bench::{
     ablations, chaos_sweep, e1_keystrokes, e2_feedback, e3_steiner, e4_structure, e5_column,
-    e6_semantic, e7_linkage, e8_figure4, serve_load,
+    e6_semantic, e7_linkage, e8_figure4, serve_load, transform_sweep,
 };
 use copycat_util::bench::CountingAlloc;
 use std::fmt::Write;
@@ -435,6 +435,48 @@ fn faults_json() -> String {
     chaos_sweep::rows_to_json(&chaos_sweep::run(FAULT_RATES)).to_string()
 }
 
+/// The sweep behind both the T1 table and `BENCH_transform.json`.
+const TRANSFORM_SIZES: &[usize] = &[10, 30];
+
+fn section_transforms() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== T1: transform synthesis (messy-format world, service-only vs learned) ==\n"
+    )
+    .unwrap();
+    let rows = transform_sweep::run(TRANSFORM_SIZES);
+    let mut t = TextTable::new(&[
+        "venues",
+        "mode",
+        "completeness",
+        "learn ms",
+        "suggest ms",
+        "amortized ms/row",
+        "program",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.venues.to_string(),
+            r.mode.to_string(),
+            f3(r.completeness),
+            f3(r.learn_ms),
+            f3(r.suggest_ms),
+            f3(r.amortized_ms),
+            if r.program.is_empty() { "-".into() } else { r.program.clone() },
+        ]);
+    }
+    writeln!(out, "{}", t.render()).unwrap();
+    out
+}
+
+/// `harness -- transforms-json`: the T1 sweep as machine-readable JSON
+/// on stdout (consumed by `scripts/bench_json.sh` into
+/// `BENCH_transform.json`).
+fn transforms_json() -> String {
+    transform_sweep::rows_to_json(&transform_sweep::run(TRANSFORM_SIZES)).to_string()
+}
+
 fn section_a1() -> String {
     let mut out = String::new();
     writeln!(
@@ -506,6 +548,10 @@ fn main() {
         println!("{}", faults_json());
         return;
     }
+    if which.iter().any(|w| w == "transforms-json") {
+        println!("{}", transforms_json());
+        return;
+    }
     let all = which.is_empty() || which.iter().any(|w| w == "all");
     let want = |name: &str| all || which.iter().any(|w| w == name);
 
@@ -520,6 +566,7 @@ fn main() {
         ("e8", section_e8),
         ("serve", section_serve),
         ("faults", section_faults),
+        ("transforms", section_transforms),
         ("a1", section_a1),
         ("a2", section_a2),
         ("a3", section_a3),

@@ -19,3 +19,4 @@ pub mod e8_figure4;
 pub mod gen;
 pub mod serve_load;
 pub mod table;
+pub mod transform_sweep;

@@ -86,8 +86,31 @@ pub fn column_suggestions(
             (edge.b, edge.a)
         };
         let outside_node = graph.node(outside);
-        let label = format!("Q:{}+{}", graph.node(inside).name, outside_node.name);
+        let mut label = format!("Q:{}+{}", graph.node(inside).name, outside_node.name);
         let plan = match &edge.kind {
+            EdgeKind::Transform { from, to, program } => {
+                // Directional: the program maps a's `from` into b's
+                // `to`, so only expand away from the source side.
+                if !inside_is_a {
+                    continue;
+                }
+                if current_schema.index_of(from).is_none() {
+                    continue;
+                }
+                label = format!(
+                    "T:{}+{} via {program}",
+                    graph.node(inside).name,
+                    outside_node.name
+                );
+                let derived = format!("{from}→{to}");
+                current_plan
+                    .clone()
+                    .derive(from.clone(), derived.clone(), program.clone())
+                    .join(
+                        Plan::scan(outside_node.name.clone()),
+                        &[(derived.as_str(), to.as_str())],
+                    )
+            }
             EdgeKind::Bind { bindings } => {
                 if outside_node.kind != NodeKind::Service {
                     continue; // binds expand toward the service only
@@ -417,6 +440,26 @@ fn expand_plan(
                         // relation is not: defer (another edge may bring
                         // the relation in); if nothing else progresses we
                         // give up below.
+                        false
+                    }
+                }
+                EdgeKind::Transform { from, to, program } => {
+                    if inside == edge.a {
+                        // Derive the transformed join key, then equi-join
+                        // it against the target column.
+                        let derived = format!("{from}→{to}");
+                        plan = plan
+                            .clone()
+                            .derive(from.clone(), derived.clone(), program.clone())
+                            .join(
+                                Plan::scan(outside_node.name.clone()),
+                                &[(derived.as_str(), to.as_str())],
+                            );
+                        true
+                    } else {
+                        // Programs are one-way: a tree reaching the
+                        // source side through its target must wait for
+                        // another edge to bring the source in.
                         false
                     }
                 }

@@ -113,6 +113,9 @@ struct Snapshot {
     current_plan: Option<Plan>,
     current_nodes: Vec<NodeId>,
     edge_costs: Vec<f64>,
+    /// Edge count at checkpoint time: edges added later (e.g. learned
+    /// transform edges) are removed again by undo.
+    edge_count: usize,
     tab_queries: copycat_util::hash::FxHashMap<usize, (Plan, Vec<NodeId>)>,
     mode: Mode,
 }
@@ -136,6 +139,29 @@ pub struct TupleRejection {
     /// Source relations whose wrappers were refined, with the number of
     /// rows their re-extraction now yields.
     pub refined_sources: Vec<(String, usize)>,
+}
+
+/// A learned transform surfaced as a first-class graph edge: the
+/// program, the columns it connects, and the cost the Steiner search
+/// ranks it by.
+#[derive(Debug, Clone)]
+pub struct LearnedTransform {
+    /// The graph edge carrying the program.
+    pub edge: EdgeId,
+    /// Source relation (the program's input side).
+    pub from_source: String,
+    /// Column of `from_source` the program reads.
+    pub from_col: String,
+    /// Target relation the derived value joins into.
+    pub to_source: String,
+    /// Column of `to_source` the derived value equals.
+    pub to_col: String,
+    /// The learned program (renders human-readably).
+    pub program: copycat_transform::Program,
+    /// Fraction of source values mapped into the target column.
+    pub coverage: f64,
+    /// The edge cost derived from program size + coverage.
+    pub cost: f64,
 }
 
 /// A proposed derived column learned from typed examples (§5 "complex
@@ -226,6 +252,7 @@ impl CopyCat {
             current_plan: self.current_plan.clone(),
             current_nodes: self.current_nodes.clone(),
             edge_costs: self.graph.edge_ids().map(|e| self.graph.cost(e)).collect(),
+            edge_count: self.graph.edge_count(),
             tab_queries: self.tab_queries.clone(),
             mode: self.mode,
         };
@@ -248,6 +275,11 @@ impl CopyCat {
         self.current_nodes = snap.current_nodes;
         self.tab_queries = snap.tab_queries;
         self.mode = snap.mode;
+        // Edges added since the checkpoint (learned transform edges,
+        // association edges of later commits) are removed outright —
+        // undoing a learned transform deletes its edge and bumps the
+        // graph version, so no cached ranking can resurrect it.
+        self.graph.truncate_edges(snap.edge_count);
         for (e, cost) in self
             .graph
             .edge_ids()
@@ -880,6 +912,142 @@ impl CopyCat {
         tab.name_column(col, name);
         self.transform_columns
             .insert(col, (sugg.program.clone(), sugg.examples.clone()));
+    }
+
+    // --- Transform edges (syntactic join-with-transformation) ----------
+
+    /// Learn a string-transform program from `(input, output)` example
+    /// pairs and surface it as a first-class graph edge from
+    /// `from_source.from_col` into `to_source.to_col`. The edge's cost
+    /// derives from program size and example coverage (the fraction of
+    /// source values the program maps into the target column), so the
+    /// Steiner search and MIRA treat it exactly like any service or
+    /// join edge. Returns `None` when either source is unknown or no
+    /// bounded program is consistent with the examples.
+    pub fn learn_transform(
+        &mut self,
+        from_source: &str,
+        from_col: &str,
+        to_source: &str,
+        to_col: &str,
+        examples: &[(String, String)],
+    ) -> Option<LearnedTransform> {
+        let (Some(a), Some(b)) = (
+            self.graph.node_by_name(from_source),
+            self.graph.node_by_name(to_source),
+        ) else {
+            return None;
+        };
+        let program = copycat_transform::learn(examples)?;
+        let coverage = self.transform_coverage(&program, from_source, from_col, to_source, to_col);
+        let cost = copycat_transform::edge_cost(&program, coverage);
+        let kind = copycat_graph::EdgeKind::Transform {
+            from: from_col.to_string(),
+            to: to_col.to_string(),
+            program: program.clone(),
+        };
+        // Re-learning the same mapping refreshes the existing edge's
+        // cost instead of stacking duplicates.
+        let existing = self.graph.incident(a).iter().copied().find(|&e| {
+            let edge = self.graph.edge(e);
+            edge.a == a && edge.b == b && edge.kind == kind
+        });
+        let edge = match existing {
+            Some(e) => {
+                self.graph.set_cost(e, cost);
+                e
+            }
+            None => {
+                self.checkpoint();
+                self.graph.add_edge_with_cost(a, b, kind, cost)
+            }
+        };
+        Some(LearnedTransform {
+            edge,
+            from_source: from_source.to_string(),
+            from_col: from_col.to_string(),
+            to_source: to_source.to_string(),
+            to_col: to_col.to_string(),
+            program,
+            coverage,
+            cost,
+        })
+    }
+
+    /// Fraction of the source column's non-empty values the program
+    /// maps into the target column's value set. Missing relations or
+    /// columns count as zero coverage (the edge prices near the
+    /// relevance threshold but still exists for feedback to adjust).
+    fn transform_coverage(
+        &self,
+        program: &copycat_transform::Program,
+        from_source: &str,
+        from_col: &str,
+        to_source: &str,
+        to_col: &str,
+    ) -> f64 {
+        let (Some(from_rel), Some(to_rel)) = (
+            self.catalog.relation(from_source),
+            self.catalog.relation(to_source),
+        ) else {
+            return 0.0;
+        };
+        let (Some(fi), Some(ti)) = (
+            from_rel.schema().index_of(from_col),
+            to_rel.schema().index_of(to_col),
+        ) else {
+            return 0.0;
+        };
+        let targets: copycat_util::hash::FxHashSet<String> = to_rel
+            .tuples()
+            .iter()
+            .map(|t| t.values[ti].as_text())
+            .collect();
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for t in from_rel.tuples() {
+            let v = t.values[fi].as_text();
+            if v.is_empty() {
+                continue;
+            }
+            total += 1;
+            if program.apply(&v).is_some_and(|out| targets.contains(&out)) {
+                hit += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+
+    /// Every transform edge currently in the graph, in edge-id order.
+    pub fn list_transforms(&self) -> Vec<LearnedTransform> {
+        let mut out = Vec::new();
+        for e in self.graph.edge_ids() {
+            let edge = self.graph.edge(e);
+            let copycat_graph::EdgeKind::Transform { from, to, program } = &edge.kind else {
+                continue;
+            };
+            out.push(LearnedTransform {
+                edge: e,
+                from_source: self.graph.node(edge.a).name.clone(),
+                from_col: from.clone(),
+                to_source: self.graph.node(edge.b).name.clone(),
+                to_col: to.clone(),
+                program: program.clone(),
+                coverage: self.transform_coverage(
+                    program,
+                    &self.graph.node(edge.a).name,
+                    from,
+                    &self.graph.node(edge.b).name,
+                    to,
+                ),
+                cost: edge.weight,
+            });
+        }
+        out
     }
 
     // --- Cleaning mode & edit generalization (§5 "data cleaning") ------

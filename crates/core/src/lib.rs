@@ -39,7 +39,7 @@ pub mod world_base;
 
 pub use autocomplete::{ColumnSuggestion, ScoredQuery};
 pub use cache::{CacheStats, QueryCache};
-pub use engine::{CopyCat, EditEffect, Mode, TransformSuggestion, TupleRejection};
+pub use engine::{CopyCat, EditEffect, LearnedTransform, Mode, TransformSuggestion, TupleRejection};
 pub use explain::{explain, explain_row, Explanation};
 pub use formsvc::FormService;
 pub use scenario::{Scenario, ScenarioConfig};

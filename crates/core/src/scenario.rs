@@ -118,6 +118,29 @@ impl Scenario {
         self.engine.commit_source("Shelters")
     }
 
+    /// Import the county directory — the messy heterogeneous source
+    /// (venue casing noise, dashed phones, mixed date styles) — in a new
+    /// tab and commit it as `Directory`. Its phone format disagrees with
+    /// the contacts sheet, so joining the two requires a learned
+    /// transform.
+    pub fn import_directory(&mut self) -> usize {
+        let rows = self.world.directory_rows();
+        let sheet = contact_sheet(
+            "directory.xls",
+            &["Venue", "Phone", "Registered"],
+            rows.clone(),
+        );
+        let doc = self.engine.open(Document::Sheet(sheet));
+        self.engine.start_import_tab("directory");
+        let vals: Vec<&str> = rows[0].iter().map(String::as_str).collect();
+        self.engine.paste_example(doc, &vals);
+        self.engine.accept_suggested_rows();
+        self.engine.name_column(0, "Venue");
+        self.engine.name_column(1, "Phone");
+        self.engine.name_column(2, "Registered");
+        self.engine.commit_source("Directory")
+    }
+
     /// Import the contacts spreadsheet in a new tab and commit it.
     pub fn import_contacts(&mut self) -> usize {
         self.engine.start_import_tab("contacts");

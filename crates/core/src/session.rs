@@ -532,6 +532,42 @@ mod tests {
         assert!(restored.catalog().relation("Shelters").is_some());
     }
 
+    /// Learned transform edges round-trip through save/load with their
+    /// programs intact, and the committed pre-transform fixture (saved
+    /// before `EdgeKind::Transform` existed) still loads unchanged.
+    #[test]
+    fn transform_edges_round_trip_and_pre_transform_fixture_loads() {
+        let mut s = Scenario::build(&ScenarioConfig { venues: 10, ..Default::default() });
+        s.import_shelters(1);
+        s.import_contacts();
+        let learned = s
+            .engine
+            .learn_transform(
+                "Contacts",
+                "Phone",
+                "Shelters",
+                "Name",
+                &[
+                    ("(954) 555-1000".to_string(), "954-555-1000".to_string()),
+                    ("(954) 555-2000".to_string(), "954-555-2000".to_string()),
+                ],
+            )
+            .expect("consistent program");
+        let json = s.engine.save_session_json();
+        let restored = CopyCat::load_session_json(&json).expect("valid json");
+        let listed = restored.list_transforms();
+        assert_eq!(listed.len(), 1, "transform edge survives the round trip");
+        assert_eq!(listed[0].program, learned.program);
+        assert_eq!(listed[0].from_source, "Contacts");
+        assert_eq!(listed[0].to_source, "Shelters");
+
+        // A session snapshot from before transform synthesis existed.
+        let old = include_str!("../../serve/tests/golden/saved_session.json");
+        let restored = CopyCat::load_session_json(old).expect("pre-transform fixture loads");
+        assert!(restored.list_transforms().is_empty());
+        assert!(restored.catalog().relation("Shelters").is_some());
+    }
+
     #[test]
     fn wrappers_restore_detached_and_reattach() {
         let mut s = Scenario::build(&ScenarioConfig { venues: 8, ..Default::default() });

@@ -80,6 +80,12 @@ pub struct CopyEvent {
 }
 
 /// One observed paste into a grid-shaped workspace.
+///
+/// Retains both views of the pasted data: the verbatim clipboard text
+/// (via [`PasteEvent::raw`]) and the grid of cell values parsed from it.
+/// Downstream learners need both — structure induction works on the
+/// parsed cells, while example-driven transform synthesis needs the
+/// untouched source text, whitespace and punctuation included.
 #[derive(Debug, Clone)]
 pub struct PasteEvent {
     /// The copy being pasted.
@@ -88,6 +94,30 @@ pub struct PasteEvent {
     pub row: usize,
     /// Target column in the workspace grid.
     pub col: usize,
+    /// Cell values parsed from the clipboard text: rows split on
+    /// newlines, columns on tabs, mirroring how grid applications
+    /// interpret a TSV clipboard on paste.
+    pub values: Vec<Vec<String>>,
+}
+
+impl PasteEvent {
+    /// Record a paste of `copy` at grid position (`row`, `col`),
+    /// parsing the clipboard text into cells while keeping the raw
+    /// text available through [`PasteEvent::raw`].
+    pub fn new(copy: CopyEvent, row: usize, col: usize) -> Self {
+        let values = copy
+            .text
+            .split('\n')
+            .map(|line| line.split('\t').map(str::to_string).collect())
+            .collect();
+        PasteEvent { copy, row, col, values }
+    }
+
+    /// The verbatim copied source text, exactly as it left the source
+    /// application — the input side of a transform-synthesis example.
+    pub fn raw(&self) -> &str {
+        &self.copy.text
+    }
 }
 
 /// The monitored clipboard: owns registered documents and produces
@@ -193,6 +223,24 @@ mod tests {
         let id = cb.register(Document::Text(TextDocument::new("t", "hello")));
         let range = SheetRange::cell(CellAddr::new(0, 0));
         assert!(cb.copy(id, Selection::Cells(range)).is_none());
+    }
+
+    #[test]
+    fn paste_event_parses_cells_and_keeps_raw_text() {
+        let ev = PasteEvent::new(
+            Clipboard::copy_external("Ann\t(555) 010-0101\nBob\t(555) 010-0102"),
+            2,
+            1,
+        );
+        assert_eq!(ev.raw(), "Ann\t(555) 010-0101\nBob\t(555) 010-0102");
+        assert_eq!(
+            ev.values,
+            vec![
+                vec!["Ann".to_string(), "(555) 010-0101".to_string()],
+                vec!["Bob".to_string(), "(555) 010-0102".to_string()],
+            ]
+        );
+        assert_eq!((ev.row, ev.col), (2, 1));
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub enum EdgeKind {
         /// `(a column, b column)` pairs.
         pairs: Vec<(String, String)>,
     },
+    /// A learned string transform: `program` maps `a`'s `from` column
+    /// into `b`'s `to` column, so the two sides equi-join through the
+    /// derived value (WebRelate-style join-with-transformation).
+    Transform {
+        /// Column of `a` the program reads.
+        from: String,
+        /// Column of `b` the derived value joins against.
+        to: String,
+        /// The learned program (renders human-readably for provenance).
+        program: copycat_transform::Program,
+    },
 }
 
 /// A weighted association edge. `weight` is a *cost*: lower is more
@@ -158,6 +169,14 @@ impl ToJson for EdgeKind {
                 "Link".into(),
                 Json::obj(vec![("pairs".into(), pairs.to_json())]),
             )]),
+            EdgeKind::Transform { from, to, program } => Json::obj(vec![(
+                "Transform".into(),
+                Json::obj(vec![
+                    ("from".into(), from.to_json()),
+                    ("to".into(), to.to_json()),
+                    ("program".into(), program.to_json()),
+                ]),
+            )]),
         }
     }
 }
@@ -172,6 +191,13 @@ impl FromJson for EdgeKind {
         }
         if let Some(body) = j.get("Link") {
             return Ok(EdgeKind::Link { pairs: Vec::from_json(body.field("pairs")?)? });
+        }
+        if let Some(body) = j.get("Transform") {
+            return Ok(EdgeKind::Transform {
+                from: String::from_json(body.field("from")?)?,
+                to: String::from_json(body.field("to")?)?,
+                program: copycat_transform::Program::from_json(body.field("program")?)?,
+            });
         }
         Err(JsonError::expected("edge kind", j))
     }
@@ -449,6 +475,33 @@ impl SourceGraph {
         id
     }
 
+    /// Remove every edge with id ≥ `keep` (undo of edges added after a
+    /// checkpoint — e.g. a learned transform edge the user backed out
+    /// of). Only session-local edges can be removed; `keep` below the
+    /// shared base's edge count is clamped to it. Adjacency lists and
+    /// overlay merge lists are rewritten, and the version bumps once
+    /// when anything was actually removed, so version-keyed caches and
+    /// top-k rankings can never resurrect a truncated edge.
+    pub fn truncate_edges(&mut self, keep: usize) -> usize {
+        let base_edges = self.base_edges();
+        let keep = keep.max(base_edges);
+        let local_keep = keep - base_edges;
+        if local_keep >= self.edges.len() {
+            return 0;
+        }
+        let removed = self.edges.len() - local_keep;
+        self.edges.truncate(local_keep);
+        let cutoff = EdgeId(keep as u32);
+        for adj in &mut self.adjacency {
+            adj.retain(|&e| e < cutoff);
+        }
+        for merged in self.adj_overrides.values_mut() {
+            merged.retain(|&e| e < cutoff);
+        }
+        self.version += 1;
+        removed
+    }
+
     /// Node lookup by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
         if let Some(base) = &self.base {
@@ -629,6 +682,9 @@ impl fmt::Display for SourceGraph {
                     EdgeKind::Join { pairs } => format!("join {pairs:?}"),
                     EdgeKind::Bind { bindings } => format!("bind {bindings:?}"),
                     EdgeKind::Link { pairs } => format!("link {pairs:?}"),
+                    EdgeKind::Transform { from, to, program } => {
+                        format!("transform {from}→{to} via {program}")
+                    }
                 }
             )?;
         }

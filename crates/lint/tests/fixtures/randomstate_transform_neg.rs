@@ -1,0 +1,13 @@
+//! Fixture: the same transform-enumeration memo on the deterministic
+//! FxHash shims — memo hits and equal-cost tie-breaks replay
+//! identically on every run and thread.
+
+use copycat_util::hash::{FxHashMap, FxHashSet};
+
+pub fn memoized_enumeration(positions: &[usize]) -> usize {
+    let mut memo: FxHashMap<Vec<usize>, f64> = FxHashMap::default();
+    memo.insert(positions.to_vec(), 0.0);
+    let mut seen: FxHashSet<usize> = FxHashSet::default();
+    seen.extend(positions.iter().copied());
+    memo.len() + seen.len()
+}

@@ -1,0 +1,14 @@
+//! Fixture: a transform-enumeration memo on the random-seeded std
+//! hasher. The learner's tie-breaking walks memoized sub-programs; with
+//! RandomState the walk order (and thus which equal-cost program wins)
+//! would differ per process.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn memoized_enumeration(positions: &[usize]) -> usize {
+    let mut memo: HashMap<Vec<usize>, f64> = HashMap::new();
+    memo.insert(positions.to_vec(), 0.0);
+    let mut seen: HashSet<usize> = HashSet::new();
+    seen.extend(positions.iter().copied());
+    memo.len() + seen.len()
+}

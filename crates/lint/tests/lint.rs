@@ -22,6 +22,12 @@ const FIXTURES: &[(&str, &str, &str, &str)] = &[
         include_str!("fixtures/randomstate_neg.rs"),
     ),
     (
+        "randomstate",
+        "crates/transform/src/fixture.rs",
+        include_str!("fixtures/randomstate_transform_pos.rs"),
+        include_str!("fixtures/randomstate_transform_neg.rs"),
+    ),
+    (
         "panic-path",
         "crates/serve/src/fixture.rs",
         include_str!("fixtures/panic_path_pos.rs"),

@@ -180,6 +180,30 @@ fn eval(
                 .collect();
             Ok((out_schema, out))
         }
+        Plan::Derive { input, column, name, program } => {
+            let (schema, tuples) = eval(input, catalog, report)?;
+            let src = schema
+                .index_of(column)
+                .ok_or_else(|| ExecError::UnknownColumn(column.clone()))?;
+            let mut fields = schema.fields().to_vec();
+            fields.push(Field { name: name.clone(), sem_type: None });
+            let out_schema = Schema::new(fields);
+            let out = tuples
+                .into_iter()
+                .map(|mut t| {
+                    // A null feeds nothing; a program that does not
+                    // apply derives a null (never joins downstream).
+                    let derived = if t.values[src].is_null() {
+                        None
+                    } else {
+                        program.apply(&t.values[src].as_text())
+                    };
+                    t.values.push(derived.map_or(Value::Null, Value::Str));
+                    t
+                })
+                .collect();
+            Ok((out_schema, out))
+        }
         Plan::Join { left, right, on } => {
             let (ls, lt) = eval(left, catalog, report)?;
             let (rs, rt) = eval(right, catalog, report)?;

@@ -69,6 +69,20 @@ pub enum Plan {
         /// Input column names bound to the service inputs, in order.
         bindings: Vec<String>,
     },
+    /// Derived column: apply a learned string-transform program to one
+    /// input column, appending the result as a new column (the
+    /// join-with-transformation step; rows where the program does not
+    /// apply get a null).
+    Derive {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Column the program reads.
+        column: String,
+        /// Name of the appended derived column.
+        name: String,
+        /// The learned program.
+        program: copycat_transform::Program,
+    },
     /// Bag union with schema homogenization (null padding).
     Union {
         /// The input plans.
@@ -125,6 +139,21 @@ impl Plan {
         }
     }
 
+    /// Derive shorthand.
+    pub fn derive(
+        self,
+        column: impl Into<String>,
+        name: impl Into<String>,
+        program: copycat_transform::Program,
+    ) -> Plan {
+        Plan::Derive {
+            input: Box::new(self),
+            column: column.into(),
+            name: name.into(),
+            program,
+        }
+    }
+
     /// Distinct shorthand.
     pub fn distinct(self) -> Plan {
         Plan::Distinct { input: Box::new(self) }
@@ -161,6 +190,7 @@ impl Plan {
             Plan::Select { input, .. }
             | Plan::Project { input, .. }
             | Plan::DependentJoin { input, .. }
+            | Plan::Derive { input, .. }
             | Plan::Distinct { input }
             | Plan::Limit { input, .. } => input.walk_postorder(f),
             Plan::Join { left, right, .. } => {
@@ -192,6 +222,9 @@ impl fmt::Display for Plan {
             }
             Plan::DependentJoin { input, service, bindings } => {
                 write!(f, "({input} →[{}] {service})", bindings.join(","))
+            }
+            Plan::Derive { input, column, name, program } => {
+                write!(f, "τ[{name}:={program}({column})]({input})")
             }
             Plan::Union { inputs } => {
                 let parts: Vec<String> = inputs.iter().map(|p| p.to_string()).collect();

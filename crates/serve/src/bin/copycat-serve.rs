@@ -5,6 +5,7 @@
 //! copycat-serve smoke
 //! copycat-serve chaos
 //! copycat-serve recover
+//! copycat-serve transforms
 //! copycat-serve herd [sessions]
 //! ```
 //!
@@ -17,7 +18,10 @@
 //! failover path misbehaves. `recover` runs the kill-and-recover smoke:
 //! durable router, injected traffic, crash (no shutdown), recovery from
 //! snapshot + WAL, and a byte-for-byte diff against a never-crashed
-//! control. `herd` creates 10k copy-on-write sessions over one shared
+//! control. `transforms` learns a string-transform program bridging two
+//! incompatibly formatted sources, accepts the resulting edge, crashes,
+//! and requires the recovered session to answer byte-identically.
+//! `herd` creates 10k copy-on-write sessions over one shared
 //! world, probes a sample end to end, and exits non-zero if the
 //! marginal memory cost falls below the sessions-per-GiB floor.
 
@@ -48,6 +52,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("recover") {
         return run_recover();
+    }
+    if args.first().map(String::as_str) == Some("transforms") {
+        return run_transforms();
     }
     if args.first().map(String::as_str) == Some("herd") {
         let sessions = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(10_000);
@@ -122,6 +129,23 @@ fn run_recover() -> ExitCode {
         }
         Err(e) => {
             eprintln!("recover FAILED: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_transforms() -> ExitCode {
+    match smoke::run_transforms_default() {
+        Ok(s) => {
+            println!(
+                "transforms: learned {}, accepted, {} journaled, crash, {} replayed, \
+                 {} probes byte-identical",
+                s.program, s.journaled, s.replayed, s.probes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("transforms FAILED: {e}");
             ExitCode::from(1)
         }
     }

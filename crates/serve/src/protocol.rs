@@ -88,6 +88,11 @@ pub enum Op {
     Health,
     /// Per-session cache stats and view-state depth.
     SessionStats,
+    /// Learn a string-transform program from example pairs and add it
+    /// as a graph edge.
+    LearnTransform,
+    /// List the session's learned transform edges.
+    ListTransforms,
     /// Server-wide metrics snapshot.
     Stats,
     /// Begin a graceful shutdown (stop admitting, drain in-flight).
@@ -99,7 +104,7 @@ pub enum Op {
 
 impl Op {
     /// Every class, in protocol order (metrics iteration order).
-    pub const ALL: [Op; 27] = [
+    pub const ALL: [Op; 29] = [
         Op::Ping,
         Op::CreateSession,
         Op::LoadSession,
@@ -124,6 +129,8 @@ impl Op {
         Op::Render,
         Op::Health,
         Op::SessionStats,
+        Op::LearnTransform,
+        Op::ListTransforms,
         Op::Stats,
         Op::Shutdown,
         Op::Invalid,
@@ -156,6 +163,8 @@ impl Op {
             Op::Render => "render",
             Op::Health => "health",
             Op::SessionStats => "session_stats",
+            Op::LearnTransform => "learn_transform",
+            Op::ListTransforms => "list_transforms",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
             Op::Invalid => "invalid",
@@ -204,10 +213,12 @@ impl Op {
             | Op::AcceptColumn
             | Op::RejectColumn
             | Op::Autocomplete
-            | Op::Feedback => true,
+            | Op::Feedback
+            | Op::LearnTransform => true,
             Op::Ping
             | Op::SaveSession
             | Op::ListSessions
+            | Op::ListTransforms
             | Op::Explain
             | Op::Export
             | Op::Render

@@ -119,6 +119,19 @@ fn jstrings(items: &[String]) -> Json {
     Json::Arr(items.iter().map(|s| Json::str(s.as_str())).collect())
 }
 
+fn jtransform(t: &copycat_core::LearnedTransform) -> Json {
+    obj(vec![
+        ("edge", Json::Num(t.edge.0 as f64)),
+        ("from", Json::str(&t.from_source)),
+        ("from_col", Json::str(&t.from_col)),
+        ("to", Json::str(&t.to_source)),
+        ("to_col", Json::str(&t.to_col)),
+        ("program", Json::str(&t.program.to_string())),
+        ("cost", Json::Num(t.cost)),
+        ("coverage", Json::Num(t.coverage)),
+    ])
+}
+
 fn jhealth(snap: &HealthSnapshot) -> Json {
     obj(vec![
         ("service", Json::str(&snap.service)),
@@ -629,6 +642,41 @@ impl Inner {
                         ]),
                     ),
                 ]))
+            }),
+            Op::LearnTransform => self.with_session(req, deadline, |s| {
+                let from = req.str_param("from").map_err(bad)?;
+                let from_col = req.str_param("from_col").map_err(bad)?;
+                let to = req.str_param("to").map_err(bad)?;
+                let to_col = req.str_param("to_col").map_err(bad)?;
+                let pairs = rows_param(req, "examples")?;
+                let examples: Vec<(String, String)> = pairs
+                    .iter()
+                    .map(|p| match p.as_slice() {
+                        [i, o] => Ok((i.clone(), o.clone())),
+                        _ => Err((
+                            ErrorKind::BadRequest,
+                            "\"examples\" must hold [input, output] pairs".to_string(),
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let learned = s
+                    .engine
+                    .learn_transform(from, from_col, to, to_col, &examples)
+                    .ok_or_else(|| {
+                        (
+                            ErrorKind::BadRequest,
+                            format!(
+                                "no consistent transform from {from}.{from_col} \
+                                 to {to}.{to_col}"
+                            ),
+                        )
+                    })?;
+                Ok(jtransform(&learned))
+            }),
+            Op::ListTransforms => self.with_session(req, deadline, |s| {
+                let listed: Vec<Json> =
+                    s.engine.list_transforms().iter().map(jtransform).collect();
+                Ok(obj(vec![("transforms", Json::Arr(listed))]))
             }),
             // Handled inline at admission; a worker never sees them.
             Op::Shutdown | Op::Invalid => Err((

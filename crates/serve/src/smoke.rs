@@ -257,6 +257,28 @@ pub fn run(server: &Server) -> Result<Vec<Exchange>, Box<Exchange>> {
         true,
     )?;
 
+    // Example-driven transform synthesis: learn a program mapping the
+    // contact sheet's venue spelling onto the shelter source, then list
+    // the learned edges. These ride at fixed ids past the sequential
+    // counter so the exchanges before them keep their identifiers.
+    call(
+        Op::LearnTransform,
+        format!(
+            "{{\"id\":96,\"op\":\"learn_transform\",{s},\"from\":\"Contacts\",\
+             \"from_col\":\"Name\",\"to\":\"Shelters\",\"to_col\":\"Name\",\
+             \"examples\":[[{v0},{v0}],[{v1},{v1}],[{v2},{v2}]]}}",
+            v0 = esc(&contacts[0][2]),
+            v1 = esc(&contacts[1][2]),
+            v2 = esc(&contacts[2][2]),
+        ),
+        true,
+    )?;
+    call(
+        Op::ListTransforms,
+        format!("{{\"id\":97,\"op\":\"list_transforms\",{s}}}"),
+        true,
+    )?;
+
     // The synthetic class: garbage must answer bad_request, not hang.
     call(Op::Invalid, "this is not json".to_string(), false)?;
 
@@ -494,6 +516,137 @@ pub fn run_recover_default() -> Result<RecoverSummary, String> {
         return Err("recovery replayed nothing; the WAL never made it to disk".to_string());
     }
     Ok(RecoverSummary { journaled, replayed, probes: probes.len() })
+}
+
+/// Summary of the transform kill-and-recover smoke.
+#[derive(Debug, Clone)]
+pub struct TransformSummary {
+    /// The learned program, rendered.
+    pub program: String,
+    /// Effectful requests journaled before the crash.
+    pub journaled: u64,
+    /// Records replayed during recovery.
+    pub replayed: u64,
+    /// Probe requests compared byte-for-byte against the control.
+    pub probes: usize,
+}
+
+/// The transforms smoke: two sources whose phone columns disagree on
+/// format (so value-overlap association discovery finds nothing), a
+/// `learn_transform` that bridges them, the resulting transform edge
+/// surfacing as the top column suggestion, an `accept_column` that
+/// executes the derive-then-join plan — then a **crash** and a recovery
+/// that must answer every probe byte-for-byte like a never-crashed
+/// control. The verify-script hook for transform synthesis
+/// (`copycat-serve transforms`).
+pub fn run_transforms_default() -> Result<TransformSummary, String> {
+    use crate::router::{Router, RouterConfig};
+    let root =
+        std::env::temp_dir().join(format!("copycat-transform-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = || RouterConfig {
+        shards: 2,
+        snapshot_every: 6,
+        sync_every: 1,
+        store_root: Some(root.clone()),
+        ..RouterConfig::default()
+    };
+    let s = "\"session\":\"transforms\"";
+    let lines = vec![
+        format!("{{\"id\":1,\"op\":\"create_session\",{s}}}"),
+        // Directory first: its phones are dashed, the contacts' phones
+        // are parenthesized, so no Link edge can bridge them by value.
+        format!(
+            "{{\"id\":2,\"op\":\"open_doc\",{s},\"name\":\"DirectorySheet\",\
+             \"headers\":[\"Venue\",\"Line\"],\
+             \"rows\":[[\"V-0\",\"555-010-1000\"],[\"V-1\",\"555-010-1001\"],\
+             [\"V-2\",\"555-010-1002\"]]}}"
+        ),
+        format!("{{\"id\":3,\"op\":\"paste\",{s},\"doc\":0,\"values\":[\"V-0\",\"555-010-1000\"]}}"),
+        format!("{{\"id\":4,\"op\":\"accept_rows\",{s}}}"),
+        format!("{{\"id\":5,\"op\":\"name_column\",{s},\"col\":1,\"name\":\"Line\"}}"),
+        format!("{{\"id\":6,\"op\":\"commit_source\",{s},\"name\":\"Directory\"}}"),
+        format!(
+            "{{\"id\":7,\"op\":\"open_doc\",{s},\"name\":\"ContactSheet\",\
+             \"headers\":[\"Person\",\"Phone\"],\
+             \"rows\":[[\"Ada\",\"(555) 010-1000\"],[\"Grace\",\"(555) 010-1001\"],\
+             [\"Edsger\",\"(555) 010-1002\"]]}}"
+        ),
+        format!(
+            "{{\"id\":8,\"op\":\"paste\",{s},\"doc\":1,\"values\":[\"Ada\",\"(555) 010-1000\"]}}"
+        ),
+        format!("{{\"id\":9,\"op\":\"accept_rows\",{s}}}"),
+        format!("{{\"id\":10,\"op\":\"name_column\",{s},\"col\":1,\"name\":\"Phone\"}}"),
+        format!("{{\"id\":11,\"op\":\"commit_source\",{s},\"name\":\"Contacts\"}}"),
+        format!(
+            "{{\"id\":12,\"op\":\"learn_transform\",{s},\"from\":\"Contacts\",\
+             \"from_col\":\"Phone\",\"to\":\"Directory\",\"to_col\":\"Line\",\
+             \"examples\":[[\"(555) 010-1000\",\"555-010-1000\"],\
+             [\"(555) 010-1001\",\"555-010-1001\"]]}}"
+        ),
+    ];
+    let probes = [
+        format!("{{\"id\":90,\"op\":\"list_transforms\",{s}}}"),
+        format!("{{\"id\":91,\"op\":\"render\",{s}}}"),
+        format!("{{\"id\":92,\"op\":\"export\",{s},\"format\":\"csv\"}}"),
+        format!("{{\"id\":93,\"op\":\"session_stats\",{s}}}"),
+    ];
+
+    let durable = Router::new(config());
+    let mut program = String::new();
+    for line in &lines {
+        let resp = durable.handle_line(line);
+        if !resp.contains("\"ok\":true") {
+            let _ = std::fs::remove_dir_all(&root);
+            return Err(format!("traffic refused before crash: {line} -> {resp}"));
+        }
+        if line.contains("learn_transform") {
+            let parsed = Json::parse(&resp).expect("responses parse");
+            program = parsed["result"]["program"].as_str().unwrap_or("").to_string();
+        }
+    }
+    // The learned edge must surface as the top-ranked column suggestion
+    // and its derive-then-join plan must execute on acceptance.
+    let suggest =
+        durable.handle_line(&format!("{{\"id\":13,\"op\":\"column_suggestions\",{s}}}"));
+    if !suggest.contains("\"ok\":true") || !suggest.contains("T:Contacts+Directory") {
+        let _ = std::fs::remove_dir_all(&root);
+        return Err(format!("transform edge missing from suggestions: {suggest}"));
+    }
+    let accept = durable.handle_line(&format!("{{\"id\":14,\"op\":\"accept_column\",{s},\"index\":0}}"));
+    if !accept.contains("\"ok\":true") {
+        let _ = std::fs::remove_dir_all(&root);
+        return Err(format!("accepting the transform suggestion failed: {accept}"));
+    }
+    let journaled = durable.stats()["durability"]["appends"].as_f64().unwrap_or(0.0) as u64;
+    drop(durable); // crash: no shutdown, no flush
+
+    let recovered = Router::recover(config()).map_err(|e| format!("recovery failed: {e}"))?;
+    let replayed =
+        recovered.stats()["durability"]["replayed_records"].as_f64().unwrap_or(0.0) as u64;
+    let control = Router::new(RouterConfig { shards: 2, ..RouterConfig::default() });
+    for line in &lines {
+        control.handle_line(line);
+    }
+    control.handle_line(&format!("{{\"id\":13,\"op\":\"column_suggestions\",{s}}}"));
+    control.handle_line(&format!("{{\"id\":14,\"op\":\"accept_column\",{s},\"index\":0}}"));
+    for probe in &probes {
+        let got = recovered.handle_line(probe);
+        let want = control.handle_line(probe);
+        if got != want {
+            let _ = std::fs::remove_dir_all(&root);
+            return Err(format!(
+                "recovered session diverged on {probe}:\n  recovered: {got}\n  control:   {want}"
+            ));
+        }
+    }
+    recovered.shutdown();
+    control.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    if replayed == 0 {
+        return Err("recovery replayed nothing; the WAL never made it to disk".to_string());
+    }
+    Ok(TransformSummary { program, journaled, replayed, probes: probes.len() })
 }
 
 /// Summary of a [`run_herd`] sweep: many shared-world sessions on one

@@ -110,6 +110,21 @@ pub struct World {
     pub venues: Vec<Venue>,
     /// Contact people (one per venue).
     pub people: Vec<Person>,
+    /// The generation seed, kept so derived views (like the messy
+    /// directory) can vary formats per row without touching the RNG
+    /// stream that produced the values above.
+    pub seed: u64,
+}
+
+/// A splitmix64-style finalizer over `(seed, salt)`. Derived views use
+/// this instead of drawing from the generation RNG: interleaving new
+/// draws into [`World::generate`] would shift every value generated
+/// after them and break the pinned golden fixtures.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl World {
@@ -174,7 +189,7 @@ impl World {
             })
             .collect();
 
-        World { cities, streets, venues, people }
+        World { cities, streets, venues, people, seed: config.seed }
     }
 
     /// A default mid-sized world.
@@ -248,6 +263,70 @@ impl World {
     pub fn venue_zip(&self, v: &Venue) -> &str {
         &self.venue_street(v).zip
     }
+
+    /// A phone in the county directory's house style: dashed, no
+    /// parentheses — `954-555-1234` where the contacts sheet says
+    /// `(954) 555-1234`. One consistent style per column, so a single
+    /// learned program can bridge the formats.
+    pub fn directory_phone(phone: &str) -> String {
+        let digits: String = phone.chars().filter(|c| c.is_ascii_digit()).collect();
+        if digits.len() == 10 {
+            format!("{}-{}-{}", &digits[..3], &digits[3..6], &digits[6..])
+        } else {
+            phone.to_string()
+        }
+    }
+
+    /// Casing noise: the same venue name as typed by three different
+    /// clerks — verbatim, SHOUTED, or lowercased — picked by `variant`.
+    fn noisy_case(name: &str, variant: u64) -> String {
+        match variant % 3 {
+            0 => name.to_string(),
+            1 => name.to_uppercase(),
+            _ => name.to_lowercase(),
+        }
+    }
+
+    /// A registration date rendered in one of three clashing styles
+    /// (US slashed, ISO, day-first abbreviated), all derived from `h`.
+    fn noisy_date(h: u64) -> String {
+        const MONTHS: &[&str] = &[
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ];
+        let year = 2006 + (h % 4) as usize;
+        let month = 1 + ((h >> 2) % 12) as usize;
+        let day = 1 + ((h >> 6) % 28) as usize;
+        match (h >> 11) % 3 {
+            0 => format!("{month:02}/{day:02}/{year}"),
+            1 => format!("{year}-{month:02}-{day:02}"),
+            _ => format!("{day} {} {year}", MONTHS[month - 1]),
+        }
+    }
+
+    /// County directory rows `[venue (casing noise), phone (dashed),
+    /// registered (mixed date styles)]` — row `i` belongs to person/venue
+    /// `i`, which is the ground truth experiments score against.
+    ///
+    /// This is the messy heterogeneous source: its phones disagree with
+    /// [`World::contact_rows`] on format and its venue names on casing,
+    /// so value-overlap joins stall and integration *requires* a learned
+    /// transform. Every value is derived from already-generated data and
+    /// [`mix`] — never from new RNG draws — so the directory can be
+    /// added (or extended) without shifting any pinned fixture.
+    pub fn directory_rows(&self) -> Vec<Vec<String>> {
+        self.people
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let h = mix(self.seed, i as u64);
+                vec![
+                    Self::noisy_case(&self.venues[p.venue].name, h),
+                    Self::directory_phone(&p.phone),
+                    Self::noisy_date(h >> 16),
+                ]
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +377,42 @@ mod tests {
         let city = &w.street_city(w.venue_street(v)).name;
         assert!(w.find_venues(city).len() >= 1);
         assert!(w.find_venues("").is_empty());
+    }
+
+    /// The messy directory is a pure function of the seed: pinned values
+    /// catch any accidental re-ordering of RNG draws or hash changes,
+    /// and the underlying contact values stay exactly what they were
+    /// before the directory existed.
+    #[test]
+    fn directory_rows_are_seed_pinned_and_shift_nothing() {
+        let w = World::generate(&WorldConfig { venues: 10, ..WorldConfig::default() });
+        let dir = w.directory_rows();
+        assert_eq!(dir.len(), w.people.len());
+        // Pinned: exact first rows for the default seed (2009).
+        assert_eq!(dir[0], vec!["Deerfield Beach High School", "954-555-7735", "20 Dec 2006"]);
+        assert_eq!(dir[1], vec!["deerfield beach civic center", "954-555-8376", "2009-08-03"]);
+        assert_eq!(dir[2], vec!["fort lauderdale middle school", "954-555-9376", "08/21/2008"]);
+        // Pinned: the pre-directory stream is untouched (same values the
+        // serve golden transcript records for this seed).
+        assert_eq!(w.venues[0].name, "Deerfield Beach High School");
+        assert_eq!(w.people[0].phone, "(954) 555-7735");
+        // Every phone is the dashed rendering of the contact phone, and
+        // every name a casing of the venue name: same world, new format.
+        for (i, row) in dir.iter().enumerate() {
+            assert_eq!(row[1], World::directory_phone(&w.people[i].phone));
+            assert_eq!(
+                row[0].to_lowercase(),
+                w.venues[w.people[i].venue].name.to_lowercase()
+            );
+        }
+        // All three casing and date styles actually occur.
+        let w = World::generate(&WorldConfig::default());
+        let dir = w.directory_rows();
+        assert!(dir.iter().any(|r| r[0].chars().any(|c| c.is_ascii_uppercase())
+            && r[0].chars().any(|c| c.is_ascii_lowercase())));
+        assert!(dir.iter().any(|r| r[0] == r[0].to_uppercase() && r[0] != r[0].to_lowercase()));
+        assert!(dir.iter().any(|r| r[2].contains('/')));
+        assert!(dir.iter().any(|r| r[2].len() == 10 && r[2].as_bytes()[4] == b'-'));
     }
 
     #[test]

@@ -1,0 +1,664 @@
+//! Example-driven string-transform synthesis (the WebRelate-style
+//! "join with transformation" step).
+//!
+//! A [`Program`] is a concatenation of [`Piece`]s — literal constants
+//! and token extractions (split / substring selection with optional
+//! case folding over the trimmed input) — that maps one input string
+//! to one output string. The [`learn`] entry point induces the
+//! lowest-cost program consistent with a set of `(input, output)`
+//! example pairs by a version-space-style joint dynamic program: it
+//! walks all examples' output positions in lockstep, so any piece it
+//! admits reproduces its span in *every* example, and the returned
+//! program reproduces 100% of the training pairs by construction.
+//!
+//! Enumeration is deterministic (fixed atom order, strict-improvement
+//! tie-breaking) and bounded (memoized sub-programs over position
+//! tuples with a hard state cap), so learning is replayable under the
+//! serve journal: the same examples always yield byte-identical
+//! programs, on any thread count.
+
+use copycat_util::hash::FxHashMap;
+use copycat_util::json::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
+
+/// How an input string is tokenized before a piece selects one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tok {
+    /// The whole trimmed input as a single token.
+    Whole,
+    /// Maximal runs of ASCII digits.
+    Digits,
+    /// Maximal runs of alphabetic characters.
+    Alpha,
+    /// Maximal runs of alphanumeric characters.
+    Alnum,
+    /// Split on whitespace (trimmed, empties dropped).
+    Space,
+    /// Split on `-`.
+    Dash,
+    /// Split on `.`.
+    Dot,
+    /// Split on `,`.
+    Comma,
+    /// Split on `/`.
+    Slash,
+}
+
+/// Every tokenizer, in canonical enumeration order (learning order).
+const ALL_TOKS: [Tok; 9] = [
+    Tok::Whole,
+    Tok::Digits,
+    Tok::Alpha,
+    Tok::Alnum,
+    Tok::Space,
+    Tok::Dash,
+    Tok::Dot,
+    Tok::Comma,
+    Tok::Slash,
+];
+
+impl Tok {
+    fn name(self) -> &'static str {
+        match self {
+            Tok::Whole => "input",
+            Tok::Digits => "digits",
+            Tok::Alpha => "alpha",
+            Tok::Alnum => "alnum",
+            Tok::Space => "word",
+            Tok::Dash => "dash",
+            Tok::Dot => "dot",
+            Tok::Comma => "comma",
+            Tok::Slash => "slash",
+        }
+    }
+
+    fn parse(name: &str) -> Option<Tok> {
+        ALL_TOKS.iter().copied().find(|t| t.name() == name)
+    }
+
+    /// Tokenize `input` (always over the trimmed string, so leading
+    /// and trailing whitespace never leaks into any piece).
+    fn tokenize(self, input: &str) -> Vec<String> {
+        let input = input.trim();
+        match self {
+            Tok::Whole => {
+                if input.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![input.to_string()]
+                }
+            }
+            Tok::Digits => runs_of(input, |c| c.is_ascii_digit()),
+            Tok::Alpha => runs_of(input, char::is_alphabetic),
+            Tok::Alnum => runs_of(input, char::is_alphanumeric),
+            Tok::Space => split_on(input, char::is_whitespace),
+            Tok::Dash => split_on(input, |c| c == '-'),
+            Tok::Dot => split_on(input, |c| c == '.'),
+            Tok::Comma => split_on(input, |c| c == ','),
+            Tok::Slash => split_on(input, |c| c == '/'),
+        }
+    }
+}
+
+/// Maximal runs of characters matching `pred`.
+fn runs_of(input: &str, pred: impl Fn(char) -> bool) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut run = String::new();
+    for c in input.chars() {
+        if pred(c) {
+            run.push(c);
+        } else if !run.is_empty() {
+            out.push(std::mem::take(&mut run));
+        }
+    }
+    if !run.is_empty() {
+        out.push(run);
+    }
+    out
+}
+
+/// Split on separator characters, trimming pieces and dropping empties.
+fn split_on(input: &str, sep: impl Fn(char) -> bool) -> Vec<String> {
+    input
+        .split(sep)
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Optional case folding applied to an extracted token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Case {
+    /// Leave the token as extracted.
+    Keep,
+    /// Uppercase.
+    Upper,
+    /// Lowercase.
+    Lower,
+    /// First letter of each word uppercased, the rest lowercased.
+    Title,
+}
+
+const ALL_CASES: [Case; 4] = [Case::Keep, Case::Upper, Case::Lower, Case::Title];
+
+impl Case {
+    fn name(self) -> &'static str {
+        match self {
+            Case::Keep => "keep",
+            Case::Upper => "upper",
+            Case::Lower => "lower",
+            Case::Title => "title",
+        }
+    }
+
+    fn parse(name: &str) -> Option<Case> {
+        ALL_CASES.iter().copied().find(|c| c.name() == name)
+    }
+
+    fn apply(self, s: &str) -> String {
+        match self {
+            Case::Keep => s.to_string(),
+            Case::Upper => s.to_uppercase(),
+            Case::Lower => s.to_lowercase(),
+            Case::Title => s
+                .split(' ')
+                .map(|w| {
+                    let mut cs = w.chars();
+                    match cs.next() {
+                        Some(f) => {
+                            f.to_uppercase().collect::<String>() + &cs.as_str().to_lowercase()
+                        }
+                        None => String::new(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+        }
+    }
+}
+
+/// One concatenated piece of a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// A literal string.
+    Const(String),
+    /// The `index`-th token of the tokenized input (from the end when
+    /// `rev`), with `case` folding applied.
+    Extract { tok: Tok, index: usize, rev: bool, case: Case },
+}
+
+impl Piece {
+    /// The piece's output on `input`, or `None` when the selected
+    /// token does not exist.
+    pub fn apply(&self, input: &str) -> Option<String> {
+        match self {
+            Piece::Const(s) => Some(s.clone()),
+            Piece::Extract { tok, index, rev, case } => {
+                let tokens = tok.tokenize(input);
+                let i = if *rev {
+                    tokens.len().checked_sub(index + 1)?
+                } else {
+                    *index
+                };
+                tokens.get(i).map(|t| case.apply(t))
+            }
+        }
+    }
+
+    /// Ranking cost: extractions are preferred over constants for long
+    /// spans; deep token indices and case folds pay a small premium.
+    pub fn cost(&self) -> f64 {
+        match self {
+            Piece::Const(s) => 0.5 + 0.1 * s.chars().count() as f64,
+            Piece::Extract { index, case, .. } => {
+                1.0 + 0.05 * *index as f64 + if *case == Case::Keep { 0.0 } else { 0.1 }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Piece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Piece::Const(s) => write!(f, "{:?}", s),
+            Piece::Extract { tok, index, rev, case } => {
+                let idx = if *rev {
+                    format!("-{}", index + 1)
+                } else {
+                    index.to_string()
+                };
+                let sel = if *tok == Tok::Whole {
+                    tok.name().to_string()
+                } else {
+                    format!("{}[{idx}]", tok.name())
+                };
+                match case {
+                    Case::Keep => write!(f, "{sel}"),
+                    other => write!(f, "{}({sel})", other.name()),
+                }
+            }
+        }
+    }
+}
+
+/// A learned string transform: the concatenation of its pieces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Concatenated left to right.
+    pub pieces: Vec<Piece>,
+}
+
+impl Program {
+    /// Run the program, `None` when any extraction fails.
+    pub fn apply(&self, input: &str) -> Option<String> {
+        let mut out = String::new();
+        for p in &self.pieces {
+            out.push_str(&p.apply(input)?);
+        }
+        Some(out)
+    }
+
+    /// Piece count (the "size" term of edge costs).
+    pub fn size(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Total ranking cost (lower learns first).
+    pub fn cost(&self) -> f64 {
+        self.pieces.iter().map(Piece::cost).sum()
+    }
+
+    /// Whether the program reproduces every `(input, output)` pair.
+    pub fn consistent(&self, examples: &[(String, String)]) -> bool {
+        examples
+            .iter()
+            .all(|(i, o)| self.apply(i).as_deref() == Some(o.as_str()))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pieces.len() == 1 {
+            return write!(f, "{}", self.pieces[0]);
+        }
+        write!(f, "concat(")?;
+        for (i, p) in self.pieces.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl ToJson for Piece {
+    fn to_json(&self) -> Json {
+        match self {
+            Piece::Const(s) => Json::obj(vec![("const".to_string(), Json::str(s.clone()))]),
+            Piece::Extract { tok, index, rev, case } => Json::obj(vec![
+                ("tok".to_string(), Json::str(tok.name())),
+                ("index".to_string(), Json::Num(*index as f64)),
+                ("rev".to_string(), Json::Bool(*rev)),
+                ("case".to_string(), Json::str(case.name())),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Piece {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(s) = j.get("const").and_then(Json::as_str) {
+            return Ok(Piece::Const(s.to_string()));
+        }
+        let tok = j
+            .field("tok")?
+            .as_str()
+            .and_then(Tok::parse)
+            .ok_or_else(|| JsonError::expected("tokenizer name", j))?;
+        let index = j
+            .field("index")?
+            .as_f64()
+            .ok_or_else(|| JsonError::expected("token index", j))? as usize;
+        let rev = j.field("rev")?.as_bool().unwrap_or(false);
+        let case = j
+            .field("case")?
+            .as_str()
+            .and_then(Case::parse)
+            .ok_or_else(|| JsonError::expected("case name", j))?;
+        Ok(Piece::Extract { tok, index, rev, case })
+    }
+}
+
+impl ToJson for Program {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "pieces".to_string(),
+            Json::Arr(self.pieces.iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for Program {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let pieces = j
+            .field("pieces")?
+            .as_array()
+            .ok_or_else(|| JsonError::expected("pieces array", j))?
+            .iter()
+            .map(Piece::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program { pieces })
+    }
+}
+
+/// The edge cost a learned transform contributes to the source graph:
+/// small programs trained with high example coverage price well under
+/// the suggestion threshold; low coverage pushes an edge toward it.
+/// `coverage` is the fraction of source values the program maps into
+/// the target column's value set, in `[0, 1]`.
+pub fn edge_cost(program: &Program, coverage: f64) -> f64 {
+    let coverage = coverage.clamp(0.0, 1.0);
+    (0.3 + 0.08 * program.size() as f64 + 1.5 * (1.0 - coverage)).max(0.05)
+}
+
+/// Learner bounds. The defaults keep joint-DP state far below the cap
+/// on realistic clipboard examples while guaranteeing termination on
+/// adversarial ones.
+#[derive(Debug, Clone, Copy)]
+pub struct Learner {
+    /// Highest token index enumerated (from either end).
+    pub max_token_index: usize,
+    /// Longest literal constant enumerated per step.
+    pub max_const_len: usize,
+    /// Hard cap on memoized joint states; exceeded → learning fails.
+    pub max_states: usize,
+}
+
+impl Default for Learner {
+    fn default() -> Self {
+        Learner { max_token_index: 4, max_const_len: 16, max_states: 20_000 }
+    }
+}
+
+/// One admissible atom at a joint state: the piece plus the per-example
+/// span lengths it produces there.
+struct Step {
+    piece: Piece,
+    advance: Vec<usize>,
+}
+
+impl Learner {
+    /// Induce the lowest-cost program consistent with every example,
+    /// or `None` when no bounded program exists. Duplicate pairs are
+    /// tolerated; contradictory pairs (same input, different output)
+    /// always fail.
+    pub fn learn(&self, examples: &[(String, String)]) -> Option<Program> {
+        if examples.is_empty() {
+            return None;
+        }
+        // Dedup while preserving order: joint-DP cost is exponential in
+        // the example count, not the pair multiset.
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for (i, o) in examples {
+            if !pairs.contains(&(i.as_str(), o.as_str())) {
+                pairs.push((i.as_str(), o.as_str()));
+            }
+        }
+        // Pre-tokenize every input once per tokenizer.
+        let tokens: Vec<FxHashMap<Tok, Vec<String>>> = pairs
+            .iter()
+            .map(|(i, _)| ALL_TOKS.iter().map(|&t| (t, t.tokenize(i))).collect())
+            .collect();
+        let outputs: Vec<&str> = pairs.iter().map(|(_, o)| *o).collect();
+        let mut memo: FxHashMap<Vec<usize>, Option<(f64, Vec<Piece>)>> = FxHashMap::default();
+        let start = vec![0usize; outputs.len()];
+        let best = self.solve(&start, &outputs, &tokens, &mut memo)?;
+        Some(Program { pieces: best.1 })
+    }
+
+    /// Memoized min-cost completion from a joint output-position state.
+    fn solve(
+        &self,
+        state: &[usize],
+        outputs: &[&str],
+        tokens: &[FxHashMap<Tok, Vec<String>>],
+        memo: &mut FxHashMap<Vec<usize>, Option<(f64, Vec<Piece>)>>,
+    ) -> Option<(f64, Vec<Piece>)> {
+        if state.iter().zip(outputs).all(|(&p, o)| p == o.len()) {
+            return Some((0.0, Vec::new()));
+        }
+        if let Some(hit) = memo.get(state) {
+            return hit.clone();
+        }
+        if memo.len() >= self.max_states {
+            return None;
+        }
+        // Mark in-progress to cut (impossible) cycles and over-budget
+        // recursion; overwritten with the real answer below.
+        memo.insert(state.to_vec(), None);
+        let mut best: Option<(f64, Vec<Piece>)> = None;
+        for step in self.steps(state, outputs, tokens) {
+            let next: Vec<usize> = state
+                .iter()
+                .zip(&step.advance)
+                .map(|(&p, &a)| p + a)
+                .collect();
+            let Some((tail_cost, tail)) = self.solve(&next, outputs, tokens, memo) else {
+                continue;
+            };
+            let cost = step.piece.cost() + tail_cost;
+            // Strict improvement keeps the first atom in enumeration
+            // order on ties — the determinism contract.
+            if best.as_ref().is_none_or(|(c, _)| cost < *c - 1e-12) {
+                let mut pieces = vec![step.piece];
+                pieces.extend(tail);
+                best = Some((cost, pieces));
+            }
+        }
+        memo.insert(state.to_vec(), best.clone());
+        best
+    }
+
+    /// Every atom admissible at `state`, canonical order: extractions
+    /// by (tokenizer, direction, index, case), then literal constants
+    /// by length.
+    fn steps(
+        &self,
+        state: &[usize],
+        outputs: &[&str],
+        tokens: &[FxHashMap<Tok, Vec<String>>],
+    ) -> Vec<Step> {
+        let remaining: Vec<&str> = state
+            .iter()
+            .zip(outputs)
+            .map(|(&p, o)| &o[p..])
+            .collect();
+        let mut steps = Vec::new();
+        for &tok in &ALL_TOKS {
+            for rev in [false, true] {
+                if tok == Tok::Whole && rev {
+                    continue;
+                }
+                for index in 0..=self.max_token_index {
+                    for &case in &ALL_CASES {
+                        let piece = Piece::Extract { tok, index, rev, case };
+                        let mut advance = Vec::with_capacity(remaining.len());
+                        let mut ok = true;
+                        for (ex, rem) in remaining.iter().enumerate() {
+                            let toks = &tokens[ex][&tok];
+                            let i = if rev {
+                                match toks.len().checked_sub(index + 1) {
+                                    Some(i) => i,
+                                    None => {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            } else {
+                                index
+                            };
+                            let Some(t) = toks.get(i) else {
+                                ok = false;
+                                break;
+                            };
+                            let v = case.apply(t);
+                            if v.is_empty() || !rem.starts_with(&v) {
+                                ok = false;
+                                break;
+                            }
+                            advance.push(v.len());
+                        }
+                        if ok {
+                            steps.push(Step { piece, advance });
+                        }
+                    }
+                }
+            }
+        }
+        // Literal constants: prefixes of the longest common prefix of
+        // all remaining outputs, taken at char boundaries.
+        let mut common = remaining.first().copied().unwrap_or("");
+        for rem in &remaining[1..] {
+            let shared = common
+                .char_indices()
+                .zip(rem.chars())
+                .take_while(|((_, a), b)| a == b)
+                .last()
+                .map(|((i, a), _)| i + a.len_utf8())
+                .unwrap_or(0);
+            common = &common[..shared];
+        }
+        for (n, (i, c)) in common.char_indices().enumerate() {
+            if n >= self.max_const_len {
+                break;
+            }
+            let len = i + c.len_utf8();
+            steps.push(Step {
+                piece: Piece::Const(common[..len].to_string()),
+                advance: vec![len; remaining.len()],
+            });
+        }
+        steps
+    }
+}
+
+/// [`Learner::learn`] with default bounds.
+pub fn learn(examples: &[(String, String)]) -> Option<Program> {
+    Learner::default().learn(examples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(i, o)| (i.to_string(), o.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn learns_phone_reformat() {
+        let examples = ex(&[
+            ("(954) 555-1234", "954-555-1234"),
+            ("(305) 555-9876", "305-555-9876"),
+        ]);
+        let p = learn(&examples).expect("learnable");
+        assert!(p.consistent(&examples));
+        assert_eq!(p.apply("(212) 555-0000").as_deref(), Some("212-555-0000"));
+    }
+
+    #[test]
+    fn learns_dotted_phone() {
+        let examples = ex(&[
+            ("954.555.1234", "(954) 555-1234"),
+            ("305.555.9876", "(305) 555-9876"),
+        ]);
+        let p = learn(&examples).expect("learnable");
+        assert_eq!(p.apply("212.555.0000").as_deref(), Some("(212) 555-0000"));
+    }
+
+    #[test]
+    fn learns_case_fold() {
+        let examples = ex(&[("ACME SHELTER", "Acme Shelter"), ("OAK HOUSE", "Oak House")]);
+        let p = learn(&examples).expect("learnable");
+        assert_eq!(p.apply("RED BARN").as_deref(), Some("Red Barn"));
+    }
+
+    #[test]
+    fn learns_date_reorder() {
+        let examples = ex(&[("2009/01/05", "05-01-2009"), ("2010/11/30", "30-11-2010")]);
+        let p = learn(&examples).expect("learnable");
+        assert_eq!(p.apply("1999/12/31").as_deref(), Some("31-12-1999"));
+    }
+
+    #[test]
+    fn lowest_cost_prefers_extraction_over_constants() {
+        // A single shared token must learn as an extraction, not as a
+        // memorized constant (constants cannot generalize).
+        let examples = ex(&[("alpha", "alpha"), ("beta", "beta")]);
+        let p = learn(&examples).expect("learnable");
+        assert!(
+            matches!(p.pieces.as_slice(), [Piece::Extract { .. }]),
+            "expected one extraction, got {p}"
+        );
+        assert_eq!(p.apply("gamma").as_deref(), Some("gamma"));
+    }
+
+    #[test]
+    fn contradictory_examples_fail() {
+        let examples = ex(&[("same input", "out a"), ("same input", "out b")]);
+        assert!(learn(&examples).is_none());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let examples = ex(&[
+            ("(954) 555-1234", "954.555.1234"),
+            ("(305) 555-9876", "305.555.9876"),
+        ]);
+        let first = learn(&examples).expect("learnable");
+        for _ in 0..10 {
+            assert_eq!(learn(&examples), Some(first.clone()));
+        }
+    }
+
+    #[test]
+    fn json_round_trip_and_display() {
+        let examples = ex(&[
+            ("(954) 555-1234", "954-555-1234"),
+            ("(305) 555-9876", "305-555-9876"),
+        ]);
+        let p = learn(&examples).expect("learnable");
+        let j = p.to_json();
+        let back = Program::from_json(&j).expect("parses");
+        assert_eq!(p, back);
+        let rendered = p.to_string();
+        assert!(rendered.contains("digits"), "human-readable: {rendered}");
+    }
+
+    #[test]
+    fn edge_cost_orders_by_coverage_and_size() {
+        let small = learn(&ex(&[("a-b", "a")])).expect("learnable");
+        assert!(edge_cost(&small, 1.0) < edge_cost(&small, 0.5));
+        let bigger = Program {
+            pieces: vec![
+                small.pieces[0].clone(),
+                Piece::Const("-".into()),
+                small.pieces[0].clone(),
+            ],
+        };
+        assert!(edge_cost(&small, 1.0) < edge_cost(&bigger, 1.0));
+    }
+
+    #[test]
+    fn unlearnable_pairs_fail_bounded() {
+        // Output characters that appear nowhere in the input must be
+        // memorized; differing consts across examples are inconsistent.
+        let examples = ex(&[("aaa", "xyz"), ("bbb", "qrs")]);
+        assert!(learn(&examples).is_none());
+    }
+}

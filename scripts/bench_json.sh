@@ -24,6 +24,11 @@
 #     {no-retry, retry, retry+failover}). Rows are {rate, mode,
 #     completeness, degraded, virtual_ms, retries, trips}; virtual_ms is
 #     simulated time, so these rows ARE machine-independent.
+#   BENCH_transform.json — the T1 transform-synthesis sweep (messy-format
+#     world, service-only vs learned transform). Rows are {venues, mode,
+#     completeness, learn_ms, suggest_ms, amortized_ms, program,
+#     coverage}; the *_ms fields are wall clock for the interactive
+#     learn + suggest path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,5 +44,10 @@ echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"
 
 OUT="BENCH_faults.json"
 cargo run --release --offline -p copycat-bench --bin harness -- faults-json > "$OUT"
+test -s "$OUT" || { echo "bench_json: $OUT is empty" >&2; exit 1; }
+echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"
+
+OUT="BENCH_transform.json"
+cargo run --release --offline -p copycat-bench --bin harness -- transforms-json > "$OUT"
 test -s "$OUT" || { echo "bench_json: $OUT is empty" >&2; exit 1; }
 echo "bench_json: wrote $OUT ($(wc -c < "$OUT") bytes)"

@@ -25,6 +25,10 @@ cargo run --release --offline -p copycat-serve -- chaos
 # without shutdown), recovers from snapshot + WAL, and must answer
 # byte-identically to a never-crashed control.
 cargo run --release --offline -p copycat-serve -- recover
+# Transforms smoke: learn a string-transform program bridging two
+# incompatibly formatted sources, accept the suggested transform edge,
+# crash, and require the recovered session to answer byte-identically.
+cargo run --release --offline -p copycat-serve -- transforms
 # Herd smoke: 10k copy-on-write sessions over one shared world on one
 # server; probes a sample end to end and asserts the marginal memory
 # cost keeps >=100k sessions per GiB.

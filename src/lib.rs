@@ -10,5 +10,6 @@ pub use copycat_semantic as semantic;
 pub use copycat_serve as serve;
 pub use copycat_services as services;
 pub use copycat_store as store;
+pub use copycat_transform as transform;
 pub use copycat_util as util;
 pub use copycat_util::{prop_ensure, prop_ensure_eq};
