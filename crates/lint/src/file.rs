@@ -34,7 +34,10 @@ pub struct FileCtx {
     /// Brace depth *before* each token (`{` raises the depth of the
     /// tokens after it).
     pub depth: Vec<u32>,
-    suppressions: Vec<Suppression>,
+    /// Parsed `lint:allow` suppressions, in source order. The analysis
+    /// pipeline applies them centrally *after* all rules ran, so it can
+    /// tell which ones actually silenced something (stale detection).
+    pub suppressions: Vec<Suppression>,
     /// Token-index ranges inside `#[cfg(test)] mod … { }` or `#[test] fn
     /// … { }` bodies (half-open).
     test_tok_ranges: Vec<(usize, usize)>,
@@ -97,11 +100,11 @@ impl FileCtx {
             .any(|s| s.rule == rule && s.lines.contains(&line))
     }
 
-    /// Emit a finding unless the site is suppressed.
+    /// Emit a raw finding. Suppressions are applied centrally by the
+    /// analysis pipeline (which also tracks which ones were used), not
+    /// at emission time.
     pub fn report(&self, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
-        if !self.suppressed(rule, line) {
-            out.push(Finding { rule, file: self.path.clone(), line, message });
-        }
+        out.push(Finding::new(rule, self.path.clone(), line, message));
     }
 
     fn parse_suppressions(&mut self, known_rules: &[&'static str]) {
@@ -115,34 +118,32 @@ impl FileCtx {
             let Some(idx) = c.text.find("lint:allow(") else { continue };
             let rest = &c.text[idx + "lint:allow(".len()..];
             let Some(close) = rest.find(')') else {
-                self.bad_suppressions.push(Finding {
-                    rule: "bad-suppression",
-                    file: self.path.clone(),
-                    line: c.line,
-                    message: "malformed lint:allow — missing `)`".to_string(),
-                });
+                self.bad_suppressions.push(Finding::new(
+                    "bad-suppression",
+                    self.path.clone(),
+                    c.line,
+                    "malformed lint:allow — missing `)`".to_string(),
+                ));
                 continue;
             };
             let rule = rest[..close].trim().to_string();
             let reason = rest[close + 1..].trim().to_string();
             if !known_rules.contains(&rule.as_str()) {
-                self.bad_suppressions.push(Finding {
-                    rule: "bad-suppression",
-                    file: self.path.clone(),
-                    line: c.line,
-                    message: format!("lint:allow names unknown rule {rule:?}"),
-                });
+                self.bad_suppressions.push(Finding::new(
+                    "bad-suppression",
+                    self.path.clone(),
+                    c.line,
+                    format!("lint:allow names unknown rule {rule:?}"),
+                ));
                 continue;
             }
             if reason.is_empty() {
-                self.bad_suppressions.push(Finding {
-                    rule: "bad-suppression",
-                    file: self.path.clone(),
-                    line: c.line,
-                    message: format!(
-                        "lint:allow({rule}) needs a reason: `// lint:allow({rule}) <why>`"
-                    ),
-                });
+                self.bad_suppressions.push(Finding::new(
+                    "bad-suppression",
+                    self.path.clone(),
+                    c.line,
+                    format!("lint:allow({rule}) needs a reason: `// lint:allow({rule}) <why>`"),
+                ));
                 continue;
             }
             // A trailing suppression (code on its own line) covers that

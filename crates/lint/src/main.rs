@@ -1,27 +1,33 @@
 //! The `copycat-lint` binary. See the crate docs for semantics.
 //!
-//! Exit codes: 0 clean, 1 findings (or an invalid baseline), 2 usage or
-//! I/O failure.
+//! Exit codes: 0 clean, 1 findings (or an invalid baseline, or a blown
+//! wall-time budget), 2 usage or I/O failure.
 
 use copycat_lint::{analyze_tree, baseline, findings, load_baseline, walk, BASELINE_FILE};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: copycat-lint [--root <dir>] <check|json|baseline>
+const USAGE: &str = "usage: copycat-lint [--root <dir>] [--budget-ms <n>] <check|json|baseline>
 
   check     lint crates/*/src and fail on any non-baseline finding
-  json      print the full findings report as JSON
+            (--budget-ms also fails the run if analysis takes longer)
+  json      print the full findings report as JSON (includes runtime_ms)
   baseline  regenerate LINT_BASELINE.json (ratchet), printing a diff";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
     let mut cmd: Option<String> = None;
+    let mut budget_ms: Option<u64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
+            },
+            "--budget-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => budget_ms = Some(n),
+                None => return usage("--budget-ms needs a number"),
             },
             "check" | "json" | "baseline" if cmd.is_none() => cmd = Some(a),
             other => return usage(&format!("unrecognized argument {other:?}")),
@@ -41,13 +47,18 @@ fn main() -> ExitCode {
             }
         }
     };
+    // Timing the analyzer itself is the one legitimate wall-clock read
+    // in this crate: the budget guards CI latency, not determinism.
+    let started = std::time::Instant::now(); // lint:allow(wallclock) measures the linter's own CI latency, not simulated time
     let found = match analyze_tree(&root) {
         Ok(f) => f,
         Err(e) => return fail(&format!("walking {}: {e}", root.display())),
     };
+    let runtime_ms = started.elapsed().as_millis() as u64;
+    let over_budget = budget_ms.is_some_and(|b| runtime_ms > b);
     match cmd.as_str() {
         "json" => {
-            println!("{}", findings::report_json(&found));
+            println!("{}", findings::report_json(&found, Some(runtime_ms)));
             ExitCode::SUCCESS
         }
         "baseline" => {
@@ -96,6 +107,9 @@ fn main() -> ExitCode {
             }
             for f in &verdict.violations {
                 eprintln!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+                for p in &f.provenance {
+                    eprintln!("    via {p}");
+                }
             }
             for (rule, file, was, now) in &verdict.improvements {
                 eprintln!(
@@ -103,9 +117,15 @@ fn main() -> ExitCode {
                      to ratchet down"
                 );
             }
-            if verdict.clean() {
+            if over_budget {
+                eprintln!(
+                    "copycat-lint: analysis took {runtime_ms}ms, over the --budget-ms {}ms budget",
+                    budget_ms.unwrap_or(0)
+                );
+            }
+            if verdict.clean() && !over_budget {
                 println!(
-                    "copycat-lint: clean ({} finding(s), all baselined; {} baseline entr(ies))",
+                    "copycat-lint: clean ({} finding(s), all baselined; {} baseline entr(ies); {runtime_ms}ms)",
                     found.len(),
                     base.counts.len()
                 );

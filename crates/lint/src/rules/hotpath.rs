@@ -1,0 +1,189 @@
+//! `hot-path-alloc` — no allocating calls inside declared hot-path
+//! regions.
+//!
+//! The zero-copy serving work (CoW worlds, borrowed request views,
+//! pooled scratch) is guarded dynamically by a counting-allocator test,
+//! but that test only covers the call sites it drives. This rule makes
+//! the guarantee static: a region bracketed by
+//!
+//! ```text
+//! // lint:hotpath(begin)
+//! …
+//! // lint:hotpath(end)
+//! ```
+//!
+//! may not contain `format!`, `vec!`, `.to_string()`, `.to_owned()`,
+//! `.to_vec()`, `.clone()`, `String::from`, `Vec::new`, or
+//! `Box::new`. Cold branches inside a region (error arms, pool-miss
+//! fallbacks) are annotated with `// lint:allow(hot-path-alloc)
+//! <reason>` — the point is that every allocation on a declared hot
+//! path is either absent or visibly justified. Unbalanced or nested
+//! markers are themselves findings, so a region cannot silently
+//! swallow the rest of a file.
+
+use crate::file::FileCtx;
+use crate::findings::Finding;
+use crate::rules::Rule;
+
+/// `.method(` calls that allocate.
+const ALLOC_METHODS: [&str; 4] = ["to_string", "to_owned", "to_vec", "clone"];
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+/// `Type::fn` paths that allocate.
+const ALLOC_PATHS: [(&str, &str); 3] = [("String", "from"), ("Vec", "new"), ("Box", "new")];
+
+const BEGIN: &str = "lint:hotpath(begin)";
+const END: &str = "lint:hotpath(end)";
+
+/// The rule. Test code inside a region is exempt (tests assert on the
+/// hot path, they are not on it).
+pub struct HotPathAlloc;
+
+impl Rule for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Finding>) {
+        // Parse regions from the comment stream (inclusive line spans).
+        let mut regions: Vec<(u32, u32)> = Vec::new();
+        let mut open: Option<u32> = None;
+        for c in &ctx.comments {
+            if c.text.contains(BEGIN) {
+                if let Some(at) = open {
+                    ctx.report(
+                        out,
+                        self.name(),
+                        c.line,
+                        format!("nested lint:hotpath(begin) — region opened line {at} is still open"),
+                    );
+                } else {
+                    open = Some(c.line);
+                }
+            } else if c.text.contains(END) {
+                match open.take() {
+                    Some(b) => regions.push((b, c.line)),
+                    None => ctx.report(
+                        out,
+                        self.name(),
+                        c.line,
+                        "lint:hotpath(end) without a matching begin".to_string(),
+                    ),
+                }
+            }
+        }
+        if let Some(at) = open {
+            ctx.report(
+                out,
+                self.name(),
+                at,
+                "lint:hotpath(begin) never closed — add lint:hotpath(end)".to_string(),
+            );
+        }
+        if regions.is_empty() {
+            return;
+        }
+        let region_of = |line: u32| regions.iter().find(|&&(b, e)| line >= b && line <= e);
+        let toks = &ctx.toks;
+        let text = |i: usize| toks.get(i).map(|t| t.text.as_str());
+        for i in 0..toks.len() {
+            let Some(&(begin, _)) = region_of(toks[i].line) else { continue };
+            if ctx.in_test(i) {
+                continue;
+            }
+            let flag = |what: &str| {
+                format!(
+                    "{what} allocates inside the hot-path region starting line {begin}; \
+                     hoist it out, reuse scratch, or lint:allow with a reason"
+                )
+            };
+            if ALLOC_MACROS.contains(&toks[i].text.as_str()) && text(i + 1) == Some("!") {
+                ctx.report(out, self.name(), toks[i].line, flag(&format!("{}!", toks[i].text)));
+            }
+            if text(i) == Some(".")
+                && toks.get(i + 1).is_some_and(|t| ALLOC_METHODS.contains(&t.text.as_str()))
+                && text(i + 2) == Some("(")
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    toks[i + 1].line,
+                    flag(&format!(".{}()", toks[i + 1].text)),
+                );
+            }
+            for (ty, f) in ALLOC_PATHS {
+                if ctx.seq(i, &[ty, "::", f]) {
+                    ctx.report(out, self.name(), toks[i].line, flag(&format!("{ty}::{f}")));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::run_at;
+
+    #[test]
+    fn allocations_fire_only_inside_regions() {
+        let src = "fn cold() -> String { format!(\"x{}\", 1) }\n\
+                   // lint:hotpath(begin)\n\
+                   fn hot(s: &str) -> usize { s.len() }\n\
+                   fn warm(s: &str) -> String { s.to_string() }\n\
+                   // lint:hotpath(end)\n\
+                   fn cold2(v: &[u8]) -> Vec<u8> { v.to_vec() }";
+        let found = run_at("crates/serve/src/x.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "hot-path-alloc");
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn every_banned_form_fires() {
+        let src = "// lint:hotpath(begin)\n\
+                   fn f(s: &str, v: &[u8]) {\n\
+                     let a = format!(\"{s}\");\n\
+                     let b = vec![1];\n\
+                     let c = s.to_string();\n\
+                     let d = s.to_owned();\n\
+                     let e = v.to_vec();\n\
+                     let g = a.clone();\n\
+                     let h = String::from(s);\n\
+                     let i: Vec<u8> = Vec::new();\n\
+                     let j = Box::new(1);\n\
+                   }\n\
+                   // lint:hotpath(end)";
+        let found = run_at("crates/serve/src/x.rs", src);
+        assert_eq!(found.len(), 9, "{found:?}");
+    }
+
+    #[test]
+    fn suppression_and_tests_inside_regions_pass() {
+        let src = "// lint:hotpath(begin)\n\
+                   fn f(s: &str) -> String {\n\
+                     s.to_string() // lint:allow(hot-path-alloc) cold fallback, pool miss only\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                     fn t() { let x = format!(\"ok\"); }\n\
+                   }\n\
+                   // lint:hotpath(end)";
+        assert!(run_at("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_markers_are_findings() {
+        let unclosed = "// lint:hotpath(begin)\nfn f() {}";
+        let found = run_at("crates/serve/src/x.rs", unclosed);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("never closed"));
+        let dangling = "fn f() {}\n// lint:hotpath(end)";
+        let found = run_at("crates/serve/src/x.rs", dangling);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("without a matching begin"));
+        let nested = "// lint:hotpath(begin)\n// lint:hotpath(begin)\nfn f() {}\n// lint:hotpath(end)";
+        let found = run_at("crates/serve/src/x.rs", nested);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("nested"));
+    }
+}

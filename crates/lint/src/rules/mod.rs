@@ -1,4 +1,6 @@
-//! The rule engine: every invariant is one [`Rule`] over a [`FileCtx`].
+//! The rule engine: per-file invariants are a [`Rule`] over a
+//! [`FileCtx`]; cross-file invariants are a [`TreeRule`] over the
+//! phase-1 [`SymbolIndex`] and call graph.
 //!
 //! Rule catalogue (see `DESIGN.md` § Static analysis for the rationale):
 //!
@@ -8,25 +10,36 @@
 //! | `randomstate` | yes | everywhere except `crates/util` |
 //! | `panic-path` | yes | `crates/serve/src` request paths (not tests, not the smoke harness) |
 //! | `unsafe-safety` | yes | everywhere |
+//! | `hot-path-alloc` | yes | declared `lint:hotpath` regions |
+//! | `lock-order` | yes | non-test code, all crates except `crates/util` |
+//! | `protocol-exhaustiveness` | yes | the `Op` enum and its companion artifacts |
 //! | `relaxed-atomics` | no | non-test code, all crates |
-//! | `guard-across-blocking` | no | non-test code, all crates |
+//! | `guard-across-blocking` | no | non-test code, all crates (single-block and interprocedural) |
 //! | `spawn-discipline` | no | non-test code except `serve::pool` |
+//! | `stale-suppression` | yes | every `lint:allow` that silences nothing |
 //!
 //! *Strict* rules may never appear in the baseline: a finding is fixed
 //! or suppressed inline with a reason, never ratcheted.
+//! `stale-suppression` is stricter still — it is not a suppressible
+//! rule name at all, so a stale allow cannot be allowed; it is deleted.
 
 pub mod guard_blocking;
+pub mod hotpath;
+pub mod lock_order;
 pub mod panic_path;
+pub mod protocol;
 pub mod randomstate;
 pub mod relaxed_atomics;
 pub mod spawn_discipline;
 pub mod unsafe_safety;
 pub mod wallclock;
 
+use crate::callgraph::CallGraph;
 use crate::file::FileCtx;
 use crate::findings::Finding;
+use crate::index::SymbolIndex;
 
-/// One invariant checker.
+/// One per-file invariant checker (phase 1).
 pub trait Rule {
     /// The kebab-case rule name used in findings, suppressions, and the
     /// baseline.
@@ -35,7 +48,16 @@ pub trait Rule {
     fn check(&self, ctx: &FileCtx, out: &mut Vec<Finding>);
 }
 
-/// Every rule, in catalogue order.
+/// One whole-tree invariant checker (phase 2): sees every file at once
+/// through the symbol index and the call graph.
+pub trait TreeRule {
+    /// The kebab-case rule name.
+    fn name(&self) -> &'static str;
+    /// Scan the tree, appending findings.
+    fn check(&self, index: &SymbolIndex, graph: &CallGraph, out: &mut Vec<Finding>);
+}
+
+/// Every per-file rule, in catalogue order.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(wallclock::Wallclock),
@@ -45,34 +67,49 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(guard_blocking::GuardAcrossBlocking),
         Box::new(spawn_discipline::SpawnDiscipline),
         Box::new(unsafe_safety::UnsafeSafety),
+        Box::new(hotpath::HotPathAlloc),
+    ]
+}
+
+/// Every whole-tree rule, in catalogue order.
+pub fn tree_rules() -> Vec<Box<dyn TreeRule>> {
+    vec![
+        Box::new(lock_order::LockOrder),
+        Box::new(protocol::ProtocolExhaustiveness),
     ]
 }
 
 /// Rule names whose findings can never be baselined ("strict"): they
-/// guard the determinism contract itself, so the only ways past them
-/// are a fix or an inline `lint:allow` with a reason.
-pub const STRICT: [&str; 4] = ["wallclock", "randomstate", "panic-path", "unsafe-safety"];
+/// guard the determinism and deadlock-freedom contracts themselves, so
+/// the only ways past them are a fix or an inline `lint:allow` with a
+/// reason.
+pub const STRICT: &[&str] = &[
+    "wallclock",
+    "randomstate",
+    "panic-path",
+    "unsafe-safety",
+    "hot-path-alloc",
+    "lock-order",
+    "protocol-exhaustiveness",
+];
 
-/// Every rule name (for suppression validation).
+/// Every suppressible rule name (for `lint:allow` validation). Note
+/// `stale-suppression` is deliberately absent: allowing a stale allow
+/// is itself a `bad-suppression`.
 pub fn names() -> Vec<&'static str> {
-    all().iter().map(|r| r.name()).collect()
+    let mut n: Vec<&'static str> = all().iter().map(|r| r.name()).collect();
+    n.extend(tree_rules().iter().map(|r| r.name()));
+    n
 }
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use super::*;
+    use super::Finding;
 
-    /// Run every rule over `src` as if it lived at `path`; return the
-    /// surviving findings in canonical order.
+    /// Run the full two-phase pipeline over `src` as if it lived at
+    /// `path`; return the surviving findings in canonical order.
     pub fn run_at(path: &str, src: &str) -> Vec<Finding> {
-        let names = names();
-        let ctx = FileCtx::new(path, src, &names);
-        let mut out = ctx.bad_suppressions.clone();
-        for rule in all() {
-            rule.check(&ctx, &mut out);
-        }
-        crate::findings::sort(&mut out);
-        out
+        crate::analyze_source(path, src)
     }
 
     /// Rule names that fired, deduplicated, sorted.

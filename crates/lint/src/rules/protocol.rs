@@ -1,0 +1,384 @@
+//! `protocol-exhaustiveness` — every `Op` variant is fully wired.
+//!
+//! The wire protocol's single source of truth is the `Op` enum in
+//! `crates/serve/src/protocol.rs`. Rust's own exhaustiveness checking
+//! covers the `match`es, but nothing in the compiler connects a variant
+//! to the *artifacts around the code*: the `ALL` metrics table, the
+//! server dispatch, the golden smoke transcript, and — for mutating
+//! ops — the journal/replay durability tests. This rule closes that
+//! loop. For each variant it checks:
+//!
+//! 1. listed in `Op::ALL` (metrics iteration order),
+//! 2. given a wire name in `as_str()`,
+//! 3. classified exactly once by `mutates()` (the WAL admission filter),
+//! 4. mentioned in the server dispatch file (`server.rs`),
+//! 5. exercised by the smoke transcript in `tests/golden/` (its wire
+//!    name appears as an `"op"` value), and
+//! 6. when mutating, covered by the router's journal/replay tests
+//!    (`tests/durability.rs`).
+//!
+//! The synthetic `Invalid` variant is exempt from 5 and 6 — it is never
+//! parsed from the wire. Wire names are derived from variant idents by
+//! snake-casing (the lexer collapses string literals, so `as_str`'s
+//! right-hand sides are unreadable here); the derivation matching
+//! `as_str` is pinned by `wire_names_follow_variant_idents` in the
+//! serve crate's protocol tests.
+//!
+//! The rule triggers only when the protocol file is part of the
+//! analyzed set, so single-file fixtures stay silent.
+
+use crate::callgraph::CallGraph;
+use crate::file::FileCtx;
+use crate::findings::Finding;
+use crate::index::SymbolIndex;
+use crate::lex::TokKind;
+use crate::rules::TreeRule;
+use std::collections::{BTreeMap, BTreeSet};
+
+const PROTOCOL_FILE: &str = "crates/serve/src/protocol.rs";
+const DISPATCH_FILE: &str = "crates/serve/src/server.rs";
+const TRANSCRIPT_SUFFIX: &str = "tests/golden/wire_transcript.txt";
+const DURABILITY_SUFFIX: &str = "serve/tests/durability.rs";
+const ENUM: &str = "Op";
+
+/// The rule.
+pub struct ProtocolExhaustiveness;
+
+impl TreeRule for ProtocolExhaustiveness {
+    fn name(&self) -> &'static str {
+        "protocol-exhaustiveness"
+    }
+
+    fn check(&self, index: &SymbolIndex, _graph: &CallGraph, out: &mut Vec<Finding>) {
+        let Some(proto) = index.file_at(PROTOCOL_FILE) else { return };
+        let Some(op) = index.enum_at(PROTOCOL_FILE, ENUM) else {
+            out.push(Finding::new(
+                self.name(),
+                PROTOCOL_FILE,
+                1,
+                format!("protocol file defines no `enum {ENUM}` — the wire protocol lost its source of truth"),
+            ));
+            return;
+        };
+        let in_all = mentions_in_const_all(proto);
+        let in_as_str = mentions_in_fns(index, proto, "as_str");
+        let mutates = mutates_classification(index, proto);
+        let dispatch = index.file_at(DISPATCH_FILE);
+        let dispatch_mentions = dispatch.map(all_op_mentions);
+        if dispatch.is_none() {
+            out.push(Finding::new(
+                self.name(),
+                PROTOCOL_FILE,
+                op.line,
+                format!("dispatch file {DISPATCH_FILE} is not in the analyzed tree — cannot check op handling"),
+            ));
+        }
+        let transcript = index.aux_ending(TRANSCRIPT_SUFFIX);
+        if transcript.is_none() {
+            out.push(Finding::new(
+                self.name(),
+                PROTOCOL_FILE,
+                op.line,
+                format!("smoke transcript ({TRANSCRIPT_SUFFIX}) was not loaded — cannot check op coverage"),
+            ));
+        }
+        let durability = index.aux_ending(DURABILITY_SUFFIX);
+        if durability.is_none() {
+            out.push(Finding::new(
+                self.name(),
+                PROTOCOL_FILE,
+                op.line,
+                format!("journal/replay tests ({DURABILITY_SUFFIX}) were not loaded — cannot check mutating-op coverage"),
+            ));
+        }
+        for (variant, line) in &op.variants {
+            let mut missing = |what: String| {
+                out.push(Finding::new(
+                    self.name(),
+                    PROTOCOL_FILE,
+                    *line,
+                    format!("Op::{variant} {what}"),
+                ));
+            };
+            if !in_all.contains(variant.as_str()) {
+                missing(format!("is missing from {ENUM}::ALL — metrics will never see it"));
+            }
+            if !in_as_str.contains(variant.as_str()) {
+                missing("has no wire name in as_str()".to_string());
+            }
+            let class = mutates.get(variant.as_str());
+            if class.is_none() {
+                missing(
+                    "is not classified by mutates() — the WAL admission filter ignores it"
+                        .to_string(),
+                );
+            }
+            if let Some(d) = &dispatch_mentions {
+                if !d.contains(variant.as_str()) {
+                    missing(format!(
+                        "is never mentioned in {DISPATCH_FILE} — requests of this class have no handler"
+                    ));
+                }
+            }
+            if variant == "Invalid" {
+                continue; // synthetic: never on the wire, never journaled
+            }
+            let wire = snake_case(variant);
+            if let Some(t) = transcript {
+                if !mentions_wire_op(&t.text, &wire) {
+                    missing(format!(
+                        "(wire `{wire}`) is not exercised by the smoke transcript — add a request to {TRANSCRIPT_SUFFIX}"
+                    ));
+                }
+            }
+            if class == Some(&true) {
+                if let Some(d) = durability {
+                    if !mentions_wire_op(&d.text, &wire) {
+                        missing(format!(
+                            "mutates but (wire `{wire}`) never appears in the journal/replay tests — recovery for it is untested"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `CamelCase` → `snake_case` (how `as_str` names every op).
+pub fn snake_case(ident: &str) -> String {
+    let mut out = String::with_capacity(ident.len() + 4);
+    for (i, ch) in ident.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Whether `"op":"<wire>"` appears in raw text, in either plain JSON
+/// form or the `\"`-escaped form used inside Rust string literals.
+fn mentions_wire_op(text: &str, wire: &str) -> bool {
+    text.contains(&format!("\"op\":\"{wire}\""))
+        || text.contains(&format!("\\\"op\\\":\\\"{wire}\\\""))
+}
+
+/// Variant idents mentioned as `Op::<V>` inside `const ALL = [ … ]`.
+fn mentions_in_const_all(ctx: &FileCtx) -> BTreeSet<&str> {
+    let toks = &ctx.toks;
+    let mut out = BTreeSet::new();
+    let Some(at) = ctx.find_all(&["const", "ALL"]).into_iter().next() else {
+        return out;
+    };
+    // Skip the type annotation (`[Op; 29]` has its own `;`): mentions
+    // are collected from `=` to the statement's closing `;` at an
+    // untracked bracket depth of zero.
+    let Some(eq) = (at..toks.len()).find(|&k| toks[k].text == "=") else { return out };
+    let mut brackets = 0i64;
+    for k in eq + 1..toks.len() {
+        match toks[k].text.as_str() {
+            "[" => brackets += 1,
+            "]" => brackets -= 1,
+            ";" if brackets == 0 => break,
+            _ => {}
+        }
+        if ctx.seq(k, &[ENUM, "::"]) {
+            if let Some(v) = toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                out.insert(v.text.as_str());
+            }
+        }
+    }
+    out
+}
+
+/// Variant idents mentioned as `Op::<V>` inside every fn named `name`
+/// defined in this file.
+fn mentions_in_fns<'a>(index: &'a SymbolIndex, ctx: &'a FileCtx, name: &str) -> BTreeSet<&'a str> {
+    let mut out = BTreeSet::new();
+    for f in index.fns.iter().filter(|f| f.name == name) {
+        if index.files[f.file].path != ctx.path {
+            continue;
+        }
+        for k in f.body.0..f.body.1 {
+            if ctx.seq(k, &[ENUM, "::"]) {
+                if let Some(v) = ctx.toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                    out.insert(v.text.as_str());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every `Op::<V>` mention in a file's non-test tokens.
+fn all_op_mentions(ctx: &FileCtx) -> BTreeSet<&str> {
+    let mut out = BTreeSet::new();
+    for k in 0..ctx.toks.len() {
+        if ctx.in_test(k) {
+            continue;
+        }
+        if ctx.seq(k, &[ENUM, "::"]) {
+            if let Some(v) = ctx.toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                out.insert(v.text.as_str());
+            }
+        }
+    }
+    out
+}
+
+/// `variant → mutates?` parsed from the match arms of `mutates()`:
+/// `Op::A | Op::B => true,` groups classify every accumulated variant
+/// by the literal after `=>`.
+fn mutates_classification<'a>(
+    index: &'a SymbolIndex,
+    ctx: &'a FileCtx,
+) -> BTreeMap<&'a str, bool> {
+    let mut out = BTreeMap::new();
+    for f in index.fns.iter().filter(|f| f.name == "mutates") {
+        if index.files[f.file].path != ctx.path {
+            continue;
+        }
+        let mut group: Vec<&str> = Vec::new();
+        let mut k = f.body.0;
+        while k < f.body.1 {
+            if ctx.seq(k, &[ENUM, "::"]) {
+                if let Some(v) = ctx.toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                    group.push(v.text.as_str());
+                    k += 3;
+                    continue;
+                }
+            }
+            // `=>` lexes as two punct tokens.
+            if ctx.toks[k].text == "=" && ctx.toks.get(k + 1).is_some_and(|t| t.text == ">") {
+                match ctx.toks.get(k + 2).map(|t| t.text.as_str()) {
+                    Some("true") => group.drain(..).for_each(|v| {
+                        out.insert(v, true);
+                    }),
+                    Some("false") => group.drain(..).for_each(|v| {
+                        out.insert(v, false);
+                    }),
+                    _ => group.clear(), // non-literal arm: unclassified
+                }
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::snake_case;
+    use crate::analyze_files_with_aux;
+    use crate::index::AuxFile;
+
+    /// A miniature but fully-wired protocol: two ops, one mutating.
+    const PROTO_OK: &str = "pub enum Op { Ping, Paste, Invalid }\n\
+        impl Op {\n\
+          pub const ALL: [Op; 3] = [Op::Ping, Op::Paste, Op::Invalid];\n\
+          pub fn as_str(self) -> &'static str { match self { Op::Ping => \"ping\", Op::Paste => \"paste\", Op::Invalid => \"invalid\" } }\n\
+          pub fn mutates(self) -> bool { match self { Op::Paste => true, Op::Ping | Op::Invalid => false } }\n\
+        }";
+    const SERVER_OK: &str =
+        "fn dispatch(op: Op) { match op { Op::Ping => a(), Op::Paste => b(), Op::Invalid => c() } }";
+
+    fn aux() -> Vec<AuxFile> {
+        vec![
+            AuxFile {
+                path: "crates/serve/tests/golden/wire_transcript.txt".to_string(),
+                text: "{\"op\":\"ping\"}\n{\"op\":\"paste\",\"text\":\"x\"}\n".to_string(),
+            },
+            AuxFile {
+                path: "crates/serve/tests/durability.rs".to_string(),
+                text: "const S: &str = \"{\\\"op\\\":\\\"paste\\\"}\";".to_string(),
+            },
+        ]
+    }
+
+    fn run(proto: &str, server: &str, aux: Vec<AuxFile>) -> Vec<crate::findings::Finding> {
+        analyze_files_with_aux(
+            &[
+                ("crates/serve/src/protocol.rs", proto),
+                ("crates/serve/src/server.rs", server),
+            ],
+            aux,
+        )
+    }
+
+    #[test]
+    fn fully_wired_protocol_is_clean() {
+        assert_eq!(run(PROTO_OK, SERVER_OK, aux()), vec![]);
+    }
+
+    #[test]
+    fn each_gap_is_its_own_finding() {
+        // Drop Paste from ALL, as_str, mutates, and dispatch all at once.
+        let proto = "pub enum Op { Ping, Paste, Invalid }\n\
+            impl Op {\n\
+              pub const ALL: [Op; 2] = [Op::Ping, Op::Invalid];\n\
+              pub fn as_str(self) -> &'static str { match self { Op::Ping => \"ping\", _ => \"x\" } }\n\
+              pub fn mutates(self) -> bool { match self { Op::Ping | Op::Invalid => false, _ => true } }\n\
+            }";
+        let server = "fn dispatch(op: Op) { match op { Op::Ping => a(), Op::Invalid => c(), _ => d() } }";
+        let found = run(proto, server, aux());
+        let msgs: Vec<&str> = found.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("missing from Op::ALL")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("no wire name")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("not classified by mutates()")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("no handler")), "{msgs:?}");
+        assert!(found.iter().all(|f| f.rule == "protocol-exhaustiveness"));
+        assert!(found.iter().all(|f| f.file == "crates/serve/src/protocol.rs"));
+    }
+
+    #[test]
+    fn transcript_and_journal_coverage_are_checked() {
+        // Transcript misses paste; durability misses it too.
+        let thin = vec![
+            AuxFile {
+                path: "crates/serve/tests/golden/wire_transcript.txt".to_string(),
+                text: "{\"op\":\"ping\"}\n".to_string(),
+            },
+            AuxFile {
+                path: "crates/serve/tests/durability.rs".to_string(),
+                text: "const S: &str = \"{\\\"op\\\":\\\"open_doc\\\"}\";".to_string(),
+            },
+        ];
+        let found = run(PROTO_OK, SERVER_OK, thin);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].message.contains("not exercised by the smoke transcript"));
+        assert!(found[1].message.contains("recovery for it is untested"));
+    }
+
+    #[test]
+    fn missing_companion_files_are_findings_not_silence() {
+        let found = run(PROTO_OK, SERVER_OK, Vec::new());
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().any(|f| f.message.contains("smoke transcript")));
+        assert!(found.iter().any(|f| f.message.contains("journal/replay tests")));
+    }
+
+    #[test]
+    fn rule_is_silent_without_the_protocol_file() {
+        let found = analyze_files_with_aux(
+            &[("crates/serve/src/server.rs", "fn f() {}")],
+            Vec::new(),
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn snake_case_matches_wire_names() {
+        for (ident, wire) in [
+            ("Ping", "ping"),
+            ("CreateSession", "create_session"),
+            ("ColumnSuggestions", "column_suggestions"),
+            ("SetColumnType", "set_column_type"),
+        ] {
+            assert_eq!(snake_case(ident), wire);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: a call under a guard is fine when nothing down
+//! the callee chain blocks.
+
+impl Worker {
+    fn publish(&self) {
+        let g = self.state.lock();
+        self.fanout();
+    }
+
+    fn fanout(&self) -> usize {
+        1 + 1
+    }
+}

@@ -1,0 +1,13 @@
+//! Positive fixture for the interprocedural upgrade: the blocking send
+//! hides one call away from the live guard.
+
+impl Worker {
+    fn publish(&self) {
+        let g = self.state.lock();
+        self.fanout();
+    }
+
+    fn fanout(&self) {
+        self.tx.send(1);
+    }
+}

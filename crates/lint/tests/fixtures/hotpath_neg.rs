@@ -1,0 +1,16 @@
+//! Negative fixture: the region only appends into caller buffers, the
+//! one cold allocation is justified, and code outside regions is free.
+
+// lint:hotpath(begin)
+fn encode(s: &str, out: &mut String) {
+    out.push_str(s);
+}
+
+fn cold_fallback(s: &str) -> String {
+    s.to_string() // lint:allow(hot-path-alloc) pool-miss fallback, never on the warm path
+}
+// lint:hotpath(end)
+
+fn outside(v: &[u8]) -> Vec<u8> {
+    v.to_vec()
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: an allocation inside a declared hot-path region.
+
+// lint:hotpath(begin)
+fn encode(s: &str) -> String {
+    s.to_string()
+}
+// lint:hotpath(end)

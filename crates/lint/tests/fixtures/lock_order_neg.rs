@@ -1,0 +1,19 @@
+//! Negative fixture: every function takes the two lock classes in the
+//! same global order, and shared-read re-entry stays legal.
+
+impl Router {
+    fn close(&self) {
+        let j = self.journal.lock();
+        self.sessions.lock();
+    }
+
+    fn stats(&self) {
+        let j = self.journal.lock();
+        self.sessions.lock();
+    }
+
+    fn snapshot(&self) {
+        let a = self.placement.read();
+        self.placement.read();
+    }
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: `close` takes journal → sessions while `stats`
+//! takes sessions → journal — a cross-function lock-order cycle.
+
+impl Router {
+    fn close(&self) {
+        let j = self.journal.lock();
+        self.sessions.lock();
+    }
+
+    fn stats(&self) {
+        let map = self.sessions.lock();
+        self.journal.lock();
+    }
+}

@@ -1,0 +1,29 @@
+//! Negative fixture for protocol-exhaustiveness: every variant is in
+//! ALL, named on the wire, classified by mutates(), and (per the
+//! companion files the test supplies) dispatched, transcripted, and
+//! covered by durability tests.
+
+pub enum Op {
+    Ping,
+    Paste,
+    Invalid,
+}
+
+impl Op {
+    pub const ALL: [Op; 3] = [Op::Ping, Op::Paste, Op::Invalid];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Paste => "paste",
+            Op::Invalid => "invalid",
+        }
+    }
+
+    pub fn mutates(self) -> bool {
+        match self {
+            Op::Paste => true,
+            Op::Ping | Op::Invalid => false,
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Positive fixture for protocol-exhaustiveness: `Paste` exists as an
+//! enum variant but is missing from ALL, as_str, and mutates(); the
+//! companion dispatch file in the test omits its handler too.
+
+pub enum Op {
+    Ping,
+    Paste,
+    Invalid,
+}
+
+impl Op {
+    pub const ALL: [Op; 2] = [Op::Ping, Op::Invalid];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            _ => "x",
+        }
+    }
+
+    pub fn mutates(self) -> bool {
+        match self {
+            Op::Ping | Op::Invalid => false,
+            _ => true,
+        }
+    }
+}

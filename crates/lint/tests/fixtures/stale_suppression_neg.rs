@@ -1,0 +1,6 @@
+//! Negative fixture: a suppression that actually silences a finding is
+//! earned, not stale.
+
+fn measure() -> std::time::Instant {
+    std::time::Instant::now() // lint:allow(wallclock) fixture exercises an earned suppression
+}

@@ -2,7 +2,10 @@
 //! and negative fixture, finding-order stability under shuffled input,
 //! and a self-check of the real tree against the committed baseline.
 
-use copycat_lint::{analyze_files, analyze_source, analyze_tree, load_baseline};
+use copycat_lint::index::AuxFile;
+use copycat_lint::{
+    analyze_files_with_aux, analyze_source, analyze_tree, load_baseline,
+};
 use copycat_util::check::check;
 
 /// `(rule, virtual path, positive fixture, negative fixture)`. The
@@ -57,7 +60,90 @@ const FIXTURES: &[(&str, &str, &str, &str)] = &[
         include_str!("fixtures/unsafe_safety_pos.rs"),
         include_str!("fixtures/unsafe_safety_neg.rs"),
     ),
+    (
+        "lock-order",
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/lock_order_pos.rs"),
+        include_str!("fixtures/lock_order_neg.rs"),
+    ),
+    (
+        "guard-across-blocking",
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/guard_blocking_via_callee_pos.rs"),
+        include_str!("fixtures/guard_blocking_via_callee_neg.rs"),
+    ),
+    (
+        "hot-path-alloc",
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/hotpath_pos.rs"),
+        include_str!("fixtures/hotpath_neg.rs"),
+    ),
+    (
+        "stale-suppression",
+        "crates/query/src/fixture.rs",
+        include_str!("fixtures/stale_suppression_pos.rs"),
+        include_str!("fixtures/stale_suppression_neg.rs"),
+    ),
 ];
+
+/// The protocol-exhaustiveness fixtures are multi-file by nature (the
+/// rule audits the protocol against its dispatch and test artifacts),
+/// so they run through [`analyze_files_with_aux`] instead of the
+/// per-file table above.
+const PROTOCOL_POS: &str = include_str!("fixtures/protocol_pos.rs");
+const PROTOCOL_NEG: &str = include_str!("fixtures/protocol_neg.rs");
+const DISPATCH_POS: &str =
+    "fn dispatch(op: Op) { match op { Op::Ping => a(), Op::Invalid => c(), _ => d() } }";
+const DISPATCH_NEG: &str =
+    "fn dispatch(op: Op) { match op { Op::Ping => a(), Op::Paste => b(), Op::Invalid => c() } }";
+
+fn protocol_aux() -> Vec<AuxFile> {
+    vec![
+        AuxFile {
+            path: "crates/serve/tests/golden/wire_transcript.txt".to_string(),
+            text: "{\"op\":\"ping\"}\n{\"op\":\"paste\",\"text\":\"x\"}\n".to_string(),
+        },
+        AuxFile {
+            path: "crates/serve/tests/durability.rs".to_string(),
+            text: "const S: &str = \"{\\\"op\\\":\\\"paste\\\"}\";".to_string(),
+        },
+    ]
+}
+
+#[test]
+fn protocol_positive_set_fires_exactly_its_rule() {
+    let found = analyze_files_with_aux(
+        &[
+            ("crates/serve/src/protocol.rs", PROTOCOL_POS),
+            ("crates/serve/src/server.rs", DISPATCH_POS),
+        ],
+        protocol_aux(),
+    );
+    assert!(!found.is_empty(), "positive protocol set produced no findings");
+    for f in &found {
+        assert_eq!(f.rule, "protocol-exhaustiveness", "{} at {}:{}", f.rule, f.file, f.line);
+        assert_eq!(f.file, "crates/serve/src/protocol.rs");
+    }
+    // The four layers that dropped `Paste` each get their own finding.
+    for gap in ["Op::ALL", "no wire name", "mutates()", "no handler"] {
+        assert!(
+            found.iter().any(|f| f.message.contains(gap)),
+            "no finding mentions {gap:?}: {found:?}"
+        );
+    }
+}
+
+#[test]
+fn protocol_negative_set_is_clean() {
+    let found = analyze_files_with_aux(
+        &[
+            ("crates/serve/src/protocol.rs", PROTOCOL_NEG),
+            ("crates/serve/src/server.rs", DISPATCH_NEG),
+        ],
+        protocol_aux(),
+    );
+    assert!(found.is_empty(), "{found:?}");
+}
 
 #[test]
 fn every_positive_fixture_fires_exactly_its_rule() {
@@ -95,8 +181,10 @@ fn every_negative_fixture_is_clean() {
 #[test]
 fn finding_order_is_independent_of_walk_order() {
     // The corpus: every positive fixture under a distinct path (the
-    // real walk never hands the analyzer duplicate paths).
-    let corpus: Vec<(String, String)> = FIXTURES
+    // real walk never hands the analyzer duplicate paths), plus the
+    // multi-file protocol set so the shuffle exercises both phases —
+    // per-file rules AND the symbol-index/call-graph tree rules.
+    let mut corpus: Vec<(String, String)> = FIXTURES
         .iter()
         .enumerate()
         .map(|(i, (rule, _, pos, _))| {
@@ -107,8 +195,21 @@ fn finding_order_is_independent_of_walk_order() {
             )
         })
         .collect();
-    let canonical = analyze_files(&corpus);
+    corpus.push(("crates/serve/src/protocol.rs".to_string(), PROTOCOL_POS.to_string()));
+    corpus.push(("crates/serve/src/server.rs".to_string(), DISPATCH_POS.to_string()));
+    let run = |files: &[(String, String)]| {
+        let pairs: Vec<(&str, &str)> =
+            files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+        analyze_files_with_aux(&pairs, protocol_aux())
+    };
+    let canonical = run(&corpus);
     assert!(!canonical.is_empty());
+    // Both phases contribute findings to the canonical report.
+    assert!(canonical.iter().any(|f| f.rule == "wallclock"), "phase 1 absent");
+    assert!(
+        canonical.iter().any(|f| f.rule == "lock-order"),
+        "phase 2 absent: {canonical:?}"
+    );
     check("lint.shuffle_invariance", 64, &[], |g| {
         // A Fisher-Yates permutation drawn from the generator.
         let mut shuffled = corpus.clone();
@@ -116,7 +217,7 @@ fn finding_order_is_independent_of_walk_order() {
             let j = g.usize_in(0..i + 1);
             shuffled.swap(i, j);
         }
-        let got = analyze_files(&shuffled);
+        let got = run(&shuffled);
         if got == canonical {
             Ok(())
         } else {

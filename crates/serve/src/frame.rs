@@ -62,6 +62,8 @@ fn from_varint(e: VarintError) -> FrameError {
     }
 }
 
+// The warm encode path appends into caller/scratch buffers only.
+// lint:hotpath(begin)
 /// Append the tagged encoding of `value` (no length prefix).
 pub fn encode_value(value: &Json, out: &mut Vec<u8>) {
     match value {
@@ -117,6 +119,7 @@ impl FrameCodec {
         out.extend_from_slice(&self.scratch);
     }
 }
+// lint:hotpath(end)
 
 /// Encode one length-prefixed frame (convenience over [`FrameCodec`]).
 pub fn encode_frame(value: &Json) -> Vec<u8> {

@@ -289,6 +289,8 @@ pub struct Request<'d> {
     pub body: ZRef<'d>,
 }
 
+// The borrowed-view request parse: everything here slices the input
+// line or the parse arena. lint:hotpath(begin)
 fn envelope<'d>(body: ZRef<'d>) -> (&'d str, Option<&'d str>, Option<u64>) {
     let id = body.get("id").map(|v| v.raw()).unwrap_or("null");
     let session = body.get("session").and_then(|v| v.as_str());
@@ -302,14 +304,15 @@ impl<'d> Request<'d> {
     pub fn parse(doc: &'d mut ZDoc, line: &'d str) -> Result<Request<'d>, (&'d str, String)> {
         let body = match doc.parse(line) {
             Ok(b) => b,
+            // lint:allow(hot-path-alloc) cold arm: malformed input only
             Err(e) => return Err(("null", format!("{e}"))),
         };
         let (id, session, deadline_ms) = envelope(body);
         let Some(op_name) = body.get("op").and_then(|v| v.as_str()) else {
-            return Err((id, "missing \"op\"".to_string()));
+            return Err((id, "missing \"op\"".to_string())); // lint:allow(hot-path-alloc) cold arm: rejected request
         };
         let Some(op) = Op::parse(op_name) else {
-            return Err((id, format!("unknown op {op_name:?}")));
+            return Err((id, format!("unknown op {op_name:?}"))); // lint:allow(hot-path-alloc) cold arm: rejected request
         };
         Ok(Request { id, op, session, deadline_ms, body })
     }
@@ -324,6 +327,7 @@ impl<'d> Request<'d> {
         let op = Op::parse(body.get("op").and_then(|v| v.as_str())?)?;
         Some(Request { id, op, session, deadline_ms, body })
     }
+    // lint:hotpath(end)
 
     fn required(&self, key: &str) -> Result<ZRef<'d>, JsonError> {
         self.body
@@ -373,6 +377,8 @@ impl<'d> Request<'d> {
     }
 }
 
+// Response serialization: pooled scratch in, one exact-size copy out.
+// lint:hotpath(begin)
 thread_local! {
     /// Per-worker response assembly buffer: responses are serialized
     /// here, then copied out once at exact size, so steady-state
@@ -386,7 +392,7 @@ fn with_response_scratch(f: impl FnOnce(&mut String)) -> String {
             Ok(mut out) => {
                 out.clear();
                 f(&mut out);
-                out.as_str().to_owned()
+                out.as_str().to_owned() // lint:allow(hot-path-alloc) the one exact-size copy-out the scratch design pays for
             }
             // Re-entrant serialization (impossible today): fall back to
             // a fresh buffer rather than failing the response.
@@ -423,6 +429,7 @@ pub fn err_response(id: &str, kind: ErrorKind, message: &str) -> String {
         out.push_str("}}");
     })
 }
+// lint:hotpath(end)
 
 #[cfg(test)]
 mod tests {

@@ -43,7 +43,7 @@ use copycat_store::{SessionStore, StoreStats};
 use copycat_util::hash::{FxHashMap, FxHasher};
 use copycat_util::json::{self, Json};
 use copycat_util::sync::Mutex;
-use copycat_util::zjson::ZDoc;
+use copycat_util::zjson::{ZDoc, ZRef};
 use std::cell::RefCell;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
@@ -158,26 +158,61 @@ fn build_ring(shards: usize, vnodes: usize) -> Vec<(u64, usize)> {
     ring
 }
 
+thread_local! {
+    /// Scratch for classifying *response* lines. Distinct from
+    /// [`ROUTER_DOC`], which is still mutably borrowed by the request
+    /// view when responses get classified.
+    static RESPONSE_DOC: RefCell<ZDoc> = RefCell::new(ZDoc::new());
+}
+
+/// Parse a response line into the response scratch doc and hand the
+/// root to `f`. `None` on unparseable input.
+fn with_response_root<R>(resp: &str, f: impl FnOnce(Option<ZRef<'_>>) -> R) -> R {
+    RESPONSE_DOC.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut doc) => f(doc.parse(resp).ok()),
+        // Unreachable re-entrancy guard: never poison the scratch.
+        Err(_) => {
+            let mut doc = ZDoc::new();
+            f(doc.parse(resp).ok())
+        }
+    })
+}
+
+/// Whether the *top-level* `ok` member of a response is `true`.
+/// Structural on purpose: a payload that happens to contain the text
+/// `"ok":true` (an echoed request, an error message quoting a
+/// response) must not count.
+fn response_ok(resp: &str) -> bool {
+    with_response_root(resp, |root| {
+        root.and_then(|r| r.get("ok")).and_then(|v| v.as_bool()) == Some(true)
+    })
+}
+
 /// Whether a response proves the request *reached a session and ran*.
 /// Refused work (queue full, draining, unknown session, duplicate
 /// create) and requests that timed out before execution left no trace
 /// to replay; everything else — including `bad_request` after partial
 /// parameter validation and `unavailable` answers that advanced
 /// breaker machines — must be journaled, because replaying it
-/// reproduces the same state transitions.
+/// reproduces the same state transitions. Classification only reads
+/// the top-level envelope (see [`response_ok`] on decoys) and borrows
+/// the line — no DOM is built on the journaling path.
 fn response_is_effectful(resp: &str) -> bool {
-    let Ok(j) = Json::parse(resp) else { return true };
-    if j["ok"].as_bool() == Some(true) {
-        return true;
-    }
-    let kind = j["error"]["kind"].as_str().unwrap_or("");
-    match kind {
-        "overloaded" | "shutting_down" | "no_such_session" | "session_exists" => false,
-        // Queued/lock-wait timeouts never touched the engine; an
-        // execution timeout kept its effects (a consistent prefix).
-        "timeout" => j["error"]["message"].as_str() == Some("deadline exceeded during execution"),
-        _ => true,
-    }
+    with_response_root(resp, |root| {
+        let Some(root) = root else { return true };
+        if root.get("ok").and_then(|v| v.as_bool()) == Some(true) {
+            return true;
+        }
+        let error = root.get("error");
+        let field = |key: &str| error.and_then(|e| e.get(key)).and_then(|v| v.as_str());
+        match field("kind").unwrap_or("") {
+            "overloaded" | "shutting_down" | "no_such_session" | "session_exists" => false,
+            // Queued/lock-wait timeouts never touched the engine; an
+            // execution timeout kept its effects (a consistent prefix).
+            "timeout" => field("message") == Some("deadline exceeded during execution"),
+            _ => true,
+        }
+    })
 }
 
 /// The journaled form of a request: its body with the `deadline_ms`
@@ -400,9 +435,10 @@ impl Router {
         let journal = self.journal_entry(name);
         let mut j = journal.lock();
         let shard_idx = self.shard_of(name);
-        let resp = self.shards[shard_idx].handle_line(line);
+        // lint:allow(guard-across-blocking) by design: WAL order must equal execution order, so the journal lock spans the shard call (which blocks on the worker reply channel)
+        let resp = self.shards[shard_idx].handle_line(line); // lint:allow(lock-order) name-based call graph merges Router::handle_line into this call; shards never lock router journals
         if req.op == Op::CloseSession {
-            if Json::parse(&resp).map(|r| r["ok"].as_bool() == Some(true)).unwrap_or(false) {
+            if response_ok(&resp) {
                 // A durably *closed* session: remove its journal and
                 // its on-disk state (idempotent), and forget overrides.
                 if let Some(root) = &self.config.store_root {
@@ -499,7 +535,8 @@ impl Router {
             j.pending_sync = 0;
         }
         for line in &j.history {
-            let _ = self.shards[to].handle_line(line);
+            // lint:allow(guard-across-blocking) replay under the journal lock IS the migration barrier: no new writes may interleave with the transfer
+            let _ = self.shards[to].handle_line(line); // lint:allow(lock-order) false re-acquire from the Router::handle_line name merge; shards never lock router journals
         }
         // Vacate the source copy. Direct shard call: migration is an
         // administrative move, not a journaled protocol event.
@@ -508,7 +545,8 @@ impl Router {
             ("session".into(), Json::str(name)),
         ])
         .to_string();
-        let _ = self.shards[from].handle_line(&close);
+        // lint:allow(guard-across-blocking) the vacate close must land before the placement flips, still under the migration barrier
+        let _ = self.shards[from].handle_line(&close); // lint:allow(lock-order) same Router::handle_line name merge as the replay loop above
         self.placed.lock().insert(name.to_string(), to);
         // relaxed: monotone stat; no reader reconciles it against state
         self.migrations.fetch_add(1, Ordering::Relaxed);
@@ -626,6 +664,16 @@ impl Router {
 mod tests {
     use super::*;
 
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "copycat-router-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn ring_lookup_is_consistent_and_total() {
         let r = Router::new(RouterConfig::ephemeral(4));
@@ -684,6 +732,51 @@ mod tests {
         ] {
             assert!(!response_is_effectful(refused), "{refused}");
         }
+    }
+
+    #[test]
+    fn decoy_ok_true_text_in_payloads_does_not_flip_classification() {
+        // The classifiers are structural: `"ok":true` appearing as
+        // *text* inside a message or echoed value must not make a
+        // refused response look effectful (journaling a refusal would
+        // replay a request the engine never ran).
+        let decoys = [
+            r#"{"id":1,"ok":false,"error":{"kind":"overloaded","message":"retry {\"ok\":true} later"}}"#,
+            r#"{"id":1,"ok":false,"error":{"kind":"no_such_session","message":"\"ok\":true"}}"#,
+            r#"{"id":1,"ok":false,"error":{"kind":"session_exists","message":"client sent \"ok\":true"}}"#,
+        ];
+        for resp in decoys {
+            assert!(!response_is_effectful(resp), "{resp}");
+            assert!(!response_ok(resp), "{resp}");
+        }
+        // A nested object member named `ok` is not the top-level one.
+        let nested = r#"{"id":1,"ok":false,"error":{"kind":"shutting_down","message":"x","detail":{"ok":true}}}"#;
+        assert!(!response_is_effectful(nested));
+        assert!(!response_ok(nested));
+        // And the genuine envelope still classifies.
+        assert!(response_ok(r#"{"id":1,"ok":true,"result":{"note":"\"ok\":false"}}"#));
+    }
+
+    #[test]
+    fn decoy_close_response_does_not_destroy_the_journal() {
+        // A failed close (no such session on the shard) whose error
+        // message quotes `"ok":true` must leave durable state alone:
+        // the close path keys journal destruction on `response_ok`.
+        let root = temp_root("decoy-close");
+        let router = Router::new(RouterConfig::durable(2, root.clone()));
+        let ok = router.handle_line(r#"{"id":1,"op":"create_session","session":"keep"}"#);
+        assert!(response_ok(&ok), "{ok}");
+        let paste = router.handle_line(
+            r#"{"id":2,"op":"open_doc","session":"keep","name":"D","headers":["A"],"rows":[["x"]]}"#,
+        );
+        assert!(response_ok(&paste), "{paste}");
+        // Closing a *different* session fails; state for `keep` stays.
+        let refused = router.handle_line(r#"{"id":3,"op":"close_session","session":"gone"}"#);
+        assert!(!response_ok(&refused), "{refused}");
+        let stats = router.handle_line(r#"{"id":4,"op":"session_stats","session":"keep"}"#);
+        assert!(response_ok(&stats), "{stats}");
+        router.shutdown();
+        let _ = std::fs::remove_dir_all(root);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use copycat_serve::router::{Router, RouterConfig};
 use copycat_serve::server::ServerConfig;
+use copycat_services::{World, WorldConfig};
 use copycat_util::check::check;
 use copycat_util::json::Json;
 use std::path::PathBuf;
@@ -39,24 +40,16 @@ fn script(session: &str, tag: &str, venues: usize) -> Vec<String> {
         *id += 1;
         lines.push(format!("{{\"id\":{id},{body}}}"));
     }
-    let shelter_rows: Vec<Vec<String>> = (0..venues)
-        .map(|i| {
-            vec![
-                format!("Venue-{tag}-{i}"),
-                format!("{i} Oak St {tag}"),
-                format!("City{}", i % 3),
-            ]
-        })
-        .collect();
-    let contact_rows: Vec<Vec<String>> = (0..venues)
-        .map(|i| {
-            vec![
-                format!("Person-{tag}-{i}"),
-                format!("555-01{i:02}-{tag}"),
-                format!("Venue-{tag}-{i}"),
-            ]
-        })
-        .collect();
+    // World-consistent rows: column suggestions only surface when the
+    // simulated services can actually answer for the pasted values, so
+    // the pasted sheets must come from the same deterministic world the
+    // session registers. The seed varies by tag to keep sessions'
+    // content distinct.
+    let seed = 2009 + tag.bytes().map(u64::from).sum::<u64>();
+    let world =
+        World::generate(&WorldConfig { seed, venues: venues.max(1), ..WorldConfig::default() });
+    let shelter_rows: Vec<Vec<String>> = world.shelter_rows();
+    let contact_rows: Vec<Vec<String>> = world.contact_rows();
     let rows_json = |rows: &[Vec<String>]| {
         let rendered: Vec<String> = rows
             .iter()
@@ -69,6 +62,13 @@ fn script(session: &str, tag: &str, venues: usize) -> Vec<String> {
     };
 
     push(&mut id, format!("\"op\":\"create_session\",{s}"), &mut lines);
+    // Deterministic service registry (zip_resolver, geocoder, …): what
+    // column_suggestions binds against.
+    push(
+        &mut id,
+        format!("\"op\":\"register_world\",{s},\"seed\":{seed},\"venues\":{}", venues.max(1)),
+        &mut lines,
+    );
     push(
         &mut id,
         format!(
@@ -88,7 +88,20 @@ fn script(session: &str, tag: &str, venues: usize) -> Vec<String> {
     }
     push(&mut id, format!("\"op\":\"accept_rows\",{s}"), &mut lines);
     push(&mut id, format!("\"op\":\"name_column\",{s},\"col\":0,\"name\":\"Venue\""), &mut lines);
+    // Explicit street name + city type: the zip_resolver/geocoder bind
+    // edges match inputs by name or semantic type, and street-suffix
+    // inference is not reliable for every generated world.
+    push(&mut id, format!("\"op\":\"name_column\",{s},\"col\":1,\"name\":\"Street\""), &mut lines);
+    push(&mut id, format!("\"op\":\"set_column_type\",{s},\"col\":2,\"type\":\"PR-City\""), &mut lines);
     push(&mut id, format!("\"op\":\"commit_source\",{s},\"name\":\"Shelters\""), &mut lines);
+    // Integration suggestions on the Shelters tab (the PR-City column
+    // binds the world services), one accepted and one rejected — both
+    // decisions are mutating state the replay must reproduce
+    // (suggestion lists are referenced by index).
+    push(&mut id, format!("\"op\":\"column_suggestions\",{s}"), &mut lines);
+    push(&mut id, format!("\"op\":\"accept_column\",{s},\"index\":0"), &mut lines);
+    push(&mut id, format!("\"op\":\"column_suggestions\",{s}"), &mut lines);
+    push(&mut id, format!("\"op\":\"reject_column\",{s},\"index\":0"), &mut lines);
     push(
         &mut id,
         format!(
@@ -109,6 +122,24 @@ fn script(session: &str, tag: &str, venues: usize) -> Vec<String> {
     push(&mut id, format!("\"op\":\"accept_rows\",{s}"), &mut lines);
     push(&mut id, format!("\"op\":\"name_column\",{s},\"col\":2,\"name\":\"Venue\""), &mut lines);
     push(&mut id, format!("\"op\":\"commit_source\",{s},\"name\":\"Contacts\""), &mut lines);
+    // An example-learned transform edge (identity over venue names).
+    let examples: Vec<String> = contact_rows
+        .iter()
+        .take(3)
+        .map(|row| {
+            let v = esc(&row[2]);
+            format!("[{v},{v}]")
+        })
+        .collect();
+    push(
+        &mut id,
+        format!(
+            "\"op\":\"learn_transform\",{s},\"from\":\"Contacts\",\"from_col\":\"Venue\",\
+             \"to\":\"Shelters\",\"to_col\":\"Venue\",\"examples\":[{}]",
+            examples.join(",")
+        ),
+        &mut lines,
+    );
     push(
         &mut id,
         format!(
@@ -525,6 +556,58 @@ fn shared_world_sessions_kill_and_recover_byte_identically() {
     );
     assert_eq!(recovered.handle_line(&more), control.handle_line(&more));
 
+    recovered.shutdown();
+    control.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `load_session` is journaled like any other mutation: a session
+/// restored from a snapshot string, then crashed, recovers to the same
+/// state as a control that loaded the same snapshot and never crashed.
+#[test]
+fn load_session_snapshot_recovers_after_crash() {
+    // Build a snapshot with a throwaway server so the load_session
+    // request is a static line both routers replay verbatim.
+    let throwaway = copycat_serve::Server::with_defaults();
+    for line in script("donor", "l", 3) {
+        let resp = throwaway.handle(&line);
+        assert_eq!(resp["ok"].as_bool(), Some(true), "{resp}");
+    }
+    let saved = throwaway.handle("{\"id\":800,\"op\":\"save_session\",\"session\":\"donor\"}");
+    assert_eq!(saved["ok"].as_bool(), Some(true), "{saved}");
+    let snapshot = saved["result"]["snapshot"].to_string();
+    throwaway.shutdown();
+
+    let lines = vec![
+        "{\"id\":1,\"op\":\"create_session\",\"session\":\"clone\"}".to_string(),
+        format!("{{\"id\":2,\"op\":\"load_session\",\"session\":\"clone\",\"snapshot\":{snapshot}}}"),
+        "{\"id\":3,\"op\":\"autocomplete\",\"session\":\"clone\",\
+         \"values\":[\"0 Oak St l\",\"555-0100-l\"],\"k\":2}"
+            .to_string(),
+    ];
+    let root = temp_root("load");
+    let config = || RouterConfig {
+        shards: 2,
+        server: small_server(),
+        store_root: Some(root.clone()),
+        sync_every: 1,
+        ..RouterConfig::default()
+    };
+    let durable = Router::new(config());
+    for resp in drive(&durable, &lines) {
+        let j = Json::parse(&resp).expect("json");
+        assert_eq!(j["ok"].as_bool(), Some(true), "{resp}");
+    }
+    drop(durable); // crash
+
+    let recovered = Router::recover(config()).expect("recovery");
+    let control = Router::new(RouterConfig {
+        shards: 2,
+        server: small_server(),
+        ..RouterConfig::default()
+    });
+    drive(&control, &lines);
+    assert_eq!(drive(&recovered, &probes("clone")), drive(&control, &probes("clone")));
     recovered.shutdown();
     control.shutdown();
     let _ = std::fs::remove_dir_all(&root);

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Emit the full copycat-lint findings report as JSON on stdout (pass a
-# path as $1 to also write it to a file). Unlike `check`, this reports
-# every finding including baselined ones — it's the audit view, not the
-# gate. See DESIGN.md § Static analysis for the rule catalogue and
-# `// lint:allow(<rule>) <reason>` suppression syntax.
+# Audit view of copycat-lint. `check` (the default here, and the verify
+# gate) prints violations and the clean/runtime summary; `--json` emits
+# every finding including baselined ones, with per-finding rule
+# provenance and the analyzer's runtime_ms, so CI can archive reports
+# and trend lint latency. See DESIGN.md § Static analysis for the rule
+# catalogue and `// lint:allow(<rule>) <reason>` suppression syntax.
+#
+#   lint_report.sh                 human summary (exit 1 on violations)
+#   lint_report.sh --json          full findings report as JSON on stdout
+#   lint_report.sh --json out.json ...also written to out.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ $# -ge 1 ]]; then
-  cargo run --release --offline -q -p copycat-lint -- json | tee "$1"
+if [[ "${1:-}" == "--json" ]]; then
+  if [[ $# -ge 2 ]]; then
+    cargo run --release --offline -q -p copycat-lint -- json | tee "$2"
+  else
+    cargo run --release --offline -q -p copycat-lint -- json
+  fi
 else
-  cargo run --release --offline -q -p copycat-lint -- json
+  cargo run --release --offline -q -p copycat-lint -- check
 fi

@@ -8,9 +8,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 # Invariant lint: zero non-baselined findings (wall-clock reads, random
-# hasher state, panics on request paths, unjustified Relaxed, …). The
-# ratchet lives in LINT_BASELINE.json; see DESIGN.md § Static analysis.
-cargo run --release --offline -q -p copycat-lint -- check
+# hasher state, panics on request paths, lock-order cycles, protocol
+# gaps, hot-path allocations, …). The ratchet lives in
+# LINT_BASELINE.json; see DESIGN.md § Static analysis. The budget keeps
+# whole-tree analysis (symbol index + call graph) from creeping into CI
+# latency — it runs in well under a second today.
+cargo run --release --offline -q -p copycat-lint -- check --budget-ms 20000
 cargo test -q --offline --workspace
 cargo run --release --offline -p copycat-bench --bin harness -- e1
 # Serve smoke: spawn an in-process copycat-serve, round-trip one request
