@@ -9,8 +9,9 @@
 use copycat_bench::table::{dur, f1, f3, TextTable};
 use copycat_bench::{
     ablations, chaos_sweep, e1_keystrokes, e2_feedback, e3_steiner, e4_structure, e5_column,
-    e6_semantic, e7_linkage, e8_figure4, serve_load, transform_sweep,
+    e6_semantic, e7_linkage, e8_figure4, fault_recovery, serve_load, transform_sweep,
 };
+use copycat_util::json::Json;
 use copycat_util::bench::CountingAlloc;
 use std::fmt::Write;
 
@@ -426,13 +427,81 @@ fn section_faults() -> String {
         ]);
     }
     writeln!(out, "{}", t.render()).unwrap();
+
+    writeln!(
+        out,
+        "== F2: recovery under storage faults (crash storm on SimFs) ==\n"
+    )
+    .unwrap();
+    let rows = fault_recovery::run(STORM_SEED, STORM_STRIDES);
+    let mut t = TextTable::new(&[
+        "stride",
+        "runs",
+        "fired",
+        "acked",
+        "recovered",
+        "quarantined",
+        "tail lost",
+        "silent",
+        "mean run",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.stride.to_string(),
+            r.runs.to_string(),
+            r.faults_fired.to_string(),
+            r.acked.to_string(),
+            r.recovered.to_string(),
+            r.quarantined.to_string(),
+            r.tail_lost.to_string(),
+            r.silent_losses.to_string(),
+            format!("{} us", r.mean_run_us),
+        ]);
+    }
+    writeln!(out, "{}", t.render()).unwrap();
+    let o = fault_recovery::run_overhead(OVERHEAD_RECORDS, OVERHEAD_SYNC_EVERY);
+    writeln!(
+        out,
+        "StoreFs trait overhead: {} records / {} fsyncs, {} via trait vs {} via std::fs \
+         (ratio {:.2})\n",
+        o.records,
+        o.syncs,
+        dur(o.via_trait),
+        dur(o.via_std),
+        o.ratio
+    )
+    .unwrap();
     out
 }
 
-/// `harness -- faults-json`: the chaos sweep as machine-readable JSON on
-/// stdout (consumed by `scripts/bench_json.sh` into `BENCH_faults.json`).
+/// The crash-storm sweep behind both the F2 table and the
+/// `recovery_under_fault` section: seed plus injection strides (1 =
+/// every I/O op; coarser strides show loss accounting is stable as
+/// coverage thins).
+const STORM_SEED: u64 = 0xC1D9;
+const STORM_STRIDES: &[u64] = &[1, 3, 7];
+
+/// The `StoreFs`-vs-`std::fs` overhead loop: enough records and fsyncs
+/// for the timing to be sync-dominated on both sides.
+const OVERHEAD_RECORDS: u64 = 2048;
+const OVERHEAD_SYNC_EVERY: u64 = 64;
+
+/// `harness -- faults-json`: machine-readable JSON on stdout (consumed
+/// by `scripts/bench_json.sh` into `BENCH_faults.json`): the F1 chaos
+/// sweep under `"f1"` plus the storage-fault recovery sweep and the
+/// real-fs overhead guard under `"recovery_under_fault"`.
 fn faults_json() -> String {
-    chaos_sweep::rows_to_json(&chaos_sweep::run(FAULT_RATES)).to_string()
+    let f1 = chaos_sweep::rows_to_json(&chaos_sweep::run(FAULT_RATES));
+    let rows = fault_recovery::run(STORM_SEED, STORM_STRIDES);
+    let overhead = fault_recovery::run_overhead(OVERHEAD_RECORDS, OVERHEAD_SYNC_EVERY);
+    Json::obj(vec![
+        ("f1".into(), f1),
+        (
+            "recovery_under_fault".into(),
+            fault_recovery::to_json(&rows, &overhead),
+        ),
+    ])
+    .to_string()
 }
 
 /// The sweep behind both the T1 table and `BENCH_transform.json`.

@@ -16,6 +16,7 @@ pub mod e5_column;
 pub mod e6_semantic;
 pub mod e7_linkage;
 pub mod e8_figure4;
+pub mod fault_recovery;
 pub mod gen;
 pub mod serve_load;
 pub mod table;

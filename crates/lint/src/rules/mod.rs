@@ -7,6 +7,7 @@
 //! | rule | strict | scope |
 //! |------|--------|-------|
 //! | `wallclock` | yes | everywhere except `serve::deadline`, `util::bench`, `crates/bench` |
+//! | `fs-discipline` | yes | non-test code everywhere except `store::io`, `crates/lint`, `crates/bench` |
 //! | `randomstate` | yes | everywhere except `crates/util` |
 //! | `panic-path` | yes | `crates/serve/src` request paths (not tests, not the smoke harness) |
 //! | `unsafe-safety` | yes | everywhere |
@@ -23,6 +24,7 @@
 //! `stale-suppression` is stricter still — it is not a suppressible
 //! rule name at all, so a stale allow cannot be allowed; it is deleted.
 
+pub mod fs_discipline;
 pub mod guard_blocking;
 pub mod hotpath;
 pub mod lock_order;
@@ -61,6 +63,7 @@ pub trait TreeRule {
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(wallclock::Wallclock),
+        Box::new(fs_discipline::FsDiscipline),
         Box::new(randomstate::RandomStateRule),
         Box::new(panic_path::PanicPath),
         Box::new(relaxed_atomics::RelaxedAtomics),
@@ -85,6 +88,7 @@ pub fn tree_rules() -> Vec<Box<dyn TreeRule>> {
 /// reason.
 pub const STRICT: &[&str] = &[
     "wallclock",
+    "fs-discipline",
     "randomstate",
     "panic-path",
     "unsafe-safety",

@@ -1,0 +1,22 @@
+//! Fixture: filesystem access through the `StoreFs` trait, string
+//! mentions, and test-only temp-dir helpers are all fine.
+
+pub fn persist(fs: &Fs, path: &std::path::Path, bytes: &[u8]) {
+    fs.write_sync(path, bytes).unwrap();
+}
+
+pub fn append(file: &mut Box<dyn StoreFile>, bytes: &[u8]) {
+    file.write_all(bytes).unwrap();
+    file.sync_data().unwrap();
+}
+
+/// String literals never match token needles.
+pub const DOC: &str = "std::fs and File::open are banned outside store::io";
+
+#[cfg(test)]
+mod tests {
+    /// Test scaffolding may clean temp dirs directly.
+    fn temp_root() {
+        let _ = std::fs::remove_dir_all(std::env::temp_dir().join("fixture"));
+    }
+}

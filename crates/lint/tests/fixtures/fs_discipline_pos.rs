@@ -1,0 +1,16 @@
+//! Fixture: direct filesystem access in production store code — every
+//! one of these is I/O the fault-injecting `SimFs` can never reach.
+
+use std::fs;
+
+pub fn persist(path: &std::path::Path, bytes: &[u8]) {
+    fs::write(path, bytes).unwrap();
+}
+
+pub fn open_journal(path: &std::path::Path) -> std::fs::File {
+    File::open(path).unwrap()
+}
+
+pub fn open_for_append(path: &std::path::Path) -> std::fs::File {
+    OpenOptions::new().append(true).open(path).unwrap()
+}

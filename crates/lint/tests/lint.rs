@@ -19,6 +19,12 @@ const FIXTURES: &[(&str, &str, &str, &str)] = &[
         include_str!("fixtures/wallclock_neg.rs"),
     ),
     (
+        "fs-discipline",
+        "crates/store/src/fixture.rs",
+        include_str!("fixtures/fs_discipline_pos.rs"),
+        include_str!("fixtures/fs_discipline_neg.rs"),
+    ),
+    (
         "randomstate",
         "crates/query/src/fixture.rs",
         include_str!("fixtures/randomstate_pos.rs"),

@@ -5,6 +5,7 @@
 //! copycat-serve smoke
 //! copycat-serve chaos
 //! copycat-serve recover
+//! copycat-serve crash-storm [seed] [stride]
 //! copycat-serve transforms
 //! copycat-serve herd [sessions]
 //! ```
@@ -18,7 +19,12 @@
 //! failover path misbehaves. `recover` runs the kill-and-recover smoke:
 //! durable router, injected traffic, crash (no shutdown), recovery from
 //! snapshot + WAL, and a byte-for-byte diff against a never-crashed
-//! control. `transforms` learns a string-transform program bridging two
+//! control. `crash-storm` runs the storage-fault sweep: every fault
+//! kind (short writes, torn appends, failed/lying fsyncs, bit flips,
+//! partial reads, ENOSPC) injected at every I/O operation of a seeded
+//! workload on the simulated filesystem, each followed by kill,
+//! recovery, and the no-silent-loss property check.
+//! `transforms` learns a string-transform program bridging two
 //! incompatibly formatted sources, accepts the resulting edge, crashes,
 //! and requires the recovered session to answer byte-identically.
 //! `herd` creates 10k copy-on-write sessions over one shared
@@ -52,6 +58,11 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("recover") {
         return run_recover();
+    }
+    if args.first().map(String::as_str) == Some("crash-storm") {
+        let seed = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(0xC1D9);
+        let stride = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(1);
+        return run_crash_storm(seed, stride);
     }
     if args.first().map(String::as_str) == Some("transforms") {
         return run_transforms();
@@ -122,13 +133,34 @@ fn run_recover() -> ExitCode {
     match smoke::run_recover_default() {
         Ok(s) => {
             println!(
-                "recover: {} journaled, crash, {} replayed, {} probes byte-identical",
-                s.journaled, s.replayed, s.probes
+                "recover: {} journaled, crash, {} replayed ({} torn bytes, \
+                 {} quarantined, {} generations skipped), {} probes byte-identical",
+                s.journaled, s.replayed, s.torn_bytes, s.quarantined,
+                s.generations_skipped, s.probes
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("recover FAILED: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_crash_storm(seed: u64, stride: u64) -> ExitCode {
+    match smoke::run_crash_storm(seed, stride) {
+        Ok(r) => {
+            println!(
+                "crash-storm: {} runs over {} ops (stride {stride}, seed {}), \
+                 {} faults fired, {} acked -> {} recovered + {} quarantined + \
+                 {} tail-lost, 0 silent losses, {} probes",
+                r.runs, r.workload_ops, r.seed, r.faults_fired, r.acked,
+                r.recovered, r.quarantined, r.tail_lost, r.probes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("crash-storm FAILED: {e}");
             ExitCode::from(1)
         }
     }

@@ -39,7 +39,7 @@
 
 use crate::protocol::{ok_response, Op, Request};
 use crate::server::{Server, ServerConfig};
-use copycat_store::{SessionStore, StoreStats};
+use copycat_store::{Fs, RecoveryReport, SessionStore, StoreStats};
 use copycat_util::hash::{FxHashMap, FxHasher};
 use copycat_util::json::{self, Json};
 use copycat_util::sync::Mutex;
@@ -69,7 +69,7 @@ pub struct RouterConfig {
     /// Root directory for session stores; `None` = ephemeral (no
     /// durability, placement and migration still work).
     pub store_root: Option<PathBuf>,
-    /// Snapshot + truncate the WAL after this many records since the
+    /// Snapshot + compact the WAL after this many records since the
     /// last checkpoint.
     pub snapshot_every: u64,
     /// Group-commit width: fsync after this many journaled records.
@@ -77,6 +77,14 @@ pub struct RouterConfig {
     /// crash); larger values trade the tail of un-synced acks for
     /// fewer fsyncs.
     pub sync_every: u64,
+    /// Snapshot + compact once this many bytes have been synced to a
+    /// session's WAL since its last checkpoint — the record-size-blind
+    /// bound on log growth (`snapshot_every` alone lets huge records
+    /// grow the log without limit).
+    pub max_wal_bytes: u64,
+    /// Filesystem every store I/O goes through: [`Fs::real`] in
+    /// production, a seeded [`copycat_store::SimFs`] in fault tests.
+    pub fs: Fs,
 }
 
 impl Default for RouterConfig {
@@ -88,6 +96,8 @@ impl Default for RouterConfig {
             store_root: None,
             snapshot_every: 64,
             sync_every: 1,
+            max_wal_bytes: 1 << 20,
+            fs: Fs::real(),
         }
     }
 }
@@ -142,6 +152,24 @@ pub struct Router {
     replayed_records: AtomicU64,
     recovered_sessions: AtomicU64,
     torn_bytes: AtomicU64,
+    /// Interior WAL records quarantined across all recoveries.
+    quarantined_records: AtomicU64,
+    /// Interior WAL bytes quarantined across all recoveries.
+    quarantined_bytes: AtomicU64,
+    /// Snapshot generations skipped as corrupt across all recoveries.
+    generations_skipped: AtomicU64,
+    /// Sessions whose recovery failed outright (state left on disk,
+    /// session not resumed).
+    recovery_failures: AtomicU64,
+    /// Journal fsyncs that returned an error (the batch stays buffered
+    /// and retries with the next record).
+    sync_failures: AtomicU64,
+    /// Checkpoint installs that returned an error (the WAL keeps
+    /// growing until one succeeds).
+    snapshot_failures: AtomicU64,
+    /// Per-session recovery reports from the last [`Router::recover`]
+    /// (session name → typed loss accounting).
+    recovery_reports: Mutex<Vec<(String, RecoveryReport)>>,
 }
 
 fn hash64(s: &str) -> u64 {
@@ -293,38 +321,81 @@ impl Router {
             replayed_records: AtomicU64::new(0),
             recovered_sessions: AtomicU64::new(0),
             torn_bytes: AtomicU64::new(0),
+            quarantined_records: AtomicU64::new(0),
+            quarantined_bytes: AtomicU64::new(0),
+            generations_skipped: AtomicU64::new(0),
+            recovery_failures: AtomicU64::new(0),
+            sync_failures: AtomicU64::new(0),
+            snapshot_failures: AtomicU64::new(0),
+            recovery_reports: Mutex::new(Vec::new()),
         }
     }
 
     /// Rebuild a router from whatever `config.store_root` holds: for
-    /// every session directory, load the snapshot checkpoint, replay
-    /// it plus the WAL tail through the owning shard, and resume with
-    /// the store positioned to keep appending. Torn WAL tails (a crash
-    /// mid-write) are truncated and counted, never fatal.
+    /// every session directory, load the newest verifiable snapshot
+    /// generation, replay it plus the WAL tail through the owning
+    /// shard, and resume with the store positioned to keep appending.
+    /// Torn tails, quarantined interior records, and skipped snapshot
+    /// generations are counted (and surfaced per-session via
+    /// [`recovery_reports`](Router::recovery_reports)), never fatal. A
+    /// session whose recovery fails outright is skipped — its state
+    /// stays on disk for inspection — and counted; one rotten tenant
+    /// must not take the router down.
     pub fn recover(config: RouterConfig) -> std::io::Result<Router> {
         let router = Router::new(config);
         let Some(root) = router.config.store_root.clone() else {
             return Ok(router);
         };
-        if !root.exists() {
+        let fs = router.config.fs.clone();
+        if !fs.exists(&root) {
             return Ok(router);
         }
-        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&root)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect();
+        let mut dirs: Vec<PathBuf> = fs.list_dirs(&root)?;
         dirs.sort(); // deterministic recovery order
         for dir in dirs {
-            let Ok(name) = std::fs::read_to_string(dir.join(NAME_FILE)) else {
+            let Ok(name_bytes) = fs.read(&dir.join(NAME_FILE)) else {
                 continue; // not a session directory
             };
-            let (store, recovery) = SessionStore::recover(&dir)?;
+            let Ok(name) = String::from_utf8(name_bytes) else {
+                continue;
+            };
+            // The sidecar itself can be a casualty (a short write left a
+            // truncated name). The directory name embeds the full-name
+            // hash, so a name that doesn't map back to its own directory
+            // is corrupt — resurrecting the session under a wrong name
+            // would be a silent identity swap. Count it as a failed
+            // recovery and leave the state on disk.
+            if session_dir(&root, &name) != dir {
+                // relaxed: monotone recovery counter, stats() only
+                router.recovery_failures.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let (store, recovery) = match SessionStore::recover(&fs, &dir) {
+                Ok(pair) => pair,
+                Err(_) => {
+                    // relaxed: monotone recovery counter, stats() only
+                    router.recovery_failures.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
             let mut history: Vec<String> =
                 recovery.snapshot.as_deref().map(parse_checkpoint).unwrap_or_default();
             history.extend(recovery.tail.iter().cloned());
+            let report = recovery.report;
             // relaxed: monotone recovery counters, read only by stats()
-            router.torn_bytes.fetch_add(recovery.torn_bytes, Ordering::Relaxed);
+            router.torn_bytes.fetch_add(report.torn_tail_bytes, Ordering::Relaxed);
+            router
+                .quarantined_records
+                // relaxed: monotone recovery counter, stats() only
+                .fetch_add(report.quarantined.len() as u64, Ordering::Relaxed);
+            router
+                .quarantined_bytes
+                // relaxed: monotone recovery counter, stats() only
+                .fetch_add(report.quarantined_bytes, Ordering::Relaxed);
+            router
+                .generations_skipped
+                // relaxed: monotone recovery counter, stats() only
+                .fetch_add(report.generations_skipped, Ordering::Relaxed);
             let shard = router.ring_shard(&name);
             for line in &history {
                 let _ = router.shards[shard].handle_line(line);
@@ -335,6 +406,7 @@ impl Router {
                 .fetch_add(history.len() as u64, Ordering::Relaxed);
             // relaxed: monotone recovery counter, stats() only
             router.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+            router.recovery_reports.lock().push((name.clone(), report));
             router.sessions.lock().insert(
                 name,
                 Arc::new(Mutex::new(SessionJournal {
@@ -345,6 +417,21 @@ impl Router {
             );
         }
         Ok(router)
+    }
+
+    /// Per-session typed loss accounting from the last
+    /// [`recover`](Router::recover), in recovery order.
+    pub fn recovery_reports(&self) -> Vec<(String, RecoveryReport)> {
+        self.recovery_reports.lock().clone()
+    }
+
+    /// The journaled history for one session — the exact replay
+    /// checkpoint, in WAL order (test/verification introspection; the
+    /// crash-storm sweep diffs this byte-for-byte against what it
+    /// acked).
+    pub fn journal_history(&self, name: &str) -> Option<Vec<String>> {
+        let entry = { self.sessions.lock().get(name).map(Arc::clone) };
+        entry.map(|e| e.lock().history.clone())
     }
 
     /// Shard count.
@@ -442,7 +529,7 @@ impl Router {
                 // A durably *closed* session: remove its journal and
                 // its on-disk state (idempotent), and forget overrides.
                 if let Some(root) = &self.config.store_root {
-                    let _ = SessionStore::destroy(&session_dir(root, name));
+                    let _ = SessionStore::destroy(&self.config.fs, &session_dir(root, name));
                 }
                 j.history.clear();
                 j.store = None;
@@ -475,9 +562,13 @@ impl Router {
     ) {
         if j.store.is_none() {
             let dir = session_dir(root, name);
-            match SessionStore::create(&dir) {
+            match SessionStore::create(&self.config.fs, &dir) {
                 Ok(store) => {
-                    let _ = std::fs::write(dir.join(NAME_FILE), name);
+                    // Durable on purpose: a crash that truncated an
+                    // unsynced sidecar would leave the session's WAL
+                    // unrecoverable (the name no longer hashes back to
+                    // its directory). One fsync per session creation.
+                    let _ = self.config.fs.write_sync(&dir.join(NAME_FILE), name.as_bytes());
                     j.store = Some(store);
                 }
                 Err(_) => return, // ephemeral fallback; never fail the request
@@ -487,12 +578,27 @@ impl Router {
         store.append(logged);
         j.pending_sync += 1;
         if j.pending_sync >= self.config.sync_every.max(1) {
-            let _ = store.sync();
-            j.pending_sync = 0;
+            // On failure the batch stays in the WAL's group-commit
+            // buffer and `pending_sync` stays up, so the very next
+            // journaled record retries the whole batch.
+            if store.sync().is_ok() {
+                j.pending_sync = 0;
+            } else {
+                // relaxed: monotone failure counter, stats() only
+                self.sync_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        if store.records_since_snapshot() >= self.config.snapshot_every.max(1) {
-            let _ = store.snapshot(&checkpoint_payload(&j.history));
-            j.pending_sync = 0;
+        if store.records_since_snapshot() >= self.config.snapshot_every.max(1)
+            || store.wal_bytes_since_snapshot() >= self.config.max_wal_bytes.max(1)
+        {
+            if store.snapshot(&checkpoint_payload(&j.history)).is_ok() {
+                j.pending_sync = 0;
+            } else {
+                // The WAL keeps every record; the next journaled
+                // record re-trips the trigger and retries.
+                // relaxed: monotone failure counter, stats() only
+                self.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -633,6 +739,36 @@ impl Router {
                         "torn_bytes".into(),
                         // relaxed: stats snapshot of a monotone counter
                         Json::Num(self.torn_bytes.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "quarantined_records".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.quarantined_records.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "quarantined_bytes".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.quarantined_bytes.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "generations_skipped".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.generations_skipped.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "recovery_failures".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.recovery_failures.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "sync_failures".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.sync_failures.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "snapshot_failures".into(),
+                        // relaxed: stats snapshot of a monotone counter
+                        Json::Num(self.snapshot_failures.load(Ordering::Relaxed) as f64),
                     ),
                 ]),
             ),

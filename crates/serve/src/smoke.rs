@@ -7,7 +7,10 @@
 
 use crate::protocol::Op;
 use crate::server::{Server, ServerConfig};
+use copycat_store::{FaultKind, FaultPlan, Fs, SimFs};
 use copycat_util::json::Json;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// One request/response exchange from the smoke run.
 #[derive(Debug, Clone)]
@@ -433,6 +436,12 @@ pub struct RecoverSummary {
     pub journaled: u64,
     /// Records replayed during recovery.
     pub replayed: u64,
+    /// Torn WAL tail bytes the recovery discarded (and reported).
+    pub torn_bytes: u64,
+    /// Interior WAL records quarantined during recovery.
+    pub quarantined: u64,
+    /// Snapshot generations skipped as corrupt during recovery.
+    pub generations_skipped: u64,
     /// Probe requests compared byte-for-byte against the control.
     pub probes: usize,
 }
@@ -444,8 +453,9 @@ pub struct RecoverSummary {
 /// the durability layer (`copycat-serve recover`).
 pub fn run_recover_default() -> Result<RecoverSummary, String> {
     use crate::router::{Router, RouterConfig};
+    let fs = Fs::real();
     let root = std::env::temp_dir().join(format!("copycat-recover-smoke-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&root);
+    let _ = fs.remove_dir_all(&root);
     let config = || RouterConfig {
         shards: 2,
         snapshot_every: 4, // force snapshot + WAL-tail recovery
@@ -484,7 +494,7 @@ pub fn run_recover_default() -> Result<RecoverSummary, String> {
     for line in &lines {
         let resp = durable.handle_line(line);
         if !resp.contains("\"ok\":true") {
-            let _ = std::fs::remove_dir_all(&root);
+            let _ = fs.remove_dir_all(&root);
             return Err(format!("traffic refused before crash: {line} -> {resp}"));
         }
     }
@@ -493,8 +503,18 @@ pub fn run_recover_default() -> Result<RecoverSummary, String> {
 
     let recovered =
         Router::recover(config()).map_err(|e| format!("recovery failed: {e}"))?;
-    let replayed =
-        recovered.stats()["durability"]["replayed_records"].as_f64().unwrap_or(0.0) as u64;
+    let stats = recovered.stats();
+    let durability = &stats["durability"];
+    let field = |k: &str| durability[k].as_f64().unwrap_or(0.0) as u64;
+    let replayed = field("replayed_records");
+    let summary = RecoverSummary {
+        journaled,
+        replayed,
+        torn_bytes: field("torn_bytes"),
+        quarantined: field("quarantined_records"),
+        generations_skipped: field("generations_skipped"),
+        probes: probes.len(),
+    };
     let control = Router::new(RouterConfig { shards: 2, ..RouterConfig::default() });
     for line in &lines {
         control.handle_line(line);
@@ -503,7 +523,7 @@ pub fn run_recover_default() -> Result<RecoverSummary, String> {
         let got = recovered.handle_line(probe);
         let want = control.handle_line(probe);
         if got != want {
-            let _ = std::fs::remove_dir_all(&root);
+            let _ = fs.remove_dir_all(&root);
             return Err(format!(
                 "recovered session diverged on {probe}:\n  recovered: {got}\n  control:   {want}"
             ));
@@ -511,11 +531,11 @@ pub fn run_recover_default() -> Result<RecoverSummary, String> {
     }
     recovered.shutdown();
     control.shutdown();
-    let _ = std::fs::remove_dir_all(&root);
+    let _ = fs.remove_dir_all(&root);
     if replayed == 0 {
         return Err("recovery replayed nothing; the WAL never made it to disk".to_string());
     }
-    Ok(RecoverSummary { journaled, replayed, probes: probes.len() })
+    Ok(summary)
 }
 
 /// Summary of the transform kill-and-recover smoke.
@@ -541,9 +561,10 @@ pub struct TransformSummary {
 /// (`copycat-serve transforms`).
 pub fn run_transforms_default() -> Result<TransformSummary, String> {
     use crate::router::{Router, RouterConfig};
+    let fs = Fs::real();
     let root =
         std::env::temp_dir().join(format!("copycat-transform-smoke-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&root);
+    let _ = fs.remove_dir_all(&root);
     let config = || RouterConfig {
         shards: 2,
         snapshot_every: 6,
@@ -597,7 +618,7 @@ pub fn run_transforms_default() -> Result<TransformSummary, String> {
     for line in &lines {
         let resp = durable.handle_line(line);
         if !resp.contains("\"ok\":true") {
-            let _ = std::fs::remove_dir_all(&root);
+            let _ = fs.remove_dir_all(&root);
             return Err(format!("traffic refused before crash: {line} -> {resp}"));
         }
         if line.contains("learn_transform") {
@@ -610,12 +631,12 @@ pub fn run_transforms_default() -> Result<TransformSummary, String> {
     let suggest =
         durable.handle_line(&format!("{{\"id\":13,\"op\":\"column_suggestions\",{s}}}"));
     if !suggest.contains("\"ok\":true") || !suggest.contains("T:Contacts+Directory") {
-        let _ = std::fs::remove_dir_all(&root);
+        let _ = fs.remove_dir_all(&root);
         return Err(format!("transform edge missing from suggestions: {suggest}"));
     }
     let accept = durable.handle_line(&format!("{{\"id\":14,\"op\":\"accept_column\",{s},\"index\":0}}"));
     if !accept.contains("\"ok\":true") {
-        let _ = std::fs::remove_dir_all(&root);
+        let _ = fs.remove_dir_all(&root);
         return Err(format!("accepting the transform suggestion failed: {accept}"));
     }
     let journaled = durable.stats()["durability"]["appends"].as_f64().unwrap_or(0.0) as u64;
@@ -634,7 +655,7 @@ pub fn run_transforms_default() -> Result<TransformSummary, String> {
         let got = recovered.handle_line(probe);
         let want = control.handle_line(probe);
         if got != want {
-            let _ = std::fs::remove_dir_all(&root);
+            let _ = fs.remove_dir_all(&root);
             return Err(format!(
                 "recovered session diverged on {probe}:\n  recovered: {got}\n  control:   {want}"
             ));
@@ -642,7 +663,7 @@ pub fn run_transforms_default() -> Result<TransformSummary, String> {
     }
     recovered.shutdown();
     control.shutdown();
-    let _ = std::fs::remove_dir_all(&root);
+    let _ = fs.remove_dir_all(&root);
     if replayed == 0 {
         return Err("recovery replayed nothing; the WAL never made it to disk".to_string());
     }
@@ -722,6 +743,319 @@ pub fn run_herd(
         ));
     }
     Ok(HerdReport { sessions, marginal_bytes_per_session: marginal, sessions_per_gb, probes_ok })
+}
+
+/// Summary of a [`run_crash_storm`] sweep.
+#[derive(Debug, Clone)]
+pub struct CrashStormReport {
+    /// Seed driving the simulated filesystem (torn cuts, bit picks,
+    /// crash retention).
+    pub seed: u64,
+    /// Countable I/O operations in the fault-free workload — the
+    /// sweep's injection domain.
+    pub workload_ops: u64,
+    /// Fault-injected runs executed (kinds × strided injection points).
+    pub runs: u64,
+    /// Faults that actually fired across all runs.
+    pub faults_fired: u64,
+    /// Acknowledged effects across all runs (baseline included).
+    pub acked: u64,
+    /// Acked effects present byte-identically after recovery.
+    pub recovered: u64,
+    /// Acked effects explicitly reported lost to interior corruption.
+    pub quarantined: u64,
+    /// Acked effects explicitly reported lost with the torn tail.
+    pub tail_lost: u64,
+    /// Acked effects neither recovered nor reported — must be zero.
+    pub silent_losses: u64,
+    /// Probe responses checked across all recoveries.
+    pub probes: u64,
+}
+
+/// What one kill-and-recover run under a fault plan observed.
+struct StormRun {
+    acked: u64,
+    recovered: u64,
+    quarantined: u64,
+    tail_lost: u64,
+    fired: u64,
+    /// Property violations: acked effects that vanished without being
+    /// reported, or recovered bytes that differ from what was acked.
+    silent: Vec<String>,
+    probe_responses: Vec<String>,
+}
+
+/// The storm's mutation workload: two sessions, all-journaled request
+/// classes, sized so `snapshot_every: 4` crosses two snapshot
+/// generations on `storm-a` (compaction + generational fallback are in
+/// play at every injection point). Lines are canonical (no whitespace,
+/// no `deadline_ms`), so the journaled form is byte-identical to what
+/// was sent.
+fn storm_workload() -> Vec<String> {
+    let a = "\"session\":\"storm-a\"";
+    let b = "\"session\":\"storm-b\"";
+    let mut lines = vec![
+        format!("{{\"id\":1,\"op\":\"create_session\",{a}}}"),
+        format!(
+            "{{\"id\":2,\"op\":\"open_doc\",{a},\"name\":\"Sheet\",\
+             \"headers\":[\"Venue\",\"Street\",\"City\"],\
+             \"rows\":[[\"V-0\",\"0 Oak St\",\"CityA\"],[\"V-1\",\"1 Oak St\",\"CityB\"],\
+             [\"V-2\",\"2 Oak St\",\"CityA\"]]}}"
+        ),
+        format!(
+            "{{\"id\":3,\"op\":\"paste\",{a},\"doc\":0,\"values\":[\"V-0\",\"0 Oak St\",\"CityA\"]}}"
+        ),
+        format!("{{\"id\":4,\"op\":\"accept_rows\",{a}}}"),
+        format!("{{\"id\":5,\"op\":\"name_column\",{a},\"col\":0,\"name\":\"Venue\"}}"),
+        format!("{{\"id\":6,\"op\":\"commit_source\",{a},\"name\":\"Shelters\"}}"),
+    ];
+    for i in 0..3 {
+        lines.push(format!(
+            "{{\"id\":{},\"op\":\"autocomplete\",{a},\"values\":[\"{i} Oak St\"],\"k\":2}}",
+            7 + i,
+        ));
+    }
+    lines.extend([
+        format!("{{\"id\":20,\"op\":\"create_session\",{b}}}"),
+        format!(
+            "{{\"id\":21,\"op\":\"open_doc\",{b},\"name\":\"ContactSheet\",\
+             \"headers\":[\"Person\",\"Venue\"],\
+             \"rows\":[[\"Ada\",\"V-0\"],[\"Grace\",\"V-1\"]]}}"
+        ),
+        format!("{{\"id\":22,\"op\":\"paste\",{b},\"doc\":0,\"values\":[\"Ada\",\"V-0\"]}}"),
+        format!("{{\"id\":23,\"op\":\"accept_rows\",{b}}}"),
+        format!("{{\"id\":24,\"op\":\"name_column\",{b},\"col\":1,\"name\":\"Venue\"}}"),
+        format!("{{\"id\":25,\"op\":\"commit_source\",{b},\"name\":\"People\"}}"),
+        format!("{{\"id\":26,\"op\":\"autocomplete\",{b},\"values\":[\"Ada\"],\"k\":2}}"),
+    ]);
+    lines
+}
+
+/// Read-only probes against both storm sessions (deterministic
+/// responses, byte-comparable to a never-crashed control).
+fn storm_probes() -> Vec<String> {
+    ["storm-a", "storm-b"]
+        .iter()
+        .flat_map(|name| {
+            let s = format!("\"session\":\"{name}\"");
+            [
+                format!("{{\"id\":90,\"op\":\"render\",{s}}}"),
+                format!("{{\"id\":91,\"op\":\"export\",{s},\"format\":\"csv\"}}"),
+                format!("{{\"id\":92,\"op\":\"session_stats\",{s}}}"),
+                format!("{{\"id\":93,\"op\":\"save_session\",{s}}}"),
+            ]
+        })
+        .collect()
+}
+
+fn storm_config(fs: &Fs, root: Option<PathBuf>) -> crate::router::RouterConfig {
+    crate::router::RouterConfig {
+        shards: 1,
+        server: ServerConfig { workers: 1, queue_depth: 32, shards: 2 },
+        snapshot_every: 4,
+        sync_every: 1,
+        store_root: root,
+        fs: fs.clone(),
+        ..crate::router::RouterConfig::default()
+    }
+}
+
+/// One kill-and-recover run under `plan`: drive the workload through a
+/// durable router on a seeded [`SimFs`], kill it (drop, no flush),
+/// crash the disk, recover, and check the loss-accounting property per
+/// session: the recovered journal must equal the acked history at
+/// exactly the sequence numbers the [`copycat_store::RecoveryReport`]
+/// says survived — byte for byte — with every other acked effect
+/// attributed to a reported loss class (quarantined interior record,
+/// or tail at `seq > last_seq`). Returns the run plus the simulated
+/// op count (the baseline caller uses it to size the sweep).
+fn storm_run(
+    seed: u64,
+    plan: Vec<FaultPlan>,
+    workload: &[String],
+    probes: &[String],
+    sessions: &[&str],
+) -> Result<(StormRun, u64), String> {
+    use crate::router::Router;
+    let sim = Arc::new(SimFs::with_faults(seed, plan));
+    let fs = Fs::sim(Arc::clone(&sim));
+    let root = PathBuf::from("/storm");
+    let router = Router::new(storm_config(&fs, Some(root.clone())));
+    for line in workload {
+        // Under an armed fault a request may legitimately fail; what
+        // matters is what got *acked*, captured from the journal below.
+        let _ = router.handle_line(line);
+    }
+    let pre: Vec<(String, Vec<String>)> = sessions
+        .iter()
+        .map(|s| (s.to_string(), router.journal_history(s).unwrap_or_default()))
+        .collect();
+    drop(router); // kill: no shutdown, no flush
+    let ops = sim.op_count();
+    sim.crash();
+    let recovered = Router::recover(storm_config(&fs, Some(root)))
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    let reports = recovered.recovery_reports();
+    let mut out = StormRun {
+        acked: 0,
+        recovered: 0,
+        quarantined: 0,
+        tail_lost: 0,
+        fired: sim.fired().len() as u64,
+        silent: Vec::new(),
+        probe_responses: Vec::new(),
+    };
+    for (name, acked_lines) in &pre {
+        // No report = nothing recovered for the session (e.g. its store
+        // never materialized, or its name sidecar was corrupt): every
+        // acked effect is then tail-shaped loss against last_seq 0.
+        let rep = reports
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r.clone())
+            .unwrap_or_default();
+        let acked = acked_lines.len() as u64;
+        out.acked += acked;
+        if rep.last_seq > acked {
+            out.silent.push(format!(
+                "session {name}: recovery invented records (last_seq {} > acked {acked})",
+                rep.last_seq
+            ));
+            continue;
+        }
+        // Seqs are assigned 1:1 with journal pushes, so acked line k
+        // carries seq k+1; the report enumerates exactly which survive.
+        let expected: Vec<&String> = (1..=rep.last_seq)
+            .filter(|s| !rep.quarantined.contains(s))
+            .map(|s| &acked_lines[(s - 1) as usize])
+            .collect();
+        let post = recovered.journal_history(name).unwrap_or_default();
+        let identical =
+            post.len() == expected.len() && post.iter().zip(&expected).all(|(a, b)| a == *b);
+        if !identical {
+            out.silent.push(format!(
+                "session {name}: recovered journal diverges from acked effects \
+                 ({} recovered vs {} expected survivors)",
+                post.len(),
+                expected.len()
+            ));
+            continue;
+        }
+        out.recovered += expected.len() as u64;
+        out.quarantined += rep.quarantined.len() as u64;
+        out.tail_lost += acked - rep.last_seq;
+    }
+    for probe in probes {
+        let resp = recovered.handle_line(probe);
+        if Json::parse(&resp).is_err() {
+            return Err(format!("probe answered non-JSON after recovery: {probe} -> {resp}"));
+        }
+        out.probe_responses.push(resp);
+    }
+    recovered.shutdown();
+    Ok((out, ops))
+}
+
+/// The crash-storm property sweep: for **every fault kind at every
+/// `stride`-th I/O operation** of the seeded workload, kill the router
+/// and recover, asserting zero silent losses — each acked effect is
+/// byte-identically present or explicitly accounted in a recovery
+/// report. Runs that recovered with zero reported loss must also
+/// answer every probe byte-identically to a never-crashed control.
+/// `stride: 1` (the `copycat-serve crash-storm` smoke) covers every
+/// injection point; tests use a coarser stride.
+pub fn run_crash_storm(seed: u64, stride: u64) -> Result<CrashStormReport, String> {
+    use crate::router::Router;
+    let sessions = ["storm-a", "storm-b"];
+    let workload = storm_workload();
+    let probes = storm_probes();
+    let stride = stride.max(1);
+
+    // The never-crashed control: same workload, ephemeral router.
+    let control = Router::new(storm_config(&Fs::real(), None));
+    for line in &workload {
+        let resp = control.handle_line(line);
+        if !resp.contains("\"ok\":true") {
+            return Err(format!("control refused workload line: {line} -> {resp}"));
+        }
+    }
+    let control_probes: Vec<String> = probes.iter().map(|p| control.handle_line(p)).collect();
+    control.shutdown();
+
+    // Fault-free baseline: defines the sweep domain (op count) and must
+    // recover everything, byte-identical to the control.
+    let (base, ops) = storm_run(seed, Vec::new(), &workload, &probes, &sessions)?;
+    if base.acked != workload.len() as u64 {
+        return Err(format!(
+            "baseline acked {} of {} workload lines",
+            base.acked,
+            workload.len()
+        ));
+    }
+    if !base.silent.is_empty() || base.quarantined + base.tail_lost != 0 {
+        return Err(format!(
+            "fault-free baseline lost effects: quarantined {} tail {} silent {:?}",
+            base.quarantined, base.tail_lost, base.silent
+        ));
+    }
+    if base.probe_responses != control_probes {
+        return Err("baseline recovery diverged from the never-crashed control".into());
+    }
+
+    let mut report = CrashStormReport {
+        seed,
+        workload_ops: ops,
+        runs: 0,
+        faults_fired: 0,
+        acked: base.acked,
+        recovered: base.recovered,
+        quarantined: 0,
+        tail_lost: 0,
+        silent_losses: 0,
+        probes: base.probe_responses.len() as u64,
+    };
+    let mut silent: Vec<String> = Vec::new();
+    for kind in FaultKind::ALL {
+        let mut at = 1u64;
+        while at <= ops {
+            let (run, _) = storm_run(
+                seed,
+                vec![FaultPlan { at_op: at, kind }],
+                &workload,
+                &probes,
+                &sessions,
+            )?;
+            report.runs += 1;
+            report.faults_fired += run.fired;
+            report.acked += run.acked;
+            report.recovered += run.recovered;
+            report.quarantined += run.quarantined;
+            report.tail_lost += run.tail_lost;
+            report.probes += run.probe_responses.len() as u64;
+            if run.silent.is_empty()
+                && run.quarantined + run.tail_lost == 0
+                && run.probe_responses != control_probes
+            {
+                silent.push(format!(
+                    "{}@op{at}: lossless recovery diverged from the control on probes",
+                    kind.name()
+                ));
+            }
+            for s in run.silent {
+                silent.push(format!("{}@op{at}: {s}", kind.name()));
+            }
+            at += stride;
+        }
+    }
+    report.silent_losses = silent.len() as u64;
+    if !silent.is_empty() {
+        return Err(format!(
+            "{} silent loss(es) across the storm; first: {}",
+            silent.len(),
+            silent[0]
+        ));
+    }
+    Ok(report)
 }
 
 fn rows_of(j: &Json) -> Vec<Vec<String>> {

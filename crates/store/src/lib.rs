@@ -28,10 +28,12 @@
 //! byte-for-byte — lives in copycat-serve's durable layer and its
 //! kill-and-recover property test.
 
+pub mod io;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use io::{FaultKind, FaultPlan, Fs, RealFs, SimFs, StoreFile, StoreFs};
 pub use snapshot::Snapshot;
-pub use store::{Recovery, SessionStore, StoreStats};
+pub use store::{Recovery, RecoveryReport, SessionStore, StoreStats};
 pub use wal::{SyncStats, Wal, WalReadOutcome};

@@ -1,6 +1,7 @@
-//! Atomic session snapshots.
+//! Generational session snapshots.
 //!
-//! A snapshot is one JSON file inside the session directory:
+//! A snapshot is one JSON file inside the session directory, named by
+//! its generation — `snapshot-00000007.json` — holding:
 //!
 //! ```json
 //! {"version": 1, "seq": 42, "crc": 123456789, "payload": "…"}
@@ -8,25 +9,36 @@
 //!
 //! `seq` is the last WAL sequence number the payload covers — recovery
 //! replays only WAL records *after* it, which is what makes a crash
-//! between "snapshot renamed into place" and "WAL truncated" harmless.
+//! between "snapshot renamed into place" and "WAL compacted" harmless.
 //! `crc` is the CRC-32 of the payload bytes, so a half-written or
 //! bit-rotted snapshot is detected rather than replayed.
 //!
-//! Replacement is atomic: write `snapshot.tmp`, fsync it, then
-//! `rename` over `snapshot.json` (POSIX rename atomicity), then fsync
-//! the directory so the rename itself survives a power cut. At every
-//! instant the directory holds either the old complete snapshot or the
-//! new complete snapshot, never a torn one.
+//! Each install is atomic: write `snapshot.tmp`, fsync it, then
+//! `rename` into the generation's name (POSIX rename atomicity), then
+//! fsync the directory so the rename survives a power cut. At every
+//! instant the directory holds only complete snapshot files.
+//!
+//! **Why generations instead of one file:** a checksummed single
+//! snapshot detects its own corruption but has nowhere to fall back
+//! to — a lying fsync on the tmp file, followed by a crash, or plain
+//! bit rot at rest, would strand the session. So the newest
+//! [`KEEP_GENERATIONS`] files are retained, and [`read_best`] walks
+//! them newest-first, skipping (and reporting) corrupt ones. The WAL
+//! compaction in [`crate::store`] keeps every record *after the
+//! previous generation's seq*, so falling back one generation just
+//! means a longer — but complete — replay.
 
+use crate::io::Fs;
 use copycat_util::checksum::crc32;
 use copycat_util::json::{FromJson, Json, JsonError};
-use std::fs::File;
-use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// File name of the current snapshot inside a session directory.
-pub const SNAPSHOT_FILE: &str = "snapshot.json";
-const TMP_FILE: &str = "snapshot.tmp";
+/// Snapshot generations retained on disk (newest N).
+pub const KEEP_GENERATIONS: usize = 2;
+/// Scratch name every install writes before its rename.
+pub const TMP_FILE: &str = "snapshot.tmp";
+const PREFIX: &str = "snapshot-";
+const SUFFIX: &str = ".json";
 const VERSION: u64 = 1;
 
 /// A checkpoint: an opaque payload plus the WAL position it covers.
@@ -36,6 +48,31 @@ pub struct Snapshot {
     pub seq: u64,
     /// The serialized session (opaque to this crate).
     pub payload: String,
+}
+
+/// What walking the generations found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The newest snapshot that verified, if any.
+    pub snapshot: Option<Snapshot>,
+    /// Generation number of the chosen snapshot (0 = none chosen).
+    pub generation: u64,
+    /// Newer generations skipped because they failed verification.
+    pub skipped: u64,
+    /// Files that failed verification (recovery quarantines these so
+    /// they stop occupying retention slots).
+    pub corrupt: Vec<PathBuf>,
+}
+
+/// File name for generation `g`.
+pub fn generation_file(g: u64) -> String {
+    format!("{PREFIX}{g:08}{SUFFIX}")
+}
+
+fn parse_generation(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix(PREFIX)?.strip_suffix(SUFFIX)?;
+    digits.parse().ok()
 }
 
 fn envelope(snap: &Snapshot) -> Json {
@@ -65,91 +102,160 @@ fn open_envelope(j: &Json) -> Result<Snapshot, JsonError> {
     Ok(Snapshot { seq, payload })
 }
 
-/// Atomically install `snap` as the directory's current snapshot.
-pub fn write(dir: &Path, snap: &Snapshot) -> std::io::Result<()> {
+/// Generation numbers present in `dir`, ascending.
+pub fn list_generations(fs: &Fs, dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut gens: Vec<u64> = fs
+        .list_files(dir)?
+        .iter()
+        .filter_map(|p| parse_generation(p))
+        .collect();
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+/// Atomically install `snap` as generation `generation`, then prune
+/// generations older than the newest [`KEEP_GENERATIONS`] (prune
+/// failures are tolerated — an extra old file costs space, not
+/// correctness).
+pub fn write(fs: &Fs, dir: &Path, snap: &Snapshot, generation: u64) -> std::io::Result<()> {
     let tmp = dir.join(TMP_FILE);
-    let dst = dir.join(SNAPSHOT_FILE);
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(envelope(snap).to_string().as_bytes())?;
-        f.sync_data()?;
-    }
-    std::fs::rename(&tmp, &dst)?;
+    let dst = dir.join(generation_file(generation));
+    fs.write_sync(&tmp, envelope(snap).to_string().as_bytes())?;
+    fs.rename(&tmp, &dst)?;
     // Persist the rename: fsync the containing directory.
-    File::open(dir)?.sync_all()?;
+    fs.sync_dir(dir)?;
+    if let Ok(gens) = list_generations(fs, dir) {
+        for g in gens.iter().rev().skip(KEEP_GENERATIONS) {
+            let _ = fs.remove_file(&dir.join(generation_file(*g)));
+        }
+    }
     Ok(())
 }
 
-/// Load the current snapshot, if any. A missing file is `None`; a
-/// present-but-unreadable one (torn write that dodged the tmp+rename
-/// protocol, bit rot, future version) is an error — recovering from a
-/// *wrong* checkpoint would be worse than failing loudly.
-pub fn read(dir: &Path) -> std::io::Result<Option<Snapshot>> {
-    let bytes = match std::fs::read(dir.join(SNAPSHOT_FILE)) {
+/// Verify one generation file, distinguishing I/O errors from
+/// corruption (corruption is fall-back-able; an I/O error is not).
+fn try_read(fs: &Fs, path: &Path) -> std::io::Result<Result<Snapshot, String>> {
+    let bytes = match fs.read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Err("missing".into()));
+        }
         Err(e) => return Err(e),
     };
-    let text = String::from_utf8(bytes)
-        .map_err(|_| std::io::Error::other("snapshot is not utf-8"))?;
-    let j = Json::parse(&text).map_err(std::io::Error::other)?;
-    open_envelope(&j).map(Some).map_err(std::io::Error::other)
+    let Ok(text) = String::from_utf8(bytes) else {
+        return Ok(Err("not utf-8".into()));
+    };
+    let j = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => return Ok(Err(e.to_string())),
+    };
+    Ok(open_envelope(&j).map_err(|e| e.to_string()))
+}
+
+/// Load the newest snapshot that verifies, walking generations
+/// newest-first and skipping corrupt ones. No generations at all is a
+/// clean `None`; generations present but all corrupt is also `None`
+/// with `skipped` accounting — the caller's recovery report turns that
+/// into explicit loss, never a silent one.
+pub fn read_best(fs: &Fs, dir: &Path) -> std::io::Result<ReadOutcome> {
+    let mut out = ReadOutcome { snapshot: None, generation: 0, skipped: 0, corrupt: Vec::new() };
+    for g in list_generations(fs, dir)?.into_iter().rev() {
+        let path = dir.join(generation_file(g));
+        match try_read(fs, &path)? {
+            Ok(snap) => {
+                out.snapshot = Some(snap);
+                out.generation = g;
+                break;
+            }
+            Err(_) => {
+                out.skipped += 1;
+                out.corrupt.push(path);
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
+    use crate::io::SimFs;
+    use std::sync::Arc;
 
-    fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "copycat-snap-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
+    fn sim() -> (Arc<SimFs>, Fs, PathBuf) {
+        let sim = Arc::new(SimFs::new(0x5EED));
+        let fs = Fs::sim(Arc::clone(&sim));
+        let dir = PathBuf::from("/snap-test");
+        fs.create_dir_all(&dir).unwrap();
+        (sim, fs, dir)
     }
 
     #[test]
-    fn write_read_round_trips_and_replaces() {
-        let dir = temp_dir("roundtrip");
-        assert_eq!(read(&dir).unwrap(), None);
+    fn write_read_round_trips_and_newest_wins() {
+        let (_sim, fs, dir) = sim();
+        assert_eq!(read_best(&fs, &dir).unwrap().snapshot, None);
         let first = Snapshot { seq: 7, payload: "[\"line one\"]".into() };
-        write(&dir, &first).unwrap();
-        assert_eq!(read(&dir).unwrap(), Some(first));
+        write(&fs, &dir, &first, 1).unwrap();
+        let out = read_best(&fs, &dir).unwrap();
+        assert_eq!(out.snapshot, Some(first));
+        assert_eq!(out.generation, 1);
         let second = Snapshot { seq: 19, payload: "[\"line one\",\"línea dos\"]".into() };
-        write(&dir, &second).unwrap();
-        assert_eq!(read(&dir).unwrap(), Some(second));
+        write(&fs, &dir, &second, 2).unwrap();
+        let out = read_best(&fs, &dir).unwrap();
+        assert_eq!(out.snapshot, Some(second));
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.skipped, 0);
         // No tmp residue after a clean install.
-        assert!(!dir.join(TMP_FILE).exists());
-        let _ = std::fs::remove_dir_all(&dir);
+        assert!(!fs.exists(&dir.join(TMP_FILE)));
     }
 
     #[test]
-    fn corrupted_payload_fails_the_checksum() {
-        let dir = temp_dir("corrupt");
-        write(&dir, &Snapshot { seq: 1, payload: "payload-bytes".into() }).unwrap();
-        let path = dir.join(SNAPSHOT_FILE);
-        let mangled = std::fs::read_to_string(&path)
-            .unwrap()
-            .replace("payload-bytes", "payload-byteZ");
-        std::fs::write(&path, mangled).unwrap();
-        assert!(read(&dir).is_err());
-        let _ = std::fs::remove_dir_all(&dir);
+    fn retention_keeps_the_newest_two_generations() {
+        let (_sim, fs, dir) = sim();
+        for g in 1..=5u64 {
+            let snap = Snapshot { seq: g * 10, payload: format!("gen-{g}") };
+            write(&fs, &dir, &snap, g).unwrap();
+        }
+        assert_eq!(list_generations(&fs, &dir).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous_generation() {
+        let (sim, fs, dir) = sim();
+        write(&fs, &dir, &Snapshot { seq: 10, payload: "older-good".into() }, 1).unwrap();
+        write(&fs, &dir, &Snapshot { seq: 20, payload: "newer-doomed".into() }, 2).unwrap();
+        assert!(sim.corrupt_file(&dir.join(generation_file(2))));
+        let out = read_best(&fs, &dir).unwrap();
+        assert_eq!(out.snapshot, Some(Snapshot { seq: 10, payload: "older-good".into() }));
+        assert_eq!(out.generation, 1);
+        assert_eq!(out.skipped, 1);
+        assert_eq!(out.corrupt, vec![dir.join(generation_file(2))]);
+    }
+
+    #[test]
+    fn all_generations_corrupt_reports_rather_than_lies() {
+        let (sim, fs, dir) = sim();
+        write(&fs, &dir, &Snapshot { seq: 10, payload: "one".into() }, 1).unwrap();
+        write(&fs, &dir, &Snapshot { seq: 20, payload: "two".into() }, 2).unwrap();
+        assert!(sim.corrupt_file(&dir.join(generation_file(1))));
+        assert!(sim.corrupt_file(&dir.join(generation_file(2))));
+        let out = read_best(&fs, &dir).unwrap();
+        assert_eq!(out.snapshot, None);
+        assert_eq!(out.skipped, 2);
+        assert_eq!(out.corrupt.len(), 2);
     }
 
     #[test]
     fn future_versions_are_refused_not_misread() {
-        let dir = temp_dir("version");
-        write(&dir, &Snapshot { seq: 1, payload: "p".into() }).unwrap();
-        let path = dir.join(SNAPSHOT_FILE);
-        let bumped = std::fs::read_to_string(&path)
+        let (_sim, fs, dir) = sim();
+        write(&fs, &dir, &Snapshot { seq: 1, payload: "p".into() }, 1).unwrap();
+        let path = dir.join(generation_file(1));
+        let bumped = String::from_utf8(fs.read(&path).unwrap())
             .unwrap()
             .replace("\"version\":1", "\"version\":2");
-        std::fs::write(&path, bumped).unwrap();
-        assert!(read(&dir).is_err());
-        let _ = std::fs::remove_dir_all(&dir);
+        fs.write(&path, bumped.as_bytes()).unwrap();
+        let out = read_best(&fs, &dir).unwrap();
+        assert_eq!(out.snapshot, None);
+        assert_eq!(out.skipped, 1);
     }
 }

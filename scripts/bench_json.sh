@@ -20,10 +20,17 @@
 #     10k-session sweep {sessions, create_elapsed_us, requests, ok,
 #     elapsed_us, throughput_rps, p50_us, p99_us,
 #     marginal_bytes_per_session, sessions_per_gb}.
-#   BENCH_faults.json — the F1 fault-tolerance sweep (failure rate x
-#     {no-retry, retry, retry+failover}). Rows are {rate, mode,
-#     completeness, degraded, virtual_ms, retries, trips}; virtual_ms is
-#     simulated time, so these rows ARE machine-independent.
+#   BENCH_faults.json — {"f1": …, "recovery_under_fault": …}. "f1" is
+#     the fault-tolerance sweep (failure rate x {no-retry, retry,
+#     retry+failover}); rows are {rate, mode, completeness, degraded,
+#     virtual_ms, retries, trips}, and virtual_ms is simulated time, so
+#     those rows ARE machine-independent. "recovery_under_fault" is the
+#     storage-fault crash storm: "sweep" rows are {stride, workload_ops,
+#     runs, faults_fired, acked, recovered, quarantined, tail_lost,
+#     silent_losses, elapsed_us, mean_run_us} (loss accounting on SimFs,
+#     machine-independent; only the timings are wall clock), and
+#     "real_fs_overhead" is the StoreFs-trait-vs-raw-std::fs guard
+#     {records, syncs, via_trait_us, via_std_us, ratio}.
 #   BENCH_transform.json — the T1 transform-synthesis sweep (messy-format
 #     world, service-only vs learned transform). Rows are {venues, mode,
 #     completeness, learn_ms, suggest_ms, amortized_ms, program,

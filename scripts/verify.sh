@@ -28,6 +28,13 @@ cargo run --release --offline -p copycat-serve -- chaos
 # without shutdown), recovers from snapshot + WAL, and must answer
 # byte-identically to a never-crashed control.
 cargo run --release --offline -p copycat-serve -- recover
+# Crash-storm smoke: the storage-fault sweep on the simulated
+# filesystem — every fault kind (short writes, torn appends,
+# failed/lying fsyncs, bit flips, partial reads, ENOSPC) injected at
+# every I/O operation of a seeded workload, each run killed, recovered,
+# and checked for the no-silent-loss property: every acked effect is
+# byte-identically present or explicitly reported lost.
+cargo run --release --offline -p copycat-serve -- crash-storm
 # Transforms smoke: learn a string-transform program bridging two
 # incompatibly formatted sources, accept the suggested transform edge,
 # crash, and require the recovered session to answer byte-identically.
